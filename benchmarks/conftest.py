@@ -1,0 +1,146 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index and EXPERIMENTS.md for the paper-vs-measured record).
+Two datasets are shared across benchmarks:
+
+* ``event_scenario`` / ``event_archive`` — a multi-collector, multi-hour
+  scenario containing a prefix hijack, a country-wide outage, an RTBH
+  episode and a session reset (drives Figures 3, 4, 6, 9, 10 and Table 1).
+* ``longitudinal_scenario`` / ``longitudinal_archive`` — monthly RIB dumps
+  over a growing synthetic Internet (drives Figures 5a–5d).
+
+Benchmarks use ``benchmark.pedantic(..., rounds=1)`` for the heavy end-to-end
+pipelines (they are measured once) and regular ``benchmark(...)`` for cheap,
+hot-path operations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.community import Community
+from repro.bgp.prefix import Prefix
+from repro.broker.broker import Broker
+from repro.collectors.archive import Archive
+from repro.collectors.events import (
+    OutageEvent,
+    PrefixHijackEvent,
+    RTBHEvent,
+    SessionResetEvent,
+)
+from repro.collectors.longitudinal import LongitudinalConfig, LongitudinalScenario
+from repro.collectors.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.collectors.topology import ASRole, TopologyConfig, generate_topology
+from repro.core.interfaces import BrokerDataInterface
+from repro.core.stream import BGPStream
+from repro.utils.intervals import TimeInterval
+
+
+@pytest.fixture(scope="session")
+def event_scenario() -> Scenario:
+    config = ScenarioConfig(
+        duration=4 * 3600,
+        topology=TopologyConfig(num_tier1=4, num_transit=14, num_stub=50, seed=101),
+        vps_per_collector=5,
+        full_feed_fraction=1.0,
+        churn_updates_per_vp_per_hour=60,
+        seed=102,
+    )
+    topology = generate_topology(config.topology)
+    start = config.start
+    victim = next(a for a in topology.asns() if topology.node(a).role == ASRole.STUB)
+    hijacker = next(
+        a
+        for a in topology.asns()
+        if topology.node(a).role == ASRole.TRANSIT and a not in topology.providers(victim)
+    )
+    rtbh_customer = next(
+        a
+        for a in topology.asns()
+        if topology.node(a).role == ASRole.STUB
+        and a != victim
+        and any(
+            topology.node(p).blackhole_community_value is not None
+            for p in topology.providers(a)
+        )
+    )
+    rtbh_provider = next(
+        p
+        for p in topology.providers(rtbh_customer)
+        if topology.node(p).blackhole_community_value is not None
+    )
+    rtbh_prefix = Prefix.from_address(
+        str(topology.node(rtbh_customer).prefixes[0].address), 32
+    )
+    country = topology.node(victim).country
+    events = [
+        PrefixHijackEvent(
+            interval=TimeInterval(start + 3600, start + 3600 + 3600),
+            hijacker_asn=hijacker,
+            victim_asn=victim,
+            prefixes=tuple(topology.node(victim).prefixes[:2]),
+        ),
+        OutageEvent(interval=TimeInterval(start + 9000, start + 12600), country=country),
+        RTBHEvent(
+            interval=TimeInterval(start + 1800, start + 4200),
+            customer_asn=rtbh_customer,
+            blackhole_prefix=rtbh_prefix,
+            provider_asns=(rtbh_provider,),
+            communities=(Community(rtbh_provider if rtbh_provider <= 0xFFFF else 65535, 666),),
+            propagating_providers=(rtbh_provider,),
+        ),
+    ]
+    scenario = build_scenario(config, events=events, topology=topology)
+    rrc0 = scenario.collector("rrc0")
+    scenario.timeline.add(
+        SessionResetEvent(
+            interval=TimeInterval(start + 6000, start + 6660),
+            collector="rrc0",
+            vp_asn=rrc0.vps[0].asn,
+        )
+    )
+    return scenario
+
+
+@pytest.fixture(scope="session")
+def event_archive(tmp_path_factory, event_scenario) -> Archive:
+    archive = Archive(str(tmp_path_factory.mktemp("bench-event-archive")))
+    event_scenario.generate(archive)
+    return archive
+
+
+@pytest.fixture(scope="session")
+def longitudinal_scenario() -> LongitudinalScenario:
+    config = LongitudinalConfig(
+        months=16,
+        topology=TopologyConfig(num_tier1=5, num_transit=20, num_stub=90, seed=111),
+        vps_per_collector=5,
+        moas_fraction=0.08,
+        seed=113,
+    )
+    return LongitudinalScenario(config)
+
+
+@pytest.fixture(scope="session")
+def longitudinal_archive(tmp_path_factory, longitudinal_scenario) -> Archive:
+    archive = Archive(str(tmp_path_factory.mktemp("bench-longitudinal-archive")))
+    longitudinal_scenario.generate(archive)
+    return archive
+
+
+@pytest.fixture(scope="session")
+def month_timestamps(longitudinal_scenario):
+    return [s.timestamp for s in longitudinal_scenario.snapshots]
+
+
+def make_stream(archive: Archive, start: int, end, **filters) -> BGPStream:
+    """A fresh historical stream over ``archive`` with optional filters."""
+    stream = BGPStream(
+        data_interface=BrokerDataInterface(Broker(archives=[archive]), max_empty_polls=1)
+    )
+    stream.add_interval_filter(start, end)
+    for name, values in filters.items():
+        for value in values:
+            stream.add_filter(name.replace("_", "-"), value)
+    return stream

@@ -1,0 +1,61 @@
+"""A2 — Ablation: BGPStream pipeline vs the classic bgpdump workflow (§2, §4.1).
+
+Processes the same dump-file set twice: once through the BGPStream stack
+(broker metadata → grouped multi-way merge → typed records/elems) and once
+the pre-BGPStream way (file-at-a-time ASCII via a bgpdump clone, then
+re-parsing the text).  The functional comparison is the point: the baseline
+yields the same elems but *not* time-ordered across files, loses everything
+after a corrupted record, and forces a lossy text round-trip; wall-clock is
+reported for context.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baseline.bgpdump import BGPDumpBaseline
+from repro.core.elem import ElemType
+from repro.core.record import RecordStatus
+
+from benchmarks.conftest import make_stream
+
+
+def test_ablation_bgpstream_vs_bgpdump(benchmark, event_archive, event_scenario):
+    updates = sorted(
+        (e for e in event_archive.entries() if e.dump_type == "updates"),
+        key=lambda e: (e.collector, e.timestamp),
+    )
+
+    # Baseline: bgpdump-style, file after file, re-parsing ASCII.
+    start = time.perf_counter()
+    baseline = BGPDumpBaseline([(e.path, e.dump_type) for e in updates])
+    baseline_lines = list(baseline.parsed())
+    baseline_seconds = time.perf_counter() - start
+    baseline_times = [line.time for line in baseline_lines]
+
+    def bgpstream_run():
+        stream = make_stream(
+            event_archive, event_scenario.start, event_scenario.end, record_type=["updates"]
+        )
+        times = []
+        elems = 0
+        for record, elem in stream.elems():
+            if record.status != RecordStatus.VALID:
+                continue
+            elems += 1
+            times.append(elem.time)
+        return times
+
+    stream_times = benchmark.pedantic(bgpstream_run, rounds=1, iterations=1)
+
+    # Same volume of information (every update elem is seen by both)...
+    assert len(stream_times) == len(baseline_times)
+    # ...but only the BGPStream pipeline delivers it time-sorted across
+    # collectors; the baseline interleaves nothing.
+    assert stream_times == sorted(stream_times)
+    assert baseline_times != sorted(baseline_times)
+
+    benchmark.extra_info["elems"] = len(stream_times)
+    benchmark.extra_info["baseline_seconds"] = round(baseline_seconds, 4)
+    benchmark.extra_info["bgpstream_seconds"] = round(benchmark.stats.stats.mean, 4)
+    benchmark.extra_info["baseline_sorted"] = baseline_times == sorted(baseline_times)

@@ -1,0 +1,49 @@
+"""E1 — Table 1: elem extraction.
+
+Benchmarks the decomposition of MRT records into BGPStream elems (the
+hottest path of the whole framework) and re-checks that every elem carries
+exactly the Table 1 fields for its type.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.elem import ElemType
+from repro.core.record import RecordStatus
+
+from benchmarks.conftest import make_stream
+
+
+def test_elem_extraction_throughput(benchmark, event_archive, event_scenario):
+    records = [
+        record
+        for record in make_stream(
+            event_archive, event_scenario.start, event_scenario.end
+        ).records()
+        if record.status == RecordStatus.VALID
+    ]
+
+    def extract():
+        counts = Counter()
+        for record in records:
+            for elem in record.elems():
+                counts[elem.elem_type] += 1
+        return counts
+
+    counts = benchmark(extract)
+
+    # Table 1 shape checks: all four elem types, conditional fields correct.
+    assert set(counts) >= {ElemType.RIB, ElemType.ANNOUNCEMENT, ElemType.WITHDRAWAL}
+    for record in records[:2000]:
+        for elem in record.elems():
+            if elem.elem_type in (ElemType.RIB, ElemType.ANNOUNCEMENT):
+                assert elem.prefix is not None and elem.as_path is not None
+                assert elem.next_hop
+            elif elem.elem_type == ElemType.WITHDRAWAL:
+                assert elem.prefix is not None and elem.as_path is None
+            else:
+                assert elem.old_state is not None and elem.new_state is not None
+    benchmark.extra_info["records"] = len(records)
+    benchmark.extra_info["elems"] = sum(counts.values())
+    benchmark.extra_info["elems_per_type"] = {str(k): v for k, v in counts.items()}

@@ -1,0 +1,73 @@
+"""E12 — Figure 10: country-level visible-prefix series with injected outages.
+
+Runs the full global-monitoring pipeline (RT publishers → messaging
+substrate → outage consumer) over the event archive and checks the Figure 10
+signature for the country hit by the scripted outage: the visible-prefix
+series drops sharply during the outage window and recovers afterwards, while
+unaffected countries stay flat; the change-point detector turns the drop
+into an outage alert.
+"""
+
+from __future__ import annotations
+
+from repro.collectors.events import OutageEvent
+from repro.kafka.broker import MessageBroker
+from repro.monitoring.geo import GeoDatabase
+from repro.monitoring.outages import OutageConsumer
+from repro.monitoring.publisher import run_publishers
+
+
+def test_fig10_country_outages(benchmark, event_archive, event_scenario):
+    outage = next(e for e in event_scenario.timeline.events if isinstance(e, OutageEvent))
+    collectors = [c.name for c in event_scenario.collectors]
+    geo = GeoDatabase.from_topology(event_scenario.topology)
+
+    def run():
+        message_broker = MessageBroker()
+        run_publishers(
+            message_broker,
+            event_archive,
+            collectors,
+            event_scenario.start,
+            event_scenario.end,
+            bin_size=300,
+        )
+        consumer = OutageConsumer(message_broker, collectors, geo)
+        consumer.poll()
+        return consumer
+
+    consumer = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    series = dict(consumer.country_series(outage.country))
+    before = [v for ts, v in series.items() if ts < outage.interval.start - 300]
+    during = [
+        v
+        for ts, v in series.items()
+        if outage.interval.start + 300 <= ts < outage.interval.end - 300
+    ]
+    after = [v for ts, v in series.items() if ts >= outage.interval.end + 300]
+    assert before and during and after
+    assert min(during) < 0.6 * max(before)  # a pronounced drop
+    assert max(after) >= 0.9 * max(before)  # recovery after the outage ends
+
+    alerts = [a for a in consumer.detect_outages("country") if a.key == outage.country]
+    assert alerts
+    assert abs(alerts[0].start - outage.interval.start) <= 600
+
+    # Per-AS view (the stacked per-ISP lines of Figure 10).
+    affected_asn = outage.asns[0]
+    asn_series = dict(consumer.asn_series(affected_asn))
+    if asn_series:
+        asn_before = [v for ts, v in asn_series.items() if ts < outage.interval.start - 300]
+        asn_during = [
+            v
+            for ts, v in asn_series.items()
+            if outage.interval.start + 300 <= ts < outage.interval.end - 300
+        ]
+        if asn_before and asn_during:
+            assert min(asn_during) <= min(asn_before)
+
+    benchmark.extra_info["country"] = outage.country
+    benchmark.extra_info["visible_before_max"] = max(before)
+    benchmark.extra_info["visible_during_min"] = min(during)
+    benchmark.extra_info["alerts"] = len(alerts)

@@ -1,0 +1,59 @@
+"""E5 — Figure 4: data-plane reachability during vs after black-holing.
+
+Control plane: a community-filtered stream over the event archive detects
+the RTBH start and end.  Data plane: traceroutes from Atlas-style probes
+towards the black-holed destination during and after the episode.  The
+Figure 4 shape: reachability (of both the destination and its origin AS)
+collapses while RTBH is active and recovers after it is withdrawn.
+"""
+
+from __future__ import annotations
+
+from repro.atlas.rtbh import RTBHExperiment, detect_rtbh_requests
+from repro.collectors.events import RTBHEvent
+
+from benchmarks.conftest import make_stream
+
+
+def test_fig4_rtbh_reachability(benchmark, event_archive, event_scenario):
+    rtbh = next(e for e in event_scenario.timeline.events if isinstance(e, RTBHEvent))
+
+    def run():
+        stream = make_stream(
+            event_archive,
+            event_scenario.start,
+            event_scenario.end,
+            record_type=["updates"],
+        )
+        requests = detect_rtbh_requests(stream, rtbh.communities)
+        experiment = RTBHExperiment(event_scenario.topology, seed=7)
+        measurements = experiment.run(requests, {rtbh.blackhole_prefix: rtbh})
+        return requests, measurements
+
+    requests, measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Control plane: the episode was detected, with start and end.
+    matching = [r for r in requests if r.prefix == rtbh.blackhole_prefix]
+    assert matching
+    assert matching[0].end is not None
+    assert matching[0].origin_asn == rtbh.customer_asn
+
+    # Data plane: Figure 4a/4b shapes.
+    assert measurements
+    for m in measurements:
+        assert m.during_destination_fraction < 0.3
+        assert m.after_destination_fraction > 0.9
+        assert m.during_origin_fraction <= m.after_origin_fraction
+        assert m.after_origin_fraction > 0.9
+        assert m.probes_used >= 25
+    benchmark.extra_info["episodes_detected"] = len(requests)
+    benchmark.extra_info["rows"] = [
+        {
+            "prefix": str(m.request.prefix),
+            "dest_during": round(m.during_destination_fraction, 3),
+            "dest_after": round(m.after_destination_fraction, 3),
+            "origin_during": round(m.during_origin_fraction, 3),
+            "origin_after": round(m.after_origin_fraction, 3),
+        }
+        for m in measurements
+    ]

@@ -1,0 +1,39 @@
+"""E6 — Figure 5a: growth of the IPv4 routing table in VPs over time.
+
+Monthly RIB dumps across the longitudinal archive, one partition per
+(month, collector), reduced into per-VP unique-prefix counts.  Shape checks:
+the upper envelope grows over time, partial-feed VPs sit well below it, and
+the paper's full-feed definition (within 20 percentage points of the
+maximum) separates the two populations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rib_growth import analyse_rib_growth
+
+
+def test_fig5a_routing_table_growth(benchmark, longitudinal_archive, month_timestamps):
+    def run():
+        return analyse_rib_growth(longitudinal_archive, month_timestamps, workers=4)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sizes = [result.max_table_size(month) for month in month_timestamps]
+    assert sizes[0] > 0
+    assert sizes[-1] > 1.5 * sizes[0]  # clear growth over the timeline
+    assert all(b >= a * 0.95 for a, b in zip(sizes, sizes[1:]))  # near-monotone
+
+    last = month_timestamps[-1]
+    full = result.full_feed_vps(last)
+    partial = result.partial_feed_vps(last)
+    assert full
+    if partial:
+        table = result.per_vp[last]
+        assert max(table[vp] for vp in partial) < 0.8 * result.max_table_size(last)
+
+    benchmark.extra_info["series"] = [
+        {"month_index": i, "max_table": size, "overall": result.overall[m]}
+        for i, (m, size) in enumerate(zip(month_timestamps, sizes))
+    ]
+    benchmark.extra_info["full_feed_vps_final"] = len(full)
+    benchmark.extra_info["partial_feed_vps_final"] = len(partial)

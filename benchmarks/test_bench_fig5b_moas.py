@@ -1,0 +1,40 @@
+"""E7 — Figure 5b: MOAS sets over time, overall vs per collector.
+
+Shape checks from the paper: the number of observable MOAS sets grows slowly
+over time, and the overall aggregation always identifies at least as many
+MOAS sets as the best single collector (usually strictly more) — the reason
+to analyse data from as many collectors as are available.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.moas import analyse_moas
+
+
+def test_fig5b_moas_sets(benchmark, longitudinal_archive, month_timestamps):
+    def run():
+        return analyse_moas(longitudinal_archive, month_timestamps, workers=4)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    counts = dict(result.overall_counts())
+    first, last = month_timestamps[0], month_timestamps[-1]
+    assert counts[last] > 0
+    assert counts[last] >= counts[first]  # slow growth
+
+    # Overall >= any single collector, every month; strictly greater in at
+    # least one month with multiple collectors contributing.
+    strictly_greater = 0
+    for month in month_timestamps:
+        overall = len(result.overall[month])
+        best_single = result.max_single_collector_count(month)
+        assert overall >= best_single
+        if overall > best_single:
+            strictly_greater += 1
+    assert strictly_greater >= 1
+
+    benchmark.extra_info["overall_series"] = [counts[m] for m in month_timestamps]
+    benchmark.extra_info["per_collector_final"] = {
+        collector: len(sets)
+        for collector, sets in result.per_collector[last].items()
+    }

@@ -1,0 +1,42 @@
+"""E8 — Figure 5c: number of ASNs and transit-AS fraction, IPv4 vs IPv6.
+
+Shape checks from the paper: the IPv4 AS count grows roughly linearly while
+its transit fraction stays in a narrow band; IPv6 appears later, grows fast,
+and ends with a *larger* transit fraction than IPv4 (smaller adoption at the
+edge).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.transit import analyse_transit
+
+
+def test_fig5c_transit_fractions(benchmark, longitudinal_archive, month_timestamps):
+    def run():
+        return analyse_transit(longitudinal_archive, month_timestamps, workers=4)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    v4_counts = [result.total_asns[m][4] for m in month_timestamps]
+    v6_counts = [result.total_asns[m][6] for m in month_timestamps]
+    v4_fracs = [result.transit_fraction(m, 4) for m in month_timestamps]
+
+    # IPv4: growth in AS count, near-constant transit fraction.
+    assert v4_counts[-1] > 1.5 * v4_counts[0]
+    assert all(0.1 < f < 0.6 for f in v4_fracs)
+    assert max(v4_fracs) - min(v4_fracs) < 0.25
+
+    # IPv6: appears later, grows fast, transit fraction ends above IPv4's.
+    assert v6_counts[0] == 0
+    assert v6_counts[-1] > 0
+    first_v6_month = next(i for i, c in enumerate(v6_counts) if c > 0)
+    assert first_v6_month > 0
+    last = month_timestamps[-1]
+    assert result.transit_fraction(last, 6) > result.transit_fraction(last, 4)
+
+    benchmark.extra_info["v4_asn_series"] = v4_counts
+    benchmark.extra_info["v6_asn_series"] = v6_counts
+    benchmark.extra_info["v4_transit_fraction"] = [round(f, 3) for f in v4_fracs]
+    benchmark.extra_info["v6_transit_fraction_final"] = round(
+        result.transit_fraction(last, 6), 3
+    )

@@ -1,0 +1,40 @@
+"""E9 — Figure 5d: BGP community diversity as observed by VPs.
+
+Shape checks from the paper: a majority (but not all) of VPs observe
+communities — some BGP speakers strip them; per-collector aggregation is at
+least as diverse as any of the collector's VPs; and collectors differ enough
+that choosing the right collector matters (the paper picked route-views2 and
+rrc12 this way).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.communities import analyse_communities
+
+
+def test_fig5d_community_diversity(benchmark, longitudinal_archive, month_timestamps):
+    timestamp = month_timestamps[-1]
+
+    def run():
+        return analyse_communities(longitudinal_archive, [timestamp], workers=4)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert result.total_communities > 0
+    fraction = result.observing_fraction()
+    assert 0.5 <= fraction <= 1.0
+
+    counts = result.vp_identifier_counts()
+    assert counts
+    for (collector, _asn), count in counts.items():
+        assert len(result.per_collector[collector]) >= count
+    # Collectors are ranked by diversity; the ranking is what §5 uses to pick
+    # collectors for the RTBH case study.
+    ranking = result.top_collectors()
+    assert ranking and ranking[0][1] >= ranking[-1][1]
+
+    benchmark.extra_info["total_communities"] = result.total_communities
+    benchmark.extra_info["vp_observing_fraction"] = round(fraction, 3)
+    benchmark.extra_info["per_collector_identifiers"] = {
+        collector: len(asns) for collector, asns in result.per_collector.items()
+    }

@@ -1,0 +1,76 @@
+"""E11 — Figure 9: RT diff cells vs BGP elems, as a function of bin size.
+
+Runs the routing-tables plugin over one collector's stream for several bin
+sizes and compares, per bin, the number of BGP elems extracted from update
+messages with the number of diff cells between consecutive routing tables.
+Figure 9's shape: diffs are several times fewer than elems even at 1-minute
+bins (redundancy in update messages), the reduction factor grows with the
+bin size, and the per-bin *maxima* shrink relative to elems, making
+consumers resilient to update bursts.
+"""
+
+from __future__ import annotations
+
+from repro.corsaro.pipeline import BGPCorsaro
+from repro.corsaro.plugins.routing_tables import RoutingTablesPlugin
+
+from benchmarks.conftest import make_stream
+
+BIN_SIZES = [60, 300, 900, 1800]
+
+
+def _run_rt(event_archive, event_scenario, bin_size, collector):
+    stream = make_stream(
+        event_archive, event_scenario.start, event_scenario.end, collector=[collector]
+    )
+    plugin = RoutingTablesPlugin(snapshot_interval=None)
+    corsaro = BGPCorsaro(stream, [plugin], bin_size=bin_size)
+    corsaro.run()
+    outputs = [
+        o.value
+        for o in corsaro.outputs_for("routing-tables")
+        if o.interval_start >= event_scenario.start + 1800  # skip table bootstrap
+    ]
+    elems = [o.elems_processed for o in outputs]
+    diffs = [o.diff_count for o in outputs]
+    return elems, diffs
+
+
+def test_fig9_diffs_vs_elems(benchmark, event_archive, event_scenario):
+    collector = "route-views0"
+
+    def run_all():
+        rows = {}
+        for bin_size in BIN_SIZES:
+            elems, diffs = _run_rt(event_archive, event_scenario, bin_size, collector)
+            rows[bin_size] = {
+                "avg_elems": sum(elems) / max(1, len(elems)),
+                "avg_diffs": sum(diffs) / max(1, len(diffs)),
+                "max_elems": max(elems, default=0),
+                "max_diffs": max(diffs, default=0),
+                "total_elems": sum(elems),
+                "total_diffs": sum(diffs),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    reduction = {}
+    for bin_size, row in rows.items():
+        assert row["total_elems"] > 0
+        # Diffs never exceed elems once the tables are bootstrapped.
+        assert row["total_diffs"] < row["total_elems"]
+        reduction[bin_size] = row["total_elems"] / max(1, row["total_diffs"])
+        # Bursts (maxima) are also absorbed.
+        assert row["max_diffs"] <= row["max_elems"]
+    # The reduction factor grows (or at least does not shrink) with bin size.
+    ordered = [reduction[b] for b in BIN_SIZES]
+    assert ordered[-1] >= ordered[0]
+    assert ordered[0] > 1.2  # redundancy visible even at the smallest bin
+
+    benchmark.extra_info["rows"] = {
+        str(b): {k: round(v, 2) for k, v in row.items()} for b, row in rows.items()
+    }
+    benchmark.extra_info["reduction_factors"] = {
+        str(b): round(r, 2) for b, r in reduction.items()
+    }

@@ -1,0 +1,58 @@
+"""E14 — §6.2.1: accuracy of the RT plugin's routing-table reconstruction.
+
+The paper evaluates the approach by periodically comparing the information
+in the current and shadow cells, reporting error probabilities (mismatching
+prefixes over all VPs' prefixes) of 1e-8 for RIS and 1e-5 for RouteViews.
+Here the reconstruction is additionally compared against the simulator's
+ground-truth Adj-RIB-out, which the original authors could not do.
+"""
+
+from __future__ import annotations
+
+from repro.corsaro.pipeline import BGPCorsaro
+from repro.corsaro.plugins.routing_tables import RoutingTablesPlugin
+
+from benchmarks.conftest import make_stream
+
+
+def test_rt_reconstruction_accuracy(benchmark, event_archive, event_scenario):
+    def run():
+        stream = make_stream(event_archive, event_scenario.start, event_scenario.end)
+        plugin = RoutingTablesPlugin(snapshot_interval=3600, track_accuracy=True)
+        BGPCorsaro(stream, [plugin], bin_size=300).run()
+        return plugin
+
+    plugin = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Shadow-vs-main comparison (the paper's metric): near-zero error.
+    assert plugin.compared_prefixes > 0
+    assert plugin.error_probability <= 0.01
+
+    # Ground-truth comparison: reconstructed tables equal the simulated
+    # Adj-RIB-out at the end of the scenario for every consistent VP.
+    scenario = event_scenario
+    mismatches = 0
+    compared = 0
+    checked_vps = 0
+    for collector in scenario.collectors:
+        for vp in collector.vps:
+            key = (collector.name, vp.asn, vp.address)
+            if not plugin.vp_state(key).table_consistent:
+                continue
+            reconstructed = plugin.vp_table(key)
+            expected = scenario.table_at(collector, vp, scenario.end)
+            compared += len(expected)
+            mismatches += len(set(expected) ^ set(reconstructed))
+            for prefix in set(expected) & set(reconstructed):
+                if reconstructed[prefix].as_path != expected[prefix].as_path:
+                    mismatches += 1
+            checked_vps += 1
+    assert checked_vps > 0
+    assert compared > 0
+    ground_truth_error = mismatches / compared
+    assert ground_truth_error <= 0.001
+
+    benchmark.extra_info["shadow_error_probability"] = plugin.error_probability
+    benchmark.extra_info["ground_truth_error"] = ground_truth_error
+    benchmark.extra_info["vps_checked"] = checked_vps
+    benchmark.extra_info["prefixes_compared"] = compared

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""AS-path inflation (the paper's Listing 1, §4.2).
+
+Reads the RIB dumps of one snapshot from all collectors, compares every
+<VP, origin> pair's observed BGP path length against the shortest path on
+the undirected AS graph built from the same data, and reports how many pairs
+are inflated and by how much.  Uses the PyBGPStream-compatible facade so the
+code shape matches the paper's listing.
+
+Run:  python examples/path_inflation.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections import defaultdict
+from itertools import groupby
+
+import networkx as nx
+
+from repro import pybgpstream
+from repro.broker import Broker
+from repro.collectors import Archive
+from repro.collectors.longitudinal import LongitudinalConfig, LongitudinalScenario
+from repro.collectors.topology import TopologyConfig
+from repro.core import BrokerDataInterface
+
+
+def main() -> None:
+    # Generate a single monthly snapshot of a synthetic Internet.
+    config = LongitudinalConfig(
+        months=1,
+        topology=TopologyConfig(num_tier1=5, num_transit=20, num_stub=80, seed=7),
+        vps_per_collector=6,
+        seed=8,
+    )
+    scenario = LongitudinalScenario(config)
+    archive = Archive(tempfile.mkdtemp(prefix="bgpstream-inflation-"))
+    snapshot = scenario.generate(archive)[0]
+
+    # --- the Listing 1 code, almost verbatim -------------------------------
+    pybgpstream.set_default_data_interface(
+        BrokerDataInterface(Broker(archives=[archive]))
+    )
+    stream = pybgpstream.BGPStream()
+    rec = pybgpstream.BGPRecord()
+    stream.add_filter("record-type", "ribs")
+    stream.add_interval_filter(snapshot.timestamp, snapshot.timestamp + 1200)
+    stream.start()
+
+    as_graph = nx.Graph()
+    bgp_lens = defaultdict(lambda: defaultdict(lambda: None))
+
+    while stream.get_next_record(rec):
+        elem = rec.get_next_elem()
+        while elem:
+            monitor = str(elem.peer_asn)
+            hops = [k for k, g in groupby(elem.fields["as-path"].split(" "))]
+            if len(hops) > 1 and hops[0] == monitor:
+                origin = hops[-1]
+                for i in range(0, len(hops) - 1):
+                    as_graph.add_edge(hops[i], hops[i + 1])
+                bgp_lens[monitor][origin] = min(
+                    filter(bool, [bgp_lens[monitor][origin], len(hops)])
+                )
+            elem = rec.get_next_elem()
+
+    pairs = inflated = 0
+    worst = 0
+    for monitor in bgp_lens:
+        for origin in bgp_lens[monitor]:
+            nxlen = len(nx.shortest_path(as_graph, monitor, origin))
+            pairs += 1
+            extra = bgp_lens[monitor][origin] - nxlen
+            if extra > 0:
+                inflated += 1
+                worst = max(worst, extra)
+
+    print(f"examined {pairs} <VP, origin> pairs")
+    print(f"inflated pairs: {inflated} ({100.0 * inflated / pairs:.1f}%)")
+    print(f"maximum extra hops: {worst}")
+    print("(the paper reports >30% of pairs inflated by 1 to 11 hops on real data)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — a pure-Python reproduction of the BGPStream framework (IMC 2016).
+
+The package is layered bottom-up:
+
+* :mod:`repro.bgp` — BGP protocol substrate (prefixes, AS paths, communities,
+  path attributes, UPDATE messages, session FSM states).
+* :mod:`repro.mrt` — RFC 6396 MRT binary format (TABLE_DUMP_V2, BGP4MP),
+  dump-file reader and writer.
+* :mod:`repro.collectors` — synthetic Internet and data-collection
+  infrastructure: AS topology, policy routing, vantage points, route
+  collectors, dump archives and event injection.
+* :mod:`repro.broker` — the BGPStream Broker meta-data provider (SQLite
+  index, crawler, windowed queries, live polling).
+* :mod:`repro.core` — libBGPStream: records, elems, filters, data
+  interfaces, the sorted multi-collector stream, and the BGPReader tool.
+* :mod:`repro.pybgpstream` — the PyBGPStream-compatible facade used by the
+  paper's Listing 1.
+* :mod:`repro.corsaro` — BGPCorsaro plugin pipeline (pfxmonitor,
+  routing-tables, and friends).
+* :mod:`repro.kafka` — the in-process messaging substrate standing in for
+  Apache Kafka in the global-monitoring architecture.
+* :mod:`repro.monitoring` — outage / hijack consumers and time series.
+* :mod:`repro.atlas` — RIPE-Atlas-style active measurement simulation.
+* :mod:`repro.analysis` — the longitudinal case-study analyses of Section 5.
+* :mod:`repro.baseline` — a classic ``bgpdump``-style baseline.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

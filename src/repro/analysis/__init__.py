@@ -1,0 +1,37 @@
+"""Longitudinal and case-study analyses (§4.2, §5).
+
+Each analysis follows the structure of the paper's Spark scripts: build a
+list of data partitions (time range × collector), map a PyBGPStream-style
+extraction function over every partition, and reduce per VP, per collector
+and overall.  The map-reduce driver in :mod:`repro.analysis.mapreduce`
+provides that skeleton (thread-pool backed instead of a Spark cluster).
+
+* :mod:`repro.analysis.path_inflation` — Listing 1: AS-path inflation.
+* :mod:`repro.analysis.rib_growth` — Figure 5a: routing-table growth and
+  full-/partial-feed classification.
+* :mod:`repro.analysis.moas` — Figure 5b: MOAS sets over time.
+* :mod:`repro.analysis.transit` — Figure 5c: transit-AS fraction, IPv4 vs IPv6.
+* :mod:`repro.analysis.communities` — Figure 5d: community diversity per VP.
+"""
+
+from repro.analysis.mapreduce import MapReduceDriver, Partition
+from repro.analysis.path_inflation import PathInflationResult, analyse_path_inflation
+from repro.analysis.rib_growth import RIBGrowthResult, analyse_rib_growth
+from repro.analysis.moas import MOASAnalysisResult, analyse_moas
+from repro.analysis.transit import TransitResult, analyse_transit
+from repro.analysis.communities import CommunityDiversityResult, analyse_communities
+
+__all__ = [
+    "MapReduceDriver",
+    "Partition",
+    "PathInflationResult",
+    "analyse_path_inflation",
+    "RIBGrowthResult",
+    "analyse_rib_growth",
+    "MOASAnalysisResult",
+    "analyse_moas",
+    "TransitResult",
+    "analyse_transit",
+    "CommunityDiversityResult",
+    "analyse_communities",
+]

@@ -1,0 +1,99 @@
+"""Community diversity per vantage point (Figure 5d, §5).
+
+Collects the unique BGP communities appearing in IPv4 AS paths, counts the
+distinct AS identifiers (the two most-significant bytes of each community)
+observed per VP, per collector and per project, and measures the fraction of
+VPs that observe communities at all (many BGP speakers strip communities
+before propagating them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.mapreduce import MapReduceDriver, Partition
+from repro.bgp.community import Community
+from repro.collectors.archive import Archive
+from repro.core.elem import ElemType
+from repro.core.stream import BGPStream
+
+AnalysisVP = Tuple[str, int]
+
+
+@dataclass
+class CommunityDiversityResult:
+    """Distinct communities / AS identifiers per VP, collector and project."""
+
+    #: vp -> set of distinct communities observed.
+    per_vp: Dict[AnalysisVP, FrozenSet[Community]] = field(default_factory=dict)
+    #: collector -> distinct AS identifiers.
+    per_collector: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+    #: project -> distinct AS identifiers.
+    per_project: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+    total_communities: int = 0
+
+    def vp_identifier_counts(self) -> Dict[AnalysisVP, int]:
+        return {vp: len({c.asn for c in communities}) for vp, communities in self.per_vp.items()}
+
+    def observing_fraction(self) -> float:
+        if not self.per_vp:
+            return 0.0
+        observing = sum(1 for communities in self.per_vp.values() if communities)
+        return observing / len(self.per_vp)
+
+    def top_collectors(self, count: int = 5) -> List[Tuple[str, int]]:
+        ranked = sorted(
+            ((collector, len(asns)) for collector, asns in self.per_collector.items()),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+        return ranked[:count]
+
+
+def _map_partition(stream: BGPStream, partition: Partition):
+    per_vp: Dict[AnalysisVP, Set[Community]] = {}
+    projects: Dict[str, Set[int]] = {}
+    for record, elem in stream.elems():
+        if elem.elem_type != ElemType.RIB or elem.prefix is None:
+            continue
+        if elem.prefix.version != 4:
+            continue
+        vp = (elem.collector, elem.peer_asn)
+        per_vp.setdefault(vp, set())
+        if elem.communities is None:
+            continue
+        for community in elem.communities:
+            per_vp[vp].add(community)
+            projects.setdefault(record.project, set()).add(community.asn)
+    return per_vp, projects
+
+
+def analyse_communities(
+    archive: Archive,
+    timestamps: Sequence[int],
+    collectors: Optional[Sequence[str]] = None,
+    window: int = 3600,
+    workers: int = 4,
+) -> CommunityDiversityResult:
+    """Run the Figure 5d analysis over the RIB dumps at ``timestamps``."""
+    driver = MapReduceDriver(archive, _map_partition, workers=workers)
+    partitions = driver.partitions_for(timestamps, collectors, window=window)
+    per_vp: Dict[AnalysisVP, Set[Community]] = {}
+    per_collector: Dict[str, Set[int]] = {}
+    per_project: Dict[str, Set[int]] = {}
+    for partition, (partition_vp, partition_projects) in driver.map(partitions):
+        for vp, communities in partition_vp.items():
+            per_vp.setdefault(vp, set()).update(communities)
+            per_collector.setdefault(vp[0], set()).update(c.asn for c in communities)
+        for project, asns in partition_projects.items():
+            per_project.setdefault(project, set()).update(asns)
+    all_communities: Set[Community] = set()
+    for communities in per_vp.values():
+        all_communities.update(communities)
+    return CommunityDiversityResult(
+        per_vp={vp: frozenset(c) for vp, c in per_vp.items()},
+        per_collector={collector: frozenset(asns) for collector, asns in per_collector.items()},
+        per_project={project: frozenset(asns) for project, asns in per_project.items()},
+        total_communities=len(all_communities),
+    )

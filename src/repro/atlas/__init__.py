@@ -1,0 +1,30 @@
+"""RIPE-Atlas-style active measurement simulation (§4.3).
+
+The RTBH case study combines control-plane detection (a live, community-
+filtered BGPStream) with data-plane measurements (traceroutes from RIPE
+Atlas probes).  Since neither Atlas nor the Internet is reachable here, this
+package simulates the data plane over the same synthetic topology the
+collectors observe:
+
+* :mod:`repro.atlas.probes` — probes hosted in ASes; selection by AS
+  neighbourhood, IXP co-location and country, as the paper does.
+* :mod:`repro.atlas.traceroute` — policy-path forwarding simulation with
+  black-hole enforcement at providers honouring the RTBH community.
+* :mod:`repro.atlas.rtbh` — the experiment orchestration: detect RTBH
+  start/end from live BGP streams, fire traceroutes during and after, and
+  compute the Figure 4 reachability metrics.
+"""
+
+from repro.atlas.probes import AtlasProbe, ProbeSelector
+from repro.atlas.traceroute import TracerouteEngine, TracerouteResult
+from repro.atlas.rtbh import RTBHExperiment, RTBHMeasurement, detect_rtbh_requests
+
+__all__ = [
+    "AtlasProbe",
+    "ProbeSelector",
+    "TracerouteEngine",
+    "TracerouteResult",
+    "RTBHExperiment",
+    "RTBHMeasurement",
+    "detect_rtbh_requests",
+]

@@ -1,0 +1,203 @@
+"""The RTBH case study (§4.3, Figure 4).
+
+Two live BGPStream streams run side by side (exactly as in the paper's
+Python script): the first is filtered on black-holing communities and
+*triggers* investigation of a prefix when a tagged announcement appears; the
+second watches the triggered prefixes for explicit or implicit withdrawals
+and *completes* the investigation.  On detection of an RTBH start the
+experiment launches traceroutes from 50–100 Atlas probes towards the
+black-holed destination, and repeats the same traceroutes after the
+black-holing is withdrawn.  The output is the pair of per-destination
+reachability fractions plotted in Figure 4: fraction of traceroutes reaching
+the destination (4a) and fraction reaching the origin AS (4b), during vs
+after RTBH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.community import Community
+from repro.bgp.prefix import Prefix
+from repro.collectors.events import RTBHEvent
+from repro.collectors.topology import ASTopology
+from repro.core.elem import ElemType
+from repro.core.stream import BGPStream
+from repro.atlas.probes import AtlasProbe, ProbeSelector
+from repro.atlas.traceroute import TracerouteEngine, TracerouteResult
+
+
+@dataclass(frozen=True)
+class RTBHRequest:
+    """One detected black-holing episode on the control plane."""
+
+    prefix: Prefix
+    origin_asn: int
+    communities: Tuple[Community, ...]
+    start: int
+    end: Optional[int]  # None if never withdrawn within the observation window
+
+    @property
+    def duration(self) -> Optional[int]:
+        return None if self.end is None else self.end - self.start
+
+
+@dataclass
+class RTBHMeasurement:
+    """Reachability of one black-holed destination during and after RTBH."""
+
+    request: RTBHRequest
+    probes_used: int
+    during_destination_fraction: float
+    after_destination_fraction: float
+    during_origin_fraction: float
+    after_origin_fraction: float
+
+    @property
+    def reachability_dropped(self) -> bool:
+        return self.during_destination_fraction < self.after_destination_fraction
+
+
+def detect_rtbh_requests(
+    stream: BGPStream,
+    blackhole_communities: Iterable[Community],
+    withdrawal_stream: Optional[BGPStream] = None,
+) -> List[RTBHRequest]:
+    """Detect RTBH start/end episodes from (live) streams.
+
+    The first stream must be community-filtered; ``withdrawal_stream``
+    (unfiltered, or prefix-filtered as prefixes are discovered) provides the
+    end of each episode: an explicit withdrawal or a re-announcement without
+    the black-holing community.  When ``withdrawal_stream`` is None the ends
+    are detected from the same stream (sufficient when it carries all
+    updates).
+    """
+    watched = set(blackhole_communities)
+    starts: Dict[Prefix, RTBHRequest] = {}
+    finished: List[RTBHRequest] = []
+
+    def _handle(elem, is_primary: bool) -> None:
+        prefix = elem.prefix
+        if prefix is None:
+            return
+        tagged = (
+            elem.communities is not None
+            and elem.communities.matches_any(watched)
+            and elem.elem_type == ElemType.ANNOUNCEMENT
+        )
+        if tagged and prefix not in starts:
+            starts[prefix] = RTBHRequest(
+                prefix=prefix,
+                origin_asn=elem.origin_asn or 0,
+                communities=tuple(c for c in elem.communities if c in watched),
+                start=elem.time,
+                end=None,
+            )
+            return
+        if prefix in starts and not tagged:
+            ended = (
+                elem.elem_type == ElemType.WITHDRAWAL
+                or elem.elem_type == ElemType.ANNOUNCEMENT
+            )
+            if ended and elem.time > starts[prefix].start:
+                request = starts.pop(prefix)
+                finished.append(
+                    RTBHRequest(
+                        prefix=request.prefix,
+                        origin_asn=request.origin_asn,
+                        communities=request.communities,
+                        start=request.start,
+                        end=elem.time,
+                    )
+                )
+
+    for _record, elem in stream.elems():
+        _handle(elem, is_primary=True)
+    if withdrawal_stream is not None:
+        for _record, elem in withdrawal_stream.elems():
+            _handle(elem, is_primary=False)
+    return finished + list(starts.values())
+
+
+class RTBHExperiment:
+    """Couples control-plane detection with data-plane measurements."""
+
+    def __init__(
+        self,
+        topology: ASTopology,
+        probe_selector: Optional[ProbeSelector] = None,
+        engine: Optional[TracerouteEngine] = None,
+        min_probes: int = 50,
+        max_probes: int = 100,
+        seed: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.probes = probe_selector or ProbeSelector(topology, seed=seed)
+        self.engine = engine or TracerouteEngine(topology)
+        self.min_probes = min_probes
+        self.max_probes = max_probes
+
+    def measure_request(
+        self,
+        request: RTBHRequest,
+        rtbh_event: RTBHEvent,
+        target_responds_during: bool = True,
+    ) -> Optional[RTBHMeasurement]:
+        """Traceroute a black-holed destination during and after RTBH.
+
+        Returns None when the probe set could not be kept identical between
+        the two rounds (the paper removes such destinations).
+        """
+        selected = self.probes.select_for_target(
+            request.origin_asn,
+            min_probes=self.min_probes,
+            max_probes=self.max_probes,
+        )
+        during_probes = self.probes.currently_active(selected)
+        after_probes = self.probes.currently_active(selected)
+        common = sorted(
+            {p.probe_id for p in during_probes} & {p.probe_id for p in after_probes}
+        )
+        if len(common) < self.min_probes // 2:
+            return None
+        probe_asns = [p.asn for p in selected if p.probe_id in common]
+
+        during_engine = TracerouteEngine(
+            self.topology, self.engine.computer, target_responds=target_responds_during
+        )
+        during = during_engine.measure(
+            probe_asns, request.prefix, origin_asn=request.origin_asn, active_rtbh=[rtbh_event]
+        )
+        after = self.engine.measure(
+            probe_asns, request.prefix, origin_asn=request.origin_asn, active_rtbh=[]
+        )
+        return RTBHMeasurement(
+            request=request,
+            probes_used=len(probe_asns),
+            during_destination_fraction=_fraction(during, lambda r: r.reached_destination),
+            after_destination_fraction=_fraction(after, lambda r: r.reached_destination),
+            during_origin_fraction=_fraction(during, lambda r: r.reached_origin_as),
+            after_origin_fraction=_fraction(after, lambda r: r.reached_origin_as),
+        )
+
+    def run(
+        self,
+        requests: Sequence[RTBHRequest],
+        events_by_prefix: Dict[Prefix, RTBHEvent],
+    ) -> List[RTBHMeasurement]:
+        measurements: List[RTBHMeasurement] = []
+        for request in requests:
+            event = events_by_prefix.get(request.prefix)
+            if event is None:
+                continue
+            measurement = self.measure_request(request, event)
+            if measurement is not None:
+                measurements.append(measurement)
+        return measurements
+
+
+def _fraction(results: Sequence[TracerouteResult], predicate) -> float:
+    if not results:
+        return 0.0
+    return sum(1 for r in results if predicate(r)) / len(results)

@@ -1,0 +1,152 @@
+"""Policy-path traceroute simulation with RTBH enforcement.
+
+Forwarding follows the same Gao–Rexford preferred paths the control-plane
+simulation uses: each AS hands the packet to the next hop of its preferred
+route towards the destination prefix.  Remotely-triggered black-holing is
+enforced where it actually happens in practice: an AS that honours the
+black-hole community for one of its customers drops traffic destined to the
+black-holed address at its border, so probes whose path crosses such an AS
+never reach the destination, while customers or peers that reach the origin
+without crossing a black-holing provider still can (the partial
+reachability the paper observes in Figure 4a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.collectors.events import RTBHEvent
+from repro.collectors.routing import RouteComputer
+from repro.collectors.topology import ASTopology
+
+
+@dataclass(frozen=True)
+class TracerouteResult:
+    """The outcome of one simulated traceroute."""
+
+    probe_asn: int
+    target_prefix: Prefix
+    origin_asn: int
+    as_path: Tuple[int, ...]
+    reached_origin_as: bool
+    reached_destination: bool
+    dropped_at: Optional[int] = None  # the AS that black-holed the packet, if any
+
+    @property
+    def hops(self) -> int:
+        return len(self.as_path)
+
+
+class TracerouteEngine:
+    """Simulates ICMP paris-traceroutes over the synthetic data plane."""
+
+    def __init__(
+        self,
+        topology: ASTopology,
+        computer: Optional[RouteComputer] = None,
+        target_responds: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.computer = computer or RouteComputer(topology)
+        #: Whether the destination host answers probes at all (a host under
+        #: DoS may not, independent of black-holing).
+        self.target_responds = target_responds
+
+    def traceroute(
+        self,
+        probe_asn: int,
+        target_prefix: Prefix,
+        origin_asn: Optional[int] = None,
+        active_rtbh: Sequence[RTBHEvent] = (),
+        excluded_asns: Iterable[int] = (),
+    ) -> TracerouteResult:
+        """Trace from ``probe_asn`` towards an address in ``target_prefix``."""
+        if origin_asn is None:
+            origin_asn = self._origin_for(target_prefix)
+        if origin_asn is None:
+            return TracerouteResult(
+                probe_asn=probe_asn,
+                target_prefix=target_prefix,
+                origin_asn=0,
+                as_path=(probe_asn,),
+                reached_origin_as=False,
+                reached_destination=False,
+            )
+        excluded = frozenset(excluded_asns)
+        paths = self.computer.paths_to_origin(origin_asn, excluded)
+        policy = paths.get(probe_asn)
+        if policy is None:
+            return TracerouteResult(
+                probe_asn=probe_asn,
+                target_prefix=target_prefix,
+                origin_asn=origin_asn,
+                as_path=(probe_asn,),
+                reached_origin_as=False,
+                reached_destination=False,
+            )
+        blackholers = self._blackholing_asns(target_prefix, active_rtbh)
+        walked: List[int] = []
+        dropped_at: Optional[int] = None
+        for asn in policy.asns:
+            walked.append(asn)
+            if asn in blackholers and asn != origin_asn:
+                dropped_at = asn
+                break
+        reached_origin = walked[-1] == origin_asn and dropped_at is None
+        reached_destination = (
+            reached_origin and dropped_at is None and self.target_responds
+            and origin_asn not in blackholers
+        )
+        return TracerouteResult(
+            probe_asn=probe_asn,
+            target_prefix=target_prefix,
+            origin_asn=origin_asn,
+            as_path=tuple(walked),
+            reached_origin_as=reached_origin,
+            reached_destination=reached_destination,
+            dropped_at=dropped_at,
+        )
+
+    def measure(
+        self,
+        probe_asns: Sequence[int],
+        target_prefix: Prefix,
+        origin_asn: Optional[int] = None,
+        active_rtbh: Sequence[RTBHEvent] = (),
+    ) -> List[TracerouteResult]:
+        """Run one traceroute per probe AS."""
+        return [
+            self.traceroute(asn, target_prefix, origin_asn=origin_asn, active_rtbh=active_rtbh)
+            for asn in probe_asns
+        ]
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _origin_for(self, prefix: Prefix) -> Optional[int]:
+        exact = self.topology.origin_of(prefix)
+        if exact is not None:
+            return exact
+        # Longest covering allocation (e.g. a black-holed /32 inside a /24).
+        best: Optional[Tuple[int, int]] = None
+        for candidate in self.topology.all_prefixes(version=prefix.version):
+            if candidate.contains(prefix):
+                origin = self.topology.origin_of(candidate)
+                if origin is not None and (best is None or candidate.length > best[0]):
+                    best = (candidate.length, origin)
+        return best[1] if best else None
+
+    def _blackholing_asns(
+        self, target_prefix: Prefix, active_rtbh: Sequence[RTBHEvent]
+    ) -> Set[int]:
+        """ASes dropping traffic towards ``target_prefix`` right now."""
+        droppers: Set[int] = set()
+        for event in active_rtbh:
+            if not event.blackhole_prefix.overlaps(target_prefix):
+                continue
+            for provider in event.provider_asns:
+                node = self.topology.nodes.get(provider)
+                if node is not None and node.blackhole_community_value is not None:
+                    droppers.add(provider)
+        return droppers

@@ -1,0 +1,13 @@
+"""Baseline tooling: a classic ``bgpdump``-style workflow.
+
+Before BGPStream, the common workflow was: download each MRT file, run
+``bgpdump`` to turn it into ASCII, and parse the text — one file at a time,
+with no merging, no sorting across collectors, no live mode and no metadata
+awareness (§2).  :mod:`repro.baseline.bgpdump` implements that workflow so
+the ablation benchmarks can compare it against the BGPStream pipeline on the
+same dump files.
+"""
+
+from repro.baseline.bgpdump import BGPDumpBaseline, bgpdump_file
+
+__all__ = ["BGPDumpBaseline", "bgpdump_file"]

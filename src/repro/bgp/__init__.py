@@ -1,0 +1,33 @@
+"""BGP protocol substrate.
+
+Implements the pieces of RFC 4271 (and the communities attribute of RFC 1997)
+that BGP measurement data carries: IP prefixes, AS paths with SEQUENCE and
+SET segments, communities, path attributes, UPDATE message wire encoding and
+decoding, and the session finite-state-machine states that RIPE RIS state
+messages report.
+"""
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.aspath import ASPath, ASPathSegment, SegmentType
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.attributes import (
+    Origin,
+    PathAttributes,
+)
+from repro.bgp.message import BGPUpdate, decode_update, encode_update
+from repro.bgp.fsm import SessionState
+
+__all__ = [
+    "Prefix",
+    "ASPath",
+    "ASPathSegment",
+    "SegmentType",
+    "Community",
+    "CommunitySet",
+    "Origin",
+    "PathAttributes",
+    "BGPUpdate",
+    "decode_update",
+    "encode_update",
+    "SessionState",
+]

@@ -1,0 +1,251 @@
+"""BGP path attributes (RFC 4271 §4.3, RFC 1997, RFC 4760).
+
+The attributes carried in UPDATE messages and in TABLE_DUMP_V2 RIB entries.
+We implement the attributes BGPStream exposes in its elem (Table 1 of the
+paper) plus the ones needed to round-trip realistic data: ORIGIN, AS_PATH,
+NEXT_HOP, MULTI_EXIT_DISC, LOCAL_PREF, ATOMIC_AGGREGATE, AGGREGATOR,
+COMMUNITIES, and MP_REACH/MP_UNREACH_NLRI for IPv6.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.community import CommunitySet
+from repro.bgp.prefix import Prefix
+
+
+class Origin(IntEnum):
+    """ORIGIN attribute values."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class AttrType(IntEnum):
+    """Path attribute type codes."""
+
+    ORIGIN = 1
+    AS_PATH = 2
+    NEXT_HOP = 3
+    MULTI_EXIT_DISC = 4
+    LOCAL_PREF = 5
+    ATOMIC_AGGREGATE = 6
+    AGGREGATOR = 7
+    COMMUNITIES = 8
+    MP_REACH_NLRI = 14
+    MP_UNREACH_NLRI = 15
+
+
+#: Attribute flag bits.
+FLAG_OPTIONAL = 0x80
+FLAG_TRANSITIVE = 0x40
+FLAG_PARTIAL = 0x20
+FLAG_EXTENDED_LENGTH = 0x10
+
+#: AFI/SAFI values used by MP_REACH/MP_UNREACH.
+AFI_IPV4 = 1
+AFI_IPV6 = 2
+SAFI_UNICAST = 1
+
+
+@dataclass
+class PathAttributes:
+    """The decoded attribute set of a route.
+
+    ``mp_reach_nlri`` / ``mp_unreach_nlri`` hold IPv6 prefixes announced or
+    withdrawn through the multi-protocol attributes; ``mp_next_hop`` is the
+    IPv6 next hop carried inside MP_REACH.
+    """
+
+    origin: Origin = Origin.IGP
+    as_path: ASPath = field(default_factory=ASPath)
+    next_hop: Optional[str] = None
+    med: Optional[int] = None
+    local_pref: Optional[int] = None
+    atomic_aggregate: bool = False
+    aggregator: Optional[Tuple[int, str]] = None
+    communities: CommunitySet = field(default_factory=CommunitySet)
+    mp_next_hop: Optional[str] = None
+    mp_reach_nlri: List[Prefix] = field(default_factory=list)
+    mp_unreach_nlri: List[Prefix] = field(default_factory=list)
+
+    # -- helpers -----------------------------------------------------------
+
+    def effective_next_hop(self, version: int = 4) -> Optional[str]:
+        """The next hop relevant for ``version`` (MP_REACH wins for IPv6)."""
+        if version == 6:
+            return self.mp_next_hop or self.next_hop
+        return self.next_hop
+
+    # -- wire codec --------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Encode to the path-attributes byte string of an UPDATE message."""
+        out = bytearray()
+        out += _encode_attr(AttrType.ORIGIN, bytes([int(self.origin)]))
+        out += _encode_attr(AttrType.AS_PATH, self.as_path.encode())
+        if self.next_hop is not None:
+            out += _encode_attr(
+                AttrType.NEXT_HOP, ipaddress.IPv4Address(self.next_hop).packed
+            )
+        if self.med is not None:
+            out += _encode_attr(
+                AttrType.MULTI_EXIT_DISC, struct.pack("!I", self.med), optional=True
+            )
+        if self.local_pref is not None:
+            out += _encode_attr(AttrType.LOCAL_PREF, struct.pack("!I", self.local_pref))
+        if self.atomic_aggregate:
+            out += _encode_attr(AttrType.ATOMIC_AGGREGATE, b"")
+        if self.aggregator is not None:
+            asn, address = self.aggregator
+            out += _encode_attr(
+                AttrType.AGGREGATOR,
+                struct.pack("!I", asn) + ipaddress.IPv4Address(address).packed,
+                optional=True,
+            )
+        if self.communities:
+            out += _encode_attr(
+                AttrType.COMMUNITIES, self.communities.encode(), optional=True
+            )
+        if self.mp_reach_nlri or self.mp_next_hop is not None:
+            # RFC 6396 §4.3.4: TABLE_DUMP_V2 RIB entries carry the IPv6 next
+            # hop in an MP_REACH_NLRI attribute with no NLRI of its own.
+            out += _encode_attr(
+                AttrType.MP_REACH_NLRI,
+                _encode_mp_reach(self.mp_next_hop or "::", self.mp_reach_nlri),
+                optional=True,
+            )
+        if self.mp_unreach_nlri:
+            out += _encode_attr(
+                AttrType.MP_UNREACH_NLRI,
+                _encode_mp_unreach(self.mp_unreach_nlri),
+                optional=True,
+            )
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PathAttributes":
+        """Decode a path-attributes byte string.
+
+        Unknown attribute types are skipped (they are preserved on the wire
+        by real routers but BGPStream does not expose them either).
+        """
+        attrs = cls()
+        offset = 0
+        while offset < len(data):
+            if offset + 2 > len(data):
+                raise ValueError("truncated attribute header")
+            flags = data[offset]
+            attr_type = data[offset + 1]
+            offset += 2
+            if flags & FLAG_EXTENDED_LENGTH:
+                if offset + 2 > len(data):
+                    raise ValueError("truncated extended attribute length")
+                (length,) = struct.unpack_from("!H", data, offset)
+                offset += 2
+            else:
+                if offset + 1 > len(data):
+                    raise ValueError("truncated attribute length")
+                length = data[offset]
+                offset += 1
+            end = offset + length
+            if end > len(data):
+                raise ValueError("truncated attribute body")
+            body = data[offset:end]
+            offset = end
+            attrs._apply(attr_type, body)
+        return attrs
+
+    def _apply(self, attr_type: int, body: bytes) -> None:
+        if attr_type == AttrType.ORIGIN:
+            self.origin = Origin(body[0])
+        elif attr_type == AttrType.AS_PATH:
+            self.as_path = ASPath.decode(body)
+        elif attr_type == AttrType.NEXT_HOP:
+            self.next_hop = str(ipaddress.IPv4Address(body))
+        elif attr_type == AttrType.MULTI_EXIT_DISC:
+            (self.med,) = struct.unpack("!I", body)
+        elif attr_type == AttrType.LOCAL_PREF:
+            (self.local_pref,) = struct.unpack("!I", body)
+        elif attr_type == AttrType.ATOMIC_AGGREGATE:
+            self.atomic_aggregate = True
+        elif attr_type == AttrType.AGGREGATOR:
+            asn, raw_addr = struct.unpack("!I4s", body)
+            self.aggregator = (asn, str(ipaddress.IPv4Address(raw_addr)))
+        elif attr_type == AttrType.COMMUNITIES:
+            self.communities = CommunitySet.decode(body)
+        elif attr_type == AttrType.MP_REACH_NLRI:
+            next_hop, prefixes = _decode_mp_reach(body)
+            self.mp_next_hop = next_hop
+            self.mp_reach_nlri = prefixes
+        elif attr_type == AttrType.MP_UNREACH_NLRI:
+            self.mp_unreach_nlri = _decode_mp_unreach(body)
+        # other attribute types are ignored
+
+
+def _encode_attr(attr_type: AttrType, body: bytes, optional: bool = False) -> bytes:
+    flags = FLAG_TRANSITIVE
+    if optional:
+        flags |= FLAG_OPTIONAL
+    if attr_type in (AttrType.MP_REACH_NLRI, AttrType.MP_UNREACH_NLRI):
+        flags = FLAG_OPTIONAL  # non-transitive per RFC 4760
+    if len(body) > 255:
+        flags |= FLAG_EXTENDED_LENGTH
+        header = struct.pack("!BBH", flags, int(attr_type), len(body))
+    else:
+        header = struct.pack("!BBB", flags, int(attr_type), len(body))
+    return header + body
+
+
+def _encode_mp_reach(next_hop: str, prefixes: List[Prefix]) -> bytes:
+    nh = ipaddress.IPv6Address(next_hop).packed
+    out = bytearray(struct.pack("!HBB", AFI_IPV6, SAFI_UNICAST, len(nh)))
+    out += nh
+    out.append(0)  # reserved / SNPA count
+    for prefix in prefixes:
+        out += prefix.encode()
+    return bytes(out)
+
+
+def _decode_mp_reach(body: bytes) -> Tuple[str, List[Prefix]]:
+    afi, safi, nh_len = struct.unpack_from("!HBB", body, 0)
+    offset = 4
+    nh_raw = body[offset : offset + nh_len]
+    offset += nh_len
+    offset += 1  # reserved
+    # A link-local second next hop may be present; use the first 16 bytes.
+    next_hop = str(ipaddress.IPv6Address(nh_raw[:16])) if nh_len >= 16 else None
+    version = 6 if afi == AFI_IPV6 else 4
+    prefixes: List[Prefix] = []
+    while offset < len(body):
+        prefix, offset = Prefix.decode(body, offset, version=version)
+        prefixes.append(prefix)
+    return next_hop or "::", prefixes
+
+
+def _encode_mp_unreach(prefixes: List[Prefix]) -> bytes:
+    out = bytearray(struct.pack("!HB", AFI_IPV6, SAFI_UNICAST))
+    for prefix in prefixes:
+        out += prefix.encode()
+    return bytes(out)
+
+
+def _decode_mp_unreach(body: bytes) -> List[Prefix]:
+    afi, _safi = struct.unpack_from("!HB", body, 0)
+    version = 6 if afi == AFI_IPV6 else 4
+    offset = 3
+    prefixes: List[Prefix] = []
+    while offset < len(body):
+        prefix, offset = Prefix.decode(body, offset, version=version)
+        prefixes.append(prefix)
+    return prefixes

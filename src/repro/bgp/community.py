@@ -1,0 +1,137 @@
+"""BGP communities attribute (RFC 1997).
+
+A community is a 32-bit value conventionally written ``ASN:value`` where the
+two most-significant bytes carry the AS identifier of the network defining
+the community (the paper uses exactly this convention in §5 when measuring
+community diversity, and in §4.3 when matching black-holing communities).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, Tuple
+
+#: Well-known community used as the conventional black-hole signal
+#: (RFC 7999 assigns 65535:666).
+BLACKHOLE = (65535, 666)
+
+#: RFC 1997 well-known communities.
+NO_EXPORT = (65535, 65281)
+NO_ADVERTISE = (65535, 65282)
+NO_EXPORT_SUBCONFED = (65535, 65283)
+
+
+@dataclass(frozen=True, order=True)
+class Community:
+    """A single ``asn:value`` community."""
+
+    asn: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.asn <= 0xFFFF:
+            raise ValueError(f"community AS identifier {self.asn} out of 16-bit range")
+        if not 0 <= self.value <= 0xFFFF:
+            raise ValueError(f"community value {self.value} out of 16-bit range")
+
+    @classmethod
+    def from_string(cls, text: str) -> "Community":
+        asn_text, _, value_text = text.partition(":")
+        return cls(int(asn_text), int(value_text))
+
+    @classmethod
+    def from_int(cls, raw: int) -> "Community":
+        return cls((raw >> 16) & 0xFFFF, raw & 0xFFFF)
+
+    def to_int(self) -> int:
+        return (self.asn << 16) | self.value
+
+    def __str__(self) -> str:
+        return f"{self.asn}:{self.value}"
+
+
+class CommunitySet:
+    """An immutable set of communities attached to a route."""
+
+    __slots__ = ("_communities",)
+
+    def __init__(self, communities: Iterable[Community] = ()) -> None:
+        self._communities: FrozenSet[Community] = frozenset(communities)
+
+    @classmethod
+    def from_strings(cls, texts: Iterable[str]) -> "CommunitySet":
+        return cls(Community.from_string(t) for t in texts)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "CommunitySet":
+        return cls(Community(a, v) for a, v in pairs)
+
+    def __iter__(self) -> Iterator[Community]:
+        return iter(sorted(self._communities))
+
+    def __len__(self) -> int:
+        return len(self._communities)
+
+    def __bool__(self) -> bool:
+        return bool(self._communities)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, str):
+            item = Community.from_string(item)
+        if isinstance(item, tuple):
+            item = Community(*item)
+        return item in self._communities
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CommunitySet):
+            return NotImplemented
+        return self._communities == other._communities
+
+    def __hash__(self) -> int:
+        return hash(self._communities)
+
+    def __str__(self) -> str:
+        return " ".join(str(c) for c in self)
+
+    def __repr__(self) -> str:
+        return f"CommunitySet({sorted(self._communities)!r})"
+
+    # -- set operations ----------------------------------------------------
+
+    def add(self, community: Community) -> "CommunitySet":
+        return CommunitySet(self._communities | {community})
+
+    def union(self, other: "CommunitySet") -> "CommunitySet":
+        return CommunitySet(self._communities | other._communities)
+
+    def remove(self, community: Community) -> "CommunitySet":
+        return CommunitySet(self._communities - {community})
+
+    def asn_identifiers(self) -> FrozenSet[int]:
+        """The distinct AS identifiers (high 16 bits) across the set.
+
+        This is the quantity Figure 5d plots per vantage point.
+        """
+        return frozenset(c.asn for c in self._communities)
+
+    def matches_any(self, targets: Iterable[Community]) -> bool:
+        return any(t in self._communities for t in targets)
+
+    # -- wire codec --------------------------------------------------------
+
+    def encode(self) -> bytes:
+        out = bytearray()
+        for community in sorted(self._communities):
+            out += struct.pack("!HH", community.asn, community.value)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CommunitySet":
+        if len(data) % 4:
+            raise ValueError("communities attribute length must be a multiple of 4")
+        communities = []
+        for offset in range(0, len(data), 4):
+            asn, value = struct.unpack_from("!HH", data, offset)
+            communities.append(Community(asn, value))
+        return cls(communities)

@@ -1,0 +1,27 @@
+"""The BGPStream Broker: the framework's meta-data provider (§3.2).
+
+The Broker continuously scrapes data-provider repositories, stores meta-data
+about new files in an SQL database, and answers queries identifying the
+location of dump files matching a set of parameters.  Responses are
+*windowed* (bounded spans of data per response) for overload protection, and
+in live mode an empty response simply means "nothing new yet — poll again".
+
+* :class:`~repro.broker.db.MetadataDB` — the SQLite-backed index.
+* :class:`~repro.broker.crawler.ArchiveCrawler` — scrapes an
+  :class:`~repro.collectors.archive.Archive` into the index.
+* :class:`~repro.broker.broker.Broker` — the query service used by
+  libBGPStream's broker data interface.
+"""
+
+from repro.broker.db import DumpFileRecord, MetadataDB
+from repro.broker.crawler import ArchiveCrawler
+from repro.broker.broker import Broker, BrokerQuery, BrokerResponse
+
+__all__ = [
+    "DumpFileRecord",
+    "MetadataDB",
+    "ArchiveCrawler",
+    "Broker",
+    "BrokerQuery",
+    "BrokerResponse",
+]

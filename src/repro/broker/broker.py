@@ -1,0 +1,189 @@
+"""The Broker query service (§3.2).
+
+libBGPStream's broker data interface alternates between meta-data queries
+and reading the dump files the responses point to.  The Broker therefore
+exposes exactly that contract:
+
+* a :class:`BrokerQuery` carries the stream parameters (projects,
+  collectors, dump types, time interval, live flag);
+* :meth:`Broker.get_window` answers with a :class:`BrokerResponse`
+  containing the dump files of the next *window* of data (bounded span —
+  "response windowing for overload protection"), plus enough information
+  for the client to ask for the following window;
+* an empty response in historical mode means the stream is finished; in
+  live mode it means "nothing new yet — poll again later".
+
+The Broker scrapes its archives on demand (and remembers what it has seen),
+which stands in for the real Broker's continuous crawling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.broker.crawler import ArchiveCrawler
+from repro.broker.db import DumpFileRecord, MetadataDB
+from repro.collectors.archive import Archive
+
+#: Default maximum span of data (seconds) returned in a single response;
+#: the paper notes broker responses cover up to ~2 hours of data.
+DEFAULT_WINDOW_SPAN = 2 * 3600
+
+
+@dataclass(frozen=True)
+class BrokerQuery:
+    """Parameters identifying the data a stream wants."""
+
+    projects: Tuple[str, ...] = ()
+    collectors: Tuple[str, ...] = ()
+    dump_types: Tuple[str, ...] = ()  # "ribs" / "updates"
+    interval_start: int = 0
+    #: None means live mode: the stream has no end.
+    interval_end: Optional[int] = None
+
+    @property
+    def live(self) -> bool:
+        return self.interval_end is None
+
+
+@dataclass
+class BrokerResponse:
+    """One window of dump-file meta-data."""
+
+    files: List[DumpFileRecord] = field(default_factory=list)
+    window_start: int = 0
+    window_end: int = 0
+    #: True if (as far as the Broker can tell right now) more data may follow.
+    more_data: bool = False
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def __iter__(self):
+        return iter(self.files)
+
+    @property
+    def empty(self) -> bool:
+        return not self.files
+
+
+class Broker:
+    """The meta-data provider queried by libBGPStream."""
+
+    def __init__(
+        self,
+        archives: Optional[Sequence[Archive]] = None,
+        db: Optional[MetadataDB] = None,
+        window_span: int = DEFAULT_WINDOW_SPAN,
+    ) -> None:
+        self.db = db or MetadataDB()
+        self.crawler = ArchiveCrawler(self.db, list(archives or []))
+        self.window_span = window_span
+        self.queries_served = 0
+
+    def add_archive(self, archive: Archive) -> None:
+        self.crawler.add_archive(archive)
+
+    # -- the query API ----------------------------------------------------------
+
+    def get_window(
+        self,
+        query: BrokerQuery,
+        from_time: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> BrokerResponse:
+        """Return the next window of dump files for ``query``.
+
+        ``from_time`` is where the previous window ended (defaults to the
+        query's interval start).  ``now`` bounds publication visibility: in
+        live mode only files already published at ``now`` are returned; in
+        historical mode it defaults to unbounded (all files are assumed
+        published, as they were collected in the past).
+        """
+        self.queries_served += 1
+        visible_at = now
+        self.crawler.crawl(now=None if visible_at is None else visible_at)
+
+        window_start = query.interval_start if from_time is None else from_time
+        hard_end = query.interval_end
+        window_end = window_start + self.window_span
+        if hard_end is not None:
+            window_end = min(window_end, hard_end)
+            if window_start >= hard_end:
+                return BrokerResponse([], window_start, window_start, more_data=False)
+
+        files = self.db.query(
+            projects=list(query.projects) or None,
+            collectors=list(query.collectors) or None,
+            dump_types=list(query.dump_types) or None,
+            interval_start=window_start,
+            interval_end=window_end,
+            visible_at=visible_at,
+        )
+        # Windows are half-open [window_start, window_end): a file whose
+        # nominal start falls on window_end belongs to the next window (so
+        # it is never returned twice), except on the stream's very last
+        # window where the end is inclusive.
+        last_window = hard_end is not None and window_end == hard_end
+        files = [
+            f
+            for f in files
+            if f.timestamp < window_end or (last_window and f.timestamp <= hard_end)
+        ]
+        # On follow-up windows, drop files the previous window already
+        # returned (their nominal start precedes this window).
+        if from_time is not None:
+            files = [f for f in files if f.timestamp >= window_start]
+
+        more = True if hard_end is None else window_end < hard_end
+        return BrokerResponse(
+            files=files,
+            window_start=window_start,
+            window_end=window_end,
+            more_data=more,
+        )
+
+    def get_new_files(
+        self,
+        query: BrokerQuery,
+        published_after: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> List[DumpFileRecord]:
+        """Live-mode query: files *published* since ``published_after``.
+
+        The real Broker supports a "data added since" style of query so that
+        live clients never miss files that are published late or out of
+        order: instead of windowing on nominal dump time, the client asks
+        for anything that appeared on the archive since its previous poll.
+        Results are restricted to data intervals at or after the query's
+        interval start and sorted by nominal timestamp (best-effort record
+        interleaving is the stream's job).
+        """
+        self.queries_served += 1
+        self.crawler.crawl(now=now)
+        files = self.db.query(
+            projects=list(query.projects) or None,
+            collectors=list(query.collectors) or None,
+            dump_types=list(query.dump_types) or None,
+            interval_start=query.interval_start,
+            interval_end=None,
+            visible_at=now,
+        )
+        if published_after is not None:
+            files = [f for f in files if f.available_at > published_after]
+        return files
+
+    def iter_windows(self, query: BrokerQuery, now: Optional[float] = None):
+        """Iterate successive historical windows until the interval is covered.
+
+        Only valid for historical (bounded) queries; live-mode pacing is the
+        caller's responsibility because it involves polling.
+        """
+        if query.live:
+            raise ValueError("iter_windows requires a bounded (historical) query")
+        cursor = query.interval_start
+        while cursor < (query.interval_end or 0):
+            response = self.get_window(query, from_time=cursor, now=now)
+            yield response
+            cursor = response.window_end

@@ -1,0 +1,54 @@
+"""The Broker's crawler.
+
+The real Broker periodically scrapes the RouteViews and RIPE RIS HTTP
+directory listings and inserts meta-data about newly published files into
+its database.  Here the data provider is a local
+:class:`~repro.collectors.archive.Archive`; the crawler reads its index and
+inserts any files it has not seen yet, respecting each file's publication
+time so that live consumers only learn about data that is actually
+available.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.broker.db import DumpFileRecord, MetadataDB
+from repro.collectors.archive import Archive
+
+
+class ArchiveCrawler:
+    """Scrape one or more archives into a :class:`MetadataDB`."""
+
+    def __init__(self, db: MetadataDB, archives: Optional[List[Archive]] = None) -> None:
+        self.db = db
+        self.archives: List[Archive] = list(archives or [])
+        self._seen_paths = db.known_paths()
+
+    def add_archive(self, archive: Archive) -> None:
+        self.archives.append(archive)
+
+    def crawl(self, now: Optional[float] = None) -> int:
+        """Index every file published (and visible) up to ``now``.
+
+        Returns the number of newly indexed files.  ``now=None`` indexes
+        everything regardless of publication time (historical bootstrap).
+        """
+        inserted = 0
+        for archive in self.archives:
+            for entry in archive.entries(visible_at=now):
+                if entry.path in self._seen_paths:
+                    continue
+                record = DumpFileRecord(
+                    project=entry.project,
+                    collector=entry.collector,
+                    dump_type=entry.dump_type,
+                    timestamp=entry.timestamp,
+                    duration=entry.duration,
+                    path=entry.path,
+                    available_at=entry.available_at,
+                )
+                if self.db.insert(record):
+                    inserted += 1
+                self._seen_paths.add(entry.path)
+        return inserted

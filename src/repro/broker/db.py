@@ -1,0 +1,166 @@
+"""The Broker's SQL meta-data store.
+
+The real Broker keeps its index in an SQL database; we use SQLite (file or
+in-memory), which keeps the data model identical — one row per dump file
+with its project, collector, type, nominal time interval, location and
+publication time — without requiring a database server.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DumpFileRecord:
+    """One indexed dump file."""
+
+    project: str
+    collector: str
+    dump_type: str
+    timestamp: int
+    duration: int
+    path: str
+    available_at: float
+
+    @property
+    def interval_end(self) -> int:
+        return self.timestamp + self.duration
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS dump_files (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    project TEXT NOT NULL,
+    collector TEXT NOT NULL,
+    dump_type TEXT NOT NULL,
+    timestamp INTEGER NOT NULL,
+    duration INTEGER NOT NULL,
+    path TEXT NOT NULL UNIQUE,
+    available_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_dump_time ON dump_files (timestamp);
+CREATE INDEX IF NOT EXISTS idx_dump_coll ON dump_files (project, collector, dump_type);
+"""
+
+
+class MetadataDB:
+    """SQLite-backed index of dump-file meta-data."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        if path != ":memory:":
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.Lock()
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # -- writes ---------------------------------------------------------------
+
+    def insert(self, record: DumpFileRecord) -> bool:
+        """Insert one record; returns False if the path was already indexed."""
+        with self._lock:
+            try:
+                self._conn.execute(
+                    "INSERT INTO dump_files "
+                    "(project, collector, dump_type, timestamp, duration, path, available_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        record.project,
+                        record.collector,
+                        record.dump_type,
+                        record.timestamp,
+                        record.duration,
+                        record.path,
+                        record.available_at,
+                    ),
+                )
+                self._conn.commit()
+                return True
+            except sqlite3.IntegrityError:
+                return False
+
+    def insert_many(self, records: Iterable[DumpFileRecord]) -> int:
+        return sum(1 for record in records if self.insert(record))
+
+    def known_paths(self) -> set:
+        with self._lock:
+            rows = self._conn.execute("SELECT path FROM dump_files").fetchall()
+        return {row[0] for row in rows}
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(
+        self,
+        projects: Optional[Sequence[str]] = None,
+        collectors: Optional[Sequence[str]] = None,
+        dump_types: Optional[Sequence[str]] = None,
+        interval_start: Optional[int] = None,
+        interval_end: Optional[int] = None,
+        visible_at: Optional[float] = None,
+    ) -> List[DumpFileRecord]:
+        """Dump files whose data interval intersects ``[interval_start, interval_end]``.
+
+        All filters are optional; ``visible_at`` hides files not yet
+        published at that instant (live-mode semantics).
+        """
+        clauses: List[str] = []
+        params: List[object] = []
+        if projects:
+            clauses.append(f"project IN ({','.join('?' * len(projects))})")
+            params.extend(projects)
+        if collectors:
+            clauses.append(f"collector IN ({','.join('?' * len(collectors))})")
+            params.extend(collectors)
+        if dump_types:
+            clauses.append(f"dump_type IN ({','.join('?' * len(dump_types))})")
+            params.extend(dump_types)
+        if interval_end is not None:
+            clauses.append("timestamp <= ?")
+            params.append(interval_end)
+        if interval_start is not None:
+            clauses.append("timestamp + duration >= ?")
+            params.append(interval_start)
+        if visible_at is not None:
+            clauses.append("available_at <= ?")
+            params.append(visible_at)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        sql = (
+            "SELECT project, collector, dump_type, timestamp, duration, path, available_at "
+            f"FROM dump_files {where} ORDER BY timestamp, project, collector, dump_type"
+        )
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        return [DumpFileRecord(*row) for row in rows]
+
+    def latest_available_time(self, visible_at: Optional[float] = None) -> Optional[int]:
+        """The end of the newest visible data interval (None if empty)."""
+        sql = "SELECT MAX(timestamp + duration) FROM dump_files"
+        params: Tuple[object, ...] = ()
+        if visible_at is not None:
+            sql += " WHERE available_at <= ?"
+            params = (visible_at,)
+        with self._lock:
+            row = self._conn.execute(sql, params).fetchone()
+        return row[0] if row and row[0] is not None else None
+
+    def count(self) -> int:
+        with self._lock:
+            return self._conn.execute("SELECT COUNT(*) FROM dump_files").fetchone()[0]
+
+    def collectors(self) -> List[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT collector FROM dump_files ORDER BY collector"
+            ).fetchall()
+        return [row[0] for row in rows]

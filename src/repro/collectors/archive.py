@@ -1,0 +1,190 @@
+"""The data-provider archive: where collectors publish their dump files.
+
+RouteViews and RIPE RIS expose HTTP directory trees of MRT files; the
+BGPStream Broker continuously scrapes them and indexes new files.  Here the
+archive is a local directory tree laid out the same way, plus a JSON-lines
+index the crawler reads (standing in for scraping directory listings).
+
+Publication latency matters for live processing: the paper measured that in
+addition to the file-rotation delay, files appear on the public archives
+with a small variable delay, with 99 % of Updates dumps available within 20
+minutes of the dump start (§2).  Each published file therefore records an
+``available_at`` timestamp drawn from a configurable latency model, and the
+Broker only reveals files whose ``available_at`` has passed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class DumpFile:
+    """Metadata describing one published dump file."""
+
+    project: str
+    collector: str
+    dump_type: str  # "ribs" or "updates"
+    timestamp: int  # nominal dump start time
+    duration: int  # seconds of data the dump covers
+    path: str  # absolute path of the MRT file
+    available_at: float  # when the file became visible on the archive
+
+    @property
+    def interval_end(self) -> int:
+        return self.timestamp + self.duration
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "DumpFile":
+        return cls(**json.loads(line))
+
+
+class PublicationDelayModel:
+    """Latency between the end of a dump interval and its public availability.
+
+    Modelled as a base delay plus a long-ish tail, calibrated so that ~99 %
+    of dumps are available within ``p99`` seconds of the dump *start* for a
+    dump of ``reference_duration`` seconds — matching the paper's "99 % of
+    Updates dumps available in under 20 minutes" observation.
+    """
+
+    def __init__(
+        self,
+        base_delay: float = 30.0,
+        mean_extra: float = 90.0,
+        p99: float = 20 * 60,
+        reference_duration: int = 15 * 60,
+        seed: int = 0,
+    ) -> None:
+        self.base_delay = base_delay
+        self.mean_extra = mean_extra
+        self.p99 = p99
+        self.reference_duration = reference_duration
+        self._rng = random.Random(seed)
+
+    def sample(self, dump: "DumpFile" | None = None, duration: int | None = None) -> float:
+        """Delay (seconds) after the dump interval *ends* until publication."""
+        duration = duration if duration is not None else (
+            dump.duration if dump is not None else self.reference_duration
+        )
+        extra = self._rng.expovariate(1.0 / self.mean_extra)
+        # Cap the tail so that start-to-available stays below p99 for the
+        # overwhelming majority of reference-duration dumps, with a rare
+        # outlier beyond it (about 1 %).
+        ceiling = max(0.0, self.p99 - self.reference_duration - self.base_delay)
+        if self._rng.random() > 0.01:
+            extra = min(extra, ceiling)
+        else:
+            extra = ceiling + self._rng.expovariate(1.0 / self.mean_extra)
+        return self.base_delay + extra
+
+
+class Archive:
+    """A local, RouteViews/RIS-like archive of MRT dump files."""
+
+    INDEX_NAME = "index.jsonl"
+
+    def __init__(
+        self,
+        root: str,
+        delay_model: Optional[PublicationDelayModel] = None,
+    ) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.delay_model = delay_model or PublicationDelayModel()
+        self._entries: List[DumpFile] = []
+        self._load_index()
+
+    # -- layout --------------------------------------------------------------
+
+    def path_for(
+        self, project: str, collector: str, dump_type: str, timestamp: int
+    ) -> str:
+        """Absolute path where a dump with these coordinates is stored.
+
+        Mirrors the ``<collector>/<type>/<YYYY.MM>/<type>.<YYYYMMDD.HHMM>``
+        convention of the real archives (with a project directory on top).
+        """
+        moment = datetime.fromtimestamp(timestamp, tz=timezone.utc)
+        month_dir = moment.strftime("%Y.%m")
+        stamp = moment.strftime("%Y%m%d.%H%M")
+        filename = f"{dump_type}.{stamp}.mrt.gz"
+        return os.path.join(self.root, project, collector, dump_type, month_dir, filename)
+
+    # -- publication ----------------------------------------------------------
+
+    def publish(
+        self,
+        project: str,
+        collector: str,
+        dump_type: str,
+        timestamp: int,
+        duration: int,
+        path: str,
+        available_at: Optional[float] = None,
+    ) -> DumpFile:
+        """Register a dump file that has been written to ``path``."""
+        if available_at is None:
+            delay = self.delay_model.sample(duration=duration)
+            available_at = timestamp + duration + delay
+        entry = DumpFile(
+            project=project,
+            collector=collector,
+            dump_type=dump_type,
+            timestamp=timestamp,
+            duration=duration,
+            path=os.path.abspath(path),
+            available_at=float(available_at),
+        )
+        self._entries.append(entry)
+        self._append_index(entry)
+        return entry
+
+    # -- queries (used by the Broker crawler) ---------------------------------
+
+    def entries(self, visible_at: Optional[float] = None) -> List[DumpFile]:
+        """All published files, optionally restricted to those already visible."""
+        if visible_at is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.available_at <= visible_at]
+
+    def collectors(self, project: Optional[str] = None) -> List[str]:
+        return sorted(
+            {e.collector for e in self._entries if project is None or e.project == project}
+        )
+
+    def projects(self) -> List[str]:
+        return sorted({e.project for e in self._entries})
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DumpFile]:
+        return iter(self._entries)
+
+    # -- persistence -----------------------------------------------------------
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, self.INDEX_NAME)
+
+    def _append_index(self, entry: DumpFile) -> None:
+        with open(self.index_path, "a", encoding="utf-8") as handle:
+            handle.write(entry.to_json() + "\n")
+
+    def _load_index(self) -> None:
+        if not os.path.exists(self.index_path):
+            return
+        with open(self.index_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    self._entries.append(DumpFile.from_json(line))

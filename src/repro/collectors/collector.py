@@ -1,0 +1,172 @@
+"""Route collectors.
+
+A collector (paper §2, Figure 1) is a host that emulates a router,
+establishes BGP sessions with vantage points, maintains an image of each
+VP's Adj-RIB-out, and periodically dumps (i) a snapshot of all those tables
+(RIB dump) and (ii) the update messages received since the last dump
+(Updates dump).  Here the collector is responsible for materialising those
+dumps as MRT files and publishing them into an :class:`~repro.collectors.
+archive.Archive`; the routing content itself is provided by the scenario
+generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bgp.fsm import SessionState
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.collectors.archive import Archive, DumpFile
+from repro.collectors.projects import ProjectSpec
+from repro.collectors.routing import Route
+from repro.collectors.vantage_point import VantagePoint
+from repro.mrt.records import (
+    BGP4MPMessage,
+    BGP4MPStateChange,
+    PeerEntry,
+)
+from repro.mrt.writer import write_rib_dump, write_updates_dump
+
+
+#: One entry of an Updates dump before serialisation:
+#: (timestamp, vp, kind, payload) where kind is "announce" / "withdraw" /
+#: "state" and payload is a Route, a Prefix, or a (old, new) state pair.
+UpdateEntry = Tuple[int, VantagePoint, str, object]
+
+
+@dataclass
+class Collector:
+    """A single route collector of a project."""
+
+    name: str
+    project: ProjectSpec
+    vps: List[VantagePoint]
+    bgp_id: str = "198.51.100.1"
+    local_asn: int = 65535
+    local_address: str = "198.51.100.1"
+
+    def __post_init__(self) -> None:
+        addresses = [vp.address for vp in self.vps]
+        if len(addresses) != len(set(addresses)):
+            raise ValueError(f"collector {self.name}: duplicate VP addresses")
+
+    # -- peer table ----------------------------------------------------------
+
+    def peer_entries(self) -> List[PeerEntry]:
+        """The PEER_INDEX_TABLE entries for this collector's VPs."""
+        return [PeerEntry(self.bgp_id, vp.address, vp.asn) for vp in self.vps]
+
+    def peer_index(self, vp: VantagePoint) -> int:
+        return self.vps.index(vp)
+
+    def vp_by_asn(self, asn: int) -> Optional[VantagePoint]:
+        for vp in self.vps:
+            if vp.asn == asn:
+                return vp
+        return None
+
+    # -- dump generation -------------------------------------------------------
+
+    def write_rib_dump(
+        self,
+        archive: Archive,
+        timestamp: int,
+        tables: Mapping[VantagePoint, Mapping[Prefix, Route]],
+        compress: bool = True,
+        rib_duration: Optional[int] = None,
+    ) -> DumpFile:
+        """Write one TABLE_DUMP_V2 RIB dump and publish it.
+
+        ``tables`` maps each VP to its Adj-RIB-out snapshot at ``timestamp``.
+        Record timestamps are spread over the collector's RIB-walk duration,
+        reproducing the skew the RT plugin's E2 handling copes with.
+        """
+        path = archive.path_for(self.project.name, self.name, "ribs", timestamp)
+        peer_tables: Dict[int, Mapping[Prefix, object]] = {}
+        for vp, table in tables.items():
+            index = self.peer_index(vp)
+            peer_tables[index] = {
+                prefix: route.to_attributes() for prefix, route in table.items()
+            }
+        duration = rib_duration if rib_duration is not None else self.project.rib_dump_duration
+        total_prefixes = len({p for table in tables.values() for p in table})
+        record_timestamps = {}
+        if total_prefixes > 1 and duration > 0:
+            for sequence in range(total_prefixes):
+                record_timestamps[sequence] = timestamp + int(
+                    duration * sequence / max(1, total_prefixes - 1)
+                )
+        write_rib_dump(
+            path,
+            timestamp,
+            self.bgp_id,
+            self.peer_entries(),
+            peer_tables,
+            view_name=self.name,
+            compress=compress,
+            record_timestamps=record_timestamps,
+        )
+        return archive.publish(
+            self.project.name, self.name, "ribs", timestamp, duration, path
+        )
+
+    def write_updates_dump(
+        self,
+        archive: Archive,
+        window_start: int,
+        entries: Sequence[UpdateEntry],
+        compress: bool = True,
+    ) -> DumpFile:
+        """Write one Updates dump covering ``[window_start, window_start+period)``."""
+        path = archive.path_for(self.project.name, self.name, "updates", window_start)
+        messages: List[Tuple[int, object]] = []
+        for timestamp, vp, kind, payload in sorted(entries, key=lambda e: e[0]):
+            body = self._entry_to_body(vp, kind, payload)
+            if body is not None:
+                messages.append((timestamp, body))
+        write_updates_dump(path, messages, compress=compress)
+        return archive.publish(
+            self.project.name,
+            self.name,
+            "updates",
+            window_start,
+            self.project.updates_period,
+            path,
+        )
+
+    def _entry_to_body(self, vp: VantagePoint, kind: str, payload: object):
+        if kind == "announce":
+            route: Route = payload  # type: ignore[assignment]
+            update = BGPUpdate(attributes=route.to_attributes())
+            if route.prefix.version == 6:
+                update.attributes.mp_reach_nlri = [route.prefix]
+            else:
+                update.announced = [route.prefix]
+            return BGP4MPMessage(
+                vp.asn, self.local_asn, vp.address, self.local_address, update
+            )
+        if kind == "withdraw":
+            prefix: Prefix = payload  # type: ignore[assignment]
+            update = BGPUpdate()
+            if prefix.version == 6:
+                update.attributes.mp_unreach_nlri = [prefix]
+            else:
+                update.withdrawn = [prefix]
+            return BGP4MPMessage(
+                vp.asn, self.local_asn, vp.address, self.local_address, update
+            )
+        if kind == "state":
+            if not self.project.dumps_state_messages:
+                return None
+            old_state, new_state = payload  # type: ignore[misc]
+            return BGP4MPStateChange(
+                vp.asn,
+                self.local_asn,
+                vp.address,
+                self.local_address,
+                SessionState(old_state),
+                SessionState(new_state),
+            )
+        raise ValueError(f"unknown update entry kind {kind!r}")

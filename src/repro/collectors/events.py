@@ -1,0 +1,232 @@
+"""Scripted routing events injected into the collection simulation.
+
+The paper's case studies revolve around real-world events: the GARR prefix
+hijack of January 2015 (Figure 6), the Iraqi government-ordered outages of
+June–July 2015 (Figure 10), remotely-triggered black-holing episodes
+(Figure 4), and the ordinary background churn of the global routing system.
+This module provides the synthetic equivalents.  Each event knows which
+prefixes it affects and how it perturbs routing during its active interval,
+so the scenario generator can recompute only the affected routes at event
+boundaries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.community import Community
+from repro.bgp.prefix import Prefix
+from repro.utils.intervals import TimeInterval
+
+
+@dataclass(frozen=True)
+class RoutingEvent:
+    """Base class: an event active during ``interval``.
+
+    Activity is half-open (``[start, end)``): at the interval's end the
+    event's effect has been reverted, so the routing change generated at the
+    end boundary restores the pre-event state.
+    """
+
+    interval: TimeInterval
+
+    def active_at(self, timestamp: int) -> bool:
+        return self.interval.start <= timestamp < self.interval.end
+
+    # Hooks the scenario generator queries; subclasses override as needed.
+
+    def affected_prefixes(self) -> Sequence[Prefix]:
+        """Prefixes whose routes change when the event starts or ends."""
+        return ()
+
+    def excluded_asns(self) -> Set[int]:
+        """ASes that are down while the event is active."""
+        return set()
+
+    def extra_origins(self) -> Mapping[Prefix, int]:
+        """Additional (prefix -> origin AS) announcements while active."""
+        return {}
+
+    def boundaries(self) -> List[int]:
+        """Timestamps at which routing changes because of this event."""
+        return [self.interval.start, self.interval.end]
+
+
+@dataclass(frozen=True)
+class PrefixHijackEvent(RoutingEvent):
+    """A second origin announces prefixes it does not own.
+
+    ``prefixes`` may be the victim's exact prefixes (classic MOAS) or
+    more-specific sub-prefixes (sub-prefix hijack); either way the
+    pfxmonitor-style origin count over the victim's address space rises
+    while the event is active.
+    """
+
+    hijacker_asn: int = 0
+    victim_asn: int = 0
+    prefixes: Tuple[Prefix, ...] = ()
+
+    def affected_prefixes(self) -> Sequence[Prefix]:
+        return self.prefixes
+
+    def extra_origins(self) -> Mapping[Prefix, int]:
+        return {prefix: self.hijacker_asn for prefix in self.prefixes}
+
+
+@dataclass(frozen=True)
+class OutageEvent(RoutingEvent):
+    """A set of ASes (e.g. every AS of a country) withdraws its prefixes.
+
+    The simulation treats an outage as origin-down: prefixes originated by
+    the affected ASes become unreachable for its duration.  (Transit through
+    the affected ASes is not rerouted — a documented simplification that
+    preserves the visible-prefix-count signal the outage consumers use.)
+    """
+
+    asns: Tuple[int, ...] = ()
+    #: Prefixes of the affected ASes, resolved by the scenario builder.
+    prefixes: Tuple[Prefix, ...] = ()
+    country: Optional[str] = None
+
+    def affected_prefixes(self) -> Sequence[Prefix]:
+        return self.prefixes
+
+    def excluded_asns(self) -> Set[int]:
+        return set(self.asns)
+
+
+@dataclass(frozen=True)
+class RTBHEvent(RoutingEvent):
+    """A customer requests black-holing of one of its addresses (§4.3).
+
+    While active, the customer announces ``blackhole_prefix`` (typically a
+    /32 carved out of its own space) tagged with the black-holing
+    communities of the providers it wants to act.  ``propagating_providers``
+    lists the providers that fail to apply egress filtering and leak the
+    announcement onwards (the paper found this is surprisingly common).
+    """
+
+    customer_asn: int = 0
+    blackhole_prefix: Prefix = None  # type: ignore[assignment]
+    provider_asns: Tuple[int, ...] = ()
+    communities: Tuple[Community, ...] = ()
+    propagating_providers: Tuple[int, ...] = ()
+
+    def affected_prefixes(self) -> Sequence[Prefix]:
+        return (self.blackhole_prefix,)
+
+    def extra_origins(self) -> Mapping[Prefix, int]:
+        return {self.blackhole_prefix: self.customer_asn}
+
+
+@dataclass(frozen=True)
+class PrefixFlapEvent(RoutingEvent):
+    """A prefix is repeatedly withdrawn and re-announced (route flapping)."""
+
+    prefix: Prefix = None  # type: ignore[assignment]
+    origin_asn: int = 0
+    period: int = 120  # seconds between state changes
+
+    def affected_prefixes(self) -> Sequence[Prefix]:
+        return (self.prefix,)
+
+    def boundaries(self) -> List[int]:
+        times = list(range(self.interval.start, self.interval.end + 1, self.period))
+        if times[-1] != self.interval.end:
+            times.append(self.interval.end)
+        return times
+
+    def is_withdrawn_at(self, timestamp: int) -> bool:
+        """The prefix alternates: withdrawn on odd flap periods."""
+        if not self.active_at(timestamp):
+            return False
+        phase = (timestamp - self.interval.start) // self.period
+        return phase % 2 == 0
+
+
+@dataclass(frozen=True)
+class SessionResetEvent(RoutingEvent):
+    """A VP's BGP session with its collector goes down and comes back up.
+
+    While down, the collector considers the VP's table unavailable; when the
+    session is re-established the VP re-announces its entire Adj-RIB-out,
+    producing the update bursts visible in the Figure 9 maxima.
+    """
+
+    collector: str = ""
+    vp_asn: int = 0
+
+    def boundaries(self) -> List[int]:
+        return [self.interval.start, self.interval.end]
+
+
+class EventTimeline:
+    """The ordered collection of events driving a scenario."""
+
+    def __init__(self, events: Iterable[RoutingEvent] = ()) -> None:
+        self.events: List[RoutingEvent] = sorted(events, key=lambda e: e.interval)
+
+    def add(self, event: RoutingEvent) -> None:
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.interval)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # -- state queries -------------------------------------------------------
+
+    def active_at(self, timestamp: int) -> List[RoutingEvent]:
+        return [e for e in self.events if e.active_at(timestamp)]
+
+    def excluded_asns_at(self, timestamp: int) -> Set[int]:
+        excluded: Set[int] = set()
+        for event in self.active_at(timestamp):
+            excluded |= event.excluded_asns()
+        return excluded
+
+    def extra_origins_at(self, timestamp: int) -> Dict[Prefix, int]:
+        extra: Dict[Prefix, int] = {}
+        for event in self.active_at(timestamp):
+            if isinstance(event, PrefixFlapEvent) and event.is_withdrawn_at(timestamp):
+                continue
+            extra.update(event.extra_origins())
+        return extra
+
+    def withdrawn_prefixes_at(self, timestamp: int) -> Set[Prefix]:
+        """Prefixes explicitly withdrawn at ``timestamp`` (flap troughs)."""
+        withdrawn: Set[Prefix] = set()
+        for event in self.active_at(timestamp):
+            if isinstance(event, PrefixFlapEvent) and event.is_withdrawn_at(timestamp):
+                withdrawn.add(event.prefix)
+        return withdrawn
+
+    def rtbh_events_at(self, timestamp: int) -> List[RTBHEvent]:
+        return [e for e in self.active_at(timestamp) if isinstance(e, RTBHEvent)]
+
+    def session_resets(self, collector: Optional[str] = None) -> List[SessionResetEvent]:
+        return [
+            e
+            for e in self.events
+            if isinstance(e, SessionResetEvent)
+            and (collector is None or e.collector == collector)
+        ]
+
+    def boundaries(self, start: int, end: int) -> List[int]:
+        """All distinct event boundary timestamps within ``[start, end]``."""
+        times: Set[int] = set()
+        for event in self.events:
+            for timestamp in event.boundaries():
+                if start <= timestamp <= end:
+                    times.add(timestamp)
+        return sorted(times)
+
+    def affected_prefixes(self) -> Set[Prefix]:
+        prefixes: Set[Prefix] = set()
+        for event in self.events:
+            prefixes.update(event.affected_prefixes())
+        return prefixes

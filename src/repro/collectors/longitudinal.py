@@ -1,0 +1,289 @@
+"""Longitudinal (multi-year) dataset generation for the Section 5 analyses.
+
+Figure 5 of the paper is built from the midnight RIB dumps of the 15th day
+of each month across 15 years: routing-table growth, MOAS sets, transit-AS
+fractions and community diversity all need an Internet that *grows* over
+time.  This module produces such a dataset: a maximal topology is generated
+once, and each monthly snapshot activates a growing share of its ASes,
+prefixes, IPv6 adoption and community usage, then writes one RIB dump per
+collector into an archive.
+
+The growth model is intentionally simple but preserves the shapes the
+analyses measure: near-linear AS growth with a roughly constant IPv4
+transit fraction (transit ASes are a fixed share of the allocation order),
+later and faster IPv6 adoption concentrated first on transit ASes, a slow
+rise in the number of MOAS prefixes, and community usage that expands over
+time while some transit ASes keep stripping them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.collectors.archive import Archive, DumpFile
+from repro.collectors.collector import Collector
+from repro.collectors.projects import PROJECTS
+from repro.collectors.routing import RouteComputer
+from repro.collectors.topology import ASRole, ASTopology, TopologyConfig, generate_topology
+from repro.collectors.vantage_point import VantagePoint
+
+#: Seconds in a (nominal) month; monthly snapshots are spaced by this.
+MONTH = 30 * 24 * 3600
+
+
+@dataclass
+class LongitudinalConfig:
+    """Parameters of the longitudinal dataset."""
+
+    months: int = 48
+    start: int = 978_912_000  # 2001-01-08-ish; only relative spacing matters
+    topology: TopologyConfig = field(default_factory=lambda: TopologyConfig(
+        num_tier1=6, num_transit=36, num_stub=150
+    ))
+    collectors_per_project: Dict[str, int] = field(
+        default_factory=lambda: {"routeviews": 1, "ris": 1}
+    )
+    vps_per_collector: int = 6
+    #: Fraction of the final AS count already present in month 0.
+    initial_fraction: float = 0.35
+    #: Month (fraction of the timeline) at which IPv6 adoption starts.
+    ipv6_start_fraction: float = 0.3
+    #: Fraction of stub prefixes that are long-lived MOAS (multi-homed
+    #: anycast-style originations) once both origins exist.
+    moas_fraction: float = 0.02
+    full_feed_fraction: float = 0.7
+    seed: int = 0
+
+
+@dataclass
+class MonthlySnapshot:
+    """Bookkeeping for one generated month."""
+
+    index: int
+    timestamp: int
+    active_asns: Tuple[int, ...]
+    prefix_count_v4: int
+    prefix_count_v6: int
+    dumps: List[DumpFile] = field(default_factory=list)
+
+
+class LongitudinalScenario:
+    """Generates monthly RIB dumps over a growing synthetic Internet."""
+
+    def __init__(self, config: Optional[LongitudinalConfig] = None) -> None:
+        self.config = config or LongitudinalConfig()
+        self._rng = random.Random(self.config.seed)
+        #: The maximal topology; monthly snapshots activate subsets of it.
+        self.topology = generate_topology(self.config.topology)
+        self._asns = self.topology.asns()
+        self._activation_order = self._plan_activation_order()
+        self._ipv6_month = self._plan_ipv6_adoption()
+        self._moas_pairs = self._plan_moas()
+        self.collectors = self._build_collectors()
+        self.snapshots: List[MonthlySnapshot] = []
+
+    # -- planning --------------------------------------------------------------------
+
+    def _plan_activation_order(self) -> List[int]:
+        """ASes ordered by 'birth': providers always precede their customers.
+
+        The generator allocates tier-1s, then transit, then stubs with
+        increasing ASNs, so ASN order respects the provider relationship;
+        within each role the order is shuffled deterministically to avoid a
+        perfectly regular growth pattern.
+        """
+        tier1 = [a for a in self._asns if self.topology.node(a).role == ASRole.TIER1]
+        transit = [a for a in self._asns if self.topology.node(a).role == ASRole.TRANSIT]
+        stubs = [a for a in self._asns if self.topology.node(a).role == ASRole.STUB]
+        self._rng.shuffle(transit)
+        self._rng.shuffle(stubs)
+        # Interleave transit and stub births at a fixed ratio so the transit
+        # fraction stays roughly constant over time (the Figure 5c shape).
+        interleaved: List[int] = []
+        ratio = max(1, round(len(stubs) / max(1, len(transit))))
+        stub_iter = iter(stubs)
+        for asn in transit:
+            interleaved.append(asn)
+            for _ in range(ratio):
+                nxt = next(stub_iter, None)
+                if nxt is not None:
+                    interleaved.append(nxt)
+        interleaved.extend(stub_iter)
+        return tier1 + interleaved
+
+    def _plan_ipv6_adoption(self) -> Dict[int, int]:
+        """For each AS with IPv6 prefixes, the month it starts announcing them."""
+        months = self.config.months
+        start_month = int(months * self.config.ipv6_start_fraction)
+        adoption: Dict[int, int] = {}
+        for asn in self._asns:
+            node = self.topology.node(asn)
+            if not node.prefixes_v6:
+                continue
+            # Transit ASes adopt earlier (the paper: IPv6 transit fraction is
+            # higher; the edge lags behind).
+            if node.role in (ASRole.TIER1, ASRole.TRANSIT):
+                month = start_month + self._rng.randint(0, max(1, months // 4))
+            else:
+                month = start_month + self._rng.randint(months // 6, max(2, months // 2))
+            adoption[asn] = min(month, months - 1)
+        return adoption
+
+    def _plan_moas(self) -> List[Tuple[Prefix, int, int, int]]:
+        """(prefix, primary origin, secondary origin, start month) tuples."""
+        stubs = [a for a in self._asns if self.topology.node(a).role == ASRole.STUB]
+        pairs: List[Tuple[Prefix, int, int, int]] = []
+        for asn in stubs:
+            node = self.topology.node(asn)
+            for prefix in node.prefixes:
+                if self._rng.random() < self.config.moas_fraction:
+                    other = self._rng.choice([a for a in stubs if a != asn])
+                    start_month = self._rng.randint(1, max(1, self.config.months - 1))
+                    pairs.append((prefix, asn, other, start_month))
+        return pairs
+
+    def _build_collectors(self) -> List[Collector]:
+        transit_like = [
+            a
+            for a in self._asns
+            if self.topology.node(a).role in (ASRole.TIER1, ASRole.TRANSIT)
+        ]
+        collectors: List[Collector] = []
+        for project_name, count in sorted(self.config.collectors_per_project.items()):
+            spec = PROJECTS[project_name]
+            for index in range(count):
+                chosen = self._rng.sample(
+                    transit_like, min(self.config.vps_per_collector, len(transit_like))
+                )
+                vps = []
+                for order, asn in enumerate(sorted(chosen)):
+                    full_feed = self._rng.random() < self.config.full_feed_fraction
+                    vps.append(
+                        VantagePoint(
+                            asn=asn,
+                            address=f"10.{(asn >> 8) & 0xFF}.{asn & 0xFF}.{order + 1}",
+                            full_feed=full_feed,
+                        )
+                    )
+                bgp_id = f"198.51.{100 + len(collectors)}.1"
+                collectors.append(
+                    Collector(spec.collector_name(index), spec, vps, bgp_id=bgp_id,
+                              local_address=bgp_id)
+                )
+        return collectors
+
+    # -- monthly state ------------------------------------------------------------------
+
+    def month_timestamp(self, month: int) -> int:
+        return self.config.start + month * MONTH
+
+    def active_asns(self, month: int) -> List[int]:
+        months = self.config.months
+        fraction = self.config.initial_fraction + (1 - self.config.initial_fraction) * (
+            month / max(1, months - 1)
+        )
+        count = max(1, round(len(self._activation_order) * min(1.0, fraction)))
+        active: Set[int] = set(self._activation_order[:count])
+        # Close over providers so no active AS is ever orphaned: an AS cannot
+        # exist before it has transit.  The closure of a growing prefix is
+        # itself growing, so month-over-month monotonicity is preserved.
+        frontier = list(active)
+        while frontier:
+            asn = frontier.pop()
+            for provider in self.topology.providers(asn):
+                if provider not in active:
+                    active.add(provider)
+                    frontier.append(provider)
+        return sorted(active)
+
+    def monthly_topology(self, month: int) -> ASTopology:
+        """The sub-topology of ASes active in ``month`` (with its prefixes)."""
+        active = set(self.active_asns(month))
+        months = self.config.months
+        sub = ASTopology()
+        for asn in sorted(active):
+            node = self.topology.node(asn)
+            # Prefix count grows with AS age (older ASes announce more).
+            age = month - self._birth_month(asn)
+            share = min(1.0, 0.5 + 0.5 * age / max(1, months // 2))
+            v4_count = max(1, round(len(node.prefixes) * share))
+            prefixes_v6: List[Prefix] = []
+            if asn in self._ipv6_month and month >= self._ipv6_month[asn]:
+                prefixes_v6 = list(node.prefixes_v6)
+            community_share = min(1.0, 0.2 + 0.8 * month / max(1, months - 1))
+            community_count = max(1, round(len(node.community_values) * community_share)) if node.community_values else 0
+            clone = type(node)(
+                asn=node.asn,
+                role=node.role,
+                country=node.country,
+                prefixes=list(node.prefixes[:v4_count]),
+                prefixes_v6=prefixes_v6,
+                ixps=node.ixps,
+                community_values=node.community_values[:community_count],
+                strips_communities=node.strips_communities,
+                blackhole_community_value=node.blackhole_community_value,
+            )
+            sub.add_as(clone)
+        for a in sorted(active):
+            for b in self.topology.neighbors(a):
+                if b in active and a < b:
+                    sub.add_link(a, b, self.topology.relationship(a, b))
+        sub.invalidate_caches()
+        return sub
+
+    def _birth_month(self, asn: int) -> int:
+        index = self._activation_order.index(asn)
+        months = self.config.months
+        initial = round(len(self._activation_order) * self.config.initial_fraction)
+        if index < initial:
+            return 0
+        remaining = len(self._activation_order) - initial
+        return round((index - initial) / max(1, remaining) * (months - 1))
+
+    def moas_origins(self, month: int, topology: ASTopology) -> Dict[Prefix, int]:
+        """Extra origins active in ``month`` (long-lived MOAS prefixes)."""
+        extra: Dict[Prefix, int] = {}
+        for prefix, primary, secondary, start_month in self._moas_pairs:
+            if month >= start_month and primary in topology and secondary in topology:
+                if topology.origin_of(prefix) is not None:
+                    extra[prefix] = secondary
+        return extra
+
+    # -- generation -----------------------------------------------------------------------
+
+    def generate(self, archive: Archive, months: Optional[Sequence[int]] = None) -> List[MonthlySnapshot]:
+        """Write monthly RIB dumps for every collector into ``archive``."""
+        month_range = list(months) if months is not None else list(range(self.config.months))
+        for month in month_range:
+            self.snapshots.append(self._generate_month(archive, month))
+        return self.snapshots
+
+    def _generate_month(self, archive: Archive, month: int) -> MonthlySnapshot:
+        timestamp = self.month_timestamp(month)
+        topology = self.monthly_topology(month)
+        computer = RouteComputer(topology)
+        extra_origins = self.moas_origins(month, topology)
+        snapshot = MonthlySnapshot(
+            index=month,
+            timestamp=timestamp,
+            active_asns=tuple(topology.asns()),
+            prefix_count_v4=len(topology.all_prefixes(version=4)),
+            prefix_count_v6=len(topology.all_prefixes(version=6)),
+        )
+        for collector in self.collectors:
+            tables = {}
+            for vp in collector.vps:
+                if vp.asn not in topology:
+                    continue
+                loc_rib = computer.loc_rib(vp.asn, extra_origins=extra_origins)
+                tables[vp] = {
+                    prefix: route for prefix, route in loc_rib.items() if vp.exports(route)
+                }
+            if not tables:
+                continue
+            dump = collector.write_rib_dump(archive, timestamp, tables)
+            snapshot.dumps.append(dump)
+        return snapshot

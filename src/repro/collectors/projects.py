@@ -1,0 +1,61 @@
+"""Collector project parameters (RouteViews and RIPE RIS).
+
+The two projects differ in dump periodicity (§2 of the paper): RouteViews
+saves a RIB dump every 2 hours and an Updates dump every 15 minutes; RIPE
+RIS every 8 hours and every 5 minutes.  RIPE RIS collectors additionally
+dump per-VP session state messages, which RouteViews collectors do not — a
+distinction the paper's RT plugin has to work around (§6.2.1, footnote 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ProjectSpec:
+    """Static description of a collector project."""
+
+    name: str
+    rib_period: int  # seconds between RIB dumps
+    updates_period: int  # seconds covered by one Updates dump
+    collector_prefix: str  # collectors are named <prefix><n>
+    dumps_state_messages: bool
+    #: Approximate seconds a collector needs to walk its RIB while dumping
+    #: (RIB record timestamps spread over this window).
+    rib_dump_duration: int = 120
+
+    def collector_name(self, index: int) -> str:
+        return f"{self.collector_prefix}{index}"
+
+
+ROUTEVIEWS = ProjectSpec(
+    name="routeviews",
+    rib_period=2 * 3600,
+    updates_period=15 * 60,
+    collector_prefix="route-views",
+    dumps_state_messages=False,
+)
+
+RIPE_RIS = ProjectSpec(
+    name="ris",
+    rib_period=8 * 3600,
+    updates_period=5 * 60,
+    collector_prefix="rrc",
+    dumps_state_messages=True,
+)
+
+#: Projects by name, as the stream filters refer to them.
+PROJECTS: Dict[str, ProjectSpec] = {
+    ROUTEVIEWS.name: ROUTEVIEWS,
+    RIPE_RIS.name: RIPE_RIS,
+}
+
+
+def project_for_collector(collector: str) -> ProjectSpec:
+    """Infer the project a collector belongs to from its name."""
+    for spec in PROJECTS.values():
+        if collector.startswith(spec.collector_prefix):
+            return spec
+    raise KeyError(f"unknown collector {collector!r}")

@@ -1,0 +1,293 @@
+"""Gao–Rexford policy routing over the synthetic topology.
+
+Computes, for every AS, the *preferred* (Loc-RIB) route towards every
+origin: customer routes are preferred over peer routes over provider routes,
+ties are broken by AS-path length and then by lowest next-hop ASN, and
+export follows the valley-free rule (customer routes are exported to
+everyone; peer and provider routes only to customers).
+
+These preferred routes are exactly what a full-feed vantage point shares
+with a route collector (its Adj-RIB-out mirrors its Loc-RIB), so this module
+is the ground truth the whole collection simulation is built on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+from enum import IntEnum
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import Origin, PathAttributes
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.collectors.topology import ASRelationship, ASTopology
+
+
+class RouteType(IntEnum):
+    """How an AS learned a route; lower values are preferred (Gao–Rexford)."""
+
+    ORIGIN = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+@dataclass(frozen=True)
+class PolicyPath:
+    """The preferred AS-level path from one AS towards an origin AS."""
+
+    asns: Tuple[int, ...]  # from the AS itself (first) to the origin (last)
+    route_type: RouteType
+
+    @property
+    def length(self) -> int:
+        return len(self.asns)
+
+
+@dataclass(frozen=True)
+class Route:
+    """A concrete route to a prefix as installed by (and exported from) an AS."""
+
+    prefix: Prefix
+    as_path: ASPath
+    next_hop: str
+    communities: CommunitySet = field(default_factory=CommunitySet)
+    origin: Origin = Origin.IGP
+    route_type: RouteType = RouteType.CUSTOMER
+
+    @property
+    def origin_asn(self) -> Optional[int]:
+        return self.as_path.origin_asn
+
+    def to_attributes(self) -> PathAttributes:
+        """Convert to the PathAttributes carried on the wire."""
+        attrs = PathAttributes(
+            origin=self.origin,
+            as_path=self.as_path,
+            communities=self.communities,
+        )
+        if self.prefix.version == 6:
+            attrs.mp_next_hop = self.next_hop
+        else:
+            attrs.next_hop = self.next_hop
+        return attrs
+
+
+class RouteComputer:
+    """Computes and caches policy paths and per-AS routing tables."""
+
+    def __init__(self, topology: ASTopology) -> None:
+        self.topology = topology
+        self._path_cache: Dict[Tuple[int, FrozenSet[int]], Dict[int, PolicyPath]] = {}
+
+    # -- policy path computation -------------------------------------------
+
+    def paths_to_origin(
+        self, origin: int, excluded: Iterable[int] = ()
+    ) -> Dict[int, PolicyPath]:
+        """Preferred path from every AS to ``origin``.
+
+        ``excluded`` lists ASes that are down (outage simulation); they
+        neither originate nor propagate routes.  The origin itself being
+        excluded yields an empty result (nobody can reach it).
+        """
+        excluded_set = frozenset(excluded)
+        key = (origin, excluded_set)
+        if key in self._path_cache:
+            return self._path_cache[key]
+        result = self._compute_paths(origin, excluded_set)
+        self._path_cache[key] = result
+        return result
+
+    def invalidate(self) -> None:
+        self._path_cache.clear()
+
+    def _compute_paths(
+        self, origin: int, excluded: FrozenSet[int]
+    ) -> Dict[int, PolicyPath]:
+        topology = self.topology
+        if origin not in topology or origin in excluded:
+            return {}
+
+        best: Dict[int, PolicyPath] = {origin: PolicyPath((origin,), RouteType.ORIGIN)}
+
+        def alive(asn: int) -> bool:
+            return asn not in excluded
+
+        # Phase 1 — customer routes climb provider links (valley-free "up").
+        # Process in (path length, asn) order so ties resolve deterministically
+        # to the shortest path through the lowest-numbered neighbour.
+        heap: List[Tuple[int, int]] = [(1, origin)]
+        while heap:
+            length, asn = heapq.heappop(heap)
+            current = best.get(asn)
+            if current is None or current.length != length:
+                continue
+            for provider in topology.providers(asn):
+                if not alive(provider):
+                    continue
+                candidate = PolicyPath((provider,) + current.asns, RouteType.CUSTOMER)
+                existing = best.get(provider)
+                if existing is None or _better(candidate, existing):
+                    best[provider] = candidate
+                    heapq.heappush(heap, (candidate.length, provider))
+
+        # Phase 2 — one peer hop at the apex.  Only ASes holding a customer
+        # route (or the origin) export across peering links.
+        customer_holders = sorted(
+            asn
+            for asn, path in best.items()
+            if path.route_type in (RouteType.ORIGIN, RouteType.CUSTOMER)
+        )
+        peer_candidates: Dict[int, PolicyPath] = {}
+        for asn in customer_holders:
+            exported = best[asn]
+            for peer in topology.peers(asn):
+                if not alive(peer):
+                    continue
+                candidate = PolicyPath((peer,) + exported.asns, RouteType.PEER)
+                existing = best.get(peer)
+                if existing is not None and not _better(candidate, existing):
+                    continue
+                pending = peer_candidates.get(peer)
+                if pending is None or _better(candidate, pending):
+                    peer_candidates[peer] = candidate
+        best.update(peer_candidates)
+
+        # Phase 3 — routes flow down provider→customer links ("down").
+        # Everything an AS holds may be exported to its customers; provider
+        # routes keep propagating downwards.
+        heap = [(path.length, asn) for asn, path in best.items()]
+        heapq.heapify(heap)
+        while heap:
+            length, asn = heapq.heappop(heap)
+            current = best.get(asn)
+            if current is None or current.length != length:
+                continue
+            for customer in topology.customers(asn):
+                if not alive(customer):
+                    continue
+                candidate = PolicyPath((customer,) + current.asns, RouteType.PROVIDER)
+                existing = best.get(customer)
+                if existing is None or _better(candidate, existing):
+                    best[customer] = candidate
+                    heapq.heappush(heap, (candidate.length, customer))
+
+        return best
+
+    # -- routing tables ------------------------------------------------------
+
+    def loc_rib(
+        self,
+        asn: int,
+        excluded: Iterable[int] = (),
+        extra_origins: Mapping[Prefix, int] | None = None,
+        version: Optional[int] = None,
+    ) -> Dict[Prefix, Route]:
+        """The preferred route of ``asn`` for every reachable prefix.
+
+        ``extra_origins`` maps prefixes to additional origin ASes (used for
+        hijack simulation: the same prefix announced by a second origin);
+        when both origins are reachable, the standard preference rules pick
+        the winner at this AS.
+        """
+        excluded_set = frozenset(excluded)
+        table: Dict[Prefix, Route] = {}
+        for prefix in self.topology.all_prefixes(version=version):
+            origin = self.topology.origin_of(prefix)
+            if origin is None:
+                continue
+            route = self._route_for(asn, prefix, origin, excluded_set)
+            if route is not None:
+                table[prefix] = route
+        for prefix, origin in (extra_origins or {}).items():
+            candidate = self._route_for(asn, prefix, origin, excluded_set)
+            if candidate is None:
+                continue
+            incumbent = table.get(prefix)
+            if incumbent is None or _route_better(candidate, incumbent):
+                table[prefix] = candidate
+        return table
+
+    def route(
+        self,
+        asn: int,
+        prefix: Prefix,
+        origin: Optional[int] = None,
+        excluded: Iterable[int] = (),
+    ) -> Optional[Route]:
+        """The preferred route of ``asn`` towards ``prefix`` (or None)."""
+        if origin is None:
+            origin = self.topology.origin_of(prefix)
+        if origin is None:
+            return None
+        return self._route_for(asn, prefix, origin, frozenset(excluded))
+
+    def _route_for(
+        self, asn: int, prefix: Prefix, origin: int, excluded: FrozenSet[int]
+    ) -> Optional[Route]:
+        paths = self.paths_to_origin(origin, excluded)
+        path = paths.get(asn)
+        if path is None:
+            return None
+        return self._materialise(prefix, path)
+
+    def _materialise(self, prefix: Prefix, path: PolicyPath) -> Route:
+        as_path = ASPath.from_asns(path.asns)
+        communities = self._communities_for(path)
+        next_hop = _synth_next_hop(path, prefix.version)
+        return Route(
+            prefix=prefix,
+            as_path=as_path,
+            next_hop=next_hop,
+            communities=communities,
+            origin=Origin.IGP,
+            route_type=path.route_type,
+        )
+
+    def _communities_for(self, path: PolicyPath) -> CommunitySet:
+        """Communities visible on a route at the head of ``path``.
+
+        Each AS along the path attaches one of its informational communities
+        (deterministically chosen); an AS that strips communities removes
+        everything attached beyond it (i.e. communities added by ASes closer
+        to the origin do not survive).
+        """
+        communities: List[Community] = []
+        # Walk from the origin towards the observer.
+        for asn in reversed(path.asns):
+            node = self.topology.nodes.get(asn)
+            if node is None:
+                continue
+            if node.strips_communities:
+                communities = []
+            if node.community_values:
+                value = node.community_values[
+                    (asn * 2654435761 + path.asns[-1]) % len(node.community_values)
+                ]
+                if node.asn <= 0xFFFF:
+                    communities.append(Community(node.asn, value))
+        return CommunitySet(communities)
+
+
+def _better(candidate: PolicyPath, incumbent: PolicyPath) -> bool:
+    """Gao–Rexford preference: type, then length, then lowest neighbour ASN."""
+    c_key = (int(candidate.route_type), candidate.length, candidate.asns[1:2] or (0,))
+    i_key = (int(incumbent.route_type), incumbent.length, incumbent.asns[1:2] or (0,))
+    return c_key < i_key
+
+
+def _route_better(candidate: Route, incumbent: Route) -> bool:
+    c_key = (int(candidate.route_type), len(candidate.as_path), candidate.as_path.hops[1:2] or [0])
+    i_key = (int(incumbent.route_type), len(incumbent.as_path), incumbent.as_path.hops[1:2] or [0])
+    return c_key < i_key
+
+
+def _synth_next_hop(path: PolicyPath, version: int) -> str:
+    """A stable, synthetic next-hop address derived from the first hop."""
+    neighbour = path.asns[1] if len(path.asns) > 1 else path.asns[0]
+    if version == 6:
+        return f"2001:db8:ffff::{neighbour:x}"
+    return f"172.16.{(neighbour >> 8) & 0xFF}.{neighbour & 0xFF}"

@@ -1,0 +1,385 @@
+"""Synthetic AS-level Internet topology.
+
+Generates an Internet-like AS graph with the structural features the
+paper's analyses depend on:
+
+* a small clique of Tier-1 transit providers,
+* a layer of regional/national transit providers (multi-homed to Tier-1s
+  and peering among themselves, often at IXPs),
+* a large edge of stub ASes (content, access and enterprise networks),
+* customer-provider and peer-peer relationships (Gao–Rexford),
+* per-AS prefix originations (IPv4, plus IPv6 for a configurable fraction
+  of ASes),
+* per-AS country assignment (used by the per-country outage consumers),
+* per-AS BGP community usage (providers define communities; a fraction of
+  transit ASes strips them, which drives the Figure 5d diversity analysis).
+
+The generator is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.bgp.prefix import Prefix
+
+
+class ASRole(Enum):
+    """Coarse role of an AS in the synthetic hierarchy."""
+
+    TIER1 = "tier1"
+    TRANSIT = "transit"
+    STUB = "stub"
+
+
+class ASRelationship(Enum):
+    """Business relationship on a link, from the perspective of (a, b)."""
+
+    CUSTOMER_TO_PROVIDER = "c2p"  # a is customer of b
+    PROVIDER_TO_CUSTOMER = "p2c"  # a is provider of b
+    PEER_TO_PEER = "p2p"
+
+    def invert(self) -> "ASRelationship":
+        if self is ASRelationship.CUSTOMER_TO_PROVIDER:
+            return ASRelationship.PROVIDER_TO_CUSTOMER
+        if self is ASRelationship.PROVIDER_TO_CUSTOMER:
+            return ASRelationship.CUSTOMER_TO_PROVIDER
+        return ASRelationship.PEER_TO_PEER
+
+
+#: Country codes used by the synthetic Internet (the per-country outage
+#: consumer aggregates over these).
+COUNTRIES = [
+    "US", "DE", "GB", "FR", "NL", "IT", "ES", "SE", "JP", "KR",
+    "CN", "IN", "BR", "AR", "ZA", "EG", "IQ", "IR", "RU", "UA",
+    "AU", "CA", "MX", "TR", "SA",
+]
+
+
+@dataclass
+class ASNode:
+    """One autonomous system of the synthetic Internet."""
+
+    asn: int
+    role: ASRole
+    country: str
+    prefixes: List[Prefix] = field(default_factory=list)
+    prefixes_v6: List[Prefix] = field(default_factory=list)
+    ixps: FrozenSet[int] = frozenset()
+    #: Communities this AS attaches to routes it originates/propagates
+    #: (``asn:value`` with its own ASN as identifier).
+    community_values: Tuple[int, ...] = ()
+    #: Whether this AS strips communities when propagating routes.
+    strips_communities: bool = False
+    #: Community value customers of this AS can use to request black-holing,
+    #: or None if the AS does not support RTBH.
+    blackhole_community_value: Optional[int] = None
+
+    @property
+    def all_prefixes(self) -> List[Prefix]:
+        return list(self.prefixes) + list(self.prefixes_v6)
+
+
+@dataclass
+class TopologyConfig:
+    """Knobs for :func:`generate_topology`."""
+
+    num_tier1: int = 6
+    num_transit: int = 30
+    num_stub: int = 120
+    #: Mean number of providers per multi-homed AS.
+    mean_providers: float = 2.0
+    #: Probability that two transit ASes sharing an IXP peer with each other.
+    ixp_peering_prob: float = 0.5
+    num_ixps: int = 8
+    #: Mean number of IPv4 prefixes originated by a stub / transit / tier1 AS.
+    prefixes_per_stub: float = 3.0
+    prefixes_per_transit: float = 8.0
+    prefixes_per_tier1: float = 12.0
+    #: Fraction of ASes that also originate IPv6 prefixes.
+    ipv6_fraction: float = 0.45
+    #: Fraction of transit ASes (incl. tier1) that strip communities.
+    community_strip_fraction: float = 0.17
+    #: Fraction of transit providers that define a black-holing community.
+    blackhole_support_fraction: float = 0.6
+    #: First ASN to allocate.
+    base_asn: int = 100
+    seed: int = 0
+
+
+class ASTopology:
+    """The synthetic AS graph plus prefix/country/community metadata."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, ASNode] = {}
+        #: relationship from the perspective of the first ASN of the key.
+        self._relationships: Dict[Tuple[int, int], ASRelationship] = {}
+        self.graph = nx.Graph()
+
+    # -- construction ------------------------------------------------------
+
+    def add_as(self, node: ASNode) -> None:
+        if node.asn in self.nodes:
+            raise ValueError(f"AS{node.asn} already present")
+        self.nodes[node.asn] = node
+        self.graph.add_node(node.asn)
+
+    def add_link(self, a: int, b: int, relationship: ASRelationship) -> None:
+        """Add a link; ``relationship`` is from ``a``'s perspective."""
+        if a not in self.nodes or b not in self.nodes:
+            raise KeyError("both ASes must exist before linking them")
+        if a == b:
+            raise ValueError("an AS cannot have a relationship with itself")
+        self._relationships[(a, b)] = relationship
+        self._relationships[(b, a)] = relationship.invert()
+        self.graph.add_edge(a, b)
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def asns(self) -> List[int]:
+        return sorted(self.nodes)
+
+    def node(self, asn: int) -> ASNode:
+        return self.nodes[asn]
+
+    def relationship(self, a: int, b: int) -> Optional[ASRelationship]:
+        return self._relationships.get((a, b))
+
+    def neighbors(self, asn: int) -> List[int]:
+        return sorted(self.graph.neighbors(asn))
+
+    def providers(self, asn: int) -> List[int]:
+        return [
+            n
+            for n in self.neighbors(asn)
+            if self.relationship(asn, n) == ASRelationship.CUSTOMER_TO_PROVIDER
+        ]
+
+    def customers(self, asn: int) -> List[int]:
+        return [
+            n
+            for n in self.neighbors(asn)
+            if self.relationship(asn, n) == ASRelationship.PROVIDER_TO_CUSTOMER
+        ]
+
+    def peers(self, asn: int) -> List[int]:
+        return [
+            n
+            for n in self.neighbors(asn)
+            if self.relationship(asn, n) == ASRelationship.PEER_TO_PEER
+        ]
+
+    def origin_of(self, prefix: Prefix) -> Optional[int]:
+        """The AS originating exactly this prefix, if any."""
+        return self._origin_index().get(prefix)
+
+    def prefixes_by_country(self, country: str) -> List[Prefix]:
+        result: List[Prefix] = []
+        for node in self.nodes.values():
+            if node.country == country:
+                result.extend(node.all_prefixes)
+        return sorted(result)
+
+    def countries(self) -> List[str]:
+        return sorted({node.country for node in self.nodes.values()})
+
+    def asns_by_country(self, country: str) -> List[int]:
+        return sorted(a for a, n in self.nodes.items() if n.country == country)
+
+    def all_prefixes(self, version: Optional[int] = None) -> List[Prefix]:
+        result: List[Prefix] = []
+        for node in self.nodes.values():
+            for prefix in node.all_prefixes:
+                if version is None or prefix.version == version:
+                    result.append(prefix)
+        return sorted(result)
+
+    def ixp_members(self, ixp: int) -> List[int]:
+        return sorted(a for a, n in self.nodes.items() if ixp in n.ixps)
+
+    def _origin_index(self) -> Dict[Prefix, int]:
+        if not hasattr(self, "_origin_cache") or len(self._origin_cache) == 0:
+            cache: Dict[Prefix, int] = {}
+            for asn, node in self.nodes.items():
+                for prefix in node.all_prefixes:
+                    cache[prefix] = asn
+            self._origin_cache = cache
+        return self._origin_cache
+
+    def invalidate_caches(self) -> None:
+        """Drop derived indexes after mutating prefixes/nodes."""
+        self._origin_cache = {}
+
+
+def generate_topology(config: TopologyConfig | None = None) -> ASTopology:
+    """Generate a deterministic synthetic AS topology."""
+    config = config or TopologyConfig()
+    rng = random.Random(config.seed)
+    topology = ASTopology()
+
+    next_asn = config.base_asn
+    tier1_asns: List[int] = []
+    transit_asns: List[int] = []
+    stub_asns: List[int] = []
+
+    def allocate(role: ASRole, count: int, target: List[int]) -> None:
+        nonlocal next_asn
+        for _ in range(count):
+            country = rng.choice(COUNTRIES)
+            target.append(next_asn)
+            topology.add_as(ASNode(asn=next_asn, role=role, country=country))
+            next_asn += 1
+
+    allocate(ASRole.TIER1, config.num_tier1, tier1_asns)
+    allocate(ASRole.TRANSIT, config.num_transit, transit_asns)
+    allocate(ASRole.STUB, config.num_stub, stub_asns)
+
+    # Tier-1 full mesh of peering.
+    for i, a in enumerate(tier1_asns):
+        for b in tier1_asns[i + 1 :]:
+            topology.add_link(a, b, ASRelationship.PEER_TO_PEER)
+
+    # Transit ASes form a two-level hierarchy: the first half buy transit
+    # directly from tier-1s; the second half (regional/national providers)
+    # mostly buy from first-half transit ASes, which deepens AS paths the way
+    # the real Internet's provider hierarchy does (and with it the AS-path
+    # inflation that Listing 1 measures).
+    upper_transit = transit_asns[: max(1, len(transit_asns) // 2)]
+    for index, asn in enumerate(transit_asns):
+        provider_count = max(1, round(rng.expovariate(1.0 / config.mean_providers)))
+        if index < len(upper_transit) or rng.random() < 0.35:
+            pool = tier1_asns
+        else:
+            pool = [p for p in upper_transit if p != asn]
+        providers = rng.sample(pool, min(provider_count, len(pool)))
+        for provider in providers:
+            topology.add_link(asn, provider, ASRelationship.CUSTOMER_TO_PROVIDER)
+
+    # IXPs: assign transit ASes to IXPs; co-located members peer with some
+    # probability.  Stubs can also appear at IXPs (relevant for Atlas probe
+    # selection in the RTBH case study).
+    ixp_ids = list(range(1, config.num_ixps + 1))
+    for asn in transit_asns + stub_asns:
+        count = rng.choice([0, 0, 1, 1, 2]) if topology.node(asn).role == ASRole.TRANSIT else rng.choice([0, 0, 0, 1])
+        membership = frozenset(rng.sample(ixp_ids, min(count, len(ixp_ids))))
+        topology.nodes[asn].ixps = membership
+    for ixp in ixp_ids:
+        members = [a for a in transit_asns if ixp in topology.node(a).ixps]
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                if topology.relationship(a, b) is None and rng.random() < config.ixp_peering_prob:
+                    topology.add_link(a, b, ASRelationship.PEER_TO_PEER)
+
+    # Stubs buy transit from transit ASes (or, rarely, directly from tier1).
+    for asn in stub_asns:
+        provider_count = max(1, round(rng.expovariate(1.0 / config.mean_providers)))
+        pool = transit_asns if rng.random() > 0.05 else tier1_asns
+        node = topology.node(asn)
+        same_country = [p for p in pool if topology.node(p).country == node.country]
+        candidates = same_country if same_country and rng.random() < 0.6 else pool
+        providers = rng.sample(candidates, min(provider_count, len(candidates)))
+        for provider in providers:
+            topology.add_link(asn, provider, ASRelationship.CUSTOMER_TO_PROVIDER)
+
+    # Prefix originations.
+    _assign_prefixes(topology, tier1_asns, transit_asns, stub_asns, config, rng)
+
+    # Community behaviour.
+    _assign_communities(topology, config, rng)
+
+    topology.invalidate_caches()
+    return topology
+
+
+def _assign_prefixes(
+    topology: ASTopology,
+    tier1_asns: Sequence[int],
+    transit_asns: Sequence[int],
+    stub_asns: Sequence[int],
+    config: TopologyConfig,
+    rng: random.Random,
+) -> None:
+    """Give every AS a set of IPv4 (and maybe IPv6) prefixes to originate.
+
+    IPv4 prefixes are carved from 10.0.0.0/8 and 100.64.0.0/10 as /20–/24
+    networks; IPv6 prefixes from 2001:db8::/32 as /40–/48.  Allocation is
+    sequential so prefixes never collide.
+    """
+    v4_block = 0x0A000000  # 10.0.0.0
+    v4_cursor = 0
+    v6_cursor = 0
+
+    def next_v4(length: int) -> Prefix:
+        nonlocal v4_cursor
+        size = 1 << (32 - length)
+        # Align the cursor to the prefix size.
+        v4_cursor = (v4_cursor + size - 1) // size * size
+        address = v4_block + v4_cursor
+        v4_cursor += size
+        return Prefix.from_address(
+            f"{(address >> 24) & 0xFF}.{(address >> 16) & 0xFF}."
+            f"{(address >> 8) & 0xFF}.{address & 0xFF}",
+            length,
+        )
+
+    def next_v6(length: int) -> Prefix:
+        nonlocal v6_cursor
+        base = 0x20010DB8 << 96
+        step = 1 << (128 - length)
+        address = base + v6_cursor * step
+        v6_cursor += 1
+        import ipaddress
+
+        return Prefix.from_address(str(ipaddress.IPv6Address(address)), length)
+
+    def mean_for(asn: int) -> float:
+        role = topology.node(asn).role
+        if role == ASRole.TIER1:
+            return config.prefixes_per_tier1
+        if role == ASRole.TRANSIT:
+            return config.prefixes_per_transit
+        return config.prefixes_per_stub
+
+    for asn in list(tier1_asns) + list(transit_asns) + list(stub_asns):
+        node = topology.node(asn)
+        count = max(1, round(rng.expovariate(1.0 / mean_for(asn))))
+        for _ in range(count):
+            length = rng.choice([20, 21, 22, 22, 23, 24, 24, 24])
+            node.prefixes.append(next_v4(length))
+        if rng.random() < config.ipv6_fraction:
+            for _ in range(max(1, count // 2)):
+                length = rng.choice([40, 44, 48, 48])
+                node.prefixes_v6.append(next_v6(length))
+    topology.invalidate_caches()
+
+
+def _assign_communities(
+    topology: ASTopology, config: TopologyConfig, rng: random.Random
+) -> None:
+    """Decide which ASes define/attach/strip communities."""
+    for asn, node in topology.nodes.items():
+        if node.role in (ASRole.TIER1, ASRole.TRANSIT):
+            # Providers define informational communities (ingress point, type
+            # of peer, etc.) and may support black-holing.
+            count = rng.randint(2, 8)
+            node.community_values = tuple(
+                sorted(rng.sample(range(100, 10000), count))
+            )
+            node.strips_communities = rng.random() < config.community_strip_fraction
+            if rng.random() < config.blackhole_support_fraction:
+                node.blackhole_community_value = 666
+        else:
+            # Stubs occasionally tag their announcements.
+            if rng.random() < 0.3:
+                node.community_values = (rng.randint(100, 999),)

@@ -1,0 +1,56 @@
+"""Vantage points: the routers that feed route collectors.
+
+A vantage point (VP) is a real router that maintains a BGP session with a
+collector and exports an Adj-RIB-out to it.  A *full-feed* VP exports its
+entire Loc-RIB (the preferred route to every destination it knows); a
+*partial-feed* VP exports only a subset — typically its own prefixes and
+routes learned from customers (§2 of the paper).  Projects do not label VPs
+as full- or partial-feed, so analyses must infer it from table sizes, which
+is why the simulation must produce both kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.bgp.prefix import Prefix
+from repro.collectors.routing import Route, RouteComputer, RouteType
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """One router peering with a collector."""
+
+    asn: int
+    address: str
+    full_feed: bool = True
+
+    @property
+    def version(self) -> int:
+        return 6 if ":" in self.address else 4
+
+    def exports(self, route: Route, own_asn: Optional[int] = None) -> bool:
+        """Whether this VP's Adj-RIB-out towards the collector carries ``route``.
+
+        The collector session is configured as customer-provider, so a
+        full-feed VP exports everything in its Loc-RIB.  A partial-feed VP
+        exports only its own routes and customer-learned routes.
+        """
+        if self.full_feed:
+            return True
+        return route.route_type in (RouteType.ORIGIN, RouteType.CUSTOMER)
+
+    def adj_rib_out(
+        self,
+        computer: RouteComputer,
+        excluded: Iterable[int] = (),
+        extra_origins: Mapping[Prefix, int] | None = None,
+    ) -> Dict[Prefix, Route]:
+        """Build this VP's Adj-RIB-out from the routing ground truth."""
+        loc_rib = computer.loc_rib(self.asn, excluded=excluded, extra_origins=extra_origins)
+        return {
+            prefix: route
+            for prefix, route in loc_rib.items()
+            if self.exports(route)
+        }

@@ -1,0 +1,158 @@
+"""Stream filters.
+
+A stream is defined by meta-data filters (projects, collectors, dump types,
+time interval) that restrict *which dump files* are read, plus data filters
+(elem type, prefix, peer ASN, AS-path membership, communities) applied to
+the content (§3.3.1, §4.1).  The same :class:`FilterSet` backs the
+``BGPStream.add_filter`` API, the BGPReader command-line options and
+BGPCorsaro's configuration.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.community import Community
+from repro.bgp.prefix import Prefix
+from repro.core.elem import BGPElem, ElemType
+from repro.core.record import BGPStreamRecord
+
+
+#: Filter names accepted by ``add_filter`` (mirroring PyBGPStream).
+_FILTER_NAMES = {
+    "project",
+    "collector",
+    "record-type",
+    "elem-type",
+    "prefix",
+    "prefix-exact",
+    "peer-asn",
+    "origin-asn",
+    "aspath",
+    "community",
+}
+
+
+@dataclass
+class FilterSet:
+    """The set of filters defining a stream."""
+
+    projects: Set[str] = field(default_factory=set)
+    collectors: Set[str] = field(default_factory=set)
+    record_types: Set[str] = field(default_factory=set)  # "ribs" / "updates"
+    elem_types: Set[ElemType] = field(default_factory=set)
+    #: Prefix filters match the exact prefix or any more-specific prefix
+    #: (the ``-k 192.0.0.0/8`` semantics of BGPReader).
+    prefixes: List[Prefix] = field(default_factory=list)
+    exact_prefixes: Set[Prefix] = field(default_factory=set)
+    peer_asns: Set[int] = field(default_factory=set)
+    origin_asns: Set[int] = field(default_factory=set)
+    #: Regular expressions matched against the space-separated AS path string.
+    aspath_patterns: List[re.Pattern] = field(default_factory=list)
+    communities: Set[Community] = field(default_factory=set)
+    interval_start: Optional[int] = None
+    interval_end: Optional[int] = None  # None = live
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, name: str, value: str) -> "FilterSet":
+        """Add one filter by name (the PyBGPStream ``add_filter`` idiom)."""
+        if name not in _FILTER_NAMES:
+            raise ValueError(f"unknown filter {name!r}; expected one of {sorted(_FILTER_NAMES)}")
+        if name == "project":
+            self.projects.add(value)
+        elif name == "collector":
+            self.collectors.add(value)
+        elif name == "record-type":
+            normalised = {"rib": "ribs", "update": "updates"}.get(value, value)
+            if normalised not in ("ribs", "updates"):
+                raise ValueError(f"unknown record type {value!r}")
+            self.record_types.add(normalised)
+        elif name == "elem-type":
+            mapping = {
+                "rib": ElemType.RIB,
+                "announcement": ElemType.ANNOUNCEMENT,
+                "announcements": ElemType.ANNOUNCEMENT,
+                "withdrawal": ElemType.WITHDRAWAL,
+                "withdrawals": ElemType.WITHDRAWAL,
+                "state": ElemType.STATE,
+            }
+            if value not in mapping:
+                raise ValueError(f"unknown elem type {value!r}")
+            self.elem_types.add(mapping[value])
+        elif name == "prefix":
+            self.prefixes.append(Prefix.from_string(value))
+        elif name == "prefix-exact":
+            self.exact_prefixes.add(Prefix.from_string(value))
+        elif name == "peer-asn":
+            self.peer_asns.add(int(value))
+        elif name == "origin-asn":
+            self.origin_asns.add(int(value))
+        elif name == "aspath":
+            self.aspath_patterns.append(re.compile(value))
+        elif name == "community":
+            self.communities.add(Community.from_string(value))
+        return self
+
+    def add_interval(self, start: int, end: Optional[int]) -> "FilterSet":
+        """Set the time interval; ``end=None`` (or -1) selects live mode."""
+        if end is not None and end < 0:
+            end = None
+        if end is not None and end < start:
+            raise ValueError("interval end precedes start")
+        self.interval_start = start
+        self.interval_end = end
+        return self
+
+    @property
+    def live(self) -> bool:
+        return self.interval_start is not None and self.interval_end is None
+
+    # -- matching -------------------------------------------------------------------
+
+    def match_record(self, record: BGPStreamRecord) -> bool:
+        """Record-level (meta-data) matching."""
+        if self.projects and record.project not in self.projects:
+            return False
+        if self.collectors and record.collector not in self.collectors:
+            return False
+        if self.record_types and record.dump_type not in self.record_types:
+            return False
+        if self.interval_start is not None and record.is_valid:
+            if record.time < self.interval_start:
+                return False
+            if self.interval_end is not None and record.time > self.interval_end:
+                return False
+        return True
+
+    def match_elem(self, elem: BGPElem) -> bool:
+        """Elem-level (content) matching."""
+        if self.elem_types and elem.elem_type not in self.elem_types:
+            return False
+        if self.peer_asns and elem.peer_asn not in self.peer_asns:
+            return False
+        if self.origin_asns:
+            if elem.origin_asn is None or elem.origin_asn not in self.origin_asns:
+                return False
+        if self.prefixes or self.exact_prefixes:
+            if elem.prefix is None:
+                return False
+            in_exact = elem.prefix in self.exact_prefixes
+            in_covering = any(p.contains(elem.prefix) for p in self.prefixes)
+            if not (in_exact or in_covering):
+                return False
+        if self.aspath_patterns:
+            if elem.as_path is None:
+                return False
+            path_text = str(elem.as_path)
+            if not any(p.search(path_text) for p in self.aspath_patterns):
+                return False
+        if self.communities:
+            if elem.communities is None or not elem.communities.matches_any(self.communities):
+                return False
+        return True
+
+    def match(self, record: BGPStreamRecord, elem: BGPElem) -> bool:
+        return self.match_record(record) and self.match_elem(elem)

@@ -1,0 +1,224 @@
+"""Data interfaces: where the stream learns which dump files to read (§3.2).
+
+The Broker data interface is the primary one (and the default); the single
+file, CSV file and SQLite interfaces support analysis of local files without
+a Broker, exactly as the released BGPStream does.  Every interface produces
+:class:`DumpFileSpec` batches; the stream machinery is identical from there
+on.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.broker.broker import Broker, BrokerQuery, BrokerResponse
+from repro.broker.db import MetadataDB
+from repro.collectors.projects import project_for_collector
+from repro.core.filters import FilterSet
+from repro.utils.timeutil import Clock, SystemClock
+
+
+@dataclass(frozen=True)
+class DumpFileSpec:
+    """Everything the stream needs to know to read one dump file."""
+
+    path: str
+    project: str
+    collector: str
+    dump_type: str  # "ribs" / "updates"
+    timestamp: int
+    duration: int
+
+    @property
+    def interval_end(self) -> int:
+        return self.timestamp + self.duration
+
+
+class DataInterface:
+    """Base class: yields batches of dump files in time order.
+
+    Each batch corresponds to one meta-data response (one Broker window, or
+    the whole local file set); batches arrive in non-decreasing time order
+    and the stream merges/sorts records within each batch.
+    """
+
+    def batches(self, filters: FilterSet) -> Iterator[List[DumpFileSpec]]:
+        raise NotImplementedError
+
+
+class BrokerDataInterface(DataInterface):
+    """The default interface: pull windows of meta-data from a Broker.
+
+    Implements the client-pull model of §3.3.2: meta-data is requested only
+    when the application is ready to process more data, and in live mode the
+    interface blocks (polling the Broker through the clock) until new data
+    is available.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        clock: Optional[Clock] = None,
+        poll_interval: float = 30.0,
+        max_empty_polls: Optional[int] = None,
+    ) -> None:
+        self.broker = broker
+        self.clock = clock or SystemClock()
+        self.poll_interval = poll_interval
+        #: In live mode, stop after this many consecutive empty polls
+        #: (None = poll forever).  Simulations set a bound so runs terminate.
+        self.max_empty_polls = max_empty_polls
+
+    def batches(self, filters: FilterSet) -> Iterator[List[DumpFileSpec]]:
+        query = BrokerQuery(
+            projects=tuple(sorted(filters.projects)),
+            collectors=tuple(sorted(filters.collectors)),
+            dump_types=tuple(sorted(filters.record_types)),
+            interval_start=filters.interval_start or 0,
+            interval_end=filters.interval_end,
+        )
+        if not query.live:
+            cursor: Optional[int] = None
+            while True:
+                response = self.broker.get_window(query, from_time=cursor, now=None)
+                if response.files:
+                    yield [_spec_from_record(f) for f in response.files]
+                if not response.more_data:
+                    return
+                cursor = response.window_end
+            return
+
+        # Live mode: ask the Broker for anything *published* since the last
+        # poll, so late or out-of-order publications are never missed.  The
+        # query blocks (sleeping on the clock) while nothing new is
+        # available, which is the paper's blocking-poll behaviour.
+        published_after: Optional[float] = None
+        empty_polls = 0
+        while True:
+            now = self.clock.now()
+            files = self.broker.get_new_files(query, published_after=published_after, now=now)
+            published_after = now
+            if files:
+                empty_polls = 0
+                yield [_spec_from_record(f) for f in files]
+                continue
+            empty_polls += 1
+            if self.max_empty_polls is not None and empty_polls >= self.max_empty_polls:
+                return
+            self.clock.sleep(self.poll_interval)
+
+
+class SingleFileDataInterface(DataInterface):
+    """Read exactly one local dump file."""
+
+    def __init__(
+        self,
+        path: str,
+        dump_type: str,
+        project: str = "",
+        collector: str = "",
+        timestamp: Optional[int] = None,
+        duration: int = 0,
+    ) -> None:
+        if collector and not project:
+            try:
+                project = project_for_collector(collector).name
+            except KeyError:
+                project = ""
+        self.spec = DumpFileSpec(
+            path=path,
+            project=project,
+            collector=collector,
+            dump_type=dump_type,
+            timestamp=timestamp if timestamp is not None else 0,
+            duration=duration,
+        )
+
+    def batches(self, filters: FilterSet) -> Iterator[List[DumpFileSpec]]:
+        yield [self.spec]
+
+
+class CSVFileDataInterface(DataInterface):
+    """Read dump-file meta-data from a local CSV file.
+
+    Each row: ``project,collector,dump_type,timestamp,duration,path``.
+    """
+
+    def __init__(self, csv_path: str) -> None:
+        self.csv_path = csv_path
+
+    def _load(self) -> List[DumpFileSpec]:
+        specs: List[DumpFileSpec] = []
+        with open(self.csv_path, newline="", encoding="utf-8") as handle:
+            for row in csv.reader(handle):
+                if not row or row[0].startswith("#"):
+                    continue
+                project, collector, dump_type, timestamp, duration, path = row[:6]
+                specs.append(
+                    DumpFileSpec(
+                        path=path.strip(),
+                        project=project.strip(),
+                        collector=collector.strip(),
+                        dump_type=dump_type.strip(),
+                        timestamp=int(timestamp),
+                        duration=int(duration),
+                    )
+                )
+        specs.sort(key=lambda s: (s.timestamp, s.project, s.collector))
+        return specs
+
+    def batches(self, filters: FilterSet) -> Iterator[List[DumpFileSpec]]:
+        specs = [s for s in self._load() if _spec_matches(s, filters)]
+        if specs:
+            yield specs
+
+
+class SQLiteDataInterface(DataInterface):
+    """Read dump-file meta-data from a Broker-format SQLite database."""
+
+    def __init__(self, db_path: str) -> None:
+        self.db_path = db_path
+
+    def batches(self, filters: FilterSet) -> Iterator[List[DumpFileSpec]]:
+        db = MetadataDB(self.db_path)
+        try:
+            records = db.query(
+                projects=sorted(filters.projects) or None,
+                collectors=sorted(filters.collectors) or None,
+                dump_types=sorted(filters.record_types) or None,
+                interval_start=filters.interval_start,
+                interval_end=filters.interval_end,
+            )
+        finally:
+            db.close()
+        specs = [_spec_from_record(r) for r in records]
+        if specs:
+            yield specs
+
+
+def _spec_from_record(record) -> DumpFileSpec:
+    return DumpFileSpec(
+        path=record.path,
+        project=record.project,
+        collector=record.collector,
+        dump_type=record.dump_type,
+        timestamp=record.timestamp,
+        duration=record.duration,
+    )
+
+
+def _spec_matches(spec: DumpFileSpec, filters: FilterSet) -> bool:
+    if filters.projects and spec.project not in filters.projects:
+        return False
+    if filters.collectors and spec.collector not in filters.collectors:
+        return False
+    if filters.record_types and spec.dump_type not in filters.record_types:
+        return False
+    if filters.interval_start is not None and spec.interval_end < filters.interval_start:
+        return False
+    if filters.interval_end is not None and spec.timestamp > filters.interval_end:
+        return False
+    return True

@@ -1,0 +1,153 @@
+"""BGPReader: the ASCII command-line tool (§4.1).
+
+Outputs, in ASCII, the BGPStream records and elems matching a set of filters
+given via command-line options.  It is meant as a drop-in replacement for the
+classic ``bgpdump`` tool (``--bgpdump-format`` switches the output to that
+format) with the additional abilities to read many files / collectors /
+projects in one process, to work in live mode, and to filter.
+
+Because this reproduction has no network access, the data source is either a
+local archive directory produced by the collector simulation (``--archive``),
+a broker SQLite database (``--sqlite``), a CSV index (``--csv``), or a single
+MRT file (``--single-file``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, List, Optional
+
+from repro.broker.broker import Broker
+from repro.collectors.archive import Archive
+from repro.core.filters import FilterSet
+from repro.core.interfaces import (
+    BrokerDataInterface,
+    CSVFileDataInterface,
+    DataInterface,
+    SingleFileDataInterface,
+    SQLiteDataInterface,
+)
+from repro.core.record import RecordStatus
+from repro.core.stream import BGPStream
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bgpreader",
+        description="Output BGP records/elems matching a set of filters in ASCII form.",
+    )
+    source = parser.add_argument_group("data source")
+    source.add_argument("--archive", help="path to a simulated archive directory")
+    source.add_argument("--sqlite", help="path to a Broker SQLite database")
+    source.add_argument("--csv", help="path to a CSV dump-file index")
+    source.add_argument("--single-file", help="path to a single MRT dump file")
+    source.add_argument(
+        "--single-file-type",
+        default="updates",
+        choices=["ribs", "updates"],
+        help="dump type of --single-file (default: updates)",
+    )
+
+    filters = parser.add_argument_group("filters")
+    filters.add_argument("-p", "--project", action="append", default=[], help="project name")
+    filters.add_argument("-c", "--collector", action="append", default=[], help="collector name")
+    filters.add_argument(
+        "-t", "--type", action="append", default=[], choices=["ribs", "updates"],
+        help="record type",
+    )
+    filters.add_argument(
+        "-w", "--window", help="time interval START[,END]; omit END (or use -1) for live mode"
+    )
+    filters.add_argument("-k", "--prefix", action="append", default=[],
+                         help="prefix filter (matches the prefix and any more-specific)")
+    filters.add_argument("-j", "--peer-asn", action="append", default=[], help="peer ASN filter")
+    filters.add_argument("-y", "--community", action="append", default=[],
+                         help="community filter asn:value")
+    filters.add_argument("-A", "--aspath", action="append", default=[],
+                         help="regular expression matched against the AS path")
+
+    output = parser.add_argument_group("output")
+    output.add_argument("-r", "--show-records", action="store_true",
+                        help="print record header lines in addition to elems")
+    output.add_argument("-e", "--elems-only", action="store_true",
+                        help="print elem lines only (default)")
+    output.add_argument("--bgpdump-format", action="store_true",
+                        help="emit bgpdump -m compatible lines")
+    output.add_argument("--limit", type=int, default=None,
+                        help="stop after printing this many elem lines")
+    return parser
+
+
+def build_stream(args: argparse.Namespace) -> BGPStream:
+    """Construct a configured BGPStream from parsed CLI arguments."""
+    interface = _build_interface(args)
+    stream = BGPStream(data_interface=interface)
+    for project in args.project:
+        stream.add_filter("project", project)
+    for collector in args.collector:
+        stream.add_filter("collector", collector)
+    for dump_type in args.type:
+        stream.add_filter("record-type", dump_type)
+    for prefix in args.prefix:
+        stream.add_filter("prefix", prefix)
+    for asn in args.peer_asn:
+        stream.add_filter("peer-asn", asn)
+    for community in args.community:
+        stream.add_filter("community", community)
+    for pattern in args.aspath:
+        stream.add_filter("aspath", pattern)
+    if args.window:
+        start_text, _, end_text = args.window.partition(",")
+        start = int(start_text)
+        end: Optional[int] = int(end_text) if end_text else None
+        stream.add_interval_filter(start, end)
+    return stream
+
+
+def _build_interface(args: argparse.Namespace) -> DataInterface:
+    sources = [bool(args.archive), bool(args.sqlite), bool(args.csv), bool(args.single_file)]
+    if sum(sources) != 1:
+        raise SystemExit("exactly one of --archive / --sqlite / --csv / --single-file is required")
+    if args.archive:
+        broker = Broker(archives=[Archive(args.archive)])
+        return BrokerDataInterface(broker, max_empty_polls=1)
+    if args.sqlite:
+        return SQLiteDataInterface(args.sqlite)
+    if args.csv:
+        return CSVFileDataInterface(args.csv)
+    return SingleFileDataInterface(args.single_file, dump_type=args.single_file_type)
+
+
+def run(args: argparse.Namespace, out: IO[str]) -> int:
+    """Run BGPReader, writing lines to ``out``; returns the exit status."""
+    stream = build_stream(args)
+    printed = 0
+    for record in stream.records():
+        if record.status != RecordStatus.VALID:
+            print(f"# {record.to_ascii()}", file=out)
+            continue
+        if args.show_records:
+            print(record.to_ascii(), file=out)
+        for elem in record.elems():
+            if not stream.filters.match_elem(elem):
+                continue
+            line = elem.to_bgpdump_ascii() if args.bgpdump_format else elem.to_ascii()
+            print(line, file=out)
+            printed += 1
+            if args.limit is not None and printed >= args.limit:
+                return 0
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return run(args, sys.stdout)
+    except BrokenPipeError:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""BGPStream records: annotated, de-serialised MRT records (§3.3.3).
+
+A :class:`BGPStreamRecord` wraps one MRT record together with the
+annotations libBGPStream adds: the originating project and collector, the
+dump type and nominal dump time, a validity status (the not-valid status is
+how corrupted reads and unopenable files are signalled to the user), and a
+position marker that flags the records beginning and ending a dump file so
+users can collate the records of a single RIB dump.
+
+``elems()`` decomposes the record into :class:`~repro.core.elem.BGPElem`
+objects; RIB records need the dump's PEER_INDEX_TABLE to resolve peer
+indexes, which the dump-file reader passes in as context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, List, Optional
+
+from repro.bgp.prefix import Prefix
+from repro.core.elem import BGPElem, ElemType
+from repro.mrt.records import (
+    BGP4MPMessage,
+    BGP4MPStateChange,
+    CorruptRecord,
+    MRTRecord,
+    PeerIndexTable,
+    RIBPrefixRecord,
+)
+
+
+class RecordStatus(Enum):
+    """Validity of a record (the paper's ``status`` field)."""
+
+    VALID = "valid"
+    CORRUPTED_RECORD = "corrupted-record"
+    CORRUPTED_SOURCE = "corrupted-source"  # the dump file could not be opened
+    EMPTY_SOURCE = "empty-source"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class DumpPosition(Enum):
+    """Where in its dump file a record sits."""
+
+    START = "start"
+    MIDDLE = "middle"
+    END = "end"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class BGPStreamRecord:
+    """One annotated record of the stream."""
+
+    project: str
+    collector: str
+    dump_type: str  # "ribs" or "updates"
+    dump_time: int  # nominal start time of the originating dump
+    status: RecordStatus = RecordStatus.VALID
+    dump_position: DumpPosition = DumpPosition.MIDDLE
+    mrt: Optional[MRTRecord] = None
+    #: The PEER_INDEX_TABLE of the originating RIB dump (context for elems).
+    peer_table: Optional[PeerIndexTable] = None
+
+    @property
+    def time(self) -> int:
+        """The record timestamp (falls back to the dump time when invalid)."""
+        if self.mrt is not None and self.status == RecordStatus.VALID:
+            return self.mrt.timestamp
+        return self.dump_time
+
+    @property
+    def is_valid(self) -> bool:
+        return self.status == RecordStatus.VALID and self.mrt is not None and self.mrt.is_valid
+
+    # -- elem extraction --------------------------------------------------------
+
+    def elems(self) -> Iterator[BGPElem]:
+        """Decompose this record into its elems (empty for invalid records)."""
+        if not self.is_valid:
+            return
+        body = self.mrt.body
+        if isinstance(body, PeerIndexTable):
+            return  # carries no routing information itself
+        if isinstance(body, RIBPrefixRecord):
+            yield from self._rib_elems(body)
+        elif isinstance(body, BGP4MPMessage):
+            yield from self._message_elems(body)
+        elif isinstance(body, BGP4MPStateChange):
+            yield self._state_elem(body)
+
+    def get_next_elem(self) -> Optional[BGPElem]:
+        """C-API-style cursor over elems (used by the PyBGPStream facade)."""
+        if not hasattr(self, "_elem_iter") or self._elem_iter is None:
+            self._elem_iter = self.elems()
+        try:
+            return next(self._elem_iter)
+        except StopIteration:
+            self._elem_iter = None
+            return None
+
+    def _rib_elems(self, body: RIBPrefixRecord) -> Iterator[BGPElem]:
+        for entry in body.entries:
+            peer_address = ""
+            peer_asn = 0
+            if self.peer_table is not None and entry.peer_index < len(self.peer_table.peers):
+                peer = self.peer_table.peers[entry.peer_index]
+                peer_address = peer.address
+                peer_asn = peer.asn
+            attrs = entry.attributes
+            yield BGPElem(
+                elem_type=ElemType.RIB,
+                time=self.mrt.timestamp,
+                peer_address=peer_address,
+                peer_asn=peer_asn,
+                prefix=body.prefix,
+                next_hop=attrs.effective_next_hop(body.prefix.version),
+                as_path=attrs.as_path,
+                communities=attrs.communities,
+                project=self.project,
+                collector=self.collector,
+            )
+
+    def _message_elems(self, body: BGP4MPMessage) -> Iterator[BGPElem]:
+        update = body.update
+        attrs = update.attributes
+        for prefix in update.all_withdrawn:
+            yield BGPElem(
+                elem_type=ElemType.WITHDRAWAL,
+                time=self.mrt.timestamp,
+                peer_address=body.peer_address,
+                peer_asn=body.peer_asn,
+                prefix=prefix,
+                project=self.project,
+                collector=self.collector,
+            )
+        for prefix in update.all_announced:
+            yield BGPElem(
+                elem_type=ElemType.ANNOUNCEMENT,
+                time=self.mrt.timestamp,
+                peer_address=body.peer_address,
+                peer_asn=body.peer_asn,
+                prefix=prefix,
+                next_hop=attrs.effective_next_hop(prefix.version),
+                as_path=attrs.as_path,
+                communities=attrs.communities,
+                project=self.project,
+                collector=self.collector,
+            )
+
+    def _state_elem(self, body: BGP4MPStateChange) -> BGPElem:
+        return BGPElem(
+            elem_type=ElemType.STATE,
+            time=self.mrt.timestamp,
+            peer_address=body.peer_address,
+            peer_asn=body.peer_asn,
+            old_state=body.old_state,
+            new_state=body.new_state,
+            project=self.project,
+            collector=self.collector,
+        )
+
+    # -- rendering ----------------------------------------------------------------
+
+    def to_ascii(self) -> str:
+        """One pipe-separated record header line (BGPReader ``-r`` style)."""
+        return "|".join(
+            [
+                self.dump_type,
+                str(self.dump_time),
+                self.project,
+                self.collector,
+                str(self.status),
+                str(self.dump_position),
+                str(self.time),
+            ]
+        )

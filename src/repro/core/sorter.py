@@ -1,0 +1,160 @@
+"""Generating a sorted stream of records from many dump files (§3.3.4).
+
+Collectors write records within one dump file in non-decreasing timestamp
+order, but a stream usually spans many files with overlapping time intervals
+(several collectors; RIBs and Updates together).  libBGPStream therefore:
+
+1. splits the current dump-file set into disjoint subsets of files with
+   (transitively) overlapping time intervals — so the expensive multi-way
+   merge only ever sees the files that actually need merging; and
+2. applies a multi-way merge to each subset, repeatedly extracting the
+   record with the oldest timestamp among the open files.
+
+:class:`DumpFileReader` adapts one MRT dump file into an iterator of
+annotated :class:`~repro.core.record.BGPStreamRecord` objects (marking dump
+start/end and signalling unreadable or corrupted dumps through the record
+status), and :class:`SortedRecordMerger` implements the grouping + merge.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.interfaces import DumpFileSpec
+from repro.core.record import BGPStreamRecord, DumpPosition, RecordStatus
+from repro.mrt.parser import MRTDumpReader, MRTParseError
+from repro.mrt.records import CorruptRecord, PeerIndexTable
+from repro.utils.intervals import TimeInterval, group_overlapping
+
+
+class DumpFileReader:
+    """Iterate one dump file as annotated BGPStream records.
+
+    * A file that cannot be opened yields exactly one record with
+      ``CORRUPTED_SOURCE`` status.
+    * An empty file yields one record with ``EMPTY_SOURCE`` status.
+    * A corrupted record (or truncated tail) yields a record with
+      ``CORRUPTED_RECORD`` status, and reading stops after it.
+    * The first and last records of a readable dump are marked with the
+      START / END dump positions so users can collate whole RIB dumps.
+    """
+
+    def __init__(self, spec: DumpFileSpec) -> None:
+        self.spec = spec
+
+    def __iter__(self) -> Iterator[BGPStreamRecord]:
+        spec = self.spec
+        try:
+            reader = MRTDumpReader(spec.path)
+            reader.open()
+        except MRTParseError:
+            yield BGPStreamRecord(
+                project=spec.project,
+                collector=spec.collector,
+                dump_type=spec.dump_type,
+                dump_time=spec.timestamp,
+                status=RecordStatus.CORRUPTED_SOURCE,
+            )
+            return
+
+        peer_table: Optional[PeerIndexTable] = None
+        previous: Optional[BGPStreamRecord] = None
+        emitted_any = False
+        try:
+            for mrt in reader:
+                if isinstance(mrt.body, PeerIndexTable):
+                    peer_table = mrt.body
+                status = (
+                    RecordStatus.VALID if mrt.is_valid else RecordStatus.CORRUPTED_RECORD
+                )
+                record = BGPStreamRecord(
+                    project=spec.project,
+                    collector=spec.collector,
+                    dump_type=spec.dump_type,
+                    dump_time=spec.timestamp,
+                    status=status,
+                    dump_position=DumpPosition.MIDDLE,
+                    mrt=mrt,
+                    peer_table=peer_table,
+                )
+                if previous is None:
+                    record.dump_position = DumpPosition.START
+                else:
+                    yield previous
+                previous = record
+                emitted_any = True
+        finally:
+            reader.close()
+
+        if previous is not None:
+            if previous.dump_position != DumpPosition.START:
+                previous.dump_position = DumpPosition.END
+            else:
+                # A single-record dump is both start and end; END is the
+                # more useful marker for collation, so prefer it.
+                previous.dump_position = DumpPosition.END
+            yield previous
+        if not emitted_any:
+            yield BGPStreamRecord(
+                project=spec.project,
+                collector=spec.collector,
+                dump_type=spec.dump_type,
+                dump_time=spec.timestamp,
+                status=RecordStatus.EMPTY_SOURCE,
+            )
+
+
+class SortedRecordMerger:
+    """Group a dump-file set by overlapping intervals and merge each group."""
+
+    def __init__(self, specs: Sequence[DumpFileSpec]) -> None:
+        self.specs = list(specs)
+
+    # -- grouping ------------------------------------------------------------
+
+    def subsets(self) -> List[List[DumpFileSpec]]:
+        """The disjoint subsets of files with overlapping time intervals.
+
+        Files within a subset must be merged record-by-record; distinct
+        subsets can simply be read one after the other.
+        """
+        if not self.specs:
+            return []
+        ordered = sorted(self.specs, key=lambda s: (s.timestamp, s.interval_end, s.path))
+        # A dump covering [t, t+duration) holds records strictly before
+        # t+duration, so two back-to-back dumps do not need merging; model
+        # the file interval as closed on [t, t+duration-1].
+        intervals = [
+            TimeInterval(s.timestamp, max(s.timestamp, s.interval_end - 1)) for s in ordered
+        ]
+        return group_overlapping(ordered, intervals)
+
+    # -- merging ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[BGPStreamRecord]:
+        for subset in self.subsets():
+            yield from self._merge_subset(subset)
+
+    def _merge_subset(self, subset: Sequence[DumpFileSpec]) -> Iterator[BGPStreamRecord]:
+        """Multi-way merge of the (already time-ordered) files of one subset."""
+        if len(subset) == 1:
+            yield from DumpFileReader(subset[0])
+            return
+        iterators = [iter(DumpFileReader(spec)) for spec in subset]
+        heap: List[tuple] = []
+        for index, iterator in enumerate(iterators):
+            record = next(iterator, None)
+            if record is not None:
+                heapq.heappush(heap, (record.time, index, id(record), record))
+        while heap:
+            _, index, _, record = heapq.heappop(heap)
+            yield record
+            nxt = next(iterators[index], None)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt.time, index, id(nxt), nxt))
+
+    # -- introspection (used by benchmarks) ---------------------------------------
+
+    def subset_sizes(self) -> List[int]:
+        return [len(subset) for subset in self.subsets()]

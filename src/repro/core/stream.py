@@ -1,0 +1,134 @@
+"""The BGPStream API (§3.3.1).
+
+A program using the stream consists of a configuration phase (meta-data
+filters plus a time interval) and a reading phase (iteratively requesting
+records).  Setting the interval end to ``None`` (or ``-1``) turns the same
+code into a live monitoring process.
+
+Two idioms are supported:
+
+* the C-API style of the paper's listings::
+
+      stream = BGPStream(data_interface=interface)
+      stream.add_filter("record-type", "ribs")
+      stream.add_interval_filter(t0, t1)
+      stream.start()
+      while (rec := stream.get_next_record()) is not None:
+          elem = rec.get_next_elem()
+          while elem:
+              ...
+              elem = rec.get_next_elem()
+
+* plain Python iteration::
+
+      for rec in stream.records():
+          for elem in rec.elems():
+              ...
+
+  (or ``stream.elems()`` to iterate matching elems directly).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.core.elem import BGPElem
+from repro.core.filters import FilterSet
+from repro.core.interfaces import BrokerDataInterface, DataInterface
+from repro.core.record import BGPStreamRecord, RecordStatus
+from repro.core.sorter import SortedRecordMerger
+
+
+class BGPStream:
+    """A configurable, sorted stream of BGP measurement data."""
+
+    def __init__(
+        self,
+        data_interface: Optional[DataInterface] = None,
+        filters: Optional[FilterSet] = None,
+    ) -> None:
+        self.filters = filters or FilterSet()
+        self._interface = data_interface
+        self._started = False
+        self._record_iter: Optional[Iterator[BGPStreamRecord]] = None
+        #: Counters useful for benchmarks and sanity checks.
+        self.records_read = 0
+        self.records_filtered = 0
+
+    # -- configuration ------------------------------------------------------------
+
+    def set_data_interface(self, interface: DataInterface) -> "BGPStream":
+        if self._started:
+            raise RuntimeError("cannot change the data interface after start()")
+        self._interface = interface
+        return self
+
+    def add_filter(self, name: str, value: str) -> "BGPStream":
+        if self._started:
+            raise RuntimeError("cannot add filters after start()")
+        self.filters.add(name, value)
+        return self
+
+    def add_interval_filter(self, start: int, end: Optional[int]) -> "BGPStream":
+        if self._started:
+            raise RuntimeError("cannot add filters after start()")
+        self.filters.add_interval(start, end)
+        return self
+
+    # -- reading ---------------------------------------------------------------------
+
+    def start(self) -> "BGPStream":
+        """Freeze the configuration and begin producing the stream."""
+        if self._interface is None:
+            raise RuntimeError(
+                "no data interface configured; pass one to BGPStream() or "
+                "call set_data_interface()"
+            )
+        if self._started:
+            return self
+        self._started = True
+        self._record_iter = self._generate_records()
+        return self
+
+    def _generate_records(self) -> Iterator[BGPStreamRecord]:
+        assert self._interface is not None
+        for batch in self._interface.batches(self.filters):
+            merger = SortedRecordMerger(batch)
+            for record in merger:
+                self.records_read += 1
+                if not self._record_passes(record):
+                    self.records_filtered += 1
+                    continue
+                yield record
+
+    def _record_passes(self, record: BGPStreamRecord) -> bool:
+        # Invalid records are always delivered (the user must be able to see
+        # the not-valid status); valid ones go through the meta-data filters.
+        if record.status != RecordStatus.VALID:
+            return True
+        return self.filters.match_record(record)
+
+    def get_next_record(self) -> Optional[BGPStreamRecord]:
+        """Return the next record, or ``None`` when the stream has ended."""
+        if not self._started:
+            self.start()
+        assert self._record_iter is not None
+        return next(self._record_iter, None)
+
+    def records(self) -> Iterator[BGPStreamRecord]:
+        """Iterate all (filter-matching) records of the stream."""
+        while True:
+            record = self.get_next_record()
+            if record is None:
+                return
+            yield record
+
+    def elems(self) -> Iterator[Tuple[BGPStreamRecord, BGPElem]]:
+        """Iterate ``(record, elem)`` pairs matching the elem-level filters."""
+        for record in self.records():
+            for elem in record.elems():
+                if self.filters.match_elem(elem):
+                    yield record, elem
+
+    def __iter__(self) -> Iterator[BGPStreamRecord]:
+        return self.records()

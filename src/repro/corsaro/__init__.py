@@ -1,0 +1,26 @@
+"""BGPCorsaro: continuous extraction of derived data from a BGP stream (§6.1).
+
+BGPCorsaro pipes a sorted BGPStream through a pipeline of plugins and cuts
+the output into regular time bins.  Plugins are either *stateless*
+(classifying / tagging records so later plugins can use the tags) or
+*stateful* (aggregating data that is emitted at the end of each bin).
+
+* :class:`~repro.corsaro.pipeline.BGPCorsaro` — the pipeline driver.
+* :class:`~repro.corsaro.plugin.Plugin` /
+  :class:`~repro.corsaro.plugin.StatelessPlugin` — plugin base classes.
+* :mod:`repro.corsaro.plugins` — the plugins used in the paper's case
+  studies, most importantly ``pfxmonitor`` (Figure 6) and the
+  ``routing-tables`` (RT) plugin of the global-monitoring architecture
+  (Figures 8 and 9).
+"""
+
+from repro.corsaro.pipeline import BGPCorsaro, BinOutput
+from repro.corsaro.plugin import Plugin, StatelessPlugin, TaggedRecord
+
+__all__ = [
+    "BGPCorsaro",
+    "BinOutput",
+    "Plugin",
+    "StatelessPlugin",
+    "TaggedRecord",
+]

@@ -1,0 +1,124 @@
+"""``bgpcorsaro``: run a plugin pipeline over a stream from the command line.
+
+Mirrors the original tool: pick a data source, a time interval, a bin size
+and a list of plugins; the per-bin outputs are printed as pipe-separated
+lines (one line per plugin per bin).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, List, Optional
+
+from repro.bgp.prefix import Prefix
+from repro.broker.broker import Broker
+from repro.collectors.archive import Archive
+from repro.core.interfaces import BrokerDataInterface
+from repro.core.stream import BGPStream
+from repro.corsaro.pipeline import BGPCorsaro
+from repro.corsaro.plugin import Plugin
+from repro.corsaro.plugins import (
+    CommunityDiversityPlugin,
+    MOASPlugin,
+    PrefixMonitorPlugin,
+    RoutingTablesPlugin,
+    StatsPlugin,
+    VisibilityPlugin,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bgpcorsaro",
+        description="Continuously extract derived data from a BGP stream in regular time bins.",
+    )
+    parser.add_argument("--archive", required=True, help="path to a simulated archive directory")
+    parser.add_argument("-w", "--window", required=True, help="time interval START,END")
+    parser.add_argument("-b", "--bin-size", type=int, default=300, help="bin size in seconds")
+    parser.add_argument("-p", "--project", action="append", default=[])
+    parser.add_argument("-c", "--collector", action="append", default=[])
+    parser.add_argument("-t", "--type", action="append", default=[], choices=["ribs", "updates"])
+    parser.add_argument(
+        "--plugin",
+        action="append",
+        default=[],
+        help=(
+            "plugin to run: stats, moas, visibility, community-diversity, "
+            "routing-tables, or pfxmonitor:<prefix>[+<prefix>...]"
+        ),
+    )
+    return parser
+
+
+def build_plugins(specs: List[str]) -> List[Plugin]:
+    plugins: List[Plugin] = []
+    for spec in specs or ["stats"]:
+        name, _, argument = spec.partition(":")
+        if name == "stats":
+            plugins.append(StatsPlugin())
+        elif name == "moas":
+            plugins.append(MOASPlugin())
+        elif name == "visibility":
+            plugins.append(VisibilityPlugin())
+        elif name == "community-diversity":
+            plugins.append(CommunityDiversityPlugin())
+        elif name == "routing-tables":
+            plugins.append(RoutingTablesPlugin())
+        elif name == "pfxmonitor":
+            if not argument:
+                raise SystemExit("pfxmonitor requires prefixes, e.g. pfxmonitor:10.0.0.0/8")
+            ranges = [Prefix.from_string(p) for p in argument.split("+")]
+            plugins.append(PrefixMonitorPlugin(ranges))
+        else:
+            raise SystemExit(f"unknown plugin {name!r}")
+    return plugins
+
+
+def run(args: argparse.Namespace, out: IO[str]) -> int:
+    start_text, _, end_text = args.window.partition(",")
+    start = int(start_text)
+    end: Optional[int] = int(end_text) if end_text else None
+
+    broker = Broker(archives=[Archive(args.archive)])
+    stream = BGPStream(data_interface=BrokerDataInterface(broker, max_empty_polls=1))
+    stream.add_interval_filter(start, end)
+    for project in args.project:
+        stream.add_filter("project", project)
+    for collector in args.collector:
+        stream.add_filter("collector", collector)
+    for dump_type in args.type:
+        stream.add_filter("record-type", dump_type)
+
+    plugins = build_plugins(args.plugin)
+    corsaro = BGPCorsaro(stream, plugins, bin_size=args.bin_size)
+    for output in corsaro.process():
+        print(f"{output.plugin}|{output.interval_start}|{_render(output.value)}", file=out)
+    return 0
+
+
+def _render(value: object) -> str:
+    if hasattr(value, "unique_prefixes"):
+        return f"{value.unique_prefixes}|{value.unique_origin_asns}"
+    if hasattr(value, "moas_prefix_count"):
+        return f"{value.moas_prefix_count}|{value.moas_set_count}"
+    if hasattr(value, "visible_prefixes"):
+        return str(value.visible_prefixes)
+    if hasattr(value, "elems_processed"):
+        return f"{value.elems_processed}|{value.diff_count}"
+    if hasattr(value, "total_distinct_communities"):
+        return str(value.total_distinct_communities)
+    if hasattr(value, "as_dict"):
+        stats = value.as_dict()
+        return f"{stats['records']}|{stats['elems']}"
+    return str(value)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return run(args, sys.stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

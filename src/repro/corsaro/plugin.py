@@ -1,0 +1,65 @@
+"""Plugin base classes for BGPCorsaro."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.core.elem import BGPElem
+from repro.core.record import BGPStreamRecord
+
+
+@dataclass
+class TaggedRecord:
+    """A record travelling through the pipeline, plus tags added by plugins.
+
+    Stateless plugins annotate ``tags``; plugins later in the pipeline can
+    read those tags to inform their processing (§6.1).  Elems are extracted
+    once by the pipeline and shared by all plugins.
+    """
+
+    record: BGPStreamRecord
+    elems: List[BGPElem] = field(default_factory=list)
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def time(self) -> int:
+        return self.record.time
+
+    def tag(self, key: str, value: Any) -> None:
+        self.tags[key] = value
+
+    def has_tag(self, key: str) -> bool:
+        return key in self.tags
+
+
+class Plugin:
+    """A stateful plugin: aggregates data and emits output per time bin."""
+
+    #: Short name used in output and the CLI.
+    name: str = "plugin"
+
+    def start_interval(self, interval_start: int) -> None:
+        """Called when a new time bin begins."""
+
+    def process_record(self, tagged: TaggedRecord) -> None:
+        """Called once per record (in stream order) within the current bin."""
+        raise NotImplementedError
+
+    def end_interval(self, interval_start: int) -> Any:
+        """Called when the bin ends; the return value is collected as output."""
+        return None
+
+    def finish(self) -> Any:
+        """Called after the stream ends (after the last ``end_interval``)."""
+        return None
+
+
+class StatelessPlugin(Plugin):
+    """A stateless plugin: tags records; produces no per-bin output."""
+
+    def process_record(self, tagged: TaggedRecord) -> None:
+        raise NotImplementedError
+
+    def end_interval(self, interval_start: int) -> Any:
+        return None

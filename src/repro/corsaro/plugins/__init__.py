@@ -1,0 +1,36 @@
+"""BGPCorsaro plugins.
+
+* :class:`~repro.corsaro.plugins.stats.StatsPlugin` — per-bin record/elem
+  counters (per collector and per type).
+* :class:`~repro.corsaro.plugins.tagger.ElemTypeTagger` — a stateless
+  tagging plugin (classification example of §6.1).
+* :class:`~repro.corsaro.plugins.pfxmonitor.PrefixMonitorPlugin` — the
+  ``pfxmonitor`` plugin used for the GARR hijack case study (Figure 6).
+* :class:`~repro.corsaro.plugins.routing_tables.RoutingTablesPlugin` — the
+  RT plugin reconstructing per-VP routing tables (Figures 8 and 9).
+* :class:`~repro.corsaro.plugins.moas.MOASPlugin` — multi-origin-AS
+  detection (Figure 5b / hijack detection).
+* :class:`~repro.corsaro.plugins.visibility.VisibilityPlugin` — per-origin,
+  per-country prefix visibility counts (Figure 10 input).
+* :class:`~repro.corsaro.plugins.communities.CommunityDiversityPlugin` —
+  distinct communities per VP (Figure 5d input).
+"""
+
+from repro.corsaro.plugins.stats import StatsPlugin
+from repro.corsaro.plugins.tagger import ElemTypeTagger
+from repro.corsaro.plugins.pfxmonitor import PrefixMonitorPlugin
+from repro.corsaro.plugins.routing_tables import RoutingTablesPlugin, VPState
+from repro.corsaro.plugins.moas import MOASPlugin
+from repro.corsaro.plugins.visibility import VisibilityPlugin
+from repro.corsaro.plugins.communities import CommunityDiversityPlugin
+
+__all__ = [
+    "StatsPlugin",
+    "ElemTypeTagger",
+    "PrefixMonitorPlugin",
+    "RoutingTablesPlugin",
+    "VPState",
+    "MOASPlugin",
+    "VisibilityPlugin",
+    "CommunityDiversityPlugin",
+]

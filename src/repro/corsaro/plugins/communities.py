@@ -1,0 +1,69 @@
+"""Community-diversity plugin (Figure 5d input).
+
+Counts, per vantage point, the distinct BGP communities (and the distinct AS
+identifiers inferred from the two most-significant bytes of each community)
+observed in the stream.  The paper uses this to pick which collectors
+observe the most heterogeneous set of communities — many BGP speakers strip
+communities before propagating them, so the choice of VP matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.bgp.community import Community
+from repro.corsaro.plugin import Plugin, TaggedRecord
+
+
+@dataclass(frozen=True)
+class CommunityDiversityOutput:
+    """Per-bin community-diversity summary."""
+
+    interval_start: int
+    total_distinct_communities: int
+    #: (collector, peer ASN) -> number of distinct community AS identifiers.
+    per_vp_asn_identifiers: Tuple[Tuple[Tuple[str, int], int], ...]
+    #: collector -> number of distinct community AS identifiers.
+    per_collector_asn_identifiers: Tuple[Tuple[str, int], ...]
+    #: Fraction of VPs that observed at least one community.
+    vps_observing_fraction: float
+
+
+class CommunityDiversityPlugin(Plugin):
+    name = "community-diversity"
+
+    def __init__(self) -> None:
+        self._per_vp: Dict[Tuple[str, int], Set[Community]] = {}
+        self._all: Set[Community] = set()
+
+    def process_record(self, tagged: TaggedRecord) -> None:
+        collector = tagged.record.collector
+        for elem in tagged.elems:
+            vp = (collector, elem.peer_asn)
+            self._per_vp.setdefault(vp, set())
+            if elem.communities is None:
+                continue
+            for community in elem.communities:
+                self._per_vp[vp].add(community)
+                self._all.add(community)
+
+    def end_interval(self, interval_start: int) -> CommunityDiversityOutput:
+        per_vp = {
+            vp: len({c.asn for c in communities})
+            for vp, communities in self._per_vp.items()
+        }
+        per_collector: Dict[str, Set[int]] = {}
+        for (collector, _asn), communities in self._per_vp.items():
+            per_collector.setdefault(collector, set()).update(c.asn for c in communities)
+        observing = sum(1 for count in per_vp.values() if count > 0)
+        fraction = observing / len(per_vp) if per_vp else 0.0
+        return CommunityDiversityOutput(
+            interval_start=interval_start,
+            total_distinct_communities=len(self._all),
+            per_vp_asn_identifiers=tuple(sorted(per_vp.items())),
+            per_collector_asn_identifiers=tuple(
+                sorted((c, len(asns)) for c, asns in per_collector.items())
+            ),
+            vps_observing_fraction=fraction,
+        )

@@ -1,0 +1,403 @@
+"""The routing-tables (RT) plugin (§6.2.1–6.2.2, Figures 8 and 9).
+
+Reconstructs, for every vantage point of the stream, the *observable
+Loc-RIB* (routing table) with fine time granularity: a RIB dump is used as
+the starting reference, Updates dumps drive the evolution of the table, and
+subsequent RIB dumps are used for sanity checking and correction.
+
+State is modelled per VP with the finite state machine of Figure 8
+(``down``, ``down-RIB-application``, ``up``, ``up-RIB-application``) plus
+the four special events the paper lists:
+
+* **E1** — if any record of a RIB dump is corrupted, the whole dump is
+  ignored (the shadow cells are discarded instead of merged).
+* **E2** — RIB-dump information is applied to a cell only if the RIB
+  record's timestamp is newer than the cell's last modification.
+* **E3** — a corrupted Updates record stops Updates application for the
+  collector's VPs until the next (complete) RIB dump.
+* **E4** — session state messages force transitions: an Established message
+  moves the VP up, any other state message moves it down.
+
+Each cell of the (prefix × VP) table stores the route's reachability
+attributes, the timestamp of the last modification and an A/W flag; a
+*shadow* cell buffers information from an in-progress RIB dump until its
+last record is seen.  At the end of each time bin the plugin emits the
+cells that changed during the bin (*diff cells*), plus the counters Figure 9
+compares (elems processed vs. diff cells), and periodically a full snapshot
+consumers can synchronise on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.community import CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.core.elem import BGPElem, ElemType
+from repro.core.record import DumpPosition, RecordStatus
+from repro.corsaro.plugin import Plugin, TaggedRecord
+
+#: A vantage point is identified by (collector, peer ASN, peer address).
+VPKey = Tuple[str, int, str]
+
+
+class VPState(Enum):
+    """The Figure 8 FSM states."""
+
+    DOWN = "down"
+    DOWN_RIB_APPLICATION = "down-rib-application"
+    UP = "up"
+    UP_RIB_APPLICATION = "up-rib-application"
+
+    @property
+    def table_consistent(self) -> bool:
+        """True in the macro-state where the routing table is usable."""
+        return self in (VPState.UP, VPState.UP_RIB_APPLICATION)
+
+
+@dataclass
+class Cell:
+    """One (prefix, VP) cell of the routing-table matrix."""
+
+    as_path: Optional[ASPath]
+    next_hop: Optional[str]
+    communities: Optional[CommunitySet]
+    last_modified: int
+    announced: bool  # the A/W flag
+
+    def same_route(self, other: "Cell") -> bool:
+        return (
+            self.announced == other.announced
+            and self.as_path == other.as_path
+            and self.next_hop == other.next_hop
+        )
+
+
+@dataclass
+class DiffCell:
+    """One changed cell, as published to consumers at the end of a bin."""
+
+    vp: VPKey
+    prefix: Prefix
+    announced: bool
+    as_path: Optional[ASPath]
+    next_hop: Optional[str]
+
+
+@dataclass
+class VPTable:
+    """Per-VP state: FSM state, main cells, shadow cells."""
+
+    state: VPState = VPState.DOWN
+    cells: Dict[Prefix, Cell] = field(default_factory=dict)
+    shadow: Dict[Prefix, Cell] = field(default_factory=dict)
+    #: Prefixes whose main cell changed in the current bin.
+    dirty: Set[Prefix] = field(default_factory=set)
+    #: True when a corrupted Updates record froze updates (E3).
+    updates_frozen: bool = False
+
+    def active_prefix_count(self) -> int:
+        return sum(1 for cell in self.cells.values() if cell.announced)
+
+
+@dataclass
+class RTBinOutput:
+    """The per-bin output of the RT plugin."""
+
+    interval_start: int
+    #: Number of BGP elems (from Updates dumps) processed in the bin.
+    elems_processed: int
+    #: Diff cells across all VPs.
+    diffs: List[DiffCell]
+    #: VPs whose table is currently consistent (usable by consumers).
+    consistent_vps: Tuple[VPKey, ...]
+    #: Per-VP announced-prefix counts (routing table sizes).
+    table_sizes: Dict[VPKey, int]
+    #: Full snapshots, present only on synchronisation bins.
+    snapshots: Optional[Dict[VPKey, Dict[Prefix, Cell]]] = None
+
+    @property
+    def diff_count(self) -> int:
+        return len(self.diffs)
+
+
+class RoutingTablesPlugin(Plugin):
+    name = "routing-tables"
+
+    def __init__(
+        self,
+        snapshot_interval: Optional[int] = 3600,
+        track_accuracy: bool = True,
+    ) -> None:
+        #: Seconds between full-table snapshots (None = never emit snapshots).
+        self.snapshot_interval = snapshot_interval
+        self.track_accuracy = track_accuracy
+        self._tables: Dict[VPKey, VPTable] = {}
+        self._elems_in_bin = 0
+        self._last_snapshot: Optional[int] = None
+        #: Per-collector set of VPs that appeared in the current RIB dump
+        #: plus the corruption flag of that dump (E1).
+        self._rib_in_progress: Dict[str, Set[VPKey]] = {}
+        self._rib_corrupted: Dict[str, bool] = {}
+        #: Accuracy accounting (§6.2.1): mismatching vs compared prefixes.
+        self.compared_prefixes = 0
+        self.mismatched_prefixes = 0
+
+    # -- plugin API ------------------------------------------------------------------
+
+    def start_interval(self, interval_start: int) -> None:
+        self._elems_in_bin = 0
+
+    def process_record(self, tagged: TaggedRecord) -> None:
+        record = tagged.record
+        collector = record.collector
+
+        if record.status != RecordStatus.VALID:
+            self._handle_invalid(record)
+            return
+
+        if record.dump_type == "ribs":
+            self._process_rib_record(tagged)
+        else:
+            self._process_updates_record(tagged)
+
+    def end_interval(self, interval_start: int) -> RTBinOutput:
+        diffs: List[DiffCell] = []
+        table_sizes: Dict[VPKey, int] = {}
+        consistent: List[VPKey] = []
+        for vp, table in sorted(self._tables.items()):
+            table_sizes[vp] = table.active_prefix_count()
+            if table.state.table_consistent:
+                consistent.append(vp)
+            for prefix in sorted(table.dirty):
+                cell = table.cells.get(prefix)
+                if cell is None:
+                    continue
+                diffs.append(
+                    DiffCell(
+                        vp=vp,
+                        prefix=prefix,
+                        announced=cell.announced,
+                        as_path=cell.as_path,
+                        next_hop=cell.next_hop,
+                    )
+                )
+            table.dirty = set()
+
+        snapshots = None
+        if self.snapshot_interval is not None:
+            due = (
+                self._last_snapshot is None
+                or interval_start - self._last_snapshot >= self.snapshot_interval
+            )
+            if due:
+                snapshots = {
+                    vp: {p: c for p, c in table.cells.items() if c.announced}
+                    for vp, table in self._tables.items()
+                    if table.state.table_consistent
+                }
+                self._last_snapshot = interval_start
+
+        output = RTBinOutput(
+            interval_start=interval_start,
+            elems_processed=self._elems_in_bin,
+            diffs=diffs,
+            consistent_vps=tuple(consistent),
+            table_sizes=table_sizes,
+            snapshots=snapshots,
+        )
+        return output
+
+    # -- state accessors (used by consumers and tests) ----------------------------------
+
+    def vp_state(self, vp: VPKey) -> VPState:
+        return self._tables.get(vp, VPTable()).state
+
+    def vp_table(self, vp: VPKey) -> Dict[Prefix, Cell]:
+        """The reconstructed table of ``vp`` (empty while it is not consistent)."""
+        table = self._tables.get(vp, VPTable())
+        if not table.state.table_consistent:
+            return {}
+        return {prefix: cell for prefix, cell in table.cells.items() if cell.announced}
+
+    def vps(self) -> List[VPKey]:
+        return sorted(self._tables)
+
+    @property
+    def error_probability(self) -> float:
+        """Mismatching prefixes over compared prefixes (the §6.2.1 metric)."""
+        if self.compared_prefixes == 0:
+            return 0.0
+        return self.mismatched_prefixes / self.compared_prefixes
+
+    # -- RIB dump handling -------------------------------------------------------------
+
+    def _process_rib_record(self, tagged: TaggedRecord) -> None:
+        record = tagged.record
+        collector = record.collector
+
+        if record.dump_position == DumpPosition.START:
+            self._rib_in_progress[collector] = set()
+            self._rib_corrupted[collector] = False
+
+        if self._rib_corrupted.get(collector):
+            pass  # E1: dump already known corrupted; keep consuming records.
+        else:
+            for elem in tagged.elems:
+                if elem.elem_type != ElemType.RIB:
+                    continue
+                vp = (collector, elem.peer_asn, elem.peer_address)
+                table = self._table(vp)
+                self._enter_rib_application(table)
+                self._rib_in_progress.setdefault(collector, set()).add(vp)
+                cell = Cell(
+                    as_path=elem.as_path,
+                    next_hop=elem.next_hop,
+                    communities=elem.communities,
+                    last_modified=elem.time,
+                    announced=True,
+                )
+                # E2: only apply RIB information newer than what updates
+                # already wrote into the main cell.
+                main = table.cells.get(elem.prefix)
+                if main is not None and main.last_modified > elem.time:
+                    continue
+                table.shadow[elem.prefix] = cell
+
+        if record.dump_position == DumpPosition.END:
+            self._finish_rib_dump(collector)
+
+    def _finish_rib_dump(self, collector: str) -> None:
+        vps = self._rib_in_progress.pop(collector, set())
+        corrupted = self._rib_corrupted.pop(collector, False)
+        for vp in vps:
+            table = self._table(vp)
+            if corrupted:
+                # E1: ignore the whole dump.
+                table.shadow = {}
+                self._exit_rib_application(table)
+                continue
+            if self.track_accuracy and table.state == VPState.UP_RIB_APPLICATION:
+                self._compare_accuracy(table)
+            self._merge_shadow(table)
+            table.updates_frozen = False
+            table.state = VPState.UP
+
+    def _merge_shadow(self, table: VPTable) -> None:
+        for prefix, shadow_cell in table.shadow.items():
+            main = table.cells.get(prefix)
+            # E2 (again, at merge time): never overwrite newer information.
+            if main is not None and main.last_modified > shadow_cell.last_modified:
+                continue
+            if main is None or not main.same_route(shadow_cell):
+                table.dirty.add(prefix)
+            table.cells[prefix] = shadow_cell
+        # Prefixes absent from the RIB dump but marked announced are stale
+        # (e.g. a missed withdrawal): mark them withdrawn.
+        for prefix, cell in table.cells.items():
+            if prefix not in table.shadow and cell.announced:
+                if cell.last_modified <= max(
+                    (c.last_modified for c in table.shadow.values()), default=cell.last_modified
+                ):
+                    table.cells[prefix] = Cell(
+                        as_path=None,
+                        next_hop=None,
+                        communities=None,
+                        last_modified=cell.last_modified,
+                        announced=False,
+                    )
+                    table.dirty.add(prefix)
+        table.shadow = {}
+
+    def _compare_accuracy(self, table: VPTable) -> None:
+        """Periodically compare main vs shadow cells (§6.2.1 error probability)."""
+        announced_main = {p for p, c in table.cells.items() if c.announced}
+        announced_shadow = set(table.shadow)
+        universe = announced_main | announced_shadow
+        self.compared_prefixes += len(universe)
+        for prefix in universe:
+            main = table.cells.get(prefix)
+            shadow = table.shadow.get(prefix)
+            if main is None or shadow is None or not main.announced:
+                self.mismatched_prefixes += 1
+            elif main.as_path != shadow.as_path:
+                self.mismatched_prefixes += 1
+
+    def _enter_rib_application(self, table: VPTable) -> None:
+        if table.state == VPState.DOWN:
+            table.state = VPState.DOWN_RIB_APPLICATION
+        elif table.state == VPState.UP:
+            table.state = VPState.UP_RIB_APPLICATION
+
+    def _exit_rib_application(self, table: VPTable) -> None:
+        if table.state == VPState.DOWN_RIB_APPLICATION:
+            table.state = VPState.DOWN
+        elif table.state == VPState.UP_RIB_APPLICATION:
+            table.state = VPState.UP
+
+    # -- Updates handling -----------------------------------------------------------------
+
+    def _process_updates_record(self, tagged: TaggedRecord) -> None:
+        record = tagged.record
+        collector = record.collector
+        for elem in tagged.elems:
+            vp = (collector, elem.peer_asn, elem.peer_address)
+            table = self._table(vp)
+            if elem.elem_type == ElemType.STATE:
+                self._apply_state_message(table, elem)
+                continue
+            self._elems_in_bin += 1
+            if table.updates_frozen:
+                continue  # E3: waiting for the next RIB dump.
+            if elem.elem_type == ElemType.ANNOUNCEMENT:
+                self._apply_change(table, elem, announced=True)
+            elif elem.elem_type == ElemType.WITHDRAWAL:
+                self._apply_change(table, elem, announced=False)
+
+    def _apply_change(self, table: VPTable, elem: BGPElem, announced: bool) -> None:
+        cell = Cell(
+            as_path=elem.as_path if announced else None,
+            next_hop=elem.next_hop if announced else None,
+            communities=elem.communities if announced else None,
+            last_modified=elem.time,
+            announced=announced,
+        )
+        existing = table.cells.get(elem.prefix)
+        if existing is None or not existing.same_route(cell):
+            table.dirty.add(elem.prefix)
+        table.cells[elem.prefix] = cell
+
+    def _apply_state_message(self, table: VPTable, elem: BGPElem) -> None:
+        # E4: force transitions based on the session FSM.  A down transition
+        # marks the table unavailable (consumers must ignore it) but does not
+        # rewrite the cells: the VP will refresh them when it comes back up.
+        if elem.new_state is not None and elem.new_state.is_established:
+            if table.state in (VPState.DOWN, VPState.DOWN_RIB_APPLICATION):
+                table.state = VPState.UP
+        else:
+            table.state = VPState.DOWN
+
+    # -- invalid records -----------------------------------------------------------------
+
+    def _handle_invalid(self, record) -> None:
+        collector = record.collector
+        if record.dump_type == "ribs":
+            # E1: any corrupted record invalidates the in-progress RIB dump.
+            self._rib_corrupted[collector] = True
+        else:
+            # E3: freeze updates for every VP of this collector until the
+            # next complete RIB dump.
+            for vp, table in self._tables.items():
+                if vp[0] == collector:
+                    table.updates_frozen = True
+                    table.state = VPState.DOWN
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _table(self, vp: VPKey) -> VPTable:
+        if vp not in self._tables:
+            self._tables[vp] = VPTable()
+        return self._tables[vp]

@@ -1,0 +1,35 @@
+"""A stateless classification/tagging plugin (§6.1).
+
+Tags each record with the set of elem types it contains and with whether any
+elem carries one of a configurable set of "interesting" communities.
+Plugins later in the pipeline can consult these tags instead of re-scanning
+the elems.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.bgp.community import Community
+from repro.corsaro.plugin import StatelessPlugin, TaggedRecord
+
+
+class ElemTypeTagger(StatelessPlugin):
+    name = "elem-type-tagger"
+
+    #: Tag keys written by this plugin.
+    TYPES_TAG = "elem-types"
+    COMMUNITY_TAG = "has-watched-community"
+
+    def __init__(self, watched_communities: Iterable[Community] = ()) -> None:
+        self.watched: Set[Community] = set(watched_communities)
+
+    def process_record(self, tagged: TaggedRecord) -> None:
+        types = {str(elem.elem_type) for elem in tagged.elems}
+        tagged.tag(self.TYPES_TAG, types)
+        if self.watched:
+            flagged = any(
+                elem.communities is not None and elem.communities.matches_any(self.watched)
+                for elem in tagged.elems
+            )
+            tagged.tag(self.COMMUNITY_TAG, flagged)

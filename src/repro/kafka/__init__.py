@@ -1,0 +1,30 @@
+"""An in-process messaging substrate standing in for Apache Kafka (§6.2).
+
+The paper's global-monitoring architecture stores the RT plugin's per-bin
+routing-table diffs in a Kafka cluster, uses per-application *sync servers*
+to decide when a time bin is ready for consumption, and lets consumers
+replay data from offsets.  This package provides the same roles with an
+in-process, log-structured broker:
+
+* :class:`~repro.kafka.broker.MessageBroker` — named topics with
+  partitions, append-only logs and offset-based reads.
+* :class:`~repro.kafka.client.Producer` / :class:`~repro.kafka.client.Consumer`
+  — the thin client API (consumer groups track committed offsets).
+* :class:`~repro.kafka.sync.SyncServer` — completeness- or timeout-based
+  synchronisation over the meta-data topic (§6.2.3).
+"""
+
+from repro.kafka.broker import Message, MessageBroker, Topic
+from repro.kafka.client import Consumer, Producer
+from repro.kafka.sync import CompletenessSyncServer, SyncServer, TimeoutSyncServer
+
+__all__ = [
+    "Message",
+    "MessageBroker",
+    "Topic",
+    "Producer",
+    "Consumer",
+    "SyncServer",
+    "CompletenessSyncServer",
+    "TimeoutSyncServer",
+]

@@ -1,0 +1,152 @@
+"""The log-structured message broker.
+
+Topics are append-only logs split into partitions; each message gets a
+monotonically increasing offset within its partition.  Messages are kept in
+memory (the original architecture relies on a Kafka cluster for durability
+and horizontal scale; neither matters for a single-process reproduction, and
+the client-visible semantics — keyed partitioning, offset reads, replay —
+are identical).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message of a partition log."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: Optional[str]
+    value: Any
+    timestamp: float = 0.0
+
+
+class Topic:
+    """A named topic: a fixed number of append-only partition logs."""
+
+    def __init__(self, name: str, num_partitions: int = 1) -> None:
+        if num_partitions < 1:
+            raise ValueError("a topic needs at least one partition")
+        self.name = name
+        self.num_partitions = num_partitions
+        self._partitions: List[List[Message]] = [[] for _ in range(num_partitions)]
+        self._lock = threading.Lock()
+
+    def partition_for(self, key: Optional[str]) -> int:
+        if key is None:
+            # Round-robin-ish: append to the shortest partition.
+            sizes = [len(p) for p in self._partitions]
+            return sizes.index(min(sizes))
+        return hash(key) % self.num_partitions
+
+    def append(self, key: Optional[str], value: Any, timestamp: float = 0.0) -> Message:
+        with self._lock:
+            partition = self.partition_for(key)
+            log = self._partitions[partition]
+            message = Message(
+                topic=self.name,
+                partition=partition,
+                offset=len(log),
+                key=key,
+                value=value,
+                timestamp=timestamp,
+            )
+            log.append(message)
+            return message
+
+    def read(self, partition: int, offset: int, max_messages: Optional[int] = None) -> List[Message]:
+        with self._lock:
+            log = self._partitions[partition]
+            end = len(log) if max_messages is None else min(len(log), offset + max_messages)
+            return list(log[offset:end])
+
+    def end_offset(self, partition: int) -> int:
+        with self._lock:
+            return len(self._partitions[partition])
+
+    def size(self) -> int:
+        with self._lock:
+            return sum(len(p) for p in self._partitions)
+
+
+class MessageBroker:
+    """A collection of topics plus consumer-group offset bookkeeping."""
+
+    def __init__(self) -> None:
+        self._topics: Dict[str, Topic] = {}
+        #: (group, topic, partition) -> committed offset.
+        self._committed: Dict[Tuple[str, str, int], int] = {}
+        self._lock = threading.Lock()
+
+    # -- topic management -------------------------------------------------------
+
+    def create_topic(self, name: str, num_partitions: int = 1) -> Topic:
+        with self._lock:
+            if name in self._topics:
+                return self._topics[name]
+            topic = Topic(name, num_partitions)
+            self._topics[name] = topic
+            return topic
+
+    def topic(self, name: str) -> Topic:
+        with self._lock:
+            if name not in self._topics:
+                self._topics[name] = Topic(name)
+            return self._topics[name]
+
+    def topics(self) -> List[str]:
+        with self._lock:
+            return sorted(self._topics)
+
+    # -- produce / consume ----------------------------------------------------------
+
+    def produce(
+        self, topic: str, value: Any, key: Optional[str] = None, timestamp: float = 0.0
+    ) -> Message:
+        return self.topic(topic).append(key, value, timestamp)
+
+    def consume(
+        self,
+        topic: str,
+        group: str,
+        max_messages: Optional[int] = None,
+    ) -> List[Message]:
+        """Read new messages for a consumer group (across all partitions)."""
+        topic_obj = self.topic(topic)
+        result: List[Message] = []
+        for partition in range(topic_obj.num_partitions):
+            offset = self.committed_offset(group, topic, partition)
+            budget = None if max_messages is None else max_messages - len(result)
+            if budget is not None and budget <= 0:
+                break
+            messages = topic_obj.read(partition, offset, budget)
+            result.extend(messages)
+        return result
+
+    def commit(self, group: str, messages: List[Message]) -> None:
+        """Mark ``messages`` as processed for the group."""
+        with self._lock:
+            for message in messages:
+                key = (group, message.topic, message.partition)
+                current = self._committed.get(key, 0)
+                self._committed[key] = max(current, message.offset + 1)
+
+    def committed_offset(self, group: str, topic: str, partition: int) -> int:
+        with self._lock:
+            return self._committed.get((group, topic, partition), 0)
+
+    def lag(self, group: str, topic: str) -> int:
+        """Messages not yet consumed by ``group`` across all partitions."""
+        topic_obj = self.topic(topic)
+        total = 0
+        for partition in range(topic_obj.num_partitions):
+            total += topic_obj.end_offset(partition) - self.committed_offset(
+                group, topic, partition
+            )
+        return total

@@ -1,0 +1,75 @@
+"""Producer / Consumer client API over the message broker."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.kafka.broker import Message, MessageBroker
+
+
+class Producer:
+    """Publishes messages to topics of a broker."""
+
+    def __init__(self, broker: MessageBroker, default_topic: Optional[str] = None) -> None:
+        self.broker = broker
+        self.default_topic = default_topic
+        self.messages_sent = 0
+
+    def send(
+        self,
+        value: Any,
+        topic: Optional[str] = None,
+        key: Optional[str] = None,
+        timestamp: float = 0.0,
+    ) -> Message:
+        target = topic or self.default_topic
+        if target is None:
+            raise ValueError("no topic given and no default topic configured")
+        message = self.broker.produce(target, value, key=key, timestamp=timestamp)
+        self.messages_sent += 1
+        return message
+
+
+class Consumer:
+    """Reads messages from topics on behalf of a consumer group.
+
+    ``poll()`` returns any messages past the group's committed offsets and
+    (by default) commits them, so repeated polls walk forward through the
+    log; ``seek_to_beginning()`` resets the group to replay a topic, which is
+    how a consumer re-synchronises from the latest full routing-table
+    snapshot before applying diffs (§6.2.2).
+    """
+
+    def __init__(self, broker: MessageBroker, group: str, topics: List[str]) -> None:
+        self.broker = broker
+        self.group = group
+        self.topics = list(topics)
+        self.messages_consumed = 0
+
+    def poll(self, max_messages: Optional[int] = None, commit: bool = True) -> List[Message]:
+        result: List[Message] = []
+        for topic in self.topics:
+            budget = None if max_messages is None else max_messages - len(result)
+            if budget is not None and budget <= 0:
+                break
+            messages = self.broker.consume(topic, self.group, budget)
+            result.extend(messages)
+        if commit and result:
+            self.broker.commit(self.group, result)
+        self.messages_consumed += len(result)
+        return result
+
+    def commit(self, messages: List[Message]) -> None:
+        self.broker.commit(self.group, messages)
+
+    def lag(self) -> int:
+        return sum(self.broker.lag(self.group, topic) for topic in self.topics)
+
+    def seek_to_beginning(self) -> None:
+        """Reset the group's offsets so the next poll replays every topic."""
+        for topic in self.topics:
+            topic_obj = self.broker.topic(topic)
+            for partition in range(topic_obj.num_partitions):
+                key = (self.group, topic, partition)
+                with self.broker._lock:
+                    self.broker._committed[key] = 0

@@ -1,0 +1,178 @@
+"""Sync servers (§6.2.3).
+
+Different collectors publish their per-bin routing-table data with variable
+delay; consumers must decide when a time bin is ready to be processed.  The
+trade-off between latency, completeness and memory depends on the
+application, so the architecture runs one *sync server* per application:
+each watches the meta-data published alongside the data (one meta-data entry
+per collector per bin) and, when its criterion is met, injects a "bin ready"
+marker into its own topic that consumers block on.
+
+Two criteria from the paper are implemented:
+
+* :class:`CompletenessSyncServer` — a bin is ready when a required fraction
+  of the expected collectors have published it (IODA-style: completeness
+  over latency; the paper uses a 30-minute timeout that yields data from all
+  VPs for 99 % of bins).
+* :class:`TimeoutSyncServer` — a bin is ready as soon as a deadline after
+  the first publication passes, regardless of how many collectors have
+  reported (hijack-detection-style: latency over completeness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.kafka.broker import MessageBroker
+from repro.kafka.client import Consumer, Producer
+
+#: Topic name conventions.
+METADATA_TOPIC = "rt-metadata"
+
+
+@dataclass(frozen=True)
+class BinMetadata:
+    """Meta-data published by a BGPCorsaro/RT instance for one bin."""
+
+    collector: str
+    interval_start: int
+    diff_count: int
+    published_at: float
+
+
+@dataclass(frozen=True)
+class BinReady:
+    """The marker a sync server publishes when a bin may be consumed."""
+
+    interval_start: int
+    collectors: tuple
+    complete: bool
+    decided_at: float
+
+
+class SyncServer:
+    """Base class: watch the meta-data topic, publish readiness markers."""
+
+    def __init__(
+        self,
+        broker: MessageBroker,
+        application: str,
+        expected_collectors: Sequence[str],
+    ) -> None:
+        self.broker = broker
+        self.application = application
+        self.expected = list(expected_collectors)
+        self.ready_topic = f"sync-{application}"
+        self._consumer = Consumer(broker, group=f"sync-{application}", topics=[METADATA_TOPIC])
+        self._producer = Producer(broker, default_topic=self.ready_topic)
+        #: interval_start -> set of collectors seen (for undecided bins).
+        self._pending: Dict[int, Set[str]] = {}
+        self._first_seen: Dict[int, float] = {}
+        self._decided: Set[int] = set()
+
+    # -- the driver ------------------------------------------------------------
+
+    def step(self, now: float) -> List[BinReady]:
+        """Consume new meta-data and emit any newly-ready bins."""
+        for message in self._consumer.poll():
+            metadata: BinMetadata = message.value
+            if metadata.interval_start in self._decided:
+                continue
+            self._pending.setdefault(metadata.interval_start, set()).add(metadata.collector)
+            self._first_seen.setdefault(metadata.interval_start, metadata.published_at)
+        ready: List[BinReady] = []
+        for interval_start in sorted(self._pending):
+            seen = self._pending[interval_start]
+            decision = self._decide(interval_start, seen, now)
+            if decision is None:
+                continue
+            self._decided.add(interval_start)
+            del self._pending[interval_start]
+            self._producer.send(decision, key=str(interval_start), timestamp=now)
+            ready.append(decision)
+        return ready
+
+    def _decide(self, interval_start: int, seen: Set[str], now: float) -> Optional[BinReady]:
+        raise NotImplementedError
+
+
+class CompletenessSyncServer(SyncServer):
+    """Ready when ``required_fraction`` of the expected collectors reported,
+    or (optionally) when a hard timeout since first publication expires."""
+
+    def __init__(
+        self,
+        broker: MessageBroker,
+        application: str,
+        expected_collectors: Sequence[str],
+        required_fraction: float = 1.0,
+        timeout: Optional[float] = 30 * 60,
+    ) -> None:
+        super().__init__(broker, application, expected_collectors)
+        self.required_fraction = required_fraction
+        self.timeout = timeout
+
+    def _decide(self, interval_start: int, seen: Set[str], now: float) -> Optional[BinReady]:
+        expected = set(self.expected)
+        fraction = len(seen & expected) / len(expected) if expected else 1.0
+        complete = fraction >= self.required_fraction
+        timed_out = (
+            self.timeout is not None
+            and now - self._first_seen.get(interval_start, now) >= self.timeout
+        )
+        if not complete and not timed_out:
+            return None
+        return BinReady(
+            interval_start=interval_start,
+            collectors=tuple(sorted(seen)),
+            complete=complete,
+            decided_at=now,
+        )
+
+
+class TimeoutSyncServer(SyncServer):
+    """Ready ``timeout`` seconds after the first collector published the bin."""
+
+    def __init__(
+        self,
+        broker: MessageBroker,
+        application: str,
+        expected_collectors: Sequence[str],
+        timeout: float = 120.0,
+    ) -> None:
+        super().__init__(broker, application, expected_collectors)
+        self.timeout = timeout
+
+    def _decide(self, interval_start: int, seen: Set[str], now: float) -> Optional[BinReady]:
+        first = self._first_seen.get(interval_start, now)
+        expected = set(self.expected)
+        if seen >= expected or now - first >= self.timeout:
+            return BinReady(
+                interval_start=interval_start,
+                collectors=tuple(sorted(seen)),
+                complete=seen >= expected,
+                decided_at=now,
+            )
+        return None
+
+
+def publish_bin_metadata(
+    producer: Producer,
+    collector: str,
+    interval_start: int,
+    diff_count: int,
+    published_at: float,
+) -> None:
+    """Helper used by the RT publisher to announce a bin on the meta-data topic."""
+    producer.send(
+        BinMetadata(
+            collector=collector,
+            interval_start=interval_start,
+            diff_count=diff_count,
+            published_at=published_at,
+        ),
+        topic=METADATA_TOPIC,
+        key=collector,
+        timestamp=published_at,
+    )

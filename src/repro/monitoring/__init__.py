@@ -1,0 +1,34 @@
+"""Global Internet monitoring on top of BGPStream + the messaging substrate (§6.2).
+
+Implements the distributed architecture of Figure 7: one BGPCorsaro/RT
+instance per collector publishes per-bin routing-table diffs (and periodic
+full snapshots) to the message broker, sync servers decide when a bin is
+ready, and consumers analyse the reconstructed tables — per-country and
+per-AS outage detection (IODA-style) and MOAS-based hijack detection.
+
+* :mod:`repro.monitoring.geo` — prefix geolocation substrate.
+* :mod:`repro.monitoring.timeseries` — time-series store with change-point
+  (drop/spike) detection.
+* :mod:`repro.monitoring.publisher` — the per-collector RT publisher.
+* :mod:`repro.monitoring.outages` — per-country / per-AS outage consumers.
+* :mod:`repro.monitoring.hijacks` — the MOAS/hijack consumer.
+"""
+
+from repro.monitoring.geo import GeoDatabase
+from repro.monitoring.timeseries import ChangePoint, TimeSeries, TimeSeriesStore
+from repro.monitoring.publisher import RTPublisher, diffs_topic
+from repro.monitoring.outages import OutageAlert, OutageConsumer
+from repro.monitoring.hijacks import HijackAlert, HijackConsumer
+
+__all__ = [
+    "GeoDatabase",
+    "ChangePoint",
+    "TimeSeries",
+    "TimeSeriesStore",
+    "RTPublisher",
+    "diffs_topic",
+    "OutageAlert",
+    "OutageConsumer",
+    "HijackAlert",
+    "HijackConsumer",
+]

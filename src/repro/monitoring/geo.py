@@ -1,0 +1,65 @@
+"""Prefix geolocation substrate.
+
+The per-country outage consumer needs to map prefixes to countries.  The
+original system uses a commercial geolocation database; here the mapping is
+derived from the synthetic topology (every AS has a country and its prefixes
+inherit it), with longest-prefix-match lookup so more-specific announcements
+(hijacks, black-holed /32s) geolocate to the covering allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.collectors.topology import ASTopology
+
+
+class GeoDatabase:
+    """Longest-prefix-match prefix -> country (and prefix -> origin AS) lookups."""
+
+    def __init__(self, entries: Mapping[Prefix, str] | None = None) -> None:
+        self._countries: Dict[Prefix, str] = dict(entries or {})
+        self._by_length: Dict[int, List[Prefix]] = {}
+        self._rebuild()
+
+    @classmethod
+    def from_topology(cls, topology: ASTopology) -> "GeoDatabase":
+        entries: Dict[Prefix, str] = {}
+        for asn in topology.asns():
+            node = topology.node(asn)
+            for prefix in node.all_prefixes:
+                entries[prefix] = node.country
+        return cls(entries)
+
+    def _rebuild(self) -> None:
+        self._by_length = {}
+        for prefix in self._countries:
+            self._by_length.setdefault(prefix.length, []).append(prefix)
+
+    def add(self, prefix: Prefix, country: str) -> None:
+        self._countries[prefix] = country
+        self._by_length.setdefault(prefix.length, []).append(prefix)
+
+    def __len__(self) -> int:
+        return len(self._countries)
+
+    def countries(self) -> List[str]:
+        return sorted(set(self._countries.values()))
+
+    def country_of(self, prefix: Prefix) -> Optional[str]:
+        """Country of ``prefix`` via longest-prefix match (None if unknown)."""
+        exact = self._countries.get(prefix)
+        if exact is not None:
+            return exact
+        for length in sorted(self._by_length, reverse=True):
+            if length > prefix.length:
+                # A more-specific allocation cannot cover a less-specific query.
+                pass
+            for candidate in self._by_length[length]:
+                if candidate.contains(prefix):
+                    return self._countries[candidate]
+        return None
+
+    def prefixes_of(self, country: str) -> List[Prefix]:
+        return sorted(p for p, c in self._countries.items() if c == country)

@@ -1,0 +1,135 @@
+"""MOAS-based hijack detection consumer (§6.2, the "Hijacks" project).
+
+Most common hijacks manifest as two or more ASes announcing exactly the same
+prefix (or a portion of the same address space) at the same time.  The
+consumer watches the per-bin RT output of every collector, maintains the set
+of origins observed per prefix across all VPs, and raises an alert whenever
+a prefix acquires an origin set it did not have before (optionally filtered
+by a whitelist of known-legitimate MOAS sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.corsaro.plugins.routing_tables import RTBinOutput, VPKey
+from repro.kafka.broker import MessageBroker
+from repro.kafka.client import Consumer
+from repro.monitoring.publisher import diffs_topic
+
+
+@dataclass(frozen=True)
+class HijackAlert:
+    """A suspicious multi-origin event."""
+
+    prefix: Prefix
+    origins: FrozenSet[int]
+    new_origins: FrozenSet[int]
+    detected_at: int
+
+    def involves(self, asn: int) -> bool:
+        return asn in self.origins
+
+
+class HijackConsumer:
+    """Consumes RT bins and raises MOAS alerts."""
+
+    def __init__(
+        self,
+        message_broker: MessageBroker,
+        collectors: Sequence[str],
+        group: str = "hijack-consumer",
+        whitelist: Iterable[FrozenSet[int]] = (),
+        min_vps: int = 1,
+    ) -> None:
+        self.message_broker = message_broker
+        self.collectors = list(collectors)
+        self.whitelist: Set[FrozenSet[int]] = set(whitelist)
+        #: Require an origin to be seen by at least this many VPs to count
+        #: (protects against a single misbehaving VP).
+        self.min_vps = max(1, min_vps)
+        self._consumer = Consumer(
+            message_broker, group=group, topics=[diffs_topic(c) for c in self.collectors]
+        )
+        #: prefix -> {vp -> origin}
+        self._origins: Dict[Prefix, Dict[VPKey, int]] = {}
+        #: prefix -> origin set already alerted on.
+        self._known: Dict[Prefix, FrozenSet[int]] = {}
+        self.alerts: List[HijackAlert] = []
+        self.bins_processed = 0
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def poll(self) -> List[HijackAlert]:
+        """Consume newly published bins; returns alerts raised by this poll."""
+        new_alerts: List[HijackAlert] = []
+        by_bin: Dict[int, List[RTBinOutput]] = {}
+        for message in self._consumer.poll():
+            output: RTBinOutput = message.value
+            by_bin.setdefault(output.interval_start, []).append(output)
+        for interval_start in sorted(by_bin):
+            for output in by_bin[interval_start]:
+                self._apply_bin(output)
+            new_alerts.extend(self._detect(interval_start))
+            self.bins_processed += 1
+        self.alerts.extend(new_alerts)
+        return new_alerts
+
+    def _apply_bin(self, output: RTBinOutput) -> None:
+        if output.snapshots:
+            for vp, cells in output.snapshots.items():
+                for prefix, cell in cells.items():
+                    origin = cell.as_path.origin_asn if cell.as_path else None
+                    if origin is not None:
+                        self._origins.setdefault(prefix, {})[vp] = origin
+        for diff in output.diffs:
+            per_vp = self._origins.setdefault(diff.prefix, {})
+            if diff.announced and diff.as_path is not None and diff.as_path.origin_asn:
+                per_vp[diff.vp] = diff.as_path.origin_asn
+            else:
+                per_vp.pop(diff.vp, None)
+
+    # -- detection -----------------------------------------------------------------
+
+    def current_origins(self, prefix: Prefix) -> FrozenSet[int]:
+        per_vp = self._origins.get(prefix, {})
+        counts: Dict[int, int] = {}
+        for origin in per_vp.values():
+            counts[origin] = counts.get(origin, 0) + 1
+        return frozenset(o for o, count in counts.items() if count >= self.min_vps)
+
+    def moas_prefixes(self) -> Dict[Prefix, FrozenSet[int]]:
+        result = {}
+        for prefix in self._origins:
+            origins = self.current_origins(prefix)
+            if len(origins) > 1:
+                result[prefix] = origins
+        return result
+
+    def _detect(self, interval_start: int) -> List[HijackAlert]:
+        alerts: List[HijackAlert] = []
+        for prefix, origins in self.moas_prefixes().items():
+            if origins in self.whitelist:
+                continue
+            previous = self._known.get(prefix, frozenset())
+            if origins == previous:
+                continue
+            new_origins = origins - previous
+            self._known[prefix] = origins
+            if not new_origins:
+                continue
+            alerts.append(
+                HijackAlert(
+                    prefix=prefix,
+                    origins=origins,
+                    new_origins=frozenset(new_origins),
+                    detected_at=interval_start,
+                )
+            )
+        # Prefixes that stopped being MOAS can alert again later.
+        for prefix in list(self._known):
+            if len(self.current_origins(prefix)) <= 1:
+                del self._known[prefix]
+        return alerts

@@ -1,0 +1,196 @@
+"""Per-country and per-AS outage consumers (§6.2.4, Figure 10).
+
+A consumer reconstructs each VP's routing table from the per-bin diffs (and
+snapshots) published by the RT publishers, selects the prefixes observed by
+full-feed VPs, and computes per-bin visible-prefix counts aggregated by
+country and by origin AS.  The counts feed a time-series store with
+change-point detection: sustained drops are reported as outage alerts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.prefix import Prefix
+from repro.corsaro.plugins.routing_tables import DiffCell, RTBinOutput, VPKey
+from repro.kafka.broker import MessageBroker
+from repro.kafka.client import Consumer
+from repro.monitoring.geo import GeoDatabase
+from repro.monitoring.publisher import diffs_topic
+from repro.monitoring.timeseries import ChangePoint, TimeSeriesStore
+
+
+@dataclass(frozen=True)
+class OutageAlert:
+    """One detected outage: a sustained drop in visible prefixes."""
+
+    scope: str  # "country" or "asn"
+    key: str  # country code or ASN (as string)
+    start: int
+    end: int
+    min_relative_change: float
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class _VPView:
+    """The consumer-side copy of one VP's routing table."""
+
+    prefixes: Dict[Prefix, int] = field(default_factory=dict)  # prefix -> origin ASN
+
+
+class OutageConsumer:
+    """Consumes RT bins for a set of collectors and tracks prefix visibility."""
+
+    def __init__(
+        self,
+        message_broker: MessageBroker,
+        collectors: Sequence[str],
+        geo: GeoDatabase,
+        group: str = "outage-consumer",
+        full_feed_threshold: float = 0.8,
+        store: Optional[TimeSeriesStore] = None,
+    ) -> None:
+        self.message_broker = message_broker
+        self.collectors = list(collectors)
+        self.geo = geo
+        #: A VP is full-feed if its table holds at least this fraction of the
+        #: largest table observed in the same bin (the paper's "within 20
+        #: percentage points of the maximum" definition).
+        self.full_feed_threshold = full_feed_threshold
+        self.store = store or TimeSeriesStore(window=12, threshold=0.3)
+        self._consumer = Consumer(
+            message_broker, group=group, topics=[diffs_topic(c) for c in self.collectors]
+        )
+        self._views: Dict[VPKey, _VPView] = {}
+        self.bins_processed = 0
+
+    # -- ingestion -------------------------------------------------------------
+
+    def poll(self) -> List[int]:
+        """Consume any newly published bins; returns the bin starts processed."""
+        processed: List[int] = []
+        by_bin: Dict[int, List[RTBinOutput]] = {}
+        for message in self._consumer.poll():
+            output: RTBinOutput = message.value
+            by_bin.setdefault(output.interval_start, []).append(output)
+        for interval_start in sorted(by_bin):
+            for output in by_bin[interval_start]:
+                self._apply_bin(output)
+            self._record_bin(interval_start)
+            processed.append(interval_start)
+            self.bins_processed += 1
+        return processed
+
+    def _apply_bin(self, output: RTBinOutput) -> None:
+        if output.snapshots:
+            for vp, cells in output.snapshots.items():
+                view = self._views.setdefault(vp, _VPView())
+                view.prefixes = {
+                    prefix: cell.as_path.origin_asn if cell.as_path else 0
+                    for prefix, cell in cells.items()
+                }
+        for diff in output.diffs:
+            view = self._views.setdefault(diff.vp, _VPView())
+            if diff.announced and diff.as_path is not None:
+                view.prefixes[diff.prefix] = diff.as_path.origin_asn or 0
+            else:
+                view.prefixes.pop(diff.prefix, None)
+
+    # -- aggregation --------------------------------------------------------------
+
+    def _full_feed_views(self) -> List[_VPView]:
+        if not self._views:
+            return []
+        sizes = {vp: len(view.prefixes) for vp, view in self._views.items()}
+        largest = max(sizes.values(), default=0)
+        if largest == 0:
+            return []
+        return [
+            view
+            for vp, view in self._views.items()
+            if sizes[vp] >= self.full_feed_threshold * largest
+        ]
+
+    def visible_prefixes(self) -> Dict[Prefix, int]:
+        """prefix -> origin ASN, over the prefixes visible from full-feed VPs."""
+        result: Dict[Prefix, int] = {}
+        for view in self._full_feed_views():
+            for prefix, origin in view.prefixes.items():
+                result.setdefault(prefix, origin)
+        return result
+
+    def _record_bin(self, interval_start: int) -> None:
+        visible = self.visible_prefixes()
+        per_country: Dict[str, int] = {}
+        per_asn: Dict[int, int] = {}
+        for prefix, origin in visible.items():
+            country = self.geo.country_of(prefix)
+            if country is not None:
+                per_country[country] = per_country.get(country, 0) + 1
+            per_asn[origin] = per_asn.get(origin, 0) + 1
+        for country in self.geo.countries():
+            self.store.append(
+                f"country.{country}.visible_prefixes",
+                interval_start,
+                per_country.get(country, 0),
+            )
+        for asn, count in sorted(per_asn.items()):
+            self.store.append(f"asn.{asn}.visible_prefixes", interval_start, count)
+        self.store.append("global.visible_prefixes", interval_start, len(visible))
+
+    # -- detection ------------------------------------------------------------------
+
+    def country_series(self, country: str) -> List[Tuple[int, float]]:
+        return list(self.store.series(f"country.{country}.visible_prefixes"))
+
+    def asn_series(self, asn: int) -> List[Tuple[int, float]]:
+        return list(self.store.series(f"asn.{asn}.visible_prefixes"))
+
+    def detect_outages(self, scope: str = "country") -> List[OutageAlert]:
+        """Turn sustained drops in the visibility series into alerts."""
+        alerts: List[OutageAlert] = []
+        prefix = "country." if scope == "country" else "asn."
+        for name in self.store.names():
+            if not name.startswith(prefix) or not name.endswith(".visible_prefixes"):
+                continue
+            key = name[len(prefix) : -len(".visible_prefixes")]
+            drops = self.store.drops(name)
+            if not drops:
+                continue
+            alerts.extend(self._group_drops(scope, key, name, drops))
+        return alerts
+
+    def _group_drops(
+        self, scope: str, key: str, name: str, drops: List[ChangePoint]
+    ) -> List[OutageAlert]:
+        series = dict(self.store.series(name).points)
+        timestamps = sorted(series)
+        if len(timestamps) < 2:
+            return []
+        bin_size = timestamps[1] - timestamps[0]
+        alerts: List[OutageAlert] = []
+        current: Optional[List[ChangePoint]] = None
+        for drop in drops:
+            if current and drop.timestamp - current[-1].timestamp <= 2 * bin_size:
+                current.append(drop)
+            else:
+                if current:
+                    alerts.append(self._alert_from(scope, key, current))
+                current = [drop]
+        if current:
+            alerts.append(self._alert_from(scope, key, current))
+        return alerts
+
+    def _alert_from(self, scope: str, key: str, drops: List[ChangePoint]) -> OutageAlert:
+        return OutageAlert(
+            scope=scope,
+            key=key,
+            start=drops[0].timestamp,
+            end=drops[-1].timestamp,
+            min_relative_change=min(d.relative_change for d in drops),
+        )

@@ -1,0 +1,137 @@
+"""Time-series storage with automated change-point detection.
+
+The outage consumers "store data into a time series monitoring system
+supporting automated change-point detection and data visualization" (§6.2.4).
+This module provides the storage plus a simple, robust detector: a point is
+flagged when it deviates from the trailing median of a sliding window by
+more than a configurable relative threshold (drops for outages, spikes for
+hijack-style signals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ChangePoint:
+    """One detected deviation in a series."""
+
+    series: str
+    timestamp: int
+    value: float
+    baseline: float
+    relative_change: float  # (value - baseline) / baseline
+
+    @property
+    def is_drop(self) -> bool:
+        return self.relative_change < 0
+
+
+@dataclass
+class TimeSeries:
+    """One named series of (timestamp, value) points, kept in time order."""
+
+    name: str
+    points: List[Tuple[int, float]] = field(default_factory=list)
+
+    def append(self, timestamp: int, value: float) -> None:
+        if self.points and timestamp < self.points[-1][0]:
+            raise ValueError(f"timestamps must be non-decreasing in series {self.name}")
+        self.points.append((timestamp, float(value)))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Tuple[int, float]]:
+        return iter(self.points)
+
+    def values(self) -> List[float]:
+        return [value for _, value in self.points]
+
+    def timestamps(self) -> List[int]:
+        return [timestamp for timestamp, _ in self.points]
+
+    def latest(self) -> Optional[Tuple[int, float]]:
+        return self.points[-1] if self.points else None
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+class TimeSeriesStore:
+    """A collection of named time series plus change-point detection."""
+
+    def __init__(self, window: int = 12, threshold: float = 0.3) -> None:
+        #: Number of trailing points used as the baseline.
+        self.window = max(2, window)
+        #: Relative deviation (fraction of the baseline) that triggers a change point.
+        self.threshold = threshold
+        self._series: Dict[str, TimeSeries] = {}
+
+    # -- storage ------------------------------------------------------------------
+
+    def append(self, name: str, timestamp: int, value: float) -> None:
+        self.series(name).append(timestamp, value)
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    # -- detection -----------------------------------------------------------------
+
+    def change_points(
+        self, name: str, direction: Optional[str] = None
+    ) -> List[ChangePoint]:
+        """Detect deviations in one series.
+
+        ``direction`` restricts the result to ``"drop"`` or ``"spike"``
+        change points; None returns both.
+        """
+        series = self.series(name)
+        points = series.points
+        detected: List[ChangePoint] = []
+        for index in range(1, len(points)):
+            window_start = max(0, index - self.window)
+            baseline_values = [value for _, value in points[window_start:index]]
+            if not baseline_values:
+                continue
+            baseline = _median(baseline_values)
+            timestamp, value = points[index]
+            if baseline == 0:
+                continue
+            relative = (value - baseline) / baseline
+            if abs(relative) < self.threshold:
+                continue
+            change = ChangePoint(
+                series=name,
+                timestamp=timestamp,
+                value=value,
+                baseline=baseline,
+                relative_change=relative,
+            )
+            if direction == "drop" and not change.is_drop:
+                continue
+            if direction == "spike" and change.is_drop:
+                continue
+            detected.append(change)
+        return detected
+
+    def drops(self, name: str) -> List[ChangePoint]:
+        return self.change_points(name, direction="drop")
+
+    def spikes(self, name: str) -> List[ChangePoint]:
+        return self.change_points(name, direction="spike")

@@ -1,0 +1,52 @@
+"""MRT routing-information export format (RFC 6396).
+
+RouteViews and RIPE RIS publish their RIB and Updates dumps in the binary
+MRT format; libBGPStream opens those dumps through an extended libBGPdump.
+This package implements the subset of MRT used by those projects:
+
+* ``TABLE_DUMP_V2`` — PEER_INDEX_TABLE plus RIB_IPV4/IPV6_UNICAST records
+  (RIB dumps).
+* ``BGP4MP`` / ``BGP4MP_ET`` — MESSAGE_AS4 (update messages) and
+  STATE_CHANGE_AS4 (session state changes) records (Updates dumps).
+
+The writer produces genuine binary dump files (optionally gzip-compressed);
+the reader parses them back into structured records and *signals* corruption
+instead of raising, mirroring the corrupted-read signal the paper added to
+libBGPdump (§3.3.3).
+"""
+
+from repro.mrt.constants import MRTType, TableDumpV2Subtype, BGP4MPSubtype
+from repro.mrt.records import (
+    MRTHeader,
+    MRTRecord,
+    PeerEntry,
+    PeerIndexTable,
+    RIBEntry,
+    RIBPrefixRecord,
+    BGP4MPMessage,
+    BGP4MPStateChange,
+    CorruptRecord,
+)
+from repro.mrt.writer import MRTDumpWriter, write_rib_dump, write_updates_dump
+from repro.mrt.parser import MRTDumpReader, MRTParseError, read_dump
+
+__all__ = [
+    "MRTType",
+    "TableDumpV2Subtype",
+    "BGP4MPSubtype",
+    "MRTHeader",
+    "MRTRecord",
+    "PeerEntry",
+    "PeerIndexTable",
+    "RIBEntry",
+    "RIBPrefixRecord",
+    "BGP4MPMessage",
+    "BGP4MPStateChange",
+    "CorruptRecord",
+    "MRTDumpWriter",
+    "MRTDumpReader",
+    "MRTParseError",
+    "write_rib_dump",
+    "write_updates_dump",
+    "read_dump",
+]

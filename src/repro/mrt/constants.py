@@ -1,0 +1,46 @@
+"""MRT type and subtype codes (RFC 6396 §4, RFC 6397)."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class MRTType(IntEnum):
+    """Top-level MRT record types used by RouteViews / RIPE RIS dumps."""
+
+    TABLE_DUMP = 12
+    TABLE_DUMP_V2 = 13
+    BGP4MP = 16
+    BGP4MP_ET = 17
+
+
+class TableDumpV2Subtype(IntEnum):
+    """TABLE_DUMP_V2 subtypes (RFC 6396 §4.3)."""
+
+    PEER_INDEX_TABLE = 1
+    RIB_IPV4_UNICAST = 2
+    RIB_IPV4_MULTICAST = 3
+    RIB_IPV6_UNICAST = 4
+    RIB_IPV6_MULTICAST = 5
+    RIB_GENERIC = 6
+
+
+class BGP4MPSubtype(IntEnum):
+    """BGP4MP subtypes (RFC 6396 §4.4); the AS4 variants carry 32-bit ASNs."""
+
+    STATE_CHANGE = 0
+    MESSAGE = 1
+    MESSAGE_AS4 = 4
+    STATE_CHANGE_AS4 = 5
+
+
+#: Address family identifiers used inside MRT records.
+AFI_IPV4 = 1
+AFI_IPV6 = 2
+
+#: Peer-entry type bits in the PEER_INDEX_TABLE (RFC 6396 §4.3.1).
+PEER_TYPE_IPV6 = 0x01
+PEER_TYPE_AS4 = 0x02
+
+#: MRT common header length: timestamp(4) type(2) subtype(2) length(4).
+MRT_HEADER_LEN = 12

@@ -1,0 +1,159 @@
+"""Writing MRT dump files.
+
+The collector simulation uses these helpers to produce the RIB and Updates
+dump files that populate a data-provider archive.  Files can be written
+plain or gzip-compressed (RouteViews and RIPE RIS both publish compressed
+dumps; everything downstream must therefore cope with compression).
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+from typing import IO, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.prefix import Prefix
+from repro.mrt.records import (
+    BGP4MPMessage,
+    BGP4MPStateChange,
+    MRTRecord,
+    PeerEntry,
+    PeerIndexTable,
+    RIBEntry,
+    RIBPrefixRecord,
+)
+
+
+class MRTDumpWriter:
+    """Write MRT records to a dump file.
+
+    Usable as a context manager::
+
+        with MRTDumpWriter("updates.20160101.0000.mrt.gz") as writer:
+            writer.write(record)
+    """
+
+    def __init__(self, path: str, compress: Optional[bool] = None) -> None:
+        self.path = path
+        if compress is None:
+            compress = path.endswith(".gz")
+        self.compress = compress
+        self._handle: Optional[IO[bytes]] = None
+        self.records_written = 0
+
+    def __enter__(self) -> "MRTDumpWriter":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def open(self) -> None:
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if self.compress:
+            self._handle = gzip.open(self.path, "wb")
+        else:
+            self._handle = open(self.path, "wb")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def write(self, record: MRTRecord) -> None:
+        if self._handle is None:
+            raise RuntimeError("writer is not open")
+        self._handle.write(record.encode())
+        self.records_written += 1
+
+    def write_all(self, records: Iterable[MRTRecord]) -> int:
+        count = 0
+        for record in records:
+            self.write(record)
+            count += 1
+        return count
+
+
+def write_rib_dump(
+    path: str,
+    timestamp: int,
+    collector_bgp_id: str,
+    peers: Sequence[PeerEntry],
+    tables: Mapping[int, Mapping[Prefix, PathAttributes]],
+    view_name: str = "default",
+    compress: Optional[bool] = None,
+    record_timestamps: Optional[Mapping[int, int]] = None,
+) -> int:
+    """Write a TABLE_DUMP_V2 RIB dump.
+
+    ``tables`` maps a peer index (into ``peers``) to that vantage point's
+    Adj-RIB-out: a mapping prefix -> attributes.  The dump is organised the
+    way collectors organise it: one PEER_INDEX_TABLE record followed by one
+    record per prefix carrying the entries of every peer that has a route to
+    it.  ``record_timestamps`` optionally assigns a per-sequence timestamp
+    (collectors take several minutes to walk a large RIB, which the RT
+    plugin's E2 handling depends on); by default every record carries
+    ``timestamp``.
+
+    Returns the number of MRT records written.
+    """
+    index = PeerIndexTable(collector_bgp_id, view_name, list(peers))
+    # Collate per-prefix entries across peers, ordered for determinism.
+    per_prefix: Dict[Prefix, List[RIBEntry]] = {}
+    for peer_index, table in tables.items():
+        for prefix, attributes in table.items():
+            per_prefix.setdefault(prefix, []).append(
+                RIBEntry(peer_index, timestamp, attributes)
+            )
+    with MRTDumpWriter(path, compress=compress) as writer:
+        writer.write(MRTRecord.peer_index_table(timestamp, index))
+        for sequence, prefix in enumerate(sorted(per_prefix)):
+            entries = sorted(per_prefix[prefix], key=lambda e: e.peer_index)
+            record_time = timestamp
+            if record_timestamps is not None:
+                record_time = record_timestamps.get(sequence, timestamp)
+            writer.write(
+                MRTRecord.rib_prefix(record_time, RIBPrefixRecord(sequence, prefix, entries))
+            )
+        return writer.records_written
+
+
+def write_updates_dump(
+    path: str,
+    messages: Iterable[Tuple[int, object]],
+    compress: Optional[bool] = None,
+) -> int:
+    """Write a BGP4MP Updates dump.
+
+    ``messages`` is an iterable of ``(timestamp, body)`` pairs where ``body``
+    is either a :class:`BGP4MPMessage` or a :class:`BGP4MPStateChange`.
+    Records are written in the order given (collectors write them in arrival
+    order, which is non-decreasing timestamp order).
+
+    Returns the number of MRT records written.
+    """
+    with MRTDumpWriter(path, compress=compress) as writer:
+        for timestamp, body in messages:
+            if isinstance(body, BGP4MPMessage):
+                writer.write(MRTRecord.bgp4mp_message(timestamp, body))
+            elif isinstance(body, BGP4MPStateChange):
+                writer.write(MRTRecord.bgp4mp_state_change(timestamp, body))
+            else:
+                raise TypeError(f"unsupported updates-dump body: {type(body)!r}")
+        return writer.records_written
+
+
+def corrupt_file(path: str, truncate_at: int = 100) -> None:
+    """Deliberately truncate a dump file (test/benchmark helper).
+
+    Simulates the partially-written or damaged dumps that the paper's error
+    checking (§3.3.3) and the RT plugin's E1/E3 handling must tolerate.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    cut = min(truncate_at, max(1, len(data) - 1))
+    with open(path, "wb") as handle:
+        handle.write(data[:cut])

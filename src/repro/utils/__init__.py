@@ -1,0 +1,20 @@
+"""Shared utilities: time handling, interval arithmetic, deterministic RNG."""
+
+from repro.utils.intervals import TimeInterval, group_overlapping
+from repro.utils.timeutil import (
+    Clock,
+    SimulatedClock,
+    SystemClock,
+    bin_start,
+    iter_bins,
+)
+
+__all__ = [
+    "TimeInterval",
+    "group_overlapping",
+    "Clock",
+    "SimulatedClock",
+    "SystemClock",
+    "bin_start",
+    "iter_bins",
+]

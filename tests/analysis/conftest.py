@@ -1,0 +1,33 @@
+"""Fixtures for the longitudinal analyses: a small multi-month archive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectors.archive import Archive
+from repro.collectors.longitudinal import LongitudinalConfig, LongitudinalScenario
+from repro.collectors.topology import TopologyConfig
+
+
+@pytest.fixture(scope="session")
+def longitudinal_scenario() -> LongitudinalScenario:
+    config = LongitudinalConfig(
+        months=12,
+        topology=TopologyConfig(num_tier1=4, num_transit=16, num_stub=60, seed=41),
+        vps_per_collector=5,
+        moas_fraction=0.05,
+        seed=42,
+    )
+    return LongitudinalScenario(config)
+
+
+@pytest.fixture(scope="session")
+def longitudinal_archive(tmp_path_factory, longitudinal_scenario) -> Archive:
+    archive = Archive(str(tmp_path_factory.mktemp("longitudinal-archive")))
+    longitudinal_scenario.generate(archive)
+    return archive
+
+
+@pytest.fixture(scope="session")
+def month_timestamps(longitudinal_scenario):
+    return [s.timestamp for s in longitudinal_scenario.snapshots]

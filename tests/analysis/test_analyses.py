@@ -1,0 +1,152 @@
+"""Tests for the Section 4.2 / Section 5 analyses over the longitudinal archive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.communities import analyse_communities
+from repro.analysis.mapreduce import MapReduceDriver, Partition
+from repro.analysis.moas import analyse_moas
+from repro.analysis.path_inflation import analyse_path_inflation
+from repro.analysis.rib_growth import analyse_rib_growth
+from repro.analysis.transit import analyse_transit
+from repro.broker.broker import Broker
+from repro.core.interfaces import BrokerDataInterface
+from repro.core.stream import BGPStream
+
+
+def _rib_stream(archive, timestamp, window=3600):
+    stream = BGPStream(data_interface=BrokerDataInterface(Broker(archives=[archive])))
+    stream.add_interval_filter(timestamp, timestamp + window)
+    stream.add_filter("record-type", "ribs")
+    return stream
+
+
+class TestMapReduceDriver:
+    def test_partitions_per_timestamp_and_collector(self, longitudinal_archive, month_timestamps):
+        driver = MapReduceDriver(longitudinal_archive, lambda s, p: 0)
+        partitions = driver.partitions_for(month_timestamps[:2])
+        collectors = longitudinal_archive.collectors()
+        assert len(partitions) == 2 * len(collectors)
+
+    def test_map_runs_function_per_partition(self, longitudinal_archive, month_timestamps):
+        def count_records(stream, partition):
+            return sum(1 for _ in stream.records())
+
+        driver = MapReduceDriver(longitudinal_archive, count_records, workers=2)
+        partitions = driver.partitions_for(month_timestamps[:1])
+        results = driver.map(partitions)
+        assert len(results) == len(partitions)
+        assert all(count > 0 for _partition, count in results)
+
+    def test_map_reduce_applies_reducer(self, longitudinal_archive, month_timestamps):
+        driver = MapReduceDriver(longitudinal_archive, lambda s, p: 1, workers=1)
+        partitions = driver.partitions_for(month_timestamps[:1])
+        total = driver.map_reduce(partitions, lambda results: sum(v for _p, v in results))
+        assert total == len(partitions)
+
+
+class TestPathInflation:
+    def test_listing1_on_latest_month(self, longitudinal_archive, month_timestamps):
+        stream = _rib_stream(longitudinal_archive, month_timestamps[-1])
+        result = analyse_path_inflation(stream)
+        assert result.pairs_examined > 0
+        # Policy routing inflates a meaningful share of paths, never all.
+        assert 0.0 < result.inflated_fraction < 1.0
+        assert result.max_extra_hops >= 1
+        assert sum(result.inflation_histogram.values()) == result.pairs_examined
+        assert result.inflation_histogram.get(0, 0) + result.inflated_pairs == result.pairs_examined
+
+
+class TestRIBGrowth:
+    @pytest.fixture(scope="class")
+    def growth(self, longitudinal_archive, month_timestamps):
+        return analyse_rib_growth(longitudinal_archive, month_timestamps, workers=2)
+
+    def test_table_sizes_grow_over_time(self, growth, month_timestamps):
+        sizes = [growth.max_table_size(month) for month in month_timestamps]
+        assert sizes[-1] > sizes[0] > 0
+
+    def test_full_and_partial_feeds_identified(self, growth, month_timestamps, longitudinal_scenario):
+        month = month_timestamps[-1]
+        full = growth.full_feed_vps(month)
+        partial = growth.partial_feed_vps(month)
+        assert full
+        # The generator creates both kinds of VPs with high probability.
+        expected_partial = sum(
+            1
+            for collector in longitudinal_scenario.collectors
+            for vp in collector.vps
+            if not vp.full_feed
+        )
+        if expected_partial:
+            assert partial
+            # Partial feeds are much smaller than the maximum.
+            sizes = growth.per_vp[month]
+            maximum = growth.max_table_size(month)
+            assert all(sizes[vp] < 0.8 * maximum for vp in partial)
+
+    def test_overall_and_asn_counts_track_growth(self, growth, month_timestamps):
+        assert growth.overall[month_timestamps[-1]] >= growth.overall[month_timestamps[0]]
+        assert growth.unique_asns[month_timestamps[-1]] > growth.unique_asns[month_timestamps[0]]
+
+
+class TestMOASAnalysis:
+    @pytest.fixture(scope="class")
+    def moas(self, longitudinal_archive, month_timestamps):
+        return analyse_moas(longitudinal_archive, month_timestamps, workers=2)
+
+    def test_moas_sets_grow_over_time(self, moas, month_timestamps):
+        counts = dict(moas.overall_counts())
+        assert counts[month_timestamps[-1]] >= counts[month_timestamps[0]]
+        assert counts[month_timestamps[-1]] > 0
+
+    def test_overall_never_below_any_single_collector(self, moas, month_timestamps):
+        """The Figure 5b headline: aggregate >= any single collector, every month."""
+        for month in month_timestamps:
+            overall = len(moas.overall[month])
+            best_single = moas.max_single_collector_count(month)
+            assert overall >= best_single
+
+
+class TestTransitAnalysis:
+    @pytest.fixture(scope="class")
+    def transit(self, longitudinal_archive, month_timestamps):
+        return analyse_transit(longitudinal_archive, month_timestamps, workers=2)
+
+    def test_ipv4_fraction_roughly_constant(self, transit, month_timestamps):
+        """IPv4 transit fraction stays in a narrow band while the AS count grows.
+
+        (At laptop scale the band is wider than on the real Internet — a few
+        tens of transit ASes dominate a small early topology — but there is
+        no collapse or explosion of the fraction.)
+        """
+        fractions = [transit.transit_fraction(m, 4) for m in month_timestamps]
+        assert all(0.1 < f < 0.6 for f in fractions)
+        assert max(fractions) - min(fractions) < 0.2
+
+    def test_ipv4_as_count_grows(self, transit, month_timestamps):
+        counts = [transit.total_asns[m][4] for m in month_timestamps]
+        assert counts[-1] > counts[0]
+
+    def test_ipv6_arrives_later_with_higher_transit_fraction(self, transit, month_timestamps):
+        v6_counts = [transit.total_asns[m][6] for m in month_timestamps]
+        assert v6_counts[0] == 0
+        assert v6_counts[-1] > 0
+        last = month_timestamps[-1]
+        assert transit.transit_fraction(last, 6) > transit.transit_fraction(last, 4)
+
+
+class TestCommunityAnalysis:
+    def test_per_vp_diversity_and_stripping(self, longitudinal_archive, month_timestamps):
+        result = analyse_communities(longitudinal_archive, [month_timestamps[-1]], workers=2)
+        assert result.total_communities > 0
+        counts = result.vp_identifier_counts()
+        assert counts
+        # Collector aggregation is at least as diverse as any of its VPs.
+        for (collector, _asn), count in counts.items():
+            assert len(result.per_collector[collector]) >= count
+        # Projects aggregate their collectors.
+        assert result.per_project
+        assert 0.0 < result.observing_fraction() <= 1.0
+        assert result.top_collectors(1)

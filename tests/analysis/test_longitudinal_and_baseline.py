@@ -1,0 +1,87 @@
+"""Tests for the longitudinal dataset generator and the bgpdump baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baseline.bgpdump import BGPDumpBaseline, bgpdump_file, parse_bgpdump_line
+from repro.collectors.topology import ASRole
+from repro.mrt import read_dump
+
+
+class TestLongitudinalGenerator:
+    def test_monthly_snapshots_cover_every_month(self, longitudinal_scenario):
+        snapshots = longitudinal_scenario.snapshots
+        assert len(snapshots) == longitudinal_scenario.config.months
+        timestamps = [s.timestamp for s in snapshots]
+        assert timestamps == sorted(timestamps)
+        assert all(s.dumps for s in snapshots)
+
+    def test_as_count_grows_monotonically(self, longitudinal_scenario):
+        counts = [len(s.active_asns) for s in longitudinal_scenario.snapshots]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+        assert counts[-1] > counts[0]
+
+    def test_prefix_counts_grow(self, longitudinal_scenario):
+        v4 = [s.prefix_count_v4 for s in longitudinal_scenario.snapshots]
+        assert v4[-1] > v4[0]
+        assert all(b >= a for a, b in zip(v4, v4[1:]))
+
+    def test_ipv6_appears_later_than_ipv4(self, longitudinal_scenario):
+        v6 = [s.prefix_count_v6 for s in longitudinal_scenario.snapshots]
+        assert v6[0] == 0
+        assert v6[-1] > 0
+
+    def test_providers_always_present_before_customers(self, longitudinal_scenario):
+        scenario = longitudinal_scenario
+        for month in (0, scenario.config.months // 2, scenario.config.months - 1):
+            topology = scenario.monthly_topology(month)
+            for asn in topology.asns():
+                if topology.node(asn).role != ASRole.TIER1:
+                    assert topology.providers(asn), f"AS{asn} orphaned in month {month}"
+
+    def test_dumps_parse_and_carry_both_projects(self, longitudinal_archive):
+        entries = longitudinal_archive.entries()
+        assert {e.project for e in entries} == {"ris", "routeviews"}
+        sample = entries[0]
+        records = read_dump(sample.path)
+        assert records and all(r.is_valid for r in records)
+
+
+class TestBGPDumpBaseline:
+    def test_single_file_ascii_lines(self, longitudinal_archive):
+        entry = longitudinal_archive.entries()[0]
+        lines = list(bgpdump_file(entry.path, dump_type="ribs"))
+        assert lines
+        assert all(line.startswith("TABLE_DUMP2|") for line in lines)
+        parsed = parse_bgpdump_line(lines[0])
+        assert parsed is not None
+        assert parsed.elem_type == "B"
+        assert parsed.prefix
+
+    def test_missing_file_produces_no_output(self, tmp_path):
+        assert list(bgpdump_file(str(tmp_path / "missing.mrt"))) == []
+
+    def test_baseline_does_not_interleave_files(self, corsaro_archive):
+        # Three early files from each collector, processed collector after
+        # collector (the typical "for f in downloaded files" loop).
+        by_collector = {}
+        for entry in sorted(
+            (e for e in corsaro_archive.entries() if e.dump_type == "updates"),
+            key=lambda e: e.timestamp,
+        ):
+            by_collector.setdefault(entry.collector, []).append(entry)
+        updates = []
+        for collector in sorted(by_collector):
+            updates.extend(by_collector[collector][:3])
+        baseline = BGPDumpBaseline([(e.path, e.dump_type) for e in updates])
+        timestamps = baseline.timestamps()
+        assert timestamps
+        assert baseline.lines_emitted >= len(timestamps)
+        # File-at-a-time output is NOT globally sorted (that is the point of
+        # the comparison with the BGPStream merge).
+        assert timestamps != sorted(timestamps)
+
+    def test_parse_rejects_garbage(self):
+        assert parse_bgpdump_line("not|a|line") is None
+        assert parse_bgpdump_line("BGP4MP|xx|A|1.2.3.4|bad") is None

@@ -1,0 +1,166 @@
+"""Tests for the Atlas simulation: probes, traceroutes, and the RTBH experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.community import Community
+from repro.bgp.prefix import Prefix
+from repro.collectors.events import RTBHEvent
+from repro.collectors.routing import RouteComputer
+from repro.collectors.topology import ASRole, TopologyConfig, generate_topology
+from repro.atlas.probes import ProbeSelector
+from repro.atlas.rtbh import RTBHExperiment, RTBHRequest
+from repro.atlas.traceroute import TracerouteEngine
+from repro.utils.intervals import TimeInterval
+
+
+@pytest.fixture(scope="module")
+def atlas_topology():
+    return generate_topology(TopologyConfig(num_tier1=4, num_transit=12, num_stub=40, seed=77))
+
+
+@pytest.fixture(scope="module")
+def atlas_setup(atlas_topology):
+    """A customer AS with a black-holing-capable provider, plus the RTBH event."""
+    topology = atlas_topology
+    customer = next(
+        asn
+        for asn in topology.asns()
+        if topology.node(asn).role == ASRole.STUB
+        and any(
+            topology.node(p).blackhole_community_value is not None
+            for p in topology.providers(asn)
+        )
+    )
+    provider = next(
+        p
+        for p in topology.providers(customer)
+        if topology.node(p).blackhole_community_value is not None
+    )
+    target = Prefix.from_address(str(topology.node(customer).prefixes[0].address), 32)
+    event = RTBHEvent(
+        interval=TimeInterval(1000, 2000),
+        customer_asn=customer,
+        blackhole_prefix=target,
+        provider_asns=(provider,),
+        communities=(Community(provider if provider <= 0xFFFF else 65535, 666),),
+        propagating_providers=(provider,),
+    )
+    return topology, customer, provider, target, event
+
+
+class TestProbeSelector:
+    def test_population_covers_every_as(self, atlas_topology):
+        selector = ProbeSelector(atlas_topology, probes_per_as=2, seed=1)
+        assert len(selector.probes) == 2 * len(atlas_topology)
+        assert len({p.probe_id for p in selector.probes}) == len(selector.probes)
+
+    def test_selection_prefers_neighbourhood_and_respects_bounds(self, atlas_topology):
+        selector = ProbeSelector(atlas_topology, probes_per_as=2, seed=1)
+        origin = atlas_topology.asns()[10]
+        selected = selector.select_for_target(origin, min_probes=50, max_probes=100)
+        assert 50 <= len(selected) <= 100
+        assert all(p.asn != origin for p in selected)
+        neighbours = set(atlas_topology.neighbors(origin))
+        assert any(p.asn in neighbours for p in selected)
+
+    def test_unknown_origin_returns_nothing(self, atlas_topology):
+        selector = ProbeSelector(atlas_topology, seed=1)
+        assert selector.select_for_target(999999) == []
+
+    def test_availability_model_drops_some_probes(self, atlas_topology):
+        selector = ProbeSelector(atlas_topology, availability=0.5, seed=2)
+        probes = selector.probes[:100]
+        active = selector.currently_active(probes)
+        assert 0 < len(active) < len(probes)
+
+
+class TestTracerouteEngine:
+    def test_traceroute_follows_policy_path(self, atlas_topology):
+        engine = TracerouteEngine(atlas_topology)
+        computer = engine.computer
+        origin = atlas_topology.asns()[0]
+        prefix = atlas_topology.node(origin).prefixes[0]
+        probe = atlas_topology.asns()[-1]
+        result = engine.traceroute(probe, prefix)
+        assert result.reached_destination and result.reached_origin_as
+        assert result.as_path[0] == probe and result.as_path[-1] == origin
+        assert result.as_path == computer.paths_to_origin(origin)[probe].asns
+
+    def test_unreachable_when_origin_excluded(self, atlas_topology):
+        engine = TracerouteEngine(atlas_topology)
+        origin = atlas_topology.asns()[0]
+        prefix = atlas_topology.node(origin).prefixes[0]
+        probe = atlas_topology.asns()[-1]
+        result = engine.traceroute(probe, prefix, excluded_asns=[origin])
+        assert not result.reached_destination
+
+    def test_covering_prefix_lookup_for_host_routes(self, atlas_setup):
+        topology, customer, _provider, target, _event = atlas_setup
+        engine = TracerouteEngine(topology)
+        probe = next(a for a in topology.asns() if a != customer)
+        result = engine.traceroute(probe, target)
+        assert result.origin_asn == customer
+
+    def test_blackholing_drops_traffic_at_provider(self, atlas_setup):
+        topology, customer, provider, target, event = atlas_setup
+        engine = TracerouteEngine(topology)
+        # A probe whose policy path to the customer crosses the black-holing
+        # provider must be dropped there.
+        computer = engine.computer
+        paths = computer.paths_to_origin(customer)
+        crossing = next(
+            asn
+            for asn, path in paths.items()
+            if provider in path.asns and asn not in (customer, provider)
+        )
+        result = engine.traceroute(crossing, target, active_rtbh=[event])
+        assert not result.reached_destination
+        assert result.dropped_at == provider
+        # Without the event the same probe reaches the destination.
+        clean = engine.traceroute(crossing, target)
+        assert clean.reached_destination
+
+    def test_customer_side_paths_can_still_reach(self, atlas_setup):
+        """Partial reachability during RTBH (the 13% band in Figure 4a)."""
+        topology, customer, provider, target, event = atlas_setup
+        engine = TracerouteEngine(topology)
+        paths = engine.computer.paths_to_origin(customer)
+        avoiding = [
+            asn
+            for asn, path in paths.items()
+            if provider not in path.asns and asn != customer
+        ]
+        if not avoiding:
+            pytest.skip("topology has no path avoiding the black-holing provider")
+        result = engine.traceroute(avoiding[0], target, active_rtbh=[event])
+        assert result.reached_destination
+
+
+class TestRTBHExperiment:
+    def test_measurement_shows_reachability_drop(self, atlas_setup):
+        topology, customer, provider, target, event = atlas_setup
+        experiment = RTBHExperiment(topology, seed=5)
+        request = RTBHRequest(
+            prefix=target,
+            origin_asn=customer,
+            communities=event.communities,
+            start=1000,
+            end=2000,
+        )
+        measurement = experiment.measure_request(request, event)
+        assert measurement is not None
+        assert measurement.probes_used >= 25
+        assert measurement.after_destination_fraction > measurement.during_destination_fraction
+        assert measurement.after_origin_fraction >= measurement.during_origin_fraction
+        assert measurement.after_destination_fraction > 0.9
+        assert measurement.reachability_dropped
+
+    def test_run_skips_requests_without_events(self, atlas_setup):
+        topology, customer, _provider, target, event = atlas_setup
+        experiment = RTBHExperiment(topology, seed=5)
+        request = RTBHRequest(target, customer, event.communities, 1000, 2000)
+        other = RTBHRequest(Prefix.from_string("192.0.2.1/32"), customer, (), 0, 1)
+        measurements = experiment.run([request, other], {target: event})
+        assert len(measurements) == 1

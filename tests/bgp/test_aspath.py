@@ -1,0 +1,116 @@
+"""Tests for AS paths: segments, hops, string and wire codecs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.aspath import ASPath, ASPathSegment, SegmentType, path_inflation
+
+
+class TestASPathConstruction:
+    def test_from_asns(self):
+        path = ASPath.from_asns([701, 3356, 15169])
+        assert len(path.segments) == 1
+        assert path.segments[0].segment_type == SegmentType.AS_SEQUENCE
+        assert str(path) == "701 3356 15169"
+
+    def test_empty_path(self):
+        path = ASPath.from_asns([])
+        assert not path
+        assert len(path) == 0
+        assert path.origin_asn is None
+        assert path.peer_asn is None
+
+    def test_from_string_with_set(self):
+        path = ASPath.from_string("701 3356 {64512,64513}")
+        assert len(path.segments) == 2
+        assert path.segments[1].segment_type == SegmentType.AS_SET
+        assert str(path) == "701 3356 {64512,64513}"
+
+    def test_from_string_round_trip(self):
+        text = "13030 2914 {4808,4837} 9808"
+        assert str(ASPath.from_string(text)) == text
+
+    def test_asn_range_validated(self):
+        with pytest.raises(ValueError):
+            ASPathSegment(SegmentType.AS_SEQUENCE, (2**32,))
+
+
+class TestASPathSemantics:
+    def test_length_counts_set_as_one(self):
+        path = ASPath.from_string("701 3356 {64512,64513}")
+        assert len(path) == 3
+
+    def test_hops_collapse_prepending(self):
+        path = ASPath.from_asns([701, 3356, 3356, 3356, 15169])
+        assert path.hops == [701, 3356, 15169]
+
+    def test_origin_and_peer(self):
+        path = ASPath.from_asns([701, 3356, 15169])
+        assert path.peer_asn == 701
+        assert path.origin_asn == 15169
+
+    def test_contains_asn(self):
+        path = ASPath.from_string("701 {3356,1299} 15169")
+        assert path.contains_asn(1299)
+        assert not path.contains_asn(2914)
+
+    def test_adjacencies(self):
+        path = ASPath.from_asns([701, 3356, 3356, 15169])
+        assert path.adjacencies() == [(701, 3356), (3356, 15169)]
+
+    def test_prepend_merges_into_sequence(self):
+        path = ASPath.from_asns([3356, 15169]).prepend(701, count=2)
+        assert path.hops == [701, 3356, 15169]
+        assert list(path.iter_asns()) == [701, 701, 3356, 15169]
+        assert len(path.segments) == 1
+
+    def test_prepend_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            ASPath.from_asns([1]).prepend(2, count=0)
+
+    def test_path_inflation(self):
+        observed = ASPath.from_asns([701, 3356, 2914, 15169])
+        assert path_inflation(observed, shortest_hops=3) == 1
+        assert path_inflation(observed, shortest_hops=4) == 0
+        assert path_inflation(observed, shortest_hops=6) == 0  # clamped
+
+
+class TestASPathCodec:
+    def test_round_trip_simple(self):
+        path = ASPath.from_asns([701, 3356, 15169])
+        assert ASPath.decode(path.encode()) == path
+
+    def test_round_trip_with_sets(self):
+        path = ASPath.from_string("701 {64512,64513} 15169 {65000}")
+        assert ASPath.decode(path.encode()) == path
+
+    def test_decode_rejects_truncated_header(self):
+        with pytest.raises(ValueError):
+            ASPath.decode(b"\x02")
+
+    def test_decode_rejects_truncated_body(self):
+        path = ASPath.from_asns([701, 3356])
+        with pytest.raises(ValueError):
+            ASPath.decode(path.encode()[:-2])
+
+    @given(st.lists(st.integers(1, 2**32 - 1), min_size=0, max_size=12))
+    def test_round_trip_random_sequences(self, asns):
+        path = ASPath.from_asns(asns)
+        assert ASPath.decode(path.encode()) == path
+        assert ASPath.from_string(str(path)) == path
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([SegmentType.AS_SEQUENCE, SegmentType.AS_SET]),
+                st.lists(st.integers(1, 2**32 - 1), min_size=1, max_size=5),
+            ),
+            min_size=0,
+            max_size=5,
+        )
+    )
+    def test_round_trip_random_segments(self, raw):
+        path = ASPath(tuple(ASPathSegment(t, tuple(a)) for t, a in raw))
+        assert ASPath.decode(path.encode()) == path

@@ -1,0 +1,95 @@
+"""Tests for the communities attribute."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.community import (
+    BLACKHOLE,
+    NO_EXPORT,
+    Community,
+    CommunitySet,
+)
+
+
+class TestCommunity:
+    def test_parse_and_str(self):
+        community = Community.from_string("3356:666")
+        assert community.asn == 3356
+        assert community.value == 666
+        assert str(community) == "3356:666"
+
+    def test_int_round_trip(self):
+        community = Community(65535, 666)
+        assert Community.from_int(community.to_int()) == community
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            Community(70000, 1)
+        with pytest.raises(ValueError):
+            Community(1, 70000)
+
+    def test_well_known_values(self):
+        assert Community(*BLACKHOLE) == Community(65535, 666)
+        assert Community(*NO_EXPORT).value == 65281
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_from_int_round_trip(self, raw):
+        assert Community.from_int(raw).to_int() == raw
+
+
+class TestCommunitySet:
+    def test_membership_accepts_strings_and_tuples(self):
+        cset = CommunitySet.from_strings(["3356:100", "65535:666"])
+        assert "3356:100" in cset
+        assert (65535, 666) in cset
+        assert Community(3356, 100) in cset
+        assert "3356:200" not in cset
+
+    def test_str_is_sorted(self):
+        cset = CommunitySet.from_pairs([(200, 1), (100, 2)])
+        assert str(cset) == "100:2 200:1"
+
+    def test_set_operations_are_persistent(self):
+        base = CommunitySet.from_pairs([(1, 1)])
+        extended = base.add(Community(2, 2))
+        assert len(base) == 1
+        assert len(extended) == 2
+        assert extended.remove(Community(1, 1)) == CommunitySet.from_pairs([(2, 2)])
+
+    def test_asn_identifiers(self):
+        cset = CommunitySet.from_pairs([(3356, 1), (3356, 2), (2914, 9)])
+        assert cset.asn_identifiers() == frozenset({3356, 2914})
+
+    def test_matches_any(self):
+        cset = CommunitySet.from_pairs([(65535, 666)])
+        assert cset.matches_any([Community(65535, 666), Community(1, 1)])
+        assert not cset.matches_any([Community(1, 1)])
+
+    def test_union(self):
+        a = CommunitySet.from_pairs([(1, 1)])
+        b = CommunitySet.from_pairs([(2, 2)])
+        assert len(a.union(b)) == 2
+
+    def test_encode_decode_round_trip(self):
+        cset = CommunitySet.from_pairs([(3356, 100), (65535, 666)])
+        assert CommunitySet.decode(cset.encode()) == cset
+
+    def test_decode_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            CommunitySet.decode(b"\x00\x01\x02")
+
+    def test_empty_set_is_falsy(self):
+        assert not CommunitySet()
+        assert CommunitySet().encode() == b""
+
+    @given(
+        st.frozensets(
+            st.tuples(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF)), max_size=20
+        )
+    )
+    def test_round_trip_random(self, pairs):
+        cset = CommunitySet.from_pairs(pairs)
+        assert CommunitySet.decode(cset.encode()) == cset
+        assert len(cset) == len(pairs)

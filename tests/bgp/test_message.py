@@ -1,0 +1,143 @@
+"""Tests for path attributes and the UPDATE message codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import Origin, PathAttributes
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.message import (
+    BGPDecodeError,
+    BGPUpdate,
+    MessageType,
+    decode_update,
+    encode_update,
+)
+from repro.bgp.prefix import Prefix
+
+
+def _prefix_strategy():
+    return st.builds(
+        lambda addr, length: Prefix.from_address(
+            f"{(addr >> 24) & 0xFF}.{(addr >> 16) & 0xFF}.{(addr >> 8) & 0xFF}.{addr & 0xFF}",
+            length,
+        ),
+        st.integers(0, 2**32 - 1),
+        st.integers(8, 32),
+    )
+
+
+class TestPathAttributesCodec:
+    def test_round_trip_full(self, sample_attributes):
+        sample_attributes.med = 50
+        sample_attributes.local_pref = 200
+        sample_attributes.atomic_aggregate = True
+        sample_attributes.aggregator = (64500, "10.0.0.9")
+        decoded = PathAttributes.decode(sample_attributes.encode())
+        assert decoded.as_path == sample_attributes.as_path
+        assert decoded.next_hop == "10.0.0.1"
+        assert decoded.med == 50
+        assert decoded.local_pref == 200
+        assert decoded.atomic_aggregate is True
+        assert decoded.aggregator == (64500, "10.0.0.9")
+        assert decoded.communities == sample_attributes.communities
+
+    def test_round_trip_ipv6_mp_reach(self):
+        attrs = PathAttributes(
+            as_path=ASPath.from_asns([1, 2]),
+            mp_next_hop="2001:db8::1",
+            mp_reach_nlri=[Prefix.from_string("2001:db8:1::/48")],
+        )
+        decoded = PathAttributes.decode(attrs.encode())
+        assert decoded.mp_next_hop == "2001:db8::1"
+        assert decoded.mp_reach_nlri == attrs.mp_reach_nlri
+
+    def test_round_trip_ipv6_mp_unreach(self):
+        attrs = PathAttributes(mp_unreach_nlri=[Prefix.from_string("2001:db8::/32")])
+        decoded = PathAttributes.decode(attrs.encode())
+        assert decoded.mp_unreach_nlri == attrs.mp_unreach_nlri
+
+    def test_effective_next_hop(self):
+        attrs = PathAttributes(next_hop="10.0.0.1", mp_next_hop="2001:db8::1")
+        assert attrs.effective_next_hop(4) == "10.0.0.1"
+        assert attrs.effective_next_hop(6) == "2001:db8::1"
+
+    def test_decode_truncated_raises(self, sample_attributes):
+        encoded = sample_attributes.encode()
+        with pytest.raises(ValueError):
+            PathAttributes.decode(encoded[:-3])
+
+    def test_default_origin(self):
+        assert PathAttributes().origin == Origin.IGP
+
+
+class TestUpdateCodec:
+    def test_round_trip_announcement(self, sample_attributes, sample_prefix):
+        update = BGPUpdate(announced=[sample_prefix], attributes=sample_attributes)
+        decoded = decode_update(encode_update(update))
+        assert decoded.announced == [sample_prefix]
+        assert decoded.attributes.as_path == sample_attributes.as_path
+        assert not decoded.withdrawn
+
+    def test_round_trip_withdrawal_only(self, sample_prefix):
+        update = BGPUpdate(withdrawn=[sample_prefix])
+        decoded = decode_update(update.encode())
+        assert decoded.withdrawn == [sample_prefix]
+        assert not decoded.announced
+
+    def test_round_trip_mixed_families(self, sample_attributes):
+        sample_attributes.mp_next_hop = "2001:db8::1"
+        sample_attributes.mp_reach_nlri = [Prefix.from_string("2001:db8:2::/48")]
+        update = BGPUpdate(
+            announced=[Prefix.from_string("10.0.0.0/8")], attributes=sample_attributes
+        )
+        decoded = decode_update(update.encode())
+        assert len(decoded.all_announced) == 2
+        assert {p.version for p in decoded.all_announced} == {4, 6}
+
+    def test_header_fields(self, sample_prefix):
+        wire = BGPUpdate(withdrawn=[sample_prefix]).encode()
+        assert wire[:16] == b"\xff" * 16
+        assert wire[18] == MessageType.UPDATE
+
+    def test_decode_rejects_bad_marker(self, sample_prefix):
+        wire = bytearray(BGPUpdate(withdrawn=[sample_prefix]).encode())
+        wire[0] = 0
+        with pytest.raises(BGPDecodeError):
+            decode_update(bytes(wire))
+
+    def test_decode_rejects_length_mismatch(self, sample_prefix):
+        wire = BGPUpdate(withdrawn=[sample_prefix]).encode()
+        with pytest.raises(BGPDecodeError):
+            decode_update(wire + b"\x00")
+
+    def test_decode_rejects_short_message(self):
+        with pytest.raises(BGPDecodeError):
+            decode_update(b"\xff" * 10)
+
+    def test_decode_rejects_truncated_body(self, sample_attributes, sample_prefix):
+        update = BGPUpdate(announced=[sample_prefix], attributes=sample_attributes)
+        wire = bytearray(update.encode())
+        # Corrupt the attribute length so the attributes overrun the message.
+        wire[23] = 0xFF
+        wire[24] = 0xFF
+        with pytest.raises(BGPDecodeError):
+            decode_update(bytes(wire))
+
+    @given(st.lists(_prefix_strategy(), max_size=8), st.lists(_prefix_strategy(), max_size=8))
+    def test_round_trip_random_prefix_lists(self, announced, withdrawn):
+        attrs = PathAttributes(
+            as_path=ASPath.from_asns([64500, 1299]),
+            next_hop="10.1.1.1",
+            communities=CommunitySet([Community(64500, 1)]),
+        )
+        update = BGPUpdate(
+            withdrawn=withdrawn,
+            announced=announced,
+            attributes=attrs if announced else PathAttributes(),
+        )
+        decoded = decode_update(update.encode())
+        assert decoded.announced == announced
+        assert decoded.withdrawn == withdrawn

@@ -1,0 +1,99 @@
+"""Tests for IP prefix handling and the NLRI wire codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.prefix import Prefix
+
+
+class TestPrefixBasics:
+    def test_parse_ipv4(self):
+        prefix = Prefix.from_string("192.0.2.0/24")
+        assert prefix.version == 4
+        assert prefix.length == 24
+        assert str(prefix) == "192.0.2.0/24"
+
+    def test_parse_ipv6(self):
+        prefix = Prefix.from_string("2001:db8::/32")
+        assert prefix.version == 6
+        assert prefix.length == 32
+
+    def test_host_bits_tolerated(self):
+        prefix = Prefix.from_string("192.0.2.7/24")
+        assert str(prefix) == "192.0.2.0/24"
+
+    def test_from_address(self):
+        assert Prefix.from_address("10.0.0.0", 8) == Prefix.from_string("10.0.0.0/8")
+
+    def test_is_host(self):
+        assert Prefix.from_string("192.0.2.1/32").is_host()
+        assert not Prefix.from_string("192.0.2.0/24").is_host()
+        assert Prefix.from_string("2001:db8::1/128").is_host()
+
+    def test_ordering_is_total(self):
+        prefixes = [
+            Prefix.from_string("10.0.0.0/8"),
+            Prefix.from_string("2001:db8::/32"),
+            Prefix.from_string("9.0.0.0/8"),
+        ]
+        ordered = sorted(prefixes)
+        assert [str(p) for p in ordered] == ["9.0.0.0/8", "10.0.0.0/8", "2001:db8::/32"]
+
+
+class TestPrefixRelationships:
+    def test_contains_more_specific(self):
+        assert Prefix.from_string("192.0.0.0/8").contains(Prefix.from_string("192.0.2.0/24"))
+        assert not Prefix.from_string("192.0.2.0/24").contains(Prefix.from_string("192.0.0.0/8"))
+
+    def test_contains_self(self):
+        prefix = Prefix.from_string("10.0.0.0/8")
+        assert prefix.contains(prefix)
+
+    def test_cross_family_never_contains(self):
+        assert not Prefix.from_string("0.0.0.0/0").contains(Prefix.from_string("::/0"))
+
+    def test_overlaps(self):
+        assert Prefix.from_string("10.0.0.0/8").overlaps(Prefix.from_string("10.1.0.0/16"))
+        assert not Prefix.from_string("10.0.0.0/8").overlaps(Prefix.from_string("11.0.0.0/8"))
+
+
+class TestPrefixCodec:
+    def test_round_trip_ipv4(self):
+        prefix = Prefix.from_string("192.0.2.0/24")
+        decoded, offset = Prefix.decode(prefix.encode(), 0, version=4)
+        assert decoded == prefix
+        assert offset == len(prefix.encode())
+
+    def test_round_trip_ipv6(self):
+        prefix = Prefix.from_string("2001:db8:1234::/48")
+        decoded, _ = Prefix.decode(prefix.encode(), 0, version=6)
+        assert decoded == prefix
+
+    def test_default_route_encodes_to_single_byte(self):
+        assert Prefix.from_string("0.0.0.0/0").encode() == b"\x00"
+
+    def test_decode_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            Prefix.decode(b"\x18\xc0", 0, version=4)  # /24 needs 3 address bytes
+
+    def test_decode_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            Prefix.decode(bytes([40]) + b"\x00" * 5, 0, version=4)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 32))
+    def test_round_trip_random_ipv4(self, address, length):
+        import ipaddress
+
+        prefix = Prefix.from_address(str(ipaddress.IPv4Address(address)), length)
+        decoded, _ = Prefix.decode(prefix.encode(), 0, version=4)
+        assert decoded == prefix
+
+    @given(st.integers(0, 2**128 - 1), st.integers(0, 128))
+    def test_round_trip_random_ipv6(self, address, length):
+        import ipaddress
+
+        prefix = Prefix.from_address(str(ipaddress.IPv6Address(address)), length)
+        decoded, _ = Prefix.decode(prefix.encode(), 0, version=6)
+        assert decoded == prefix

@@ -1,0 +1,183 @@
+"""Tests for the Broker meta-data provider: DB, crawler and query windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.broker import Broker, BrokerQuery, BrokerResponse
+from repro.broker.crawler import ArchiveCrawler
+from repro.broker.db import DumpFileRecord, MetadataDB
+from repro.collectors.archive import Archive
+
+
+def _record(
+    project="ris",
+    collector="rrc0",
+    dump_type="updates",
+    timestamp=0,
+    duration=300,
+    path=None,
+    available_at=None,
+):
+    path = path or f"/archive/{project}/{collector}/{dump_type}/{timestamp}.mrt.gz"
+    if available_at is None:
+        available_at = timestamp + duration + 60
+    return DumpFileRecord(project, collector, dump_type, timestamp, duration, path, available_at)
+
+
+class TestMetadataDB:
+    def test_insert_and_count(self):
+        db = MetadataDB()
+        assert db.insert(_record(timestamp=0))
+        assert db.insert(_record(timestamp=300))
+        assert db.count() == 2
+        assert db.collectors() == ["rrc0"]
+
+    def test_duplicate_path_rejected(self):
+        db = MetadataDB()
+        record = _record()
+        assert db.insert(record)
+        assert not db.insert(record)
+        assert db.count() == 1
+
+    def test_query_filters(self):
+        db = MetadataDB()
+        db.insert(_record(project="ris", collector="rrc0", timestamp=0))
+        db.insert(_record(project="routeviews", collector="route-views2", timestamp=0))
+        db.insert(_record(project="ris", collector="rrc0", dump_type="ribs", timestamp=0, duration=120))
+        assert len(db.query()) == 3
+        assert len(db.query(projects=["ris"])) == 2
+        assert len(db.query(collectors=["route-views2"])) == 1
+        assert len(db.query(dump_types=["ribs"])) == 1
+        assert len(db.query(projects=["ris"], dump_types=["updates"])) == 1
+
+    def test_query_interval_intersection(self):
+        db = MetadataDB()
+        db.insert(_record(timestamp=0, duration=300))
+        db.insert(_record(timestamp=300, duration=300))
+        db.insert(_record(timestamp=900, duration=300))
+        hits = db.query(interval_start=250, interval_end=350)
+        assert [h.timestamp for h in hits] == [0, 300]
+
+    def test_query_visibility(self):
+        db = MetadataDB()
+        db.insert(_record(timestamp=0, available_at=500))
+        assert db.query(visible_at=499) == []
+        assert len(db.query(visible_at=500)) == 1
+
+    def test_latest_available_time(self):
+        db = MetadataDB()
+        assert db.latest_available_time() is None
+        db.insert(_record(timestamp=0, duration=300, available_at=400))
+        db.insert(_record(timestamp=300, duration=300, available_at=700))
+        assert db.latest_available_time() == 600
+        assert db.latest_available_time(visible_at=500) == 300
+
+    def test_file_backed_db(self, tmp_path):
+        db = MetadataDB(str(tmp_path / "meta" / "broker.sqlite"))
+        db.insert(_record())
+        db.close()
+        reopened = MetadataDB(str(tmp_path / "meta" / "broker.sqlite"))
+        assert reopened.count() == 1
+
+
+class TestCrawler:
+    def test_crawl_indexes_new_files_once(self, tmp_path):
+        archive = Archive(str(tmp_path))
+        dump = str(tmp_path / "a.mrt.gz")
+        open(dump, "wb").close()
+        archive.publish("ris", "rrc0", "updates", 0, 300, dump, available_at=400)
+        db = MetadataDB()
+        crawler = ArchiveCrawler(db, [archive])
+        assert crawler.crawl() == 1
+        assert crawler.crawl() == 0  # already indexed
+
+    def test_crawl_respects_publication_time(self, tmp_path):
+        archive = Archive(str(tmp_path))
+        dump = str(tmp_path / "a.mrt.gz")
+        open(dump, "wb").close()
+        archive.publish("ris", "rrc0", "updates", 0, 300, dump, available_at=1000)
+        db = MetadataDB()
+        crawler = ArchiveCrawler(db, [archive])
+        assert crawler.crawl(now=999) == 0
+        assert crawler.crawl(now=1000) == 1
+
+
+class TestBrokerWindows:
+    def _broker(self):
+        db = MetadataDB()
+        # 4 hours of 15-minute updates dumps plus RIBs every 2 hours, 2 collectors.
+        for collector, project in [("route-views2", "routeviews"), ("rrc0", "ris")]:
+            for ts in range(0, 4 * 3600, 900):
+                db.insert(
+                    _record(project=project, collector=collector, timestamp=ts, duration=900)
+                )
+            for ts in range(0, 4 * 3600, 7200):
+                db.insert(
+                    _record(
+                        project=project,
+                        collector=collector,
+                        dump_type="ribs",
+                        timestamp=ts,
+                        duration=120,
+                    )
+                )
+        return Broker(db=db, window_span=7200)
+
+    def test_historical_windows_cover_interval_without_duplicates(self):
+        broker = self._broker()
+        query = BrokerQuery(interval_start=0, interval_end=4 * 3600)
+        responses = list(broker.iter_windows(query))
+        assert len(responses) == 2
+        all_paths = [f.path for r in responses for f in r]
+        assert len(all_paths) == len(set(all_paths))
+        # 2 collectors x (16 updates + 2 ribs) = 36 files in total.
+        assert len(all_paths) == 36
+        assert responses[0].more_data
+        assert not responses[-1].more_data
+
+    def test_window_filters_by_project_and_type(self):
+        broker = self._broker()
+        query = BrokerQuery(
+            projects=("ris",), dump_types=("ribs",), interval_start=0, interval_end=4 * 3600
+        )
+        files = [f for r in broker.iter_windows(query) for f in r]
+        assert len(files) == 2
+        assert all(f.project == "ris" and f.dump_type == "ribs" for f in files)
+
+    def test_empty_interval_returns_empty_final_response(self):
+        broker = self._broker()
+        query = BrokerQuery(interval_start=10_000_000, interval_end=10_000_100)
+        response = broker.get_window(query)
+        assert response.empty
+        assert not response.more_data
+
+    def test_live_mode_polling_reveals_new_data(self, tmp_path):
+        archive = Archive(str(tmp_path))
+        dump1 = str(tmp_path / "a.mrt.gz")
+        dump2 = str(tmp_path / "b.mrt.gz")
+        open(dump1, "wb").close()
+        open(dump2, "wb").close()
+        archive.publish("ris", "rrc0", "updates", 0, 300, dump1, available_at=350)
+        archive.publish("ris", "rrc0", "updates", 300, 300, dump2, available_at=650)
+        broker = Broker(archives=[archive], window_span=7200)
+        query = BrokerQuery(interval_start=0, interval_end=None)
+
+        early = broker.get_window(query, now=100)
+        assert early.empty and early.more_data  # nothing published yet: poll again
+        later = broker.get_window(query, now=400)
+        assert [f.path for f in later] == [dump1]
+        assert later.more_data
+        latest = broker.get_window(query, from_time=300, now=1000)
+        assert [f.path for f in latest] == [dump2]
+
+    def test_iter_windows_rejects_live_queries(self):
+        broker = self._broker()
+        with pytest.raises(ValueError):
+            list(broker.iter_windows(BrokerQuery(interval_start=0, interval_end=None)))
+
+    def test_response_helpers(self):
+        response = BrokerResponse()
+        assert response.empty and len(response) == 0
+        response.files.append(_record())
+        assert len(list(iter(response))) == 1

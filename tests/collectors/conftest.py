@@ -1,0 +1,40 @@
+"""Fixtures shared by the collector-simulation tests.
+
+The small topology and scenario here are session-scoped because they are
+deterministic and moderately expensive to build.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectors.routing import RouteComputer
+from repro.collectors.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.collectors.topology import ASTopology, TopologyConfig, generate_topology
+
+
+SMALL_TOPOLOGY_CONFIG = TopologyConfig(
+    num_tier1=4, num_transit=10, num_stub=30, seed=7
+)
+
+
+@pytest.fixture(scope="session")
+def small_topology() -> ASTopology:
+    return generate_topology(SMALL_TOPOLOGY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def small_computer(small_topology) -> RouteComputer:
+    return RouteComputer(small_topology)
+
+
+@pytest.fixture(scope="session")
+def small_scenario(small_topology) -> Scenario:
+    config = ScenarioConfig(
+        duration=2 * 3600,
+        topology=SMALL_TOPOLOGY_CONFIG,
+        vps_per_collector=4,
+        churn_updates_per_vp_per_hour=20,
+        seed=11,
+    )
+    return build_scenario(config, topology=small_topology)

@@ -1,0 +1,164 @@
+"""Tests for the event timeline, archive layout and publication latency."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bgp.community import Community
+from repro.bgp.prefix import Prefix
+from repro.collectors.archive import Archive, DumpFile, PublicationDelayModel
+from repro.collectors.events import (
+    EventTimeline,
+    OutageEvent,
+    PrefixFlapEvent,
+    PrefixHijackEvent,
+    RTBHEvent,
+    SessionResetEvent,
+)
+from repro.utils.intervals import TimeInterval
+
+
+PREFIX = Prefix.from_string("10.1.0.0/24")
+OTHER = Prefix.from_string("10.2.0.0/24")
+
+
+class TestEvents:
+    def test_hijack_extra_origins(self):
+        event = PrefixHijackEvent(
+            interval=TimeInterval(100, 200), hijacker_asn=666, victim_asn=1, prefixes=(PREFIX,)
+        )
+        assert event.active_at(150)
+        assert not event.active_at(201)
+        assert event.extra_origins() == {PREFIX: 666}
+        assert list(event.affected_prefixes()) == [PREFIX]
+
+    def test_outage_exclusions(self):
+        event = OutageEvent(interval=TimeInterval(0, 10), asns=(1, 2), prefixes=(PREFIX, OTHER))
+        assert event.excluded_asns() == {1, 2}
+        assert set(event.affected_prefixes()) == {PREFIX, OTHER}
+
+    def test_flap_alternates(self):
+        event = PrefixFlapEvent(
+            interval=TimeInterval(0, 600), prefix=PREFIX, origin_asn=1, period=100
+        )
+        assert event.is_withdrawn_at(0)
+        assert not event.is_withdrawn_at(100)
+        assert event.is_withdrawn_at(250)
+        assert not event.is_withdrawn_at(700)  # outside the interval
+        boundaries = event.boundaries()
+        assert boundaries[0] == 0 and boundaries[-1] == 600
+        assert all(b - a == 100 for a, b in zip(boundaries, boundaries[1:]))
+
+    def test_rtbh_event(self):
+        event = RTBHEvent(
+            interval=TimeInterval(0, 100),
+            customer_asn=4,
+            blackhole_prefix=Prefix.from_string("10.1.0.7/32"),
+            provider_asns=(2, 3),
+            communities=(Community(2, 666),),
+            propagating_providers=(2,),
+        )
+        assert event.extra_origins() == {Prefix.from_string("10.1.0.7/32"): 4}
+
+
+class TestEventTimeline:
+    def _timeline(self):
+        return EventTimeline(
+            [
+                PrefixHijackEvent(
+                    interval=TimeInterval(100, 200), hijacker_asn=9, victim_asn=1, prefixes=(PREFIX,)
+                ),
+                OutageEvent(interval=TimeInterval(150, 300), asns=(7,), prefixes=(OTHER,)),
+                PrefixFlapEvent(
+                    interval=TimeInterval(400, 500), prefix=OTHER, origin_asn=7, period=50
+                ),
+                SessionResetEvent(interval=TimeInterval(600, 660), collector="rrc0", vp_asn=5),
+            ]
+        )
+
+    def test_active_and_boundaries(self):
+        timeline = self._timeline()
+        assert len(timeline) == 4
+        assert {type(e).__name__ for e in timeline.active_at(160)} == {
+            "PrefixHijackEvent",
+            "OutageEvent",
+        }
+        boundaries = timeline.boundaries(0, 1000)
+        assert 100 in boundaries and 200 in boundaries and 450 in boundaries
+        assert boundaries == sorted(boundaries)
+
+    def test_boundaries_clamped_to_window(self):
+        timeline = self._timeline()
+        assert timeline.boundaries(0, 120) == [100]
+
+    def test_state_queries(self):
+        timeline = self._timeline()
+        assert timeline.excluded_asns_at(160) == {7}
+        assert timeline.extra_origins_at(160) == {PREFIX: 9}
+        assert timeline.extra_origins_at(50) == {}
+        assert timeline.withdrawn_prefixes_at(410) == {OTHER}
+        assert timeline.withdrawn_prefixes_at(460) == set()
+        assert timeline.session_resets("rrc0")[0].vp_asn == 5
+        assert timeline.session_resets("route-views0") == []
+        assert timeline.affected_prefixes() == {PREFIX, OTHER}
+
+    def test_add_keeps_order(self):
+        timeline = self._timeline()
+        timeline.add(OutageEvent(interval=TimeInterval(0, 10), asns=(1,), prefixes=()))
+        assert timeline.events[0].interval.start == 0
+
+
+class TestPublicationDelay:
+    def test_p99_under_20_minutes(self):
+        model = PublicationDelayModel(seed=5)
+        delays = [model.sample(duration=15 * 60) for _ in range(2000)]
+        start_to_available = [15 * 60 + d for d in delays]
+        within = sum(1 for value in start_to_available if value <= 20 * 60)
+        assert within / len(start_to_available) >= 0.97
+        assert all(d > 0 for d in delays)
+
+    def test_occasional_tail_beyond_p99(self):
+        model = PublicationDelayModel(seed=6)
+        delays = [model.sample(duration=15 * 60) for _ in range(3000)]
+        assert any(15 * 60 + d > 20 * 60 for d in delays)
+
+
+class TestArchive:
+    def test_layout_matches_projects_convention(self, tmp_path):
+        archive = Archive(str(tmp_path))
+        path = archive.path_for("routeviews", "route-views2", "updates", 1_451_606_400)
+        assert path.endswith(
+            os.path.join(
+                "routeviews", "route-views2", "updates", "2016.01", "updates.20160101.0000.mrt.gz"
+            )
+        )
+
+    def test_publish_and_visibility(self, tmp_path):
+        archive = Archive(str(tmp_path))
+        file_path = str(tmp_path / "dump.mrt.gz")
+        with open(file_path, "wb") as handle:
+            handle.write(b"\x00")
+        entry = archive.publish("ris", "rrc0", "updates", 1000, 300, file_path)
+        assert entry.available_at > 1300
+        assert archive.entries(visible_at=entry.available_at - 1) == []
+        assert archive.entries(visible_at=entry.available_at) == [entry]
+        assert archive.collectors() == ["rrc0"]
+        assert archive.projects() == ["ris"]
+
+    def test_index_persists_across_instances(self, tmp_path):
+        archive = Archive(str(tmp_path))
+        file_path = str(tmp_path / "dump.mrt.gz")
+        open(file_path, "wb").close()
+        archive.publish("ris", "rrc0", "ribs", 2000, 120, file_path, available_at=2500)
+        reloaded = Archive(str(tmp_path))
+        assert len(reloaded) == 1
+        entry = list(reloaded)[0]
+        assert entry.dump_type == "ribs"
+        assert entry.available_at == 2500
+        assert entry.interval_end == 2120
+
+    def test_dump_file_json_round_trip(self):
+        entry = DumpFile("ris", "rrc0", "updates", 1, 2, "/x", 3.5)
+        assert DumpFile.from_json(entry.to_json()) == entry

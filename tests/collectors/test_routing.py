@@ -1,0 +1,153 @@
+"""Tests for Gao–Rexford policy routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.prefix import Prefix
+from repro.collectors.routing import PolicyPath, Route, RouteComputer, RouteType
+from repro.collectors.topology import (
+    ASNode,
+    ASRelationship,
+    ASRole,
+    ASTopology,
+)
+
+
+def _tiny_topology() -> ASTopology:
+    """A five-AS topology with a known policy-routing outcome.
+
+        T1 --- T2      (peers)
+        |       |
+        C1      C2     (customers of T1 / T2)
+        |
+        S              (customer of C1)
+    """
+    topology = ASTopology()
+    for asn, role in [(10, ASRole.TIER1), (20, ASRole.TIER1), (30, ASRole.TRANSIT), (40, ASRole.TRANSIT), (50, ASRole.STUB)]:
+        topology.add_as(ASNode(asn=asn, role=role, country="US"))
+    topology.add_link(10, 20, ASRelationship.PEER_TO_PEER)
+    topology.add_link(30, 10, ASRelationship.CUSTOMER_TO_PROVIDER)
+    topology.add_link(40, 20, ASRelationship.CUSTOMER_TO_PROVIDER)
+    topology.add_link(50, 30, ASRelationship.CUSTOMER_TO_PROVIDER)
+    topology.node(50).prefixes.append(Prefix.from_string("10.50.0.0/24"))
+    topology.node(40).prefixes.append(Prefix.from_string("10.40.0.0/24"))
+    topology.invalidate_caches()
+    return topology
+
+
+class TestPolicyPaths:
+    def test_paths_to_stub_origin(self):
+        computer = RouteComputer(_tiny_topology())
+        paths = computer.paths_to_origin(50)
+        assert paths[50].route_type == RouteType.ORIGIN
+        assert paths[30].asns == (30, 50)
+        assert paths[30].route_type == RouteType.CUSTOMER
+        assert paths[10].asns == (10, 30, 50)
+        assert paths[10].route_type == RouteType.CUSTOMER
+        # T2 learns via peering with T1 (one peer hop at the apex).
+        assert paths[20].asns == (20, 10, 30, 50)
+        assert paths[20].route_type == RouteType.PEER
+        # C2 learns from its provider T2.
+        assert paths[40].asns == (40, 20, 10, 30, 50)
+        assert paths[40].route_type == RouteType.PROVIDER
+
+    def test_valley_free_property(self, small_topology, small_computer):
+        """No path goes down (provider->customer) and then up again."""
+        for origin in small_topology.asns()[:20]:
+            for asn, path in small_computer.paths_to_origin(origin).items():
+                went_down = False
+                hops = list(path.asns)
+                for current, nxt in zip(hops, hops[1:]):
+                    relationship = small_topology.relationship(current, nxt)
+                    if relationship == ASRelationship.PROVIDER_TO_CUSTOMER:
+                        went_down = True
+                    elif went_down:
+                        pytest.fail(f"valley in path {hops} for origin {origin}")
+
+    def test_every_as_reaches_every_origin_in_connected_topology(
+        self, small_topology, small_computer
+    ):
+        origin = small_topology.asns()[0]
+        paths = small_computer.paths_to_origin(origin)
+        assert set(paths) == set(small_topology.asns())
+
+    def test_excluded_origin_unreachable(self):
+        computer = RouteComputer(_tiny_topology())
+        assert computer.paths_to_origin(50, excluded=[50]) == {}
+
+    def test_excluded_transit_breaks_reachability(self):
+        computer = RouteComputer(_tiny_topology())
+        paths = computer.paths_to_origin(50, excluded=[30])
+        # With C1 down, nobody but the origin itself can reach AS50.
+        assert set(paths) == {50}
+
+    def test_paths_are_cached(self):
+        computer = RouteComputer(_tiny_topology())
+        first = computer.paths_to_origin(50)
+        assert computer.paths_to_origin(50) is first
+        computer.invalidate()
+        assert computer.paths_to_origin(50) is not first
+
+
+class TestRoutes:
+    def test_route_materialisation(self):
+        topology = _tiny_topology()
+        computer = RouteComputer(topology)
+        prefix = Prefix.from_string("10.50.0.0/24")
+        route = computer.route(40, prefix)
+        assert route is not None
+        assert route.prefix == prefix
+        assert route.as_path.hops == [40, 20, 10, 30, 50]
+        assert route.origin_asn == 50
+        assert route.route_type == RouteType.PROVIDER
+        assert route.next_hop.startswith("172.16.")
+
+    def test_loc_rib_covers_all_reachable_prefixes(self):
+        topology = _tiny_topology()
+        computer = RouteComputer(topology)
+        rib = computer.loc_rib(10)
+        assert set(rib) == set(topology.all_prefixes())
+        assert all(route.as_path.hops[0] == 10 for route in rib.values())
+
+    def test_loc_rib_extra_origin_competes(self):
+        topology = _tiny_topology()
+        computer = RouteComputer(topology)
+        prefix = Prefix.from_string("10.50.0.0/24")
+        # AS40 hijacks AS50's prefix: AS20 (provider of 40) now has a
+        # customer route to the hijacker vs a peer route to the victim,
+        # so the hijacked route wins at AS20.
+        rib = computer.loc_rib(20, extra_origins={prefix: 40})
+        assert rib[prefix].origin_asn == 40
+        # AS30, on the other hand, keeps its customer route to the victim.
+        rib30 = computer.loc_rib(30, extra_origins={prefix: 40})
+        assert rib30[prefix].origin_asn == 50
+
+    def test_route_for_unknown_prefix_is_none(self):
+        computer = RouteComputer(_tiny_topology())
+        assert computer.route(10, Prefix.from_string("192.0.2.0/24")) is None
+
+    def test_ipv6_next_hop_shape(self, small_topology, small_computer):
+        prefixes_v6 = small_topology.all_prefixes(version=6)
+        prefix = prefixes_v6[0]
+        origin = small_topology.origin_of(prefix)
+        observer = next(a for a in small_topology.asns() if a != origin)
+        route = small_computer.route(observer, prefix)
+        assert route is not None
+        assert ":" in route.next_hop
+        attrs = route.to_attributes()
+        assert attrs.mp_next_hop == route.next_hop
+
+    def test_communities_reflect_path_and_stripping(self, small_topology, small_computer):
+        # At least one route in the system should carry communities; and no
+        # route should carry a community whose AS identifier is not on the path.
+        seen_any = False
+        observer = small_topology.asns()[0]
+        rib = small_computer.loc_rib(observer)
+        for route in rib.values():
+            identifiers = route.communities.asn_identifiers()
+            if identifiers:
+                seen_any = True
+                path_asns = set(route.as_path.iter_asns())
+                assert identifiers <= path_asns
+        assert seen_any

@@ -1,0 +1,140 @@
+"""Tests for the synthetic AS topology generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.prefix import Prefix
+from repro.collectors.topology import (
+    ASNode,
+    ASRelationship,
+    ASRole,
+    ASTopology,
+    TopologyConfig,
+    generate_topology,
+)
+
+
+class TestASTopologyContainer:
+    def test_add_and_query(self):
+        topology = ASTopology()
+        topology.add_as(ASNode(asn=1, role=ASRole.TIER1, country="US"))
+        topology.add_as(ASNode(asn=2, role=ASRole.STUB, country="DE"))
+        topology.add_link(2, 1, ASRelationship.CUSTOMER_TO_PROVIDER)
+        assert 1 in topology and 2 in topology
+        assert topology.providers(2) == [1]
+        assert topology.customers(1) == [2]
+        assert topology.peers(1) == []
+        assert topology.relationship(1, 2) == ASRelationship.PROVIDER_TO_CUSTOMER
+
+    def test_duplicate_as_rejected(self):
+        topology = ASTopology()
+        topology.add_as(ASNode(asn=1, role=ASRole.STUB, country="US"))
+        with pytest.raises(ValueError):
+            topology.add_as(ASNode(asn=1, role=ASRole.STUB, country="US"))
+
+    def test_self_link_rejected(self):
+        topology = ASTopology()
+        topology.add_as(ASNode(asn=1, role=ASRole.STUB, country="US"))
+        with pytest.raises(ValueError):
+            topology.add_link(1, 1, ASRelationship.PEER_TO_PEER)
+
+    def test_link_requires_existing_nodes(self):
+        topology = ASTopology()
+        topology.add_as(ASNode(asn=1, role=ASRole.STUB, country="US"))
+        with pytest.raises(KeyError):
+            topology.add_link(1, 99, ASRelationship.PEER_TO_PEER)
+
+    def test_origin_lookup(self):
+        topology = ASTopology()
+        node = ASNode(asn=1, role=ASRole.STUB, country="US")
+        node.prefixes.append(Prefix.from_string("10.0.0.0/24"))
+        topology.add_as(node)
+        topology.invalidate_caches()
+        assert topology.origin_of(Prefix.from_string("10.0.0.0/24")) == 1
+        assert topology.origin_of(Prefix.from_string("10.9.0.0/24")) is None
+
+
+class TestGeneratedTopology:
+    def test_deterministic_given_seed(self):
+        a = generate_topology(TopologyConfig(num_tier1=3, num_transit=8, num_stub=20, seed=3))
+        b = generate_topology(TopologyConfig(num_tier1=3, num_transit=8, num_stub=20, seed=3))
+        assert a.asns() == b.asns()
+        assert a.all_prefixes() == b.all_prefixes()
+        for asn in a.asns():
+            assert a.node(asn).country == b.node(asn).country
+
+    def test_expected_counts(self, small_topology):
+        roles = [small_topology.node(a).role for a in small_topology.asns()]
+        assert roles.count(ASRole.TIER1) == 4
+        assert roles.count(ASRole.TRANSIT) == 10
+        assert roles.count(ASRole.STUB) == 30
+
+    def test_tier1_full_mesh(self, small_topology):
+        tier1 = [a for a in small_topology.asns() if small_topology.node(a).role == ASRole.TIER1]
+        for i, a in enumerate(tier1):
+            for b in tier1[i + 1 :]:
+                assert small_topology.relationship(a, b) == ASRelationship.PEER_TO_PEER
+
+    def test_every_non_tier1_has_a_provider(self, small_topology):
+        for asn in small_topology.asns():
+            if small_topology.node(asn).role != ASRole.TIER1:
+                assert small_topology.providers(asn), f"AS{asn} has no provider"
+
+    def test_every_as_originates_a_prefix(self, small_topology):
+        for asn in small_topology.asns():
+            assert small_topology.node(asn).prefixes
+
+    def test_prefixes_unique_across_ases(self, small_topology):
+        prefixes = small_topology.all_prefixes()
+        assert len(prefixes) == len(set(prefixes))
+
+    def test_prefixes_do_not_overlap(self, small_topology):
+        prefixes = sorted(small_topology.all_prefixes(version=4))
+        for left, right in zip(prefixes, prefixes[1:]):
+            assert not left.overlaps(right), f"{left} overlaps {right}"
+
+    def test_some_ipv6_present(self, small_topology):
+        assert small_topology.all_prefixes(version=6)
+
+    def test_country_queries_consistent(self, small_topology):
+        for country in small_topology.countries():
+            asns = small_topology.asns_by_country(country)
+            assert asns
+            prefixes = small_topology.prefixes_by_country(country)
+            expected = []
+            for asn in asns:
+                expected.extend(small_topology.node(asn).all_prefixes)
+            assert sorted(expected) == prefixes
+
+    def test_some_transit_ases_support_blackholing(self, small_topology):
+        supporters = [
+            a
+            for a in small_topology.asns()
+            if small_topology.node(a).blackhole_community_value is not None
+        ]
+        assert supporters
+
+    def test_some_ases_strip_communities(self, small_topology):
+        strippers = [
+            a for a in small_topology.asns() if small_topology.node(a).strips_communities
+        ]
+        assert strippers
+
+    def test_graph_is_connected(self, small_topology):
+        import networkx as nx
+
+        assert nx.is_connected(small_topology.graph)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_generation_invariants_hold_for_any_seed(self, seed):
+        config = TopologyConfig(num_tier1=3, num_transit=6, num_stub=15, seed=seed)
+        topology = generate_topology(config)
+        assert len(topology) == 24
+        prefixes = topology.all_prefixes()
+        assert len(prefixes) == len(set(prefixes))
+        for asn in topology.asns():
+            if topology.node(asn).role != ASRole.TIER1:
+                assert topology.providers(asn)

@@ -1,0 +1,84 @@
+"""Shared test fixtures.
+
+The ``corsaro_scenario`` / ``corsaro_archive`` pair lives here (rather than
+in ``tests/corsaro``) because the BGPCorsaro, monitoring and benchmark tests
+all consume the same generated archive; keeping one session-scoped copy
+avoids regenerating it per package.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.collectors.archive import Archive
+from repro.collectors.events import OutageEvent, PrefixHijackEvent, SessionResetEvent
+from repro.collectors.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.collectors.topology import ASRole, TopologyConfig, generate_topology
+from repro.utils.intervals import TimeInterval
+
+
+@pytest.fixture(scope="session")
+def corsaro_scenario() -> Scenario:
+    """Two collectors, a prefix hijack, a country outage and a session reset."""
+    config = ScenarioConfig(
+        duration=3 * 3600,
+        topology=TopologyConfig(num_tier1=4, num_transit=10, num_stub=30, seed=31),
+        vps_per_collector=4,
+        full_feed_fraction=1.0,
+        churn_updates_per_vp_per_hour=40,
+        seed=32,
+    )
+    topology = generate_topology(config.topology)
+    start = config.start
+    victim = next(a for a in topology.asns() if topology.node(a).role == ASRole.STUB)
+    hijacker = next(
+        a
+        for a in topology.asns()
+        if topology.node(a).role == ASRole.TRANSIT and a not in topology.providers(victim)
+    )
+    country = topology.node(victim).country
+    events = [
+        PrefixHijackEvent(
+            interval=TimeInterval(start + 3600, start + 3600 + 1800),
+            hijacker_asn=hijacker,
+            victim_asn=victim,
+            prefixes=tuple(topology.node(victim).prefixes[:2]),
+        ),
+        OutageEvent(interval=TimeInterval(start + 7200, start + 9000), country=country),
+    ]
+    scenario = build_scenario(config, events=events, topology=topology)
+    rrc0 = scenario.collector("rrc0")
+    scenario.timeline.add(
+        SessionResetEvent(
+            interval=TimeInterval(start + 5400, start + 6060),
+            collector="rrc0",
+            vp_asn=rrc0.vps[0].asn,
+        )
+    )
+    return scenario
+
+
+@pytest.fixture(scope="session")
+def corsaro_archive(tmp_path_factory, corsaro_scenario) -> Archive:
+    archive = Archive(str(tmp_path_factory.mktemp("corsaro-archive")))
+    corsaro_scenario.generate(archive)
+    return archive
+
+
+@pytest.fixture
+def sample_attributes() -> PathAttributes:
+    """A realistic attribute set for an IPv4 route."""
+    return PathAttributes(
+        as_path=ASPath.from_asns([64500, 3356, 15169]),
+        next_hop="10.0.0.1",
+        communities=CommunitySet([Community(3356, 100), Community(3356, 666)]),
+    )
+
+
+@pytest.fixture
+def sample_prefix() -> Prefix:
+    return Prefix.from_string("192.0.2.0/24")

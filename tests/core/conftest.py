@@ -1,0 +1,77 @@
+"""Fixtures for the libBGPStream core tests: a small generated archive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.collectors.archive import Archive
+from repro.collectors.events import OutageEvent, PrefixHijackEvent, SessionResetEvent
+from repro.collectors.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.collectors.topology import ASRole, TopologyConfig, generate_topology
+from repro.core.interfaces import BrokerDataInterface
+from repro.core.stream import BGPStream
+from repro.utils.intervals import TimeInterval
+
+
+@pytest.fixture(scope="session")
+def core_scenario() -> Scenario:
+    config = ScenarioConfig(
+        duration=2 * 3600,
+        topology=TopologyConfig(num_tier1=4, num_transit=10, num_stub=30, seed=21),
+        vps_per_collector=4,
+        churn_updates_per_vp_per_hour=30,
+        seed=22,
+    )
+    topology = generate_topology(config.topology)
+    start = config.start
+    stub = next(a for a in topology.asns() if topology.node(a).role == ASRole.STUB)
+    hijacker = next(
+        a for a in topology.asns() if topology.node(a).role == ASRole.TRANSIT and a != stub
+    )
+    events = [
+        PrefixHijackEvent(
+            interval=TimeInterval(start + 1800, start + 3600),
+            hijacker_asn=hijacker,
+            victim_asn=stub,
+            prefixes=(topology.node(stub).prefixes[0],),
+        ),
+        OutageEvent(
+            interval=TimeInterval(start + 4500, start + 5400),
+            country=topology.node(stub).country,
+        ),
+    ]
+    scenario = build_scenario(config, events=events, topology=topology)
+    # A session reset on a RIS collector so the stream carries state elems.
+    rrc0 = scenario.collector("rrc0")
+    scenario.timeline.add(
+        SessionResetEvent(
+            interval=TimeInterval(start + 6000, start + 6120),
+            collector="rrc0",
+            vp_asn=rrc0.vps[0].asn,
+        )
+    )
+    return scenario
+
+
+@pytest.fixture(scope="session")
+def core_archive(tmp_path_factory, core_scenario) -> Archive:
+    archive = Archive(str(tmp_path_factory.mktemp("core-archive")))
+    core_scenario.generate(archive)
+    return archive
+
+
+@pytest.fixture()
+def core_stream(core_archive, core_scenario) -> BGPStream:
+    """A fresh historical stream over the whole scenario."""
+    broker = Broker(archives=[core_archive])
+    stream = BGPStream(data_interface=BrokerDataInterface(broker))
+    stream.add_interval_filter(core_scenario.start, core_scenario.end)
+    return stream
+
+
+def make_stream(core_archive, start, end) -> BGPStream:
+    broker = Broker(archives=[core_archive])
+    stream = BGPStream(data_interface=BrokerDataInterface(broker))
+    stream.add_interval_filter(start, end)
+    return stream

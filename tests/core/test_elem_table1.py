@@ -1,0 +1,141 @@
+"""E1 — Table 1: the BGPStream elem fields and their conditional population.
+
+The paper's Table 1 defines the elem structure: type, time, peer address,
+peer ASN, and the conditionally-populated prefix, next hop, AS path,
+communities, old state and new state.  These tests assert that every elem
+type carries exactly the fields Table 1 says it should.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.fsm import SessionState
+from repro.bgp.prefix import Prefix
+from repro.core.elem import BGPElem, ElemType
+from repro.core.record import RecordStatus
+
+
+def _collect_elems_by_type(stream):
+    by_type = {t: [] for t in ElemType}
+    for record in stream.records():
+        if record.status != RecordStatus.VALID:
+            continue
+        for elem in record.elems():
+            by_type[elem.elem_type].append(elem)
+    return by_type
+
+
+class TestTable1FieldPresence:
+    @pytest.fixture(scope="class")
+    def elems_by_type(self, core_archive, core_scenario):
+        from tests.core.conftest import make_stream
+
+        stream = make_stream(core_archive, core_scenario.start, core_scenario.end)
+        return _collect_elems_by_type(stream)
+
+    def test_all_four_elem_types_occur(self, elems_by_type):
+        assert elems_by_type[ElemType.RIB]
+        assert elems_by_type[ElemType.ANNOUNCEMENT]
+        assert elems_by_type[ElemType.WITHDRAWAL]
+        assert elems_by_type[ElemType.STATE]
+
+    def test_common_fields_always_populated(self, elems_by_type):
+        for elems in elems_by_type.values():
+            for elem in elems:
+                assert isinstance(elem.time, int) and elem.time > 0
+                assert elem.peer_address
+                assert elem.peer_asn > 0
+                assert elem.project in ("ris", "routeviews")
+                assert elem.collector
+
+    def test_rib_elem_fields(self, elems_by_type):
+        for elem in elems_by_type[ElemType.RIB]:
+            assert elem.prefix is not None
+            assert elem.next_hop
+            assert elem.as_path is not None and len(elem.as_path) >= 1
+            assert elem.communities is not None
+            assert elem.old_state is None and elem.new_state is None
+
+    def test_announcement_elem_fields(self, elems_by_type):
+        for elem in elems_by_type[ElemType.ANNOUNCEMENT]:
+            assert elem.prefix is not None
+            assert elem.next_hop
+            assert elem.as_path is not None
+            assert elem.old_state is None and elem.new_state is None
+
+    def test_withdrawal_elem_fields(self, elems_by_type):
+        for elem in elems_by_type[ElemType.WITHDRAWAL]:
+            assert elem.prefix is not None
+            assert elem.next_hop is None
+            assert elem.as_path is None
+            assert elem.old_state is None and elem.new_state is None
+
+    def test_state_elem_fields(self, elems_by_type):
+        for elem in elems_by_type[ElemType.STATE]:
+            assert elem.prefix is None
+            assert elem.as_path is None
+            assert elem.old_state is not None
+            assert elem.new_state is not None
+
+    def test_state_elems_only_from_ris(self, elems_by_type):
+        """RouteViews collectors do not dump state messages (paper footnote 5)."""
+        assert {elem.project for elem in elems_by_type[ElemType.STATE]} == {"ris"}
+
+
+class TestElemViews:
+    def _announcement(self):
+        return BGPElem(
+            elem_type=ElemType.ANNOUNCEMENT,
+            time=1_000,
+            peer_address="10.0.0.1",
+            peer_asn=64500,
+            prefix=Prefix.from_string("192.0.2.0/24"),
+            next_hop="10.0.0.1",
+            as_path=ASPath.from_asns([64500, 3356, 15169]),
+            communities=CommunitySet([Community(3356, 100)]),
+            project="ris",
+            collector="rrc0",
+        )
+
+    def test_field_dict_matches_pybgpstream_keys(self):
+        fields = self._announcement().field_dict()
+        assert fields["prefix"] == "192.0.2.0/24"
+        assert fields["as-path"] == "64500 3356 15169"
+        assert fields["next-hop"] == "10.0.0.1"
+        assert fields["communities"] == {"3356:100"}
+
+    def test_origin_asn(self):
+        assert self._announcement().origin_asn == 15169
+        state = BGPElem(ElemType.STATE, 0, "10.0.0.1", 1)
+        assert state.origin_asn is None
+
+    def test_ascii_rendering(self):
+        line = self._announcement().to_ascii()
+        parts = line.split("|")
+        assert parts[0] == "A"
+        assert parts[1] == "1000"
+        assert parts[2] == "ris"
+        assert parts[6] == "192.0.2.0/24"
+        assert parts[8] == "64500 3356 15169"
+
+    def test_bgpdump_ascii_announcement(self):
+        line = self._announcement().to_bgpdump_ascii()
+        assert line.startswith("BGP4MP|1000|A|10.0.0.1|64500|192.0.2.0/24|64500 3356 15169|IGP|")
+
+    def test_bgpdump_ascii_withdrawal_and_state(self):
+        withdrawal = BGPElem(
+            ElemType.WITHDRAWAL, 5, "10.0.0.1", 1, prefix=Prefix.from_string("10.0.0.0/8")
+        )
+        assert withdrawal.to_bgpdump_ascii() == "BGP4MP|5|W|10.0.0.1|1|10.0.0.0/8"
+        state = BGPElem(
+            ElemType.STATE,
+            6,
+            "10.0.0.1",
+            1,
+            old_state=SessionState.IDLE,
+            new_state=SessionState.ESTABLISHED,
+        )
+        assert state.to_bgpdump_ascii() == "BGP4MP|6|STATE|10.0.0.1|1|1|6"

@@ -1,0 +1,146 @@
+"""Tests for stream filters (record- and elem-level)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.core.elem import BGPElem, ElemType
+from repro.core.filters import FilterSet
+from repro.core.record import BGPStreamRecord, RecordStatus
+from repro.mrt.constants import BGP4MPSubtype, MRTType
+from repro.mrt.records import BGP4MPMessage, MRTHeader, MRTRecord
+from repro.bgp.message import BGPUpdate
+
+
+def _record(project="ris", collector="rrc0", dump_type="updates", time=1000):
+    mrt = MRTRecord(
+        MRTHeader(time, MRTType.BGP4MP, BGP4MPSubtype.MESSAGE_AS4),
+        BGP4MPMessage(64500, 65000, "10.0.0.1", "10.0.0.2", BGPUpdate()),
+    )
+    return BGPStreamRecord(
+        project=project, collector=collector, dump_type=dump_type, dump_time=time, mrt=mrt
+    )
+
+
+def _elem(
+    elem_type=ElemType.ANNOUNCEMENT,
+    prefix="192.0.2.0/24",
+    peer_asn=64500,
+    path=(64500, 3356, 15169),
+    communities=((3356, 100),),
+):
+    return BGPElem(
+        elem_type=elem_type,
+        time=1000,
+        peer_address="10.0.0.1",
+        peer_asn=peer_asn,
+        prefix=Prefix.from_string(prefix) if prefix else None,
+        as_path=ASPath.from_asns(list(path)) if path else None,
+        communities=CommunitySet.from_pairs(communities) if communities else None,
+    )
+
+
+class TestAddFilter:
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(ValueError):
+            FilterSet().add("bogus", "1")
+
+    def test_record_type_normalisation(self):
+        filters = FilterSet().add("record-type", "rib").add("record-type", "updates")
+        assert filters.record_types == {"ribs", "updates"}
+        with pytest.raises(ValueError):
+            FilterSet().add("record-type", "nonsense")
+
+    def test_elem_type_mapping(self):
+        filters = FilterSet().add("elem-type", "announcements").add("elem-type", "state")
+        assert filters.elem_types == {ElemType.ANNOUNCEMENT, ElemType.STATE}
+        with pytest.raises(ValueError):
+            FilterSet().add("elem-type", "nonsense")
+
+    def test_interval_minus_one_means_live(self):
+        filters = FilterSet().add_interval(100, -1)
+        assert filters.live
+        filters = FilterSet().add_interval(100, 200)
+        assert not filters.live
+        with pytest.raises(ValueError):
+            FilterSet().add_interval(200, 100)
+
+
+class TestRecordMatching:
+    def test_project_collector_and_type(self):
+        filters = FilterSet()
+        filters.add("project", "ris").add("collector", "rrc0").add("record-type", "updates")
+        assert filters.match_record(_record())
+        assert not filters.match_record(_record(project="routeviews"))
+        assert not filters.match_record(_record(collector="rrc1"))
+        assert not filters.match_record(_record(dump_type="ribs"))
+
+    def test_interval(self):
+        filters = FilterSet().add_interval(900, 1100)
+        assert filters.match_record(_record(time=1000))
+        assert not filters.match_record(_record(time=1200))
+        assert not filters.match_record(_record(time=800))
+
+    def test_live_interval_has_no_upper_bound(self):
+        filters = FilterSet().add_interval(900, None)
+        assert filters.match_record(_record(time=10**9))
+
+    def test_empty_filterset_matches_everything(self):
+        assert FilterSet().match_record(_record())
+        assert FilterSet().match_elem(_elem())
+
+
+class TestElemMatching:
+    def test_elem_type(self):
+        filters = FilterSet().add("elem-type", "withdrawals")
+        assert not filters.match_elem(_elem())
+        assert filters.match_elem(_elem(elem_type=ElemType.WITHDRAWAL, path=(), communities=()))
+
+    def test_peer_asn(self):
+        filters = FilterSet().add("peer-asn", "64500")
+        assert filters.match_elem(_elem())
+        assert not filters.match_elem(_elem(peer_asn=1))
+
+    def test_origin_asn(self):
+        filters = FilterSet().add("origin-asn", "15169")
+        assert filters.match_elem(_elem())
+        assert not filters.match_elem(_elem(path=(64500, 3356)))
+        assert not filters.match_elem(_elem(path=()))
+
+    def test_prefix_more_specific_semantics(self):
+        """The -k 192.0.0.0/8 semantics: subprefixes match too."""
+        filters = FilterSet().add("prefix", "192.0.0.0/8")
+        assert filters.match_elem(_elem(prefix="192.0.2.0/24"))
+        assert filters.match_elem(_elem(prefix="192.0.0.0/8"))
+        assert not filters.match_elem(_elem(prefix="193.0.0.0/24"))
+        assert not filters.match_elem(_elem(prefix=None, path=()))
+
+    def test_prefix_exact_semantics(self):
+        filters = FilterSet().add("prefix-exact", "192.0.2.0/24")
+        assert filters.match_elem(_elem(prefix="192.0.2.0/24"))
+        assert not filters.match_elem(_elem(prefix="192.0.2.0/25"))
+
+    def test_aspath_regex(self):
+        filters = FilterSet().add("aspath", r"\b3356\b")
+        assert filters.match_elem(_elem())
+        assert not filters.match_elem(_elem(path=(64500, 1299, 15169)))
+
+    def test_community(self):
+        filters = FilterSet().add("community", "3356:100")
+        assert filters.match_elem(_elem())
+        assert not filters.match_elem(_elem(communities=((3356, 200),)))
+        assert not filters.match_elem(_elem(communities=()))
+
+    def test_combined_filters_are_conjunctive(self):
+        filters = (
+            FilterSet()
+            .add("elem-type", "announcements")
+            .add("peer-asn", "64500")
+            .add("prefix", "192.0.0.0/8")
+            .add("community", "3356:100")
+        )
+        assert filters.match_elem(_elem())
+        assert not filters.match_elem(_elem(peer_asn=9))

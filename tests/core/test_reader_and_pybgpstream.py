@@ -1,0 +1,143 @@
+"""Tests for the BGPReader CLI and the PyBGPStream-compatible facade."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.core.interfaces import BrokerDataInterface
+from repro.core.reader import build_parser, build_stream, run
+from repro import pybgpstream
+
+
+class TestBGPReaderCLI:
+    def _run(self, core_archive, extra_args):
+        parser = build_parser()
+        args = parser.parse_args(["--archive", core_archive.root] + extra_args)
+        out = io.StringIO()
+        status = run(args, out)
+        assert status == 0
+        return out.getvalue().splitlines()
+
+    def test_basic_elem_output(self, core_archive, core_scenario):
+        lines = self._run(
+            core_archive, ["-w", f"{core_scenario.start},{core_scenario.end}"]
+        )
+        data_lines = [l for l in lines if not l.startswith("#")]
+        assert data_lines
+        first = data_lines[0].split("|")
+        assert first[0] in ("R", "A", "W", "S")
+        assert first[2] in ("ris", "routeviews")
+
+    def test_type_and_project_filters(self, core_archive, core_scenario):
+        lines = self._run(
+            core_archive,
+            ["-w", f"{core_scenario.start},{core_scenario.end}", "-t", "updates", "-p", "ris"],
+        )
+        data_lines = [l for l in lines if not l.startswith("#")]
+        assert data_lines
+        assert all(l.split("|")[2] == "ris" for l in data_lines)
+        assert all(l.split("|")[0] in ("A", "W", "S") for l in data_lines)
+
+    def test_prefix_filter_subprefix_semantics(self, core_archive, core_scenario):
+        lines = self._run(
+            core_archive,
+            ["-w", f"{core_scenario.start},{core_scenario.end}", "-k", "10.0.0.0/8"],
+        )
+        data_lines = [l for l in lines if not l.startswith("#")]
+        assert data_lines
+        for line in data_lines:
+            prefix = line.split("|")[6]
+            assert prefix.startswith("10.")
+
+    def test_bgpdump_format_and_limit(self, core_archive, core_scenario):
+        lines = self._run(
+            core_archive,
+            [
+                "-w",
+                f"{core_scenario.start},{core_scenario.end}",
+                "--bgpdump-format",
+                "--limit",
+                "5",
+            ],
+        )
+        data_lines = [l for l in lines if not l.startswith("#")]
+        assert len(data_lines) == 5
+        assert all(l.startswith(("BGP4MP|", "TABLE_DUMP2|")) for l in data_lines)
+
+    def test_show_records_flag(self, core_archive, core_scenario):
+        lines = self._run(
+            core_archive,
+            ["-w", f"{core_scenario.start},{core_scenario.end}", "-r", "--limit", "20"],
+        )
+        assert any(l.startswith(("ribs|", "updates|")) for l in lines)
+
+    def test_requires_exactly_one_source(self):
+        parser = build_parser()
+        args = parser.parse_args([])
+        with pytest.raises(SystemExit):
+            build_stream(args)
+
+
+class TestPyBGPStreamFacade:
+    def _interface(self, core_archive):
+        return BrokerDataInterface(Broker(archives=[core_archive]))
+
+    def test_listing1_idiom(self, core_archive, core_scenario):
+        """The exact loop shape of the paper's Listing 1 works."""
+        stream = pybgpstream.BGPStream(data_interface=self._interface(core_archive))
+        rec = pybgpstream.BGPRecord()
+        stream.add_filter("record-type", "ribs")
+        stream.add_interval_filter(core_scenario.start, core_scenario.end)
+        stream.start()
+
+        elem_count = 0
+        as_paths = []
+        while stream.get_next_record(rec):
+            assert rec.type == "ribs"
+            elem = rec.get_next_elem()
+            while elem:
+                assert elem.peer_asn > 0
+                fields = elem.fields
+                if "as-path" in fields:
+                    as_paths.append(fields["as-path"])
+                elem_count += 1
+                elem = rec.get_next_elem()
+        assert elem_count > 0
+        assert as_paths
+        assert all(isinstance(p, str) for p in as_paths)
+
+    def test_live_interval_minus_one(self, core_archive, core_scenario):
+        stream = pybgpstream.BGPStream(data_interface=self._interface(core_archive))
+        stream.add_interval_filter(core_scenario.start, -1)
+        assert stream.core.filters.live
+
+    def test_default_interface_registration(self, core_archive):
+        pybgpstream.set_default_data_interface(None)
+        with pytest.raises(RuntimeError):
+            pybgpstream.BGPStream()
+        interface = self._interface(core_archive)
+        pybgpstream.set_default_data_interface(interface)
+        try:
+            assert pybgpstream.get_default_data_interface() is interface
+            stream = pybgpstream.BGPStream()
+            assert stream.core is not None
+        finally:
+            pybgpstream.set_default_data_interface(None)
+
+    def test_elem_filters_applied_by_get_next_elem(self, core_archive, core_scenario):
+        vp_asn = core_scenario.collectors[0].vps[0].asn
+        stream = pybgpstream.BGPStream(data_interface=self._interface(core_archive))
+        rec = pybgpstream.BGPRecord()
+        stream.add_filter("peer-asn", str(vp_asn))
+        stream.add_interval_filter(core_scenario.start, core_scenario.end)
+        stream.start()
+        seen = set()
+        while stream.get_next_record(rec):
+            elem = rec.get_next_elem()
+            while elem:
+                seen.add(elem.peer_asn)
+                elem = rec.get_next_elem()
+        assert seen == {vp_asn}

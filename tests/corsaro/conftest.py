@@ -1,0 +1,21 @@
+"""Helpers for the BGPCorsaro tests.
+
+The shared ``corsaro_scenario`` / ``corsaro_archive`` fixtures live in the
+top-level ``tests/conftest.py`` (they are reused by the monitoring tests).
+"""
+
+from __future__ import annotations
+
+from repro.broker.broker import Broker
+from repro.collectors.archive import Archive
+from repro.core.interfaces import BrokerDataInterface
+from repro.core.stream import BGPStream
+
+
+def make_corsaro_stream(archive: Archive, start: int, end: int, **filters) -> BGPStream:
+    stream = BGPStream(data_interface=BrokerDataInterface(Broker(archives=[archive])))
+    stream.add_interval_filter(start, end)
+    for name, values in filters.items():
+        for value in values:
+            stream.add_filter(name, value)
+    return stream

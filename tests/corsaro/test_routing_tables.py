@@ -1,0 +1,231 @@
+"""Tests for the routing-tables (RT) plugin: FSM, E1–E4, diffs and accuracy."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.fsm import SessionState
+from repro.bgp.prefix import Prefix
+from repro.broker.broker import Broker
+from repro.collectors.archive import Archive
+from repro.core.interfaces import BrokerDataInterface, DumpFileSpec
+from repro.core.stream import BGPStream
+from repro.corsaro.pipeline import BGPCorsaro
+from repro.corsaro.plugins.routing_tables import RoutingTablesPlugin, VPState
+from repro.mrt.writer import corrupt_file
+
+from tests.corsaro.conftest import make_corsaro_stream
+
+
+def _run_rt(archive, start, end, bin_size=300, **kwargs):
+    stream = make_corsaro_stream(archive, start, end)
+    plugin = RoutingTablesPlugin(**kwargs)
+    corsaro = BGPCorsaro(stream, [plugin], bin_size=bin_size)
+    corsaro.run()
+    outputs = {
+        o.interval_start: o.value
+        for o in corsaro.outputs_for("routing-tables")
+        if o.interval_start >= 0
+    }
+    return plugin, outputs
+
+
+class TestRTReconstruction:
+    @pytest.fixture(scope="class")
+    def rt_run(self, corsaro_archive, corsaro_scenario):
+        return _run_rt(corsaro_archive, corsaro_scenario.start, corsaro_scenario.end)
+
+    def test_vps_become_consistent_after_first_rib(self, rt_run, corsaro_scenario):
+        plugin, outputs = rt_run
+        assert plugin.vps()
+        # After the full run, every VP that received a RIB dump should be up.
+        up_states = [plugin.vp_state(vp).table_consistent for vp in plugin.vps()]
+        assert any(up_states)
+        # The first bins (before any RIB completes) have fewer consistent VPs
+        # than the last bins.
+        series = sorted(outputs.items())
+        assert len(series[0][1].consistent_vps) <= len(series[-1][1].consistent_vps)
+
+    def test_reconstructed_tables_match_scenario_ground_truth(
+        self, rt_run, corsaro_archive, corsaro_scenario
+    ):
+        """At the end of the scenario the RT tables equal the VPs' Adj-RIB-out."""
+        plugin, _ = rt_run
+        scenario = corsaro_scenario
+        end = scenario.end
+        checked = 0
+        for collector in scenario.collectors:
+            for vp in collector.vps:
+                key = (collector.name, vp.asn, vp.address)
+                if not plugin.vp_state(key).table_consistent:
+                    continue
+                reconstructed = plugin.vp_table(key)
+                expected = scenario.table_at(collector, vp, end)
+                missing = set(expected) - set(reconstructed)
+                extra = set(reconstructed) - set(expected)
+                assert not missing, f"missing prefixes for {key}: {sorted(missing)[:5]}"
+                assert not extra, f"extra prefixes for {key}: {sorted(extra)[:5]}"
+                # AS paths match for every prefix.
+                for prefix, cell in reconstructed.items():
+                    assert cell.as_path == expected[prefix].as_path
+                checked += 1
+        assert checked > 0
+
+    def test_diffs_are_fewer_than_elems(self, rt_run, corsaro_scenario):
+        """The Figure 9 relationship: redundant updates collapse into fewer diffs.
+
+        The comparison starts after the initial RIB dumps have been applied
+        (table bootstrap is not a table-to-table diff in the paper's sense).
+        """
+        _, outputs = rt_run
+        warmup_end = corsaro_scenario.start + 1800
+        total_elems = sum(v.elems_processed for ts, v in outputs.items() if ts >= warmup_end)
+        total_diffs = sum(v.diff_count for ts, v in outputs.items() if ts >= warmup_end)
+        assert total_elems > 0
+        assert total_diffs < total_elems
+
+    def test_snapshots_emitted_periodically(self, rt_run):
+        _, outputs = rt_run
+        snapshot_bins = [ts for ts, v in sorted(outputs.items()) if v.snapshots is not None]
+        assert snapshot_bins
+        gaps = [b - a for a, b in zip(snapshot_bins, snapshot_bins[1:])]
+        assert all(gap >= 3600 for gap in gaps)
+
+    def test_error_probability_is_small(self, rt_run):
+        plugin, _ = rt_run
+        # The paper reports error probabilities of 1e-8 (RIS) and 1e-5
+        # (RouteViews); our simulation has no unresponsive VPs, so the check
+        # is simply that comparisons happened and almost all matched.
+        assert plugin.compared_prefixes > 0
+        assert plugin.error_probability <= 0.01
+
+
+class TestRTSpecialEvents:
+    def test_e4_state_message_forces_down_and_up(self, corsaro_archive, corsaro_scenario):
+        """The session reset on rrc0 drives its VP down (E4) and back up."""
+        reset = next(
+            e for e in corsaro_scenario.timeline.events if type(e).__name__ == "SessionResetEvent"
+        )
+        plugin, outputs = _run_rt(
+            corsaro_archive, corsaro_scenario.start, corsaro_scenario.end, bin_size=300
+        )
+        vp_key = next(k for k in plugin.vps() if k[0] == "rrc0" and k[1] == reset.vp_asn)
+        down_bin = (reset.interval.start // 300) * 300
+        during = outputs[down_bin]
+        assert vp_key not in during.consistent_vps
+        # Once the session is re-established and the table re-announced, the
+        # VP is consistent again by the end of the run.
+        final_bin = max(outputs)
+        assert vp_key in outputs[final_bin].consistent_vps
+
+    def test_e1_corrupted_rib_dump_is_ignored(self, tmp_path, corsaro_scenario):
+        """A truncated RIB dump must not bring VPs up or corrupt tables."""
+        scenario = corsaro_scenario
+        archive = Archive(str(tmp_path / "archive"))
+        files = scenario.generate(archive)
+        # Corrupt the first RIS RIB dump on disk.
+        rib = next(f for f in files if f.dump_type == "ribs" and f.project == "ris")
+        corrupt_file(rib.path, truncate_at=os.path.getsize(rib.path) // 2)
+
+        plugin, outputs = _run_rt(archive, scenario.start, scenario.start + 3600, bin_size=900)
+        # VPs of the corrupted collector's dump never became consistent
+        # (RIS publishes RIBs every 8h, so there is no second RIB in range).
+        ris_vps = [vp for vp in plugin.vps() if vp[0] == rib.collector]
+        assert ris_vps
+        assert all(not plugin.vp_state(vp).table_consistent for vp in ris_vps)
+        # The other collector is unaffected.
+        other_vps = [vp for vp in plugin.vps() if vp[0] != rib.collector]
+        assert any(plugin.vp_state(vp).table_consistent for vp in other_vps)
+
+    def test_e3_corrupted_updates_freeze_until_next_rib(self, tmp_path, corsaro_scenario):
+        scenario = corsaro_scenario
+        archive = Archive(str(tmp_path / "archive"))
+        files = scenario.generate(archive)
+        # Corrupt an early RouteViews updates dump (RV has a RIB every 2h, so
+        # a later RIB exists within the scenario to recover from).
+        updates = sorted(
+            (f for f in files if f.dump_type == "updates" and f.project == "routeviews"),
+            key=lambda f: f.timestamp,
+        )
+        target = updates[1]
+        corrupt_file(target.path, truncate_at=40)
+
+        plugin, outputs = _run_rt(archive, scenario.start, scenario.end, bin_size=900)
+        rv_vps = [vp for vp in plugin.vps() if vp[0] == target.collector]
+        assert rv_vps
+        # Immediately after the corruption the VPs are not consistent...
+        corruption_bin = (target.timestamp // 900) * 900
+        after = outputs[corruption_bin + 900]
+        assert all(vp not in after.consistent_vps for vp in rv_vps)
+        # ...but the next RIB dump (2h later) restores them.
+        final_bin = max(outputs)
+        assert any(vp in outputs[final_bin].consistent_vps for vp in rv_vps)
+
+
+class TestRTStateMachineUnit:
+    """Focused FSM checks driven through a tiny hand-built archive."""
+
+    def _make_archive(self, tmp_path, with_state_down=False):
+        from repro.bgp.attributes import PathAttributes
+        from repro.bgp.message import BGPUpdate
+        from repro.mrt.records import BGP4MPMessage, BGP4MPStateChange, PeerEntry
+        from repro.mrt.writer import write_rib_dump, write_updates_dump
+
+        archive = Archive(str(tmp_path / "tiny"))
+        prefix = Prefix.from_string("10.1.0.0/24")
+        other = Prefix.from_string("10.2.0.0/24")
+        attrs = PathAttributes(as_path=ASPath.from_asns([65001, 65002]), next_hop="10.0.0.1")
+        peers = [PeerEntry("10.0.0.1", "10.0.0.1", 65001)]
+
+        rib_path = archive.path_for("ris", "rrc9", "ribs", 1000)
+        write_rib_dump(
+            rib_path, 1000, "198.51.100.9", peers, {0: {prefix: attrs, other: attrs}}
+        )
+        archive.publish("ris", "rrc9", "ribs", 1000, 60, rib_path, available_at=1100)
+
+        updates = [
+            (
+                1310,
+                BGP4MPMessage(
+                    65001, 65535, "10.0.0.1", "198.51.100.9",
+                    BGPUpdate(withdrawn=[other]),
+                ),
+            ),
+        ]
+        if with_state_down:
+            updates.append(
+                (
+                    1400,
+                    BGP4MPStateChange(
+                        65001, 65535, "10.0.0.1", "198.51.100.9",
+                        SessionState.ESTABLISHED, SessionState.IDLE,
+                    ),
+                )
+            )
+        upd_path = archive.path_for("ris", "rrc9", "updates", 1300)
+        write_updates_dump(upd_path, updates)
+        archive.publish("ris", "rrc9", "updates", 1300, 300, upd_path, available_at=1700)
+        return archive
+
+    def _run(self, archive, end=2000):
+        stream = BGPStream(data_interface=BrokerDataInterface(Broker(archives=[archive])))
+        stream.add_interval_filter(900, end)
+        plugin = RoutingTablesPlugin(snapshot_interval=None)
+        BGPCorsaro(stream, [plugin], bin_size=300).run()
+        return plugin
+
+    def test_rib_then_update_yields_up_state_and_correct_table(self, tmp_path):
+        plugin = self._run(self._make_archive(tmp_path))
+        vp = ("rrc9", 65001, "10.0.0.1")
+        assert plugin.vp_state(vp) == VPState.UP
+        table = plugin.vp_table(vp)
+        assert set(map(str, table)) == {"10.1.0.0/24"}  # the other prefix was withdrawn
+
+    def test_state_down_message_marks_vp_down(self, tmp_path):
+        plugin = self._run(self._make_archive(tmp_path, with_state_down=True))
+        vp = ("rrc9", 65001, "10.0.0.1")
+        assert plugin.vp_state(vp) == VPState.DOWN
+        assert plugin.vp_table(vp) == {}

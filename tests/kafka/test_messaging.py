@@ -1,0 +1,162 @@
+"""Tests for the messaging substrate: topics, consumer groups, sync servers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kafka.broker import MessageBroker, Topic
+from repro.kafka.client import Consumer, Producer
+from repro.kafka.sync import (
+    METADATA_TOPIC,
+    BinMetadata,
+    CompletenessSyncServer,
+    TimeoutSyncServer,
+    publish_bin_metadata,
+)
+
+
+class TestTopic:
+    def test_offsets_increase_per_partition(self):
+        topic = Topic("t", num_partitions=1)
+        first = topic.append("k", "a")
+        second = topic.append("k", "b")
+        assert (first.offset, second.offset) == (0, 1)
+
+    def test_keyed_messages_land_in_same_partition(self):
+        topic = Topic("t", num_partitions=4)
+        partitions = {topic.append("stable-key", i).partition for i in range(10)}
+        assert len(partitions) == 1
+
+    def test_read_from_offset(self):
+        topic = Topic("t")
+        for value in "abc":
+            topic.append(None, value)
+        assert [m.value for m in topic.read(0, 1)] == ["b", "c"]
+        assert [m.value for m in topic.read(0, 0, max_messages=2)] == ["a", "b"]
+
+    def test_requires_positive_partitions(self):
+        with pytest.raises(ValueError):
+            Topic("t", num_partitions=0)
+
+
+class TestBrokerAndClients:
+    def test_consumer_group_walks_forward(self):
+        broker = MessageBroker()
+        producer = Producer(broker, default_topic="data")
+        for value in range(5):
+            producer.send(value)
+        consumer = Consumer(broker, group="g", topics=["data"])
+        first = consumer.poll(max_messages=3)
+        assert [m.value for m in first] == [0, 1, 2]
+        second = consumer.poll()
+        assert [m.value for m in second] == [3, 4]
+        assert consumer.poll() == []
+        assert consumer.lag() == 0
+
+    def test_independent_groups_see_all_messages(self):
+        broker = MessageBroker()
+        producer = Producer(broker, default_topic="data")
+        for value in range(3):
+            producer.send(value)
+        a = Consumer(broker, group="a", topics=["data"])
+        b = Consumer(broker, group="b", topics=["data"])
+        assert len(a.poll()) == 3
+        assert len(b.poll()) == 3
+
+    def test_uncommitted_poll_is_replayed(self):
+        broker = MessageBroker()
+        Producer(broker, default_topic="data").send("x")
+        consumer = Consumer(broker, group="g", topics=["data"])
+        assert len(consumer.poll(commit=False)) == 1
+        assert len(consumer.poll()) == 1
+
+    def test_seek_to_beginning_replays(self):
+        broker = MessageBroker()
+        producer = Producer(broker, default_topic="data")
+        for value in range(4):
+            producer.send(value)
+        consumer = Consumer(broker, group="g", topics=["data"])
+        consumer.poll()
+        consumer.seek_to_beginning()
+        assert len(consumer.poll()) == 4
+
+    def test_producer_requires_topic(self):
+        with pytest.raises(ValueError):
+            Producer(MessageBroker()).send("x")
+
+    def test_lag_counts_unconsumed(self):
+        broker = MessageBroker()
+        producer = Producer(broker, default_topic="data")
+        for value in range(7):
+            producer.send(value)
+        consumer = Consumer(broker, group="g", topics=["data"])
+        consumer.poll(max_messages=2)
+        assert consumer.lag() == 5
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 5))
+    def test_every_message_delivered_exactly_once_per_group(self, values, batch):
+        broker = MessageBroker()
+        producer = Producer(broker, default_topic="data")
+        for value in values:
+            producer.send(value)
+        consumer = Consumer(broker, group="g", topics=["data"])
+        received = []
+        while True:
+            messages = consumer.poll(max_messages=batch)
+            if not messages:
+                break
+            received.extend(m.value for m in messages)
+        assert received == values
+
+
+class TestSyncServers:
+    def _publish(self, broker, collector, interval, published_at):
+        producer = Producer(broker)
+        publish_bin_metadata(producer, collector, interval, diff_count=1, published_at=published_at)
+
+    def test_completeness_waits_for_all_collectors(self):
+        broker = MessageBroker()
+        sync = CompletenessSyncServer(
+            broker, "ioda", expected_collectors=["rrc0", "route-views2"], timeout=1800
+        )
+        self._publish(broker, "rrc0", 600, published_at=900)
+        assert sync.step(now=901) == []
+        self._publish(broker, "route-views2", 600, published_at=1000)
+        ready = sync.step(now=1001)
+        assert len(ready) == 1
+        assert ready[0].interval_start == 600
+        assert ready[0].complete
+        # The decision is published on the application's sync topic.
+        consumer = Consumer(broker, group="app", topics=[sync.ready_topic])
+        assert len(consumer.poll()) == 1
+
+    def test_completeness_timeout_releases_incomplete_bin(self):
+        broker = MessageBroker()
+        sync = CompletenessSyncServer(
+            broker, "ioda", expected_collectors=["rrc0", "route-views2"], timeout=1800
+        )
+        self._publish(broker, "rrc0", 600, published_at=900)
+        assert sync.step(now=1000) == []
+        ready = sync.step(now=900 + 1800)
+        assert len(ready) == 1
+        assert not ready[0].complete
+
+    def test_timeout_server_prioritises_latency(self):
+        broker = MessageBroker()
+        sync = TimeoutSyncServer(
+            broker, "hijacks", expected_collectors=["rrc0", "route-views2"], timeout=120
+        )
+        self._publish(broker, "rrc0", 600, published_at=900)
+        assert sync.step(now=950) == []
+        ready = sync.step(now=1021)
+        assert len(ready) == 1 and not ready[0].complete
+
+    def test_each_bin_decided_once(self):
+        broker = MessageBroker()
+        sync = TimeoutSyncServer(broker, "app", expected_collectors=["rrc0"], timeout=60)
+        self._publish(broker, "rrc0", 600, published_at=900)
+        assert len(sync.step(now=1000)) == 1
+        self._publish(broker, "rrc0", 600, published_at=1100)  # duplicate metadata
+        assert sync.step(now=1200) == []

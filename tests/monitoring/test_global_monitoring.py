@@ -1,0 +1,175 @@
+"""End-to-end tests of the Figure 7 architecture.
+
+RT publishers (one per collector) → message broker → sync servers →
+outage / hijack consumers, all driven by the shared scenario archive that
+contains a prefix hijack and a country-wide outage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectors.events import OutageEvent, PrefixHijackEvent
+from repro.kafka.broker import MessageBroker
+from repro.kafka.client import Consumer
+from repro.kafka.sync import CompletenessSyncServer, METADATA_TOPIC
+from repro.monitoring.geo import GeoDatabase
+from repro.monitoring.hijacks import HijackConsumer
+from repro.monitoring.outages import OutageConsumer
+from repro.monitoring.publisher import RTPublisher, diffs_topic, run_publishers
+
+
+@pytest.fixture(scope="module")
+def published(corsaro_archive, corsaro_scenario):
+    """Run one RT publisher per collector over the scenario archive."""
+    message_broker = MessageBroker()
+    collectors = [c.name for c in corsaro_scenario.collectors]
+    stats = run_publishers(
+        message_broker,
+        corsaro_archive,
+        collectors,
+        corsaro_scenario.start,
+        corsaro_scenario.end,
+        bin_size=300,
+        publication_delays={collectors[0]: 30.0, collectors[1]: 240.0},
+    )
+    return message_broker, collectors, stats
+
+
+class TestRTPublishers:
+    def test_every_collector_published_every_bin(self, published, corsaro_scenario):
+        _, collectors, stats = published
+        expected_bins = corsaro_scenario.config.duration // 300
+        for collector in collectors:
+            assert stats[collector].bins_published == expected_bins
+            assert stats[collector].snapshots >= 1
+
+    def test_diff_volume_lower_than_elem_volume(self, published):
+        _, _, stats = published
+        total_elems = sum(s.elems_processed for s in stats.values())
+        total_diffs = sum(s.diff_cells for s in stats.values())
+        assert total_elems > 0
+        # Over the whole run diffs include the initial table bootstrap, so
+        # compare against elems + bootstrap size rather than requiring a
+        # strict reduction here (the Figure 9 benchmark does the precise
+        # post-bootstrap comparison).
+        assert total_diffs < total_elems * 10
+
+    def test_data_and_metadata_topics_populated(self, published):
+        message_broker, collectors, _ = published
+        for collector in collectors:
+            assert message_broker.topic(diffs_topic(collector)).size() > 0
+        assert message_broker.topic(METADATA_TOPIC).size() > 0
+
+
+class TestSyncIntegration:
+    def test_completeness_sync_marks_bins_ready_in_order(self, published, corsaro_scenario):
+        message_broker, collectors, _ = published
+        sync = CompletenessSyncServer(
+            message_broker, "ioda", expected_collectors=collectors, timeout=30 * 60
+        )
+        ready = sync.step(now=corsaro_scenario.end + 10_000)
+        assert ready
+        starts = [r.interval_start for r in ready]
+        assert starts == sorted(starts)
+        assert all(r.complete for r in ready)
+        expected_bins = corsaro_scenario.config.duration // 300
+        assert len(ready) == expected_bins
+
+
+class TestOutageConsumer:
+    @pytest.fixture(scope="class")
+    def consumer(self, published, corsaro_scenario):
+        message_broker, collectors, _ = published
+        geo = GeoDatabase.from_topology(corsaro_scenario.topology)
+        consumer = OutageConsumer(message_broker, collectors, geo)
+        consumer.poll()
+        return consumer
+
+    def test_all_bins_processed(self, consumer, corsaro_scenario):
+        assert consumer.bins_processed == corsaro_scenario.config.duration // 300
+
+    def test_country_series_drops_during_outage(self, consumer, corsaro_scenario):
+        outage = next(
+            e for e in corsaro_scenario.timeline.events if isinstance(e, OutageEvent)
+        )
+        series = dict(consumer.country_series(outage.country))
+        assert series
+        before = [v for ts, v in series.items() if ts < outage.interval.start - 300]
+        during = [
+            v
+            for ts, v in series.items()
+            if outage.interval.start + 300 <= ts < outage.interval.end - 300
+        ]
+        after = [v for ts, v in series.items() if ts >= outage.interval.end + 300]
+        assert before and during and after
+        assert min(during) < 0.7 * max(before)
+        assert max(after) >= 0.9 * max(before)
+
+    def test_outage_alert_matches_scenario(self, consumer, corsaro_scenario):
+        outage = next(
+            e for e in corsaro_scenario.timeline.events if isinstance(e, OutageEvent)
+        )
+        alerts = consumer.detect_outages(scope="country")
+        matching = [a for a in alerts if a.key == outage.country]
+        assert matching
+        alert = matching[0]
+        # The alert is raised within a couple of bins of the injected outage.
+        assert abs(alert.start - outage.interval.start) <= 600
+
+    def test_per_as_series_also_drop(self, consumer, corsaro_scenario):
+        outage = next(
+            e for e in corsaro_scenario.timeline.events if isinstance(e, OutageEvent)
+        )
+        affected_asn = outage.asns[0]
+        series = dict(consumer.asn_series(affected_asn))
+        assert series
+        during = [
+            v
+            for ts, v in series.items()
+            if outage.interval.start + 300 <= ts < outage.interval.end - 300
+        ]
+        before = [v for ts, v in series.items() if ts < outage.interval.start - 300]
+        assert before and max(before) > 0
+        assert not during or min(during) < max(before)
+
+    def test_unaffected_country_stays_stable(self, consumer, corsaro_scenario):
+        outage = next(
+            e for e in corsaro_scenario.timeline.events if isinstance(e, OutageEvent)
+        )
+        topology = corsaro_scenario.topology
+        other = next(c for c in topology.countries() if c != outage.country)
+        alerts = [a for a in consumer.detect_outages("country") if a.key == other]
+        assert alerts == []
+
+
+class TestHijackConsumer:
+    def test_hijack_alert_raised_for_victim_prefix(self, published, corsaro_scenario):
+        message_broker, collectors, _ = published
+        hijack = next(
+            e for e in corsaro_scenario.timeline.events if isinstance(e, PrefixHijackEvent)
+        )
+        consumer = HijackConsumer(message_broker, collectors)
+        alerts = consumer.poll()
+        assert alerts
+        hijacked = [a for a in alerts if a.prefix in hijack.prefixes]
+        assert hijacked
+        assert any(a.involves(hijack.hijacker_asn) for a in hijacked)
+        assert all(len(a.origins) >= 2 for a in hijacked)
+        # Detection happens within the hijack window (near-realtime goal).
+        assert all(
+            hijack.interval.start <= a.detected_at <= hijack.interval.end + 300
+            for a in hijacked
+        )
+
+    def test_whitelisted_moas_not_alerted(self, published, corsaro_scenario):
+        message_broker, collectors, _ = published
+        hijack = next(
+            e for e in corsaro_scenario.timeline.events if isinstance(e, PrefixHijackEvent)
+        )
+        legitimate = frozenset({hijack.hijacker_asn, hijack.victim_asn})
+        consumer = HijackConsumer(
+            message_broker, collectors, group="hijack-whitelist", whitelist=[legitimate]
+        )
+        alerts = consumer.poll()
+        assert not [a for a in alerts if a.origins == legitimate]

@@ -1,0 +1,68 @@
+"""Tests for the per-collector RT publisher (the left half of Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kafka.broker import MessageBroker
+from repro.kafka.client import Consumer
+from repro.kafka.sync import METADATA_TOPIC, BinMetadata
+from repro.monitoring.publisher import RTPublisher, diffs_topic
+
+
+class TestRTPublisher:
+    @pytest.fixture(scope="class")
+    def published(self, corsaro_archive, corsaro_scenario):
+        message_broker = MessageBroker()
+        collector = corsaro_scenario.collectors[0].name
+        publisher = RTPublisher(
+            message_broker, collector, bin_size=900, publication_delay=45.0
+        )
+        stats = publisher.run(corsaro_archive, corsaro_scenario.start, corsaro_scenario.end)
+        return message_broker, collector, stats
+
+    def test_one_data_message_per_bin(self, published, corsaro_scenario):
+        message_broker, collector, stats = published
+        expected_bins = corsaro_scenario.config.duration // 900
+        assert stats.bins_published == expected_bins
+        assert message_broker.topic(diffs_topic(collector)).size() == expected_bins
+
+    def test_bins_carry_increasing_interval_starts(self, published):
+        message_broker, collector, _stats = published
+        consumer = Consumer(message_broker, group="check", topics=[diffs_topic(collector)])
+        starts = [m.value.interval_start for m in consumer.poll()]
+        assert starts == sorted(starts)
+        assert len(set(starts)) == len(starts)
+
+    def test_metadata_announced_with_publication_delay(self, published):
+        message_broker, collector, stats = published
+        consumer = Consumer(message_broker, group="meta-check", topics=[METADATA_TOPIC])
+        metadata = [m.value for m in consumer.poll()]
+        assert len(metadata) == stats.bins_published
+        assert all(isinstance(entry, BinMetadata) for entry in metadata)
+        assert all(entry.collector == collector for entry in metadata)
+        # published_at = bin end + the configured publication delay.
+        first = min(metadata, key=lambda entry: entry.interval_start)
+        assert first.published_at == pytest.approx(first.interval_start + 900 + 45.0)
+
+    def test_stats_aggregate_diffs_and_snapshots(self, published):
+        _broker, _collector, stats = published
+        assert stats.diff_cells > 0
+        assert stats.elems_processed > 0
+        assert stats.snapshots >= 1
+
+    def test_iter_bins_streams_outputs(self, corsaro_archive, corsaro_scenario):
+        message_broker = MessageBroker()
+        collector = corsaro_scenario.collectors[1].name
+        publisher = RTPublisher(message_broker, collector, bin_size=1800)
+        seen = 0
+        for bin_output in publisher.iter_bins(
+            corsaro_archive, corsaro_scenario.start, corsaro_scenario.start + 2 * 3600
+        ):
+            assert bin_output.interval_start % 1800 == 0
+            seen += 1
+            if seen == 2:
+                break
+        assert seen == 2
+        # Even though iteration stopped early, everything seen was published.
+        assert message_broker.topic(diffs_topic(collector)).size() >= 2

@@ -1,0 +1,91 @@
+"""Tests for the time-series store, change-point detection and geolocation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.prefix import Prefix
+from repro.collectors.topology import TopologyConfig, generate_topology
+from repro.monitoring.geo import GeoDatabase
+from repro.monitoring.timeseries import TimeSeries, TimeSeriesStore
+
+
+class TestTimeSeries:
+    def test_append_keeps_order(self):
+        series = TimeSeries("s")
+        series.append(0, 1.0)
+        series.append(10, 2.0)
+        assert series.values() == [1.0, 2.0]
+        assert series.latest() == (10, 2.0)
+        with pytest.raises(ValueError):
+            series.append(5, 3.0)
+
+    def test_store_creates_series_on_demand(self):
+        store = TimeSeriesStore()
+        store.append("a", 0, 1.0)
+        assert "a" in store
+        assert store.names() == ["a"]
+        assert len(store.series("a")) == 1
+
+
+class TestChangePointDetection:
+    def _store_with(self, values, threshold=0.3, window=6):
+        store = TimeSeriesStore(window=window, threshold=threshold)
+        for index, value in enumerate(values):
+            store.append("s", index * 300, value)
+        return store
+
+    def test_flat_series_has_no_change_points(self):
+        store = self._store_with([100] * 20)
+        assert store.change_points("s") == []
+
+    def test_sharp_drop_detected_as_drop(self):
+        values = [100] * 10 + [10] * 3 + [100] * 5
+        store = self._store_with(values)
+        drops = store.drops("s")
+        assert drops
+        assert drops[0].timestamp == 10 * 300
+        assert drops[0].is_drop
+        assert drops[0].relative_change < -0.5
+
+    def test_recovery_detected_as_spike(self):
+        values = [10] * 10 + [100] * 3
+        store = self._store_with(values)
+        spikes = store.spikes("s")
+        assert spikes
+        assert not spikes[0].is_drop
+
+    def test_small_noise_below_threshold_ignored(self):
+        values = [100, 101, 99, 102, 98, 100, 103, 97, 100]
+        store = self._store_with(values, threshold=0.3)
+        assert store.change_points("s") == []
+
+    @given(st.lists(st.integers(90, 110), min_size=5, max_size=40))
+    def test_bounded_noise_never_triggers(self, values):
+        store = self._store_with([float(v) for v in values], threshold=0.5)
+        assert store.change_points("s") == []
+
+
+class TestGeoDatabase:
+    def test_from_topology_covers_all_prefixes(self):
+        topology = generate_topology(TopologyConfig(num_tier1=3, num_transit=6, num_stub=15, seed=9))
+        geo = GeoDatabase.from_topology(topology)
+        assert len(geo) == len(topology.all_prefixes())
+        for asn in topology.asns():
+            node = topology.node(asn)
+            for prefix in node.all_prefixes:
+                assert geo.country_of(prefix) == node.country
+
+    def test_longest_prefix_match_for_more_specifics(self):
+        geo = GeoDatabase({Prefix.from_string("10.0.0.0/8"): "IQ", Prefix.from_string("10.1.0.0/16"): "DE"})
+        assert geo.country_of(Prefix.from_string("10.1.2.0/24")) == "DE"
+        assert geo.country_of(Prefix.from_string("10.2.0.0/24")) == "IQ"
+        assert geo.country_of(Prefix.from_string("192.0.2.0/24")) is None
+
+    def test_prefixes_of_country(self):
+        geo = GeoDatabase(
+            {Prefix.from_string("10.0.0.0/8"): "IQ", Prefix.from_string("11.0.0.0/8"): "DE"}
+        )
+        assert geo.prefixes_of("IQ") == [Prefix.from_string("10.0.0.0/8")]
+        assert geo.countries() == ["DE", "IQ"]

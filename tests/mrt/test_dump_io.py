@@ -1,0 +1,186 @@
+"""Tests for writing and reading whole MRT dump files."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.fsm import SessionState
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.mrt.parser import MRTDumpReader, MRTParseError, read_dump
+from repro.mrt.records import (
+    BGP4MPMessage,
+    BGP4MPStateChange,
+    PeerEntry,
+    PeerIndexTable,
+    RIBPrefixRecord,
+)
+from repro.mrt.writer import corrupt_file, write_rib_dump, write_updates_dump
+
+
+def _attrs(asns):
+    return PathAttributes(as_path=ASPath.from_asns(asns), next_hop="10.0.0.1")
+
+
+def _make_rib(path, timestamp=1000, compress=False):
+    peers = [
+        PeerEntry("10.0.0.1", "10.0.0.1", 64500),
+        PeerEntry("10.0.0.2", "10.0.0.2", 64501),
+    ]
+    tables = {
+        0: {
+            Prefix.from_string("192.0.2.0/24"): _attrs([64500, 3356, 15169]),
+            Prefix.from_string("10.0.0.0/8"): _attrs([64500, 3356]),
+        },
+        1: {Prefix.from_string("192.0.2.0/24"): _attrs([64501, 1299, 15169])},
+    }
+    return write_rib_dump(path, timestamp, "198.51.100.1", peers, tables, compress=compress)
+
+
+class TestRIBDumps:
+    def test_write_and_read_back(self, tmp_path):
+        path = str(tmp_path / "rib.mrt")
+        written = _make_rib(path)
+        records = read_dump(path)
+        assert written == len(records) == 3  # index table + 2 prefixes
+        assert isinstance(records[0].body, PeerIndexTable)
+        assert all(isinstance(r.body, RIBPrefixRecord) for r in records[1:])
+        assert all(r.is_valid for r in records)
+
+    def test_gzip_round_trip(self, tmp_path):
+        path = str(tmp_path / "rib.mrt.gz")
+        _make_rib(path, compress=True)
+        records = read_dump(path)
+        assert len(records) == 3
+        # File really is gzip-compressed on disk.
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"
+
+    def test_prefixes_sorted_and_entries_per_peer(self, tmp_path):
+        path = str(tmp_path / "rib.mrt")
+        _make_rib(path)
+        records = read_dump(path)
+        prefixes = [str(r.body.prefix) for r in records[1:]]
+        assert prefixes == ["10.0.0.0/8", "192.0.2.0/24"]
+        shared = records[2].body
+        assert [e.peer_index for e in shared.entries] == [0, 1]
+
+    def test_record_timestamps_override(self, tmp_path):
+        path = str(tmp_path / "rib.mrt")
+        peers = [PeerEntry("10.0.0.1", "10.0.0.1", 64500)]
+        tables = {0: {Prefix.from_string("192.0.2.0/24"): _attrs([64500])}}
+        write_rib_dump(path, 1000, "198.51.100.1", peers, tables, record_timestamps={0: 1060})
+        records = read_dump(path)
+        assert records[0].timestamp == 1000
+        assert records[1].timestamp == 1060
+
+
+class TestUpdatesDumps:
+    def test_write_and_read_back(self, tmp_path, sample_prefix):
+        path = str(tmp_path / "updates.mrt")
+        message = BGP4MPMessage(
+            64500,
+            65000,
+            "10.0.0.1",
+            "10.0.0.254",
+            BGPUpdate(announced=[sample_prefix], attributes=_attrs([64500, 15169])),
+        )
+        change = BGP4MPStateChange(
+            64500, 65000, "10.0.0.1", "10.0.0.254", SessionState.ESTABLISHED, SessionState.IDLE
+        )
+        write_updates_dump(path, [(2000, message), (2005, change)])
+        records = read_dump(path)
+        assert [r.timestamp for r in records] == [2000, 2005]
+        assert isinstance(records[0].body, BGP4MPMessage)
+        assert isinstance(records[1].body, BGP4MPStateChange)
+
+    def test_rejects_unknown_body_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_updates_dump(str(tmp_path / "bad.mrt"), [(0, object())])
+
+    def test_empty_dump(self, tmp_path):
+        path = str(tmp_path / "empty.mrt")
+        assert write_updates_dump(path, []) == 0
+        assert read_dump(path) == []
+
+
+class TestCorruptionHandling:
+    def test_missing_file_raises_parse_error(self, tmp_path):
+        with pytest.raises(MRTParseError):
+            read_dump(str(tmp_path / "nope.mrt"))
+
+    def test_truncated_file_yields_invalid_tail_record(self, tmp_path, sample_prefix):
+        path = str(tmp_path / "updates.mrt")
+        message = BGP4MPMessage(
+            64500, 65000, "10.0.0.1", "10.0.0.2",
+            BGPUpdate(announced=[sample_prefix], attributes=_attrs([64500, 15169])),
+        )
+        write_updates_dump(path, [(2000, message), (2005, message)])
+        full = read_dump(path)
+        assert len(full) == 2 and all(r.is_valid for r in full)
+
+        # Truncate inside the second record: first record still parses,
+        # the tail is signalled as a single invalid record.
+        size = os.path.getsize(path)
+        corrupt_file(path, truncate_at=size - 10)
+        records = read_dump(path)
+        assert records[0].is_valid
+        assert not records[-1].is_valid
+
+    def test_garbage_file_yields_invalid_record(self, tmp_path):
+        path = str(tmp_path / "garbage.mrt")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00\x01\x02")
+        records = read_dump(path)
+        assert len(records) == 1
+        assert not records[0].is_valid
+
+    def test_reader_context_manager(self, tmp_path):
+        path = str(tmp_path / "rib.mrt")
+        _make_rib(path)
+        with MRTDumpReader(path) as reader:
+            assert sum(1 for _ in reader) == 3
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1_000_000, 2_000_000),
+                st.integers(8, 32),
+                st.integers(0, 2**32 - 1),
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_updates_dump_round_trips_any_sequence(self, tmp_path_factory, raw):
+        import ipaddress
+
+        path = str(tmp_path_factory.mktemp("mrt") / "updates.mrt")
+        messages = []
+        for timestamp, length, addr in sorted(raw):
+            prefix = Prefix.from_address(str(ipaddress.IPv4Address(addr)), length)
+            messages.append(
+                (
+                    timestamp,
+                    BGP4MPMessage(
+                        64500,
+                        65000,
+                        "10.0.0.1",
+                        "10.0.0.2",
+                        BGPUpdate(announced=[prefix], attributes=_attrs([64500, 3356])),
+                    ),
+                )
+            )
+        write_updates_dump(path, messages)
+        records = read_dump(path)
+        assert len(records) == len(messages)
+        assert [r.timestamp for r in records] == [t for t, _ in messages]
+        assert all(r.is_valid for r in records)

@@ -1,0 +1,150 @@
+"""Tests for MRT record structures and body codecs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.fsm import SessionState
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.mrt.constants import BGP4MPSubtype, MRTType, TableDumpV2Subtype
+from repro.mrt.records import (
+    BGP4MPMessage,
+    BGP4MPStateChange,
+    CorruptRecord,
+    MRTHeader,
+    MRTRecord,
+    PeerEntry,
+    PeerIndexTable,
+    RIBEntry,
+    RIBPrefixRecord,
+    decode_record_body,
+)
+
+
+class TestMRTHeader:
+    def test_round_trip(self):
+        header = MRTHeader(1_438_415_400, MRTType.BGP4MP, BGP4MPSubtype.MESSAGE_AS4)
+        wire = header.encode(100)
+        decoded, length, offset = MRTHeader.decode(wire)
+        assert decoded == header
+        assert length == 100
+        assert offset == 12
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ValueError):
+            MRTHeader.decode(b"\x00" * 5)
+
+
+class TestPeerIndexTable:
+    def test_round_trip_mixed_families(self):
+        table = PeerIndexTable(
+            "198.51.100.1",
+            "route-views2",
+            [
+                PeerEntry("10.0.0.1", "10.0.0.1", 64500),
+                PeerEntry("10.0.0.2", "2001:db8::2", 64501),
+            ],
+        )
+        decoded = PeerIndexTable.decode_body(table.encode_body())
+        assert decoded.collector_bgp_id == "198.51.100.1"
+        assert decoded.view_name == "route-views2"
+        assert decoded.peers == table.peers
+        assert decoded.peers[1].version == 6
+
+    def test_empty_peer_list(self):
+        table = PeerIndexTable("198.51.100.1", "rrc00", [])
+        assert PeerIndexTable.decode_body(table.encode_body()).peers == []
+
+
+class TestRIBPrefixRecord:
+    def _attrs(self):
+        return PathAttributes(as_path=ASPath.from_asns([64500, 3356]), next_hop="10.0.0.1")
+
+    def test_round_trip_ipv4(self):
+        record = RIBPrefixRecord(
+            7,
+            Prefix.from_string("192.0.2.0/24"),
+            [RIBEntry(0, 1000, self._attrs()), RIBEntry(3, 1001, self._attrs())],
+        )
+        decoded = RIBPrefixRecord.decode_body(record.encode_body(), version=4)
+        assert decoded.sequence == 7
+        assert decoded.prefix == record.prefix
+        assert [e.peer_index for e in decoded.entries] == [0, 3]
+        assert decoded.entries[0].attributes.as_path == self._attrs().as_path
+        assert record.subtype == TableDumpV2Subtype.RIB_IPV4_UNICAST
+
+    def test_round_trip_ipv6(self):
+        record = RIBPrefixRecord(
+            1, Prefix.from_string("2001:db8::/32"), [RIBEntry(0, 10, self._attrs())]
+        )
+        decoded = RIBPrefixRecord.decode_body(record.encode_body(), version=6)
+        assert decoded.prefix == record.prefix
+        assert record.subtype == TableDumpV2Subtype.RIB_IPV6_UNICAST
+
+
+class TestBGP4MPBodies:
+    def test_message_round_trip(self, sample_attributes, sample_prefix):
+        message = BGP4MPMessage(
+            64500,
+            65000,
+            "10.0.0.1",
+            "10.0.0.254",
+            BGPUpdate(announced=[sample_prefix], attributes=sample_attributes),
+        )
+        decoded = BGP4MPMessage.decode_body(message.encode_body())
+        assert decoded.peer_asn == 64500
+        assert decoded.local_asn == 65000
+        assert decoded.peer_address == "10.0.0.1"
+        assert decoded.update.announced == [sample_prefix]
+
+    def test_message_ipv6_peer(self, sample_attributes, sample_prefix):
+        message = BGP4MPMessage(
+            64500,
+            65000,
+            "2001:db8::1",
+            "2001:db8::ff",
+            BGPUpdate(announced=[sample_prefix], attributes=sample_attributes),
+        )
+        decoded = BGP4MPMessage.decode_body(message.encode_body())
+        assert decoded.peer_address == "2001:db8::1"
+
+    def test_state_change_round_trip(self):
+        change = BGP4MPStateChange(
+            64500, 65000, "10.0.0.1", "10.0.0.254", SessionState.ACTIVE, SessionState.ESTABLISHED
+        )
+        decoded = BGP4MPStateChange.decode_body(change.encode_body())
+        assert decoded.old_state == SessionState.ACTIVE
+        assert decoded.new_state == SessionState.ESTABLISHED
+
+
+class TestRecordLevel:
+    def test_constructors_set_types(self, sample_attributes, sample_prefix):
+        rib = MRTRecord.rib_prefix(
+            500, RIBPrefixRecord(0, sample_prefix, [RIBEntry(0, 400, sample_attributes)])
+        )
+        assert rib.header.mrt_type == MRTType.TABLE_DUMP_V2
+        assert rib.timestamp == 500
+        assert rib.is_valid
+
+        msg = MRTRecord.bgp4mp_message(
+            600,
+            BGP4MPMessage(1, 2, "10.0.0.1", "10.0.0.2", BGPUpdate(withdrawn=[sample_prefix])),
+        )
+        assert msg.header.subtype == BGP4MPSubtype.MESSAGE_AS4
+
+    def test_decode_record_body_flags_garbage_as_corrupt(self):
+        header = MRTHeader(0, MRTType.BGP4MP, BGP4MPSubtype.MESSAGE_AS4)
+        body = decode_record_body(header, BGP4MPSubtype.MESSAGE_AS4, b"\x00\x01\x02")
+        assert isinstance(body, CorruptRecord)
+
+    def test_decode_record_body_unknown_subtype(self):
+        header = MRTHeader(0, MRTType.TABLE_DUMP_V2, 99)
+        body = decode_record_body(header, 99, b"")
+        assert isinstance(body, CorruptRecord)
+
+    def test_corrupt_record_is_invalid(self):
+        record = MRTRecord(MRTHeader(0, MRTType.BGP4MP, 4), CorruptRecord("boom"))
+        assert not record.is_valid

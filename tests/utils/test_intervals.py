@@ -1,0 +1,137 @@
+"""Tests for time intervals and the overlap-grouping algorithm of §3.3.4."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.intervals import (
+    TimeInterval,
+    group_overlapping,
+    merge_intervals,
+    split_interval,
+)
+
+
+class TestTimeInterval:
+    def test_duration(self):
+        assert TimeInterval(10, 25).duration == 15
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            TimeInterval(10, 5)
+
+    def test_overlap_symmetric(self):
+        a = TimeInterval(0, 10)
+        b = TimeInterval(10, 20)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_no_overlap(self):
+        assert not TimeInterval(0, 9).overlaps(TimeInterval(10, 20))
+
+    def test_contains(self):
+        interval = TimeInterval(100, 200)
+        assert interval.contains(100)
+        assert interval.contains(200)
+        assert not interval.contains(201)
+
+    def test_union(self):
+        assert TimeInterval(0, 5).union(TimeInterval(3, 9)) == TimeInterval(0, 9)
+
+    def test_intersect(self):
+        assert TimeInterval(0, 5).intersect(TimeInterval(3, 9)) == TimeInterval(3, 5)
+        assert TimeInterval(0, 2).intersect(TimeInterval(3, 9)) is None
+
+
+class TestGroupOverlapping:
+    def test_paper_example_shape(self):
+        """The Figure 3 scenario: RIS 5-min updates + 8h RIB vs RV 15-min updates.
+
+        Thirty minutes of data split into two disjoint sets because the RIS
+        RIB dump interval bridges one group but not the other.
+        """
+        files = ["ris-upd-1", "ris-upd-2", "ris-upd-3", "rv-upd-1", "rv-upd-2", "ris-rib"]
+        intervals = [
+            TimeInterval(0, 300),
+            TimeInterval(300, 600),
+            TimeInterval(600, 900),
+            TimeInterval(0, 900),
+            TimeInterval(1200, 2100),
+            TimeInterval(100, 400),
+        ]
+        groups = group_overlapping(files, intervals)
+        assert len(groups) == 2
+        first, second = groups
+        assert set(first) == {"ris-upd-1", "ris-upd-2", "ris-upd-3", "rv-upd-1", "ris-rib"}
+        assert set(second) == {"rv-upd-2"}
+
+    def test_disjoint_items_each_get_own_group(self):
+        intervals = [TimeInterval(i * 100, i * 100 + 50) for i in range(5)]
+        groups = group_overlapping(list(range(5)), intervals)
+        assert groups == [[0], [1], [2], [3], [4]]
+
+    def test_transitive_overlap_is_one_group(self):
+        # a overlaps b, b overlaps c, but a does not overlap c directly.
+        intervals = [TimeInterval(0, 10), TimeInterval(9, 20), TimeInterval(19, 30)]
+        groups = group_overlapping(["a", "b", "c"], intervals)
+        assert groups == [["a", "b", "c"]]
+
+    def test_empty(self):
+        assert group_overlapping([], []) == []
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            group_overlapping(["a"], [])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10_000), st.integers(0, 3600)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_groups_partition_items(self, raw):
+        """Property: grouping is a partition of the input items."""
+        intervals = [TimeInterval(start, start + length) for start, length in raw]
+        items = list(range(len(intervals)))
+        groups = group_overlapping(items, intervals)
+        flattened = [item for group in groups for item in group]
+        assert sorted(flattened) == items
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10_000), st.integers(0, 3600)),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    def test_groups_are_time_disjoint(self, raw):
+        """Property: the covering interval of each group never overlaps another's."""
+        intervals = [TimeInterval(start, start + length) for start, length in raw]
+        items = list(range(len(intervals)))
+        groups = group_overlapping(items, intervals)
+        spans = []
+        for group in groups:
+            start = min(intervals[i].start for i in group)
+            end = max(intervals[i].end for i in group)
+            spans.append(TimeInterval(start, end))
+        spans.sort()
+        for left, right in zip(spans, spans[1:]):
+            assert left.end < right.start
+
+
+class TestMergeAndSplit:
+    def test_merge_intervals(self):
+        merged = merge_intervals(
+            [TimeInterval(0, 10), TimeInterval(5, 20), TimeInterval(30, 40)]
+        )
+        assert merged == [TimeInterval(0, 20), TimeInterval(30, 40)]
+
+    def test_split_interval_alignment(self):
+        chunks = split_interval(TimeInterval(130, 350), 100)
+        assert chunks == [(100, 200), (200, 300), (300, 400)]
+
+    def test_split_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            split_interval(TimeInterval(0, 10), 0)

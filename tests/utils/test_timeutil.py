@@ -1,0 +1,59 @@
+"""Tests for clocks and time binning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.timeutil import SimulatedClock, SystemClock, bin_start, iter_bins
+
+
+class TestSimulatedClock:
+    def test_starts_at_given_time(self):
+        clock = SimulatedClock(1_000)
+        assert clock.now() == 1_000
+
+    def test_sleep_advances(self):
+        clock = SimulatedClock(0)
+        clock.sleep(30)
+        assert clock.now() == 30
+
+    def test_negative_sleep_rejected(self):
+        clock = SimulatedClock(0)
+        with pytest.raises(ValueError):
+            clock.sleep(-1)
+
+    def test_set_forward_only(self):
+        clock = SimulatedClock(100)
+        clock.set(200)
+        assert clock.now() == 200
+        with pytest.raises(ValueError):
+            clock.set(50)
+
+
+class TestSystemClock:
+    def test_now_is_monotone_nondecreasing(self):
+        clock = SystemClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+
+class TestBinning:
+    def test_bin_start_aligns_to_epoch(self):
+        assert bin_start(1_438_415_400, 300) == 1_438_415_400
+        assert bin_start(1_438_415_401, 300) == 1_438_415_400
+
+    def test_bin_start_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bin_start(10, 0)
+
+    def test_iter_bins_covers_range(self):
+        bins = list(iter_bins(100, 700, 300))
+        assert bins == [0, 300, 600]
+
+    def test_iter_bins_empty_range(self):
+        assert list(iter_bins(300, 300, 300)) == []
+
+    def test_iter_bins_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            list(iter_bins(10, 0, 5))
