@@ -26,6 +26,7 @@ from repro.core.interfaces import (
     SingleFileDataInterface,
     SQLiteDataInterface,
 )
+from repro.core.parallel import ParallelConfig, ParallelStreamEngine
 from repro.core.sorter import DumpFileReader, SortedRecordMerger
 from repro.core.stream import BGPStream
 
@@ -44,5 +45,7 @@ __all__ = [
     "SQLiteDataInterface",
     "DumpFileReader",
     "SortedRecordMerger",
+    "ParallelConfig",
+    "ParallelStreamEngine",
     "BGPStream",
 ]

@@ -28,6 +28,7 @@ from repro.core.interfaces import (
     SingleFileDataInterface,
     SQLiteDataInterface,
 )
+from repro.core.parallel import ParallelConfig
 from repro.core.record import RecordStatus
 from repro.core.stream import BGPStream
 
@@ -67,6 +68,20 @@ def build_parser() -> argparse.ArgumentParser:
     filters.add_argument("-A", "--aspath", action="append", default=[],
                          help="regular expression matched against the AS path")
 
+    engine = parser.add_argument_group("engine")
+    engine.add_argument(
+        "--parallel", action="store_true",
+        help="parse dump files concurrently with the parallel batched engine",
+    )
+    engine.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for --parallel (default: CPU count)",
+    )
+    engine.add_argument(
+        "--batch-size", type=int, default=None,
+        help="records per batch for --parallel (default: 1024)",
+    )
+
     output = parser.add_argument_group("output")
     output.add_argument("-r", "--show-records", action="store_true",
                         help="print record header lines in addition to elems")
@@ -82,7 +97,23 @@ def build_parser() -> argparse.ArgumentParser:
 def build_stream(args: argparse.Namespace) -> BGPStream:
     """Construct a configured BGPStream from parsed CLI arguments."""
     interface = _build_interface(args)
-    stream = BGPStream(data_interface=interface)
+    parallel: Optional[ParallelConfig] = None
+    if not getattr(args, "parallel", False) and (
+        getattr(args, "workers", None) is not None
+        or getattr(args, "batch_size", None) is not None
+    ):
+        raise SystemExit("bgpreader: error: --workers/--batch-size require --parallel")
+    if getattr(args, "parallel", False):
+        options = {}
+        if args.workers is not None:
+            options["max_workers"] = args.workers
+        if args.batch_size is not None:
+            options["batch_size"] = args.batch_size
+        try:
+            parallel = ParallelConfig(**options)
+        except ValueError as exc:
+            raise SystemExit(f"bgpreader: error: {exc}")
+    stream = BGPStream(data_interface=interface, parallel=parallel)
     for project in args.project:
         stream.add_filter("project", project)
     for collector in args.collector:

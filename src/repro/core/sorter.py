@@ -19,6 +19,7 @@ status), and :class:`SortedRecordMerger` implements the grouping + merge.
 from __future__ import annotations
 
 import heapq
+from itertools import count
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.interfaces import DumpFileSpec
@@ -26,6 +27,9 @@ from repro.core.record import BGPStreamRecord, DumpPosition, RecordStatus
 from repro.mrt.parser import MRTDumpReader, MRTParseError
 from repro.mrt.records import CorruptRecord, PeerIndexTable
 from repro.utils.intervals import TimeInterval, group_overlapping
+
+#: Default number of records per batch for the batched APIs.
+DEFAULT_BATCH_SIZE = 1024
 
 
 class DumpFileReader:
@@ -38,15 +42,20 @@ class DumpFileReader:
       ``CORRUPTED_RECORD`` status, and reading stops after it.
     * The first and last records of a readable dump are marked with the
       START / END dump positions so users can collate whole RIB dumps.
+
+    ``cache_records=True`` asks the MRT parser to keep the decoded records
+    of a cleanly-read dump in its per-file cache, so re-reads of the
+    unchanged file skip decoding (the parallel engine's workers set this).
     """
 
-    def __init__(self, spec: DumpFileSpec) -> None:
+    def __init__(self, spec: DumpFileSpec, cache_records: bool = False) -> None:
         self.spec = spec
+        self.cache_records = cache_records
 
     def __iter__(self) -> Iterator[BGPStreamRecord]:
         spec = self.spec
         try:
-            reader = MRTDumpReader(spec.path)
+            reader = MRTDumpReader(spec.path, cache_records=self.cache_records)
             reader.open()
         except MRTParseError:
             yield BGPStreamRecord(
@@ -136,25 +145,69 @@ class SortedRecordMerger:
         for subset in self.subsets():
             yield from self._merge_subset(subset)
 
+    def iter_batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[BGPStreamRecord]]:
+        """Iterate the merged stream in timestamp-ordered record batches.
+
+        Flattening the batches reproduces ``iter(self)`` record for record;
+        batch boundaries carry no meaning (a batch may span subsets).
+        """
+        yield from batch_records(self, batch_size)
+
     def _merge_subset(self, subset: Sequence[DumpFileSpec]) -> Iterator[BGPStreamRecord]:
         """Multi-way merge of the (already time-ordered) files of one subset."""
         if len(subset) == 1:
             yield from DumpFileReader(subset[0])
             return
-        iterators = [iter(DumpFileReader(spec)) for spec in subset]
-        heap: List[tuple] = []
-        for index, iterator in enumerate(iterators):
-            record = next(iterator, None)
-            if record is not None:
-                heapq.heappush(heap, (record.time, index, id(record), record))
-        while heap:
-            _, index, _, record = heapq.heappop(heap)
-            yield record
-            nxt = next(iterators[index], None)
-            if nxt is not None:
-                heapq.heappush(heap, (nxt.time, index, id(nxt), nxt))
+        yield from merge_record_iterators([iter(DumpFileReader(spec)) for spec in subset])
 
     # -- introspection (used by benchmarks) ---------------------------------------
 
     def subset_sizes(self) -> List[int]:
         return [len(subset) for subset in self.subsets()]
+
+
+def batch_records(
+    records: Iterable[BGPStreamRecord], batch_size: int
+) -> Iterator[List[BGPStreamRecord]]:
+    """Group a record iterable into lists of up to ``batch_size``.
+
+    The single accumulate-and-flush loop behind every batched API (sorter,
+    parallel engine, stream): the trailing partial batch is always flushed.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    batch: List[BGPStreamRecord] = []
+    for record in records:
+        batch.append(record)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def merge_record_iterators(
+    iterators: Sequence[Iterator[BGPStreamRecord]],
+) -> Iterator[BGPStreamRecord]:
+    """Multi-way merge of per-file record iterators, oldest timestamp first.
+
+    Repeatedly extracts the record with the oldest timestamp among the
+    iterator heads (§3.3.4).  Equal timestamps resolve by iterator position
+    and then by a monotonic sequence counter, so the merged order is stable
+    and reproducible across runs.  Both the sequential sorter and the
+    parallel engine (:mod:`repro.core.parallel`) merge through this function,
+    which is what guarantees the two paths emit identical record sequences.
+    """
+    sequence = count()
+    heap: List[tuple] = []
+    for index, iterator in enumerate(iterators):
+        record = next(iterator, None)
+        if record is not None:
+            heap.append((record.time, index, next(sequence), record))
+    heapq.heapify(heap)
+    while heap:
+        _, index, _, record = heapq.heappop(heap)
+        yield record
+        nxt = next(iterators[index], None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt.time, index, next(sequence), nxt))

@@ -35,12 +35,21 @@ class BGPCorsaro:
         stream: BGPStream,
         plugins: Sequence[Plugin],
         bin_size: int = 300,
+        batch_size: Optional[int] = None,
     ) -> None:
+        """``batch_size`` switches the driver to consuming the stream through
+        ``BGPStream.records_batched()`` — the plugin pipeline then rides the
+        batched (and, when the stream is configured with a
+        :class:`~repro.core.parallel.ParallelConfig`, parallel) engine while
+        seeing the exact same record sequence and bin boundaries."""
         if bin_size <= 0:
             raise ValueError("bin_size must be positive")
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         self.stream = stream
         self.plugins = list(plugins)
         self.bin_size = bin_size
+        self.batch_size = batch_size
         self.outputs: List[BinOutput] = []
         self.records_processed = 0
         self.invalid_records = 0
@@ -54,9 +63,17 @@ class BGPCorsaro:
             pass
         return self.outputs
 
+    def _record_source(self) -> Iterator:
+        """Records either one at a time or flattened from engine batches."""
+        if self.batch_size is not None:
+            for batch in self.stream.records_batched(self.batch_size):
+                yield from batch
+        else:
+            yield from self.stream.records()
+
     def process(self) -> Iterator[BinOutput]:
         """Incremental driver: yields outputs as bins close (live friendly)."""
-        for record in self.stream.records():
+        for record in self._record_source():
             self.records_processed += 1
             if record.status != RecordStatus.VALID:
                 self.invalid_records += 1

@@ -7,6 +7,26 @@ header or body cannot be decoded is returned with a :class:`CorruptRecord`
 body (``record.is_valid`` is False) instead of aborting the whole dump.  A
 file that cannot be opened at all raises :class:`MRTParseError`; the stream
 layer converts that into a not-valid BGPStream record.
+
+Three throughput features support the parallel stream engine
+(:mod:`repro.core.parallel`):
+
+* a precompiled :class:`struct.Struct` fast path for the 12-byte common
+  header, used by both the streaming scan and the bulk scan;
+* a **bulk scan**: a dump of plausible size is read (and, for gzip dumps,
+  decompressed) into one in-memory buffer with a single read and parsed with
+  zero per-record I/O.  A gzip stream that does not decompress cleanly falls
+  back to the classic streaming scan over the same bytes, preserving
+  corruption-signalling behaviour exactly; and
+* a per-file cache in two tiers, keyed by the file's ``(size, mtime_ns)``
+  signature: a **header index** (every record's offset and pre-decoded
+  header), stored after any clean bulk scan so re-reads skip header
+  re-decoding — and, opt-in via ``cache_records=True``, the fully **decoded
+  records** themselves, so re-reads of an unchanged dump skip decoding
+  entirely.  Any reader consults both tiers; ``cache_records`` only controls
+  whether a scan *stores* the decoded tier.  Cached records are shared
+  between readers: treat parsed records as immutable (every consumer in this
+  codebase does).
 """
 
 from __future__ import annotations
@@ -14,7 +34,12 @@ from __future__ import annotations
 import gzip
 import io
 import os
-from typing import IO, Iterator, List, Optional
+import struct
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import IO, Iterator, List, Optional, Tuple
 
 from repro.mrt.constants import MRT_HEADER_LEN, MRTType
 from repro.mrt.records import (
@@ -32,9 +57,120 @@ _GZIP_MAGIC = b"\x1f\x8b"
 #: this in practice).
 MAX_RECORD_LEN = 64 * 1024 * 1024
 
+#: Precompiled codec for the MRT common header: timestamp, type, subtype, length.
+_HEADER_STRUCT = struct.Struct("!IHHI")
+
+#: Files up to this on-disk size are scanned from one in-memory buffer (one
+#: read call, zero per-record I/O); larger files use the streaming scan.
+BULK_SCAN_MAX = 128 * 1024 * 1024
+
 
 class MRTParseError(Exception):
     """Raised when a dump file cannot be opened or read at all."""
+
+
+# ---------------------------------------------------------------------------
+# Per-file cache: header index tier + decoded record tier
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """Location and pre-decoded header of one record inside a dump buffer."""
+
+    offset: int  # offset of the record *body* within the (decompressed) buffer
+    timestamp: int
+    mrt_type: int
+    subtype: int
+    body_length: int
+
+
+@dataclass
+class DumpIndex:
+    """The cached scan of one cleanly-read dump file."""
+
+    signature: Tuple[int, int]  # (st_size, st_mtime_ns) at scan time
+    entries: List[IndexEntry]
+    #: Fully decoded records (the opt-in second tier); None = header tier only.
+    records: Optional[List[MRTRecord]] = field(default=None, repr=False)
+
+
+_CACHE_LOCK = threading.Lock()
+_INDEX_CACHE: "OrderedDict[str, DumpIndex]" = OrderedDict()
+_INDEX_CACHE_MAX = 512
+#: Total decoded records kept across all cached files; the oldest entries
+#: are demoted to the header tier when the budget is exceeded.
+_RECORD_CACHE_BUDGET = 2_000_000
+_record_budget_used = 0
+
+
+def _file_signature(path: str) -> Optional[Tuple[int, int]]:
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return None
+    return (stat.st_size, stat.st_mtime_ns)
+
+
+def cached_index(path: str) -> Optional[DumpIndex]:
+    """The cached index for ``path``, if its signature is still valid."""
+    global _record_budget_used
+    with _CACHE_LOCK:
+        index = _INDEX_CACHE.get(path)
+        if index is None:
+            return None
+        if index.signature != _file_signature(path):
+            if index.records is not None:
+                _record_budget_used -= len(index.records)
+            del _INDEX_CACHE[path]
+            return None
+        _INDEX_CACHE.move_to_end(path)
+        return index
+
+
+def store_index(path: str, index: DumpIndex) -> None:
+    global _record_budget_used
+    if index.records is not None and len(index.records) > _RECORD_CACHE_BUDGET:
+        # A single file larger than the whole budget would defeat the cap;
+        # keep its header tier only.
+        index = DumpIndex(index.signature, index.entries, None)
+    with _CACHE_LOCK:
+        previous = _INDEX_CACHE.get(path)
+        if previous is not None and previous.records is not None:
+            _record_budget_used -= len(previous.records)
+        _INDEX_CACHE[path] = index
+        _INDEX_CACHE.move_to_end(path)
+        if index.records is not None:
+            _record_budget_used += len(index.records)
+        while len(_INDEX_CACHE) > _INDEX_CACHE_MAX:
+            _, evicted = _INDEX_CACHE.popitem(last=False)
+            if evicted.records is not None:
+                _record_budget_used -= len(evicted.records)
+        if _record_budget_used > _RECORD_CACHE_BUDGET:
+            # Demote oldest record-tier entries back to header-only.
+            for candidate in list(_INDEX_CACHE.values()):
+                if _record_budget_used <= _RECORD_CACHE_BUDGET:
+                    break
+                if candidate.records is not None and candidate is not index:
+                    _record_budget_used -= len(candidate.records)
+                    candidate.records = None
+
+
+def clear_index_cache() -> None:
+    global _record_budget_used
+    with _CACHE_LOCK:
+        _INDEX_CACHE.clear()
+        _record_budget_used = 0
+
+
+def index_cache_size() -> int:
+    with _CACHE_LOCK:
+        return len(_INDEX_CACHE)
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
 
 
 class MRTDumpReader:
@@ -43,11 +179,20 @@ class MRTDumpReader:
     Iteration yields :class:`MRTRecord` objects.  A corrupt tail (truncated
     header or body) yields one final record flagged as invalid and then
     stops, matching the "signal a corrupted read" extension of libBGPdump.
+
+    ``use_index=False`` disables the per-file cache in both directions (the
+    read neither consults nor populates it); ``cache_records=True``
+    additionally stores the decoded records of a cleanly-scanned dump so the
+    next read of the unchanged file skips decoding entirely.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, use_index: bool = True, cache_records: bool = False) -> None:
         self.path = path
+        self.use_index = use_index
+        self.cache_records = cache_records
+        self._raw: Optional[IO[bytes]] = None
         self._handle: Optional[IO[bytes]] = None
+        self._compressed = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -58,10 +203,13 @@ class MRTDumpReader:
             raw = open(self.path, "rb")
             magic = raw.read(2)
             raw.seek(0)
+            self._raw = raw
             if magic == _GZIP_MAGIC:
                 self._handle = gzip.open(raw)
+                self._compressed = True
             else:
                 self._handle = raw
+                self._compressed = False
         except OSError as exc:
             raise MRTParseError(f"cannot open dump file {self.path}: {exc}") from exc
 
@@ -69,6 +217,9 @@ class MRTDumpReader:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        if self._raw is not None:
+            self._raw.close()
+            self._raw = None
 
     def __enter__(self) -> "MRTDumpReader":
         self.open()
@@ -83,10 +234,51 @@ class MRTDumpReader:
         if self._handle is None:
             self.open()
         assert self._handle is not None
+
+        index: Optional[DumpIndex] = None
+        if self.use_index:
+            index = cached_index(self.path)
+            if index is not None:
+                # Snapshot: the budget enforcer may demote index.records to
+                # None concurrently; a local keeps this read consistent.
+                cached_records = index.records
+                if cached_records is not None:
+                    yield from cached_records
+                    return
+
+        signature = _file_signature(self.path)
+        if signature is not None and signature[0] <= BULK_SCAN_MAX:
+            assert self._raw is not None
+            try:
+                self._raw.seek(0)
+                blob = self._raw.read()
+            except OSError as exc:
+                yield _corrupt(f"read error: {exc}")
+                return
+            if self._compressed:
+                data = _decompress_bounded(blob, BULK_SCAN_MAX)
+                if data is None:
+                    # Corrupt, truncated, multi-member or implausibly large
+                    # gzip streams keep the classic streaming behaviour
+                    # (records until the failure point, then a read-error
+                    # signal; bounded memory) over the same bytes.
+                    yield from self._iter_streaming(gzip.open(io.BytesIO(blob)))
+                    return
+            else:
+                data = blob
+            yield from self._iter_buffer(data, signature, index)
+            return
+
+        yield from self._iter_streaming(self._handle)
+
+    # The streaming scan: one header read + one body read per record.  Used
+    # for implausibly large files and corrupt gzip streams.
+    def _iter_streaming(self, handle: IO[bytes]) -> Iterator[MRTRecord]:
+        unpack = _HEADER_STRUCT.unpack
         while True:
             try:
-                header_bytes = self._handle.read(MRT_HEADER_LEN)
-            except (OSError, EOFError, gzip.BadGzipFile) as exc:
+                header_bytes = handle.read(MRT_HEADER_LEN)
+            except (OSError, EOFError, gzip.BadGzipFile, zlib.error) as exc:
                 yield _corrupt(f"read error: {exc}")
                 return
             if not header_bytes:
@@ -94,8 +286,9 @@ class MRTDumpReader:
             if len(header_bytes) < MRT_HEADER_LEN:
                 yield _corrupt("truncated MRT header at end of file", header_bytes)
                 return
+            timestamp, raw_type, subtype, body_length = unpack(header_bytes)
             try:
-                header, body_length, _ = MRTHeader.decode(header_bytes)
+                header = MRTHeader(timestamp, MRTType(raw_type), subtype)
             except ValueError as exc:
                 yield _corrupt(f"bad MRT header: {exc}", header_bytes)
                 return
@@ -103,8 +296,8 @@ class MRTDumpReader:
                 yield _corrupt(f"implausible record length {body_length}", header_bytes)
                 return
             try:
-                body_bytes = self._handle.read(body_length)
-            except (OSError, EOFError, gzip.BadGzipFile) as exc:
+                body_bytes = handle.read(body_length)
+            except (OSError, EOFError, gzip.BadGzipFile, zlib.error) as exc:
                 yield _corrupt(f"read error in record body: {exc}", header_bytes)
                 return
             if len(body_bytes) < body_length:
@@ -113,10 +306,90 @@ class MRTDumpReader:
             body = decode_record_body(header, header.subtype, body_bytes)
             yield MRTRecord(header, body)
 
+    # The bulk scan: the whole (decompressed) dump parsed from one buffer.
+    # A valid header index skips header decoding; a clean scan populates the
+    # cache — with the decoded records too when ``cache_records`` is set.
+    def _iter_buffer(
+        self, data: bytes, signature: Tuple[int, int], index: Optional[DumpIndex]
+    ) -> Iterator[MRTRecord]:
+        if index is not None and self._buffer_matches_index(data, index):
+            records: Optional[List[MRTRecord]] = [] if self.cache_records else None
+            for entry in index.entries:
+                header = MRTHeader(entry.timestamp, MRTType(entry.mrt_type), entry.subtype)
+                body = data[entry.offset : entry.offset + entry.body_length]
+                record = MRTRecord(header, decode_record_body(header, entry.subtype, body))
+                if records is not None:
+                    records.append(record)
+                yield record
+            if records is not None:
+                store_index(self.path, DumpIndex(signature, index.entries, records))
+            return
 
-def read_dump(path: str) -> List[MRTRecord]:
+        unpack_from = _HEADER_STRUCT.unpack_from
+        size = len(data)
+        offset = 0
+        entries: List[IndexEntry] = []
+        records = [] if (self.cache_records and self.use_index) else None
+        clean = True
+        while offset < size:
+            if offset + MRT_HEADER_LEN > size:
+                yield _corrupt("truncated MRT header at end of file", data[offset:])
+                clean = False
+                break
+            timestamp, raw_type, subtype, body_length = unpack_from(data, offset)
+            header_bytes = data[offset : offset + MRT_HEADER_LEN]
+            try:
+                header = MRTHeader(timestamp, MRTType(raw_type), subtype)
+            except ValueError as exc:
+                yield _corrupt(f"bad MRT header: {exc}", header_bytes)
+                clean = False
+                break
+            if body_length > MAX_RECORD_LEN:
+                yield _corrupt(f"implausible record length {body_length}", header_bytes)
+                clean = False
+                break
+            body_offset = offset + MRT_HEADER_LEN
+            if body_offset + body_length > size:
+                body_bytes = data[body_offset:]
+                yield MRTRecord(header, CorruptRecord("truncated record body", body_bytes))
+                clean = False
+                break
+            body_bytes = data[body_offset : body_offset + body_length]
+            record = MRTRecord(header, decode_record_body(header, subtype, body_bytes))
+            entries.append(IndexEntry(body_offset, timestamp, raw_type, subtype, body_length))
+            if records is not None:
+                records.append(record)
+            yield record
+            offset = body_offset + body_length
+        if clean and self.use_index:
+            store_index(self.path, DumpIndex(signature, entries, records))
+
+    @staticmethod
+    def _buffer_matches_index(data: bytes, index: DumpIndex) -> bool:
+        """Sanity check that the index describes exactly this buffer."""
+        if not index.entries:
+            return len(data) == 0
+        last = index.entries[-1]
+        return last.offset + last.body_length == len(data)
+
+
+def _decompress_bounded(blob: bytes, limit: int) -> Optional[bytes]:
+    """Fully decompress a single-member gzip blob, or None if it cannot be
+    done safely: corrupt/truncated stream, trailing or multi-member data, or
+    decompressed size beyond ``limit`` (decompression-bomb guard)."""
+    try:
+        decompressor = zlib.decompressobj(wbits=31)  # gzip container
+        data = decompressor.decompress(blob, limit + 1)
+        if len(data) > limit or not decompressor.eof or decompressor.unused_data:
+            return None
+        return data
+    except zlib.error:
+        return None
+
+
+def read_dump(path: str, use_index: bool = True, cache_records: bool = False) -> List[MRTRecord]:
     """Read an entire dump file into a list of records."""
-    with MRTDumpReader(path) as reader:
+    with MRTDumpReader(path, use_index=use_index, cache_records=cache_records) as reader:
         return list(reader)
 
 

@@ -28,6 +28,7 @@ from typing import Optional
 from repro.core.elem import BGPElem as _CoreElem
 from repro.core.filters import FilterSet
 from repro.core.interfaces import DataInterface
+from repro.core.parallel import ParallelConfig
 from repro.core.record import BGPStreamRecord as _CoreRecord, RecordStatus
 from repro.core.stream import BGPStream as _CoreStream
 
@@ -133,19 +134,33 @@ class BGPRecord:
 
 
 class BGPStream:
-    """The stream object of the bindings."""
+    """The stream object of the bindings.
 
-    def __init__(self, data_interface: Optional[DataInterface] = None) -> None:
+    Passing ``parallel=ParallelConfig(...)`` (or calling
+    :meth:`set_parallel` before :meth:`start`) runs the Listing-1 idiom
+    unchanged on top of the parallel batched engine: dump files are parsed
+    concurrently while ``get_next_record()`` keeps handing out the exact
+    record sequence of the sequential reference path.
+    """
+
+    def __init__(
+        self,
+        data_interface: Optional[DataInterface] = None,
+        parallel: Optional[ParallelConfig] = None,
+    ) -> None:
         interface = data_interface or _default_interface
         if interface is None:
             raise RuntimeError(
                 "no data interface available: pass one to BGPStream(...) or call "
                 "repro.pybgpstream.set_default_data_interface() first"
             )
-        self._stream = _CoreStream(data_interface=interface)
+        self._stream = _CoreStream(data_interface=interface, parallel=parallel)
 
     def add_filter(self, name: str, value: str) -> None:
         self._stream.add_filter(name, value)
+
+    def set_parallel(self, config: Optional[ParallelConfig]) -> None:
+        self._stream.set_parallel(config)
 
     def add_interval_filter(self, start: int, end: int) -> None:
         end_value: Optional[int] = None if end in (-1, None) else end

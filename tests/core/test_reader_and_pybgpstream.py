@@ -74,6 +74,20 @@ class TestBGPReaderCLI:
         )
         assert any(l.startswith(("ribs|", "updates|")) for l in lines)
 
+    def test_parallel_engine_output_matches_sequential(self, core_archive, core_scenario):
+        window = ["-w", f"{core_scenario.start},{core_scenario.end}", "-r"]
+        sequential = self._run(core_archive, window)
+        parallel = self._run(
+            core_archive, window + ["--parallel", "--workers", "2", "--batch-size", "16"]
+        )
+        assert parallel == sequential
+
+    def test_tuning_flags_require_parallel(self, core_archive):
+        parser = build_parser()
+        args = parser.parse_args(["--archive", core_archive.root, "--workers", "4"])
+        with pytest.raises(SystemExit):
+            build_stream(args)
+
     def test_requires_exactly_one_source(self):
         parser = build_parser()
         args = parser.parse_args([])

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import os
+import random
+from collections import Counter
 
 import pytest
 
@@ -11,6 +13,7 @@ from repro.bgp.attributes import PathAttributes
 from repro.bgp.message import BGPUpdate
 from repro.bgp.prefix import Prefix
 from repro.core.interfaces import DumpFileSpec
+from repro.core.parallel import ParallelConfig, ParallelStreamEngine
 from repro.core.record import DumpPosition, RecordStatus
 from repro.core.sorter import DumpFileReader, SortedRecordMerger
 from repro.mrt.records import BGP4MPMessage
@@ -150,3 +153,125 @@ class TestMultiWayMerge:
         statuses = [r.status for r in merged]
         assert statuses.count(RecordStatus.CORRUPTED_SOURCE) == 1
         assert statuses.count(RecordStatus.VALID) == 2
+
+    def test_equal_timestamp_merge_order_is_stable(self, tmp_path):
+        """Equal-timestamp records resolve by file position, reproducibly."""
+        specs = []
+        for index in range(4):
+            path = str(tmp_path / f"tie{index}.mrt")
+            _write_updates(path, [100, 100, 200], peer_asn=64500 + index)
+            specs.append(_spec(path, 0, 300, collector=f"c{index}"))
+        reference = [(r.time, r.collector) for r in SortedRecordMerger(specs)]
+        for _ in range(3):
+            assert [(r.time, r.collector) for r in SortedRecordMerger(specs)] == reference
+        # Ties resolve by file position: each file's run of equal timestamps
+        # drains before the next file's (the head of file i keeps winning the
+        # (time, index) tie until its timestamp advances).
+        assert reference[:8] == [(100, f"c{i}") for i in range(4) for _ in range(2)]
+
+
+def _record_key(record):
+    """Full identity of a record for order-sensitive comparisons."""
+    return (
+        record.time,
+        record.project,
+        record.collector,
+        record.dump_type,
+        str(record.status),
+        str(record.dump_position),
+        record.mrt.encode() if record.mrt is not None else None,
+    )
+
+
+def _random_file_set(rng, directory):
+    """A random set of overlapping/disjoint dump files; returns (specs, written).
+
+    ``written`` is the multiset of (timestamp, peer_asn) pairs written into
+    valid update records across all files.
+    """
+    specs = []
+    written = []
+    num_files = rng.randint(2, 8)
+    for index in range(num_files):
+        start = rng.randrange(0, 2000, 100)
+        duration = rng.choice([100, 300, 900])
+        count = rng.randint(0, 12)
+        peer_asn = 64500 + index
+        timestamps = sorted(rng.randint(start, start + duration - 1) for _ in range(count))
+        suffix = ".mrt.gz" if rng.random() < 0.25 else ".mrt"
+        path = str(directory / f"r{index}{suffix}")
+        _write_updates(path, timestamps, peer_asn=peer_asn)
+        specs.append(
+            _spec(path, start, duration, collector=f"c{index}", project=rng.choice(["ris", "rv"]))
+        )
+        written.extend((ts, peer_asn) for ts in timestamps)
+    return specs, written
+
+
+class TestMergeProperties:
+    """Randomized properties of the sorted merge (§3.3.4) and its parallel twin."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_merge_is_sorted_and_a_permutation_of_the_inputs(self, tmp_path, seed):
+        rng = random.Random(seed)
+        specs, written = _random_file_set(rng, tmp_path)
+        merged = list(SortedRecordMerger(specs))
+
+        times = [r.time for r in merged]
+        assert times == sorted(times), "merged stream must be non-decreasing in time"
+
+        valid = [r for r in merged if r.status == RecordStatus.VALID]
+        observed = Counter((r.time, r.mrt.body.peer_asn) for r in valid)
+        assert observed == Counter(written), "merge must be a permutation of the inputs"
+
+        # Every record written is accounted for, plus exactly one
+        # EMPTY_SOURCE marker per record-less file.
+        empty_files = len(specs) - len({asn for _, asn in written})
+        empties = sum(1 for r in merged if r.status == RecordStatus.EMPTY_SOURCE)
+        assert empties == empty_files
+        assert len(merged) == len(written) + empty_files
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_batched_and_parallel_paths_match_sequential(self, tmp_path, seed):
+        rng = random.Random(1000 + seed)
+        specs, _ = _random_file_set(rng, tmp_path)
+        reference = [_record_key(r) for r in SortedRecordMerger(specs)]
+
+        batch_size = rng.choice([1, 2, 7, 64])
+        batched = [
+            _record_key(r)
+            for batch in SortedRecordMerger(specs).iter_batches(batch_size)
+            for r in batch
+        ]
+        assert batched == reference
+
+        for executor in ("serial", "thread"):
+            engine = ParallelStreamEngine(
+                ParallelConfig(executor=executor, batch_size=batch_size, max_workers=3)
+            )
+            parallel = [_record_key(r) for b in engine.iter_batches(specs) for r in b]
+            assert parallel == reference, f"{executor} path diverged from sequential merge"
+
+    def test_process_pool_path_matches_sequential(self, tmp_path):
+        rng = random.Random(42)
+        specs, _ = _random_file_set(rng, tmp_path)
+        reference = [_record_key(r) for r in SortedRecordMerger(specs)]
+        with ParallelStreamEngine(ParallelConfig(executor="process", max_workers=2)) as engine:
+            assert [_record_key(r) for r in engine.iter_records(specs)] == reference
+
+    def test_engine_pool_is_reused_and_survives_close(self, tmp_path):
+        rng = random.Random(7)
+        specs, _ = _random_file_set(rng, tmp_path)
+        reference = [_record_key(r) for r in SortedRecordMerger(specs)]
+        engine = ParallelStreamEngine(ParallelConfig(executor="thread", max_workers=2))
+        assert [_record_key(r) for r in engine.iter_records(specs)] == reference
+        pool = engine._executor
+        assert pool is not None
+        assert [_record_key(r) for r in engine.iter_records(specs)] == reference
+        assert engine._executor is pool, "pool must be reused across runs"
+        engine.close()
+        engine.close()  # idempotent
+        # A closed engine recreates its pool on next use.
+        assert [_record_key(r) for r in engine.iter_records(specs)] == reference
+        assert engine._executor is not pool
+        engine.close()

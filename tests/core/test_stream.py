@@ -44,6 +44,60 @@ class TestStreamConfiguration:
         assert stream.get_next_record() is not None
 
 
+class TestBatchedConsumption:
+    def test_batched_flattens_to_the_sequential_stream(self, core_archive, core_scenario):
+        reference = [
+            (r.time, r.collector, str(r.status))
+            for r in make_stream(core_archive, core_scenario.start, core_scenario.end).records()
+        ]
+        stream = make_stream(core_archive, core_scenario.start, core_scenario.end)
+        flattened = [
+            (r.time, r.collector, str(r.status))
+            for batch in stream.records_batched(batch_size=37)
+            for r in batch
+        ]
+        assert flattened == reference
+        assert stream.records_read == len(reference) + stream.records_filtered
+
+    def test_batched_rejects_nonpositive_batch_size_in_both_modes(
+        self, core_archive, core_scenario
+    ):
+        from repro.core.parallel import ParallelConfig
+
+        for parallel in (None, ParallelConfig(executor="serial")):
+            stream = make_stream(core_archive, core_scenario.start, core_scenario.end)
+            if parallel is not None:
+                stream.set_parallel(parallel)
+            with pytest.raises(ValueError):
+                stream.records_batched(batch_size=0)
+
+    def test_batched_and_record_apis_cannot_be_mixed(self, core_archive, core_scenario):
+        stream = make_stream(core_archive, core_scenario.start, core_scenario.end)
+        batches = stream.records_batched(batch_size=8)
+        next(batches)
+        with pytest.raises(RuntimeError):
+            stream.get_next_record()
+        with pytest.raises(RuntimeError):
+            stream.records_batched()
+        # ...and the other direction.
+        stream = make_stream(core_archive, core_scenario.start, core_scenario.end)
+        stream.get_next_record()
+        with pytest.raises(RuntimeError):
+            stream.records_batched()
+
+    def test_parallel_stream_matches_sequential(self, core_archive, core_scenario):
+        from repro.core.parallel import ParallelConfig
+
+        reference = [
+            (r.time, r.collector, str(r.status))
+            for r in make_stream(core_archive, core_scenario.start, core_scenario.end).records()
+        ]
+        stream = make_stream(core_archive, core_scenario.start, core_scenario.end)
+        stream.set_parallel(ParallelConfig(executor="thread", max_workers=2))
+        parallel = [(r.time, r.collector, str(r.status)) for r in stream.records()]
+        assert parallel == reference
+
+
 class TestHistoricalStream:
     def test_records_are_time_sorted(self, core_stream):
         times = [r.time for r in core_stream.records() if r.status == RecordStatus.VALID]

@@ -72,6 +72,38 @@ class TestPipelineDriver:
         assert plugin.finished
         assert corsaro.records_processed > 0
 
+    def test_batch_size_must_be_positive(self, corsaro_archive, corsaro_scenario):
+        stream = make_corsaro_stream(
+            corsaro_archive, corsaro_scenario.start, corsaro_scenario.end
+        )
+        with pytest.raises(ValueError):
+            BGPCorsaro(stream, [], batch_size=0)
+
+    def test_batched_pipeline_matches_record_at_a_time(
+        self, corsaro_archive, corsaro_scenario
+    ):
+        """Riding the batched engine changes no bin boundary or output."""
+        from repro.core.parallel import ParallelConfig
+
+        def outputs(batch_size, parallel):
+            stream = make_corsaro_stream(
+                corsaro_archive, corsaro_scenario.start, corsaro_scenario.end
+            )
+            if parallel is not None:
+                stream.set_parallel(parallel)
+            stats = StatsPlugin()
+            corsaro = BGPCorsaro(stream, [stats], bin_size=900, batch_size=batch_size)
+            corsaro.run()
+            return [
+                (o.plugin, o.interval_start, o.value.records, o.value.elems)
+                for o in corsaro.outputs_for("stats")
+            ], corsaro.records_processed
+
+        reference = outputs(None, None)
+        assert reference[1] > 0
+        assert outputs(64, None) == reference
+        assert outputs(64, ParallelConfig(executor="thread", max_workers=2)) == reference
+
     def test_outputs_collected_per_plugin(self, corsaro_archive, corsaro_scenario):
         stream = make_corsaro_stream(
             corsaro_archive, corsaro_scenario.start, corsaro_scenario.end
