@@ -14,7 +14,6 @@ from __future__ import annotations
 import time
 
 from repro.baseline.bgpdump import BGPDumpBaseline
-from repro.core.elem import ElemType
 from repro.core.record import RecordStatus
 
 from benchmarks.conftest import make_stream

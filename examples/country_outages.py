@@ -39,7 +39,9 @@ def main() -> None:
     # Two ~1.5h country-wide outages (the Iraq pattern of Figure 10).
     events = [
         OutageEvent(interval=TimeInterval(start + 3600, start + 3600 + 5400), country=country),
-        OutageEvent(interval=TimeInterval(start + 4 * 3600, start + 4 * 3600 + 5400), country=country),
+        OutageEvent(
+            interval=TimeInterval(start + 4 * 3600, start + 4 * 3600 + 5400), country=country
+        ),
     ]
     scenario = build_scenario(config, events=events, topology=topology)
     archive = Archive(tempfile.mkdtemp(prefix="bgpstream-outage-"))

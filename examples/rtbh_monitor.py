@@ -67,7 +67,9 @@ def main() -> None:
         community = Community(provider if provider <= 0xFFFF else 65535, 666)
         events.append(
             RTBHEvent(
-                interval=TimeInterval(start + 1800 * (index + 1), start + 1800 * (index + 1) + duration),
+                interval=TimeInterval(
+                    start + 1800 * (index + 1), start + 1800 * (index + 1) + duration
+                ),
                 customer_asn=customer,
                 blackhole_prefix=target,
                 provider_asns=(provider,),
@@ -102,7 +104,10 @@ def main() -> None:
     events_by_prefix = {e.blackhole_prefix: e for e in events}
     measurements = experiment.run(requests, events_by_prefix)
 
-    print("\n  prefix               probes  dest during  dest after  originAS during  originAS after")
+    print(
+        "\n  prefix               probes  dest during  dest after  "
+        "originAS during  originAS after"
+    )
     for m in measurements:
         print(
             f"  {str(m.request.prefix):20s} {m.probes_used:6d}"

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 from itertools import groupby
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 import networkx as nx
 

@@ -15,8 +15,8 @@ after RTBH.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bgp.community import Community
 from repro.bgp.prefix import Prefix
@@ -24,7 +24,7 @@ from repro.collectors.events import RTBHEvent
 from repro.collectors.topology import ASTopology
 from repro.core.elem import ElemType
 from repro.core.stream import BGPStream
-from repro.atlas.probes import AtlasProbe, ProbeSelector
+from repro.atlas.probes import ProbeSelector
 from repro.atlas.traceroute import TracerouteEngine, TracerouteResult
 
 

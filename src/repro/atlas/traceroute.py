@@ -13,7 +13,7 @@ reachability the paper observes in Figure 4a).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.bgp.prefix import Prefix

@@ -13,8 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.elem import BGPElem, ElemType
-from repro.core.record import BGPStreamRecord, DumpPosition, RecordStatus
+from repro.core.record import BGPStreamRecord
 from repro.mrt.parser import MRTDumpReader, MRTParseError
 from repro.mrt.records import PeerIndexTable
 

@@ -8,6 +8,7 @@ messages report.
 """
 
 from repro.bgp.prefix import Prefix
+from repro.bgp.trie import PrefixTrie
 from repro.bgp.aspath import ASPath, ASPathSegment, SegmentType
 from repro.bgp.community import Community, CommunitySet
 from repro.bgp.attributes import (
@@ -19,6 +20,7 @@ from repro.bgp.fsm import SessionState
 
 __all__ = [
     "Prefix",
+    "PrefixTrie",
     "ASPath",
     "ASPathSegment",
     "SegmentType",

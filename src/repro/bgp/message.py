@@ -64,7 +64,8 @@ class BGPUpdate:
     def encode(self) -> bytes:
         """Encode as a complete BGP message (with marker header)."""
         withdrawn_block = b"".join(p.encode() for p in self.withdrawn)
-        attr_block = self.attributes.encode() if (self.announced or self.attributes.mp_reach_nlri or self.attributes.mp_unreach_nlri) else b""
+        has_mp = self.attributes.mp_reach_nlri or self.attributes.mp_unreach_nlri
+        attr_block = self.attributes.encode() if (self.announced or has_mp) else b""
         nlri_block = b"".join(p.encode() for p in self.announced)
         body = (
             struct.pack("!H", len(withdrawn_block))

@@ -1,0 +1,396 @@
+"""Patricia (radix) trie over IP prefixes.
+
+libBGPStream delegates every prefix-matching decision — the ``prefix``
+filter family of the filtering interface (§3.1), the pfxmonitor watchlist
+(§6.1) and the routing-tables lookups (§6.2) — to a patricia trie, so that
+matching an address against *n* watched prefixes costs O(prefix length)
+instead of O(n).  This module is the equivalent subsystem: a binary
+path-compressed trie keyed by ``(network address, prefix length)`` with an
+optional value attached to every stored prefix.
+
+:class:`PrefixTrie` is the public facade; it keeps one trie per IP version
+behind a single mapping-like interface, so mixed IPv4/IPv6 prefix sets (the
+normal case for BGP data) need no special handling by callers.
+
+Supported queries, mirroring the BGPStream filter language:
+
+* exact lookup (``get`` / ``__contains__``),
+* longest-prefix match (:meth:`PrefixTrie.longest_match`,
+  :meth:`PrefixTrie.lookup` for bare addresses),
+* covering prefixes — the stored prefixes that contain a query, i.e. the
+  walk towards the root (:meth:`PrefixTrie.covering`),
+* covered prefixes — the stored prefixes contained in a query, i.e. a
+  subtree walk (:meth:`PrefixTrie.covered`),
+* overlap test — either direction (:meth:`PrefixTrie.overlaps`).
+
+Internal nodes created by path compression ("glue" nodes) carry no entry
+and always have two children; removal splices them out again, so the trie
+never degenerates as prefixes churn.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar, Union
+
+from repro.bgp.prefix import Prefix
+
+V = TypeVar("V")
+
+#: Accepted address forms for :meth:`PrefixTrie.lookup`.
+AddressLike = Union[str, int, ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+
+class _Node:
+    """One trie node: a (bits, length) key, an optional entry, two children.
+
+    ``prefix is None`` marks a glue node (no entry).  ``bits`` is the
+    network address as an integer over the full address width with host
+    bits zero.
+    """
+
+    __slots__ = ("bits", "length", "prefix", "value", "left", "right")
+
+    def __init__(
+        self,
+        bits: int,
+        length: int,
+        prefix: Optional[Prefix] = None,
+        value: Optional[object] = None,
+    ) -> None:
+        self.bits = bits
+        self.length = length
+        self.prefix = prefix
+        self.value = value
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+
+class _VersionTrie(Generic[V]):
+    """A patricia trie for one IP version (fixed address width)."""
+
+    def __init__(self, max_length: int) -> None:
+        self.max_length = max_length
+        # The root is a permanent glue node for the zero-length prefix; a
+        # stored default route (/0) turns it into an entry node.
+        self._root = _Node(0, 0)
+        self._size = 0
+
+    # -- bit helpers -------------------------------------------------------
+
+    def _bit(self, bits: int, position: int) -> int:
+        """The bit at ``position`` (0 = most significant)."""
+        return (bits >> (self.max_length - 1 - position)) & 1
+
+    def _mask(self, bits: int, length: int) -> int:
+        """``bits`` truncated to its first ``length`` bits (host bits zeroed)."""
+        if length == 0:
+            return 0
+        shift = self.max_length - length
+        return (bits >> shift) << shift
+
+    def _common_length(self, a: int, b: int, limit: int) -> int:
+        """Length of the common prefix of ``a`` and ``b``, capped at ``limit``."""
+        if limit == 0:
+            return 0
+        diff = (a ^ b) >> (self.max_length - limit)
+        if diff == 0:
+            return limit
+        return limit - diff.bit_length()
+
+    def _covers(self, node: _Node, bits: int, length: int) -> bool:
+        """True if ``node``'s key is a (non-strict) prefix of ``(bits, length)``."""
+        return node.length <= length and self._mask(bits, node.length) == node.bits
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, prefix: Prefix, value: V) -> bool:
+        """Store ``prefix`` -> ``value``; True if the prefix was new."""
+        bits = int(prefix.network.network_address)
+        length = prefix.length
+        node = self._root
+        while True:
+            if length == node.length:
+                # Descent guarantees node.bits == bits here.
+                is_new = node.prefix is None
+                node.prefix = prefix
+                node.value = value
+                if is_new:
+                    self._size += 1
+                return is_new
+            branch = self._bit(bits, node.length)
+            child = node.right if branch else node.left
+            if child is None:
+                self._set_child(node, branch, _Node(bits, length, prefix, value))
+                self._size += 1
+                return True
+            common = self._common_length(bits, child.bits, min(length, child.length))
+            if common == child.length:
+                node = child
+                continue
+            if common == length:
+                # The new prefix sits between node and child.
+                new_node = _Node(bits, length, prefix, value)
+                self._set_child(new_node, self._bit(child.bits, length), child)
+                self._set_child(node, branch, new_node)
+                self._size += 1
+                return True
+            # The new prefix and child diverge: split with a glue node.
+            glue = _Node(self._mask(bits, common), common)
+            self._set_child(glue, self._bit(child.bits, common), child)
+            self._set_child(glue, self._bit(bits, common), _Node(bits, length, prefix, value))
+            self._set_child(node, branch, glue)
+            self._size += 1
+            return True
+
+    def remove(self, prefix: Prefix) -> V:
+        """Remove ``prefix`` and return its value; KeyError if absent."""
+        bits = int(prefix.network.network_address)
+        length = prefix.length
+        path: List[Tuple[_Node, int]] = []
+        node = self._root
+        while node.length < length:
+            branch = self._bit(bits, node.length)
+            child = node.right if branch else node.left
+            if child is None or not self._covers(child, bits, length):
+                raise KeyError(prefix)
+            path.append((node, branch))
+            node = child
+        if node.length != length or node.bits != bits or node.prefix is None:
+            raise KeyError(prefix)
+        value = node.value
+        node.prefix = None
+        node.value = None
+        self._size -= 1
+        self._prune(node, path)
+        return value  # type: ignore[return-value]
+
+    def _set_child(self, node: _Node, branch: int, child: Optional[_Node]) -> None:
+        if branch:
+            node.right = child
+        else:
+            node.left = child
+
+    def _prune(self, node: _Node, path: List[Tuple[_Node, int]]) -> None:
+        """Splice out empty glue nodes along ``path`` after a removal."""
+        while node is not self._root and node.prefix is None:
+            children = [c for c in (node.left, node.right) if c is not None]
+            if len(children) >= 2:
+                return  # a real glue node: keep it
+            parent, branch = path.pop()
+            self._set_child(parent, branch, children[0] if children else None)
+            node = parent
+
+    # -- queries -----------------------------------------------------------
+
+    def find(self, prefix: Prefix) -> Optional[_Node]:
+        """The entry node exactly matching ``prefix``, if stored."""
+        bits = int(prefix.network.network_address)
+        length = prefix.length
+        node = self._root
+        while node.length < length:
+            branch = self._bit(bits, node.length)
+            child = node.right if branch else node.left
+            if child is None or not self._covers(child, bits, length):
+                return None
+            node = child
+        if node.length == length and node.bits == bits and node.prefix is not None:
+            return node
+        return None
+
+    def covering_nodes(self, bits: int, length: int) -> Iterator[_Node]:
+        """Entry nodes whose prefix contains ``(bits, length)``, root first."""
+        node: Optional[_Node] = self._root
+        while node is not None and self._covers(node, bits, length):
+            if node.prefix is not None:
+                yield node
+            if node.length == length:
+                return
+            branch = self._bit(bits, node.length)
+            node = node.right if branch else node.left
+
+    def _subtree_root(self, bits: int, length: int) -> Optional[_Node]:
+        """The highest node whose key extends ``(bits, length)``, if any."""
+        node = self._root
+        while node.length < length:
+            branch = self._bit(bits, node.length)
+            child = node.right if branch else node.left
+            if child is None:
+                return None
+            if child.length >= length:
+                if self._mask(child.bits, length) == bits:
+                    return child
+                return None
+            if not self._covers(child, bits, length):
+                return None
+            node = child
+        return node if node.bits == bits else None
+
+    def covered_nodes(self, bits: int, length: int) -> Iterator[_Node]:
+        """Entry nodes whose prefix is contained in ``(bits, length)``."""
+        top = self._subtree_root(bits, length)
+        if top is None:
+            return
+        stack = [top]
+        while stack:
+            node = stack.pop()
+            if node.prefix is not None:
+                yield node
+            # Right pushed first so the left (lower-address) side pops first.
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def has_covered(self, bits: int, length: int) -> bool:
+        """True if any stored prefix is contained in ``(bits, length)``.
+
+        After pruning every non-root node either carries an entry or has
+        two children, so any subtree below the root contains at least one
+        entry and the test stays O(W).  Only the permanent root can be an
+        empty subtree (an empty or entry-less trie).
+        """
+        top = self._subtree_root(bits, length)
+        if top is None:
+            return False
+        return top.prefix is not None or top.left is not None or top.right is not None
+
+    def nodes(self) -> Iterator[_Node]:
+        """All entry nodes in (address, length) order."""
+        yield from self.covered_nodes(0, 0)
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class PrefixTrie(Generic[V]):
+    """A mapping from :class:`Prefix` to values with prefix-tree queries.
+
+    One patricia trie per IP version behind a single interface; iteration
+    yields IPv4 prefixes (in address order) before IPv6 ones.
+    """
+
+    def __init__(self, items: Optional[Iterable[Tuple[Prefix, V]]] = None) -> None:
+        self._tries = {4: _VersionTrie[V](32), 6: _VersionTrie[V](128)}
+        if items is not None:
+            for prefix, value in items:
+                self.insert(prefix, value)
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, prefix: Prefix, value: V = None) -> bool:  # type: ignore[assignment]
+        """Store ``prefix`` -> ``value``; True if the prefix was new."""
+        return self._tries[prefix.version].insert(prefix, value)
+
+    def remove(self, prefix: Prefix) -> V:
+        """Remove ``prefix``, returning its value; KeyError if absent."""
+        return self._tries[prefix.version].remove(prefix)
+
+    def discard(self, prefix: Prefix) -> bool:
+        """Remove ``prefix`` if present; True if it was stored."""
+        try:
+            self._tries[prefix.version].remove(prefix)
+        except KeyError:
+            return False
+        return True
+
+    def clear(self) -> None:
+        self._tries = {4: _VersionTrie[V](32), 6: _VersionTrie[V](128)}
+
+    # -- mapping surface ---------------------------------------------------
+
+    def get(self, prefix: Prefix, default: Optional[V] = None) -> Optional[V]:
+        node = self._tries[prefix.version].find(prefix)
+        return default if node is None else node.value  # type: ignore[return-value]
+
+    def __getitem__(self, prefix: Prefix) -> V:
+        node = self._tries[prefix.version].find(prefix)
+        if node is None:
+            raise KeyError(prefix)
+        return node.value  # type: ignore[return-value]
+
+    def __setitem__(self, prefix: Prefix, value: V) -> None:
+        self.insert(prefix, value)
+
+    def __delitem__(self, prefix: Prefix) -> None:
+        self.remove(prefix)
+
+    def __contains__(self, prefix: object) -> bool:
+        if not isinstance(prefix, Prefix):
+            return False
+        return self._tries[prefix.version].find(prefix) is not None
+
+    def __len__(self) -> int:
+        return sum(len(trie) for trie in self._tries.values())
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator[Prefix]:
+        for prefix, _value in self.items():
+            yield prefix
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        for version in (4, 6):
+            for node in self._tries[version].nodes():
+                yield node.prefix, node.value  # type: ignore[misc]
+
+    def __repr__(self) -> str:
+        return f"PrefixTrie({len(self)} prefixes)"
+
+    # -- prefix-tree queries ----------------------------------------------
+
+    def longest_match(self, query: Union[Prefix, AddressLike]) -> Optional[Tuple[Prefix, V]]:
+        """The most specific stored prefix containing ``query``, with value."""
+        prefix = self._as_prefix(query)
+        trie = self._tries[prefix.version]
+        best: Optional[_Node] = None
+        for node in trie.covering_nodes(int(prefix.network.network_address), prefix.length):
+            best = node
+        if best is None:
+            return None
+        return best.prefix, best.value  # type: ignore[return-value]
+
+    def lookup(self, address: AddressLike) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix match for a bare host address (routing lookup)."""
+        return self.longest_match(address)
+
+    def covering(
+        self, prefix: Prefix, include_exact: bool = True
+    ) -> Iterator[Tuple[Prefix, V]]:
+        """Stored prefixes containing ``prefix``, most specific first."""
+        trie = self._tries[prefix.version]
+        nodes = list(
+            trie.covering_nodes(int(prefix.network.network_address), prefix.length)
+        )
+        for node in reversed(nodes):
+            if not include_exact and node.length == prefix.length:
+                continue
+            yield node.prefix, node.value  # type: ignore[misc]
+
+    def covered(
+        self, prefix: Prefix, include_exact: bool = True
+    ) -> Iterator[Tuple[Prefix, V]]:
+        """Stored prefixes contained in ``prefix``, in address order."""
+        trie = self._tries[prefix.version]
+        for node in trie.covered_nodes(int(prefix.network.network_address), prefix.length):
+            if not include_exact and node.length == prefix.length:
+                continue
+            yield node.prefix, node.value  # type: ignore[misc]
+
+    def overlaps(self, prefix: Prefix) -> bool:
+        """True if any stored prefix shares addresses with ``prefix``."""
+        trie = self._tries[prefix.version]
+        bits = int(prefix.network.network_address)
+        for _node in trie.covering_nodes(bits, prefix.length):
+            return True
+        return trie.has_covered(bits, prefix.length)
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _as_prefix(query: Union[Prefix, AddressLike]) -> Prefix:
+        if isinstance(query, Prefix):
+            return query
+        address = ipaddress.ip_address(query)
+        return Prefix.from_address(str(address), 32 if address.version == 4 else 128)

@@ -20,7 +20,7 @@ import os
 import random
 from dataclasses import asdict, dataclass
 from datetime import datetime, timezone
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Iterator, List, Optional
 
 
 @dataclass(frozen=True)

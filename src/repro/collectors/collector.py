@@ -12,8 +12,8 @@ generator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bgp.fsm import SessionState
 from repro.bgp.message import BGPUpdate

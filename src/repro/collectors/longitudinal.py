@@ -214,7 +214,11 @@ class LongitudinalScenario:
             if asn in self._ipv6_month and month >= self._ipv6_month[asn]:
                 prefixes_v6 = list(node.prefixes_v6)
             community_share = min(1.0, 0.2 + 0.8 * month / max(1, months - 1))
-            community_count = max(1, round(len(node.community_values) * community_share)) if node.community_values else 0
+            community_count = (
+                max(1, round(len(node.community_values) * community_share))
+                if node.community_values
+                else 0
+            )
             clone = type(node)(
                 asn=node.asn,
                 role=node.role,
@@ -254,7 +258,9 @@ class LongitudinalScenario:
 
     # -- generation -----------------------------------------------------------------------
 
-    def generate(self, archive: Archive, months: Optional[Sequence[int]] = None) -> List[MonthlySnapshot]:
+    def generate(
+        self, archive: Archive, months: Optional[Sequence[int]] = None
+    ) -> List[MonthlySnapshot]:
         """Write monthly RIB dumps for every collector into ``archive``."""
         month_range = list(months) if months is not None else list(range(self.config.months))
         for month in month_range:

@@ -10,7 +10,7 @@ distinction the paper's RT plugin has to work around (§6.2.1, footnote 5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 
 @dataclass(frozen=True)

@@ -14,15 +14,15 @@ is the ground truth the whole collection simulation is built on.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.bgp.aspath import ASPath
 from repro.bgp.attributes import Origin, PathAttributes
 from repro.bgp.community import Community, CommunitySet
 from repro.bgp.prefix import Prefix
-from repro.collectors.topology import ASRelationship, ASTopology
+from repro.collectors.topology import ASTopology
 
 
 class RouteType(IntEnum):

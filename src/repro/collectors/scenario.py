@@ -13,24 +13,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.bgp.community import Community, CommunitySet
+from repro.bgp.community import CommunitySet
 from repro.bgp.fsm import SessionState
 from repro.bgp.prefix import Prefix
-from repro.collectors.archive import Archive, DumpFile, PublicationDelayModel
+from repro.collectors.archive import Archive, DumpFile
 from repro.collectors.collector import Collector, UpdateEntry
-from repro.collectors.events import (
-    EventTimeline,
-    OutageEvent,
-    PrefixFlapEvent,
-    PrefixHijackEvent,
-    RTBHEvent,
-    RoutingEvent,
-    SessionResetEvent,
-)
-from repro.collectors.projects import PROJECTS, ProjectSpec, RIPE_RIS, ROUTEVIEWS
-from repro.collectors.routing import Route, RouteComputer, RouteType
+from repro.collectors.events import EventTimeline, OutageEvent, RTBHEvent, RoutingEvent
+from repro.collectors.projects import PROJECTS
+from repro.collectors.routing import Route, RouteComputer
 from repro.collectors.topology import ASRole, ASTopology, TopologyConfig, generate_topology
 from repro.collectors.vantage_point import VantagePoint
 from repro.utils.timeutil import iter_bins

@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -271,7 +271,8 @@ def generate_topology(config: TopologyConfig | None = None) -> ASTopology:
     # selection in the RTBH case study).
     ixp_ids = list(range(1, config.num_ixps + 1))
     for asn in transit_asns + stub_asns:
-        count = rng.choice([0, 0, 1, 1, 2]) if topology.node(asn).role == ASRole.TRANSIT else rng.choice([0, 0, 0, 1])
+        is_transit = topology.node(asn).role == ASRole.TRANSIT
+        count = rng.choice([0, 0, 1, 1, 2]) if is_transit else rng.choice([0, 0, 0, 1])
         membership = frozenset(rng.sample(ixp_ids, min(count, len(ixp_ids))))
         topology.nodes[asn].ixps = membership
     for ixp in ixp_ids:

@@ -6,19 +6,31 @@ time interval) that restrict *which dump files* are read, plus data filters
 the content (§3.3.1, §4.1).  The same :class:`FilterSet` backs the
 ``BGPStream.add_filter`` API, the BGPReader command-line options and
 BGPCorsaro's configuration.
+
+Prefix filters implement the BGPStream filter language's four match modes
+and are backed by a shared patricia trie (:mod:`repro.bgp.trie`), so an
+elem is matched against *n* watched prefixes in O(prefix length), not O(n):
+
+* ``prefix-exact`` — the elem prefix equals the filter prefix;
+* ``prefix-more`` — the elem prefix equals the filter prefix or is more
+  specific (contained in it); ``prefix`` is a back-compatible alias with
+  the same semantics (the ``-k 192.0.0.0/8`` behaviour of BGPReader);
+* ``prefix-less`` — the elem prefix equals the filter prefix or is less
+  specific (contains it);
+* ``prefix-any`` — the two prefixes overlap in either direction.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set
 
 from repro.bgp.community import Community
 from repro.bgp.prefix import Prefix
+from repro.bgp.trie import PrefixTrie
 from repro.core.elem import BGPElem, ElemType
 from repro.core.record import BGPStreamRecord
-
 
 #: Filter names accepted by ``add_filter`` (mirroring PyBGPStream).
 _FILTER_NAMES = {
@@ -28,10 +40,27 @@ _FILTER_NAMES = {
     "elem-type",
     "prefix",
     "prefix-exact",
+    "prefix-more",
+    "prefix-less",
+    "prefix-any",
     "peer-asn",
     "origin-asn",
     "aspath",
     "community",
+}
+
+#: Prefix match modes, stored per watched prefix as a bitmask in the trie.
+MATCH_EXACT = 1
+MATCH_MORE = 2
+MATCH_LESS = 4
+MATCH_ANY = 8
+
+_PREFIX_MODES = {
+    "prefix": MATCH_MORE,  # historical alias: exact or more specific
+    "prefix-exact": MATCH_EXACT,
+    "prefix-more": MATCH_MORE,
+    "prefix-less": MATCH_LESS,
+    "prefix-any": MATCH_ANY,
 }
 
 
@@ -43,10 +72,9 @@ class FilterSet:
     collectors: Set[str] = field(default_factory=set)
     record_types: Set[str] = field(default_factory=set)  # "ribs" / "updates"
     elem_types: Set[ElemType] = field(default_factory=set)
-    #: Prefix filters match the exact prefix or any more-specific prefix
-    #: (the ``-k 192.0.0.0/8`` semantics of BGPReader).
-    prefixes: List[Prefix] = field(default_factory=list)
-    exact_prefixes: Set[Prefix] = field(default_factory=set)
+    #: Watched prefixes: a patricia trie mapping each filter prefix to the
+    #: bitmask of match modes requested for it.
+    prefix_filters: PrefixTrie = field(default_factory=PrefixTrie)
     peer_asns: Set[int] = field(default_factory=set)
     origin_asns: Set[int] = field(default_factory=set)
     #: Regular expressions matched against the space-separated AS path string.
@@ -54,6 +82,9 @@ class FilterSet:
     communities: Set[Community] = field(default_factory=set)
     interval_start: Optional[int] = None
     interval_end: Optional[int] = None  # None = live
+    #: Union of the mode bits present in ``prefix_filters`` (skips the
+    #: subtree walk when no less/any filters are configured).
+    prefix_mode_mask: int = 0
 
     # -- construction -----------------------------------------------------------
 
@@ -82,10 +113,8 @@ class FilterSet:
             if value not in mapping:
                 raise ValueError(f"unknown elem type {value!r}")
             self.elem_types.add(mapping[value])
-        elif name == "prefix":
-            self.prefixes.append(Prefix.from_string(value))
-        elif name == "prefix-exact":
-            self.exact_prefixes.add(Prefix.from_string(value))
+        elif name in _PREFIX_MODES:
+            self._add_prefix(Prefix.from_string(value), _PREFIX_MODES[name])
         elif name == "peer-asn":
             self.peer_asns.add(int(value))
         elif name == "origin-asn":
@@ -95,6 +124,11 @@ class FilterSet:
         elif name == "community":
             self.communities.add(Community.from_string(value))
         return self
+
+    def _add_prefix(self, prefix: Prefix, mode: int) -> None:
+        existing = self.prefix_filters.get(prefix, 0)
+        self.prefix_filters.insert(prefix, existing | mode)
+        self.prefix_mode_mask |= mode
 
     def add_interval(self, start: int, end: Optional[int]) -> "FilterSet":
         """Set the time interval; ``end=None`` (or -1) selects live mode."""
@@ -127,6 +161,23 @@ class FilterSet:
                 return False
         return True
 
+    def match_prefix(self, prefix: Prefix) -> bool:
+        """True if ``prefix`` satisfies any configured prefix filter."""
+        # One walk towards the root answers exact / more-specific / any:
+        # every filter prefix containing ``prefix`` is on that path.
+        for filter_prefix, mode in self.prefix_filters.covering(prefix):
+            if mode & (MATCH_MORE | MATCH_ANY):
+                return True
+            if filter_prefix.length == prefix.length and mode & (MATCH_EXACT | MATCH_LESS):
+                return True
+        # Less-specific / any filters contained in ``prefix`` need the
+        # subtree walk; skip it when no such filter exists.
+        if self.prefix_mode_mask & (MATCH_LESS | MATCH_ANY):
+            for _filter_prefix, mode in self.prefix_filters.covered(prefix):
+                if mode & (MATCH_LESS | MATCH_ANY):
+                    return True
+        return False
+
     def match_elem(self, elem: BGPElem) -> bool:
         """Elem-level (content) matching."""
         if self.elem_types and elem.elem_type not in self.elem_types:
@@ -136,12 +187,13 @@ class FilterSet:
         if self.origin_asns:
             if elem.origin_asn is None or elem.origin_asn not in self.origin_asns:
                 return False
-        if self.prefixes or self.exact_prefixes:
+        # The prefix gate applies only when prefix filters are configured:
+        # an elem without a prefix (e.g. a state message) must still match
+        # a filter set made of non-prefix terms.
+        if self.prefix_filters:
             if elem.prefix is None:
                 return False
-            in_exact = elem.prefix in self.exact_prefixes
-            in_covering = any(p.contains(elem.prefix) for p in self.prefixes)
-            if not (in_exact or in_covering):
+            if not self.match_prefix(elem.prefix):
                 return False
         if self.aspath_patterns:
             if elem.as_path is None:

@@ -10,11 +10,10 @@ on.
 from __future__ import annotations
 
 import csv
-import os
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional
 
-from repro.broker.broker import Broker, BrokerQuery, BrokerResponse
+from repro.broker.broker import Broker, BrokerQuery
 from repro.broker.db import MetadataDB
 from repro.collectors.projects import project_for_collector
 from repro.core.filters import FilterSet

@@ -20,7 +20,6 @@ from typing import IO, List, Optional
 
 from repro.broker.broker import Broker
 from repro.collectors.archive import Archive
-from repro.core.filters import FilterSet
 from repro.core.interfaces import (
     BrokerDataInterface,
     CSVFileDataInterface,
@@ -62,6 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     filters.add_argument("-k", "--prefix", action="append", default=[],
                          help="prefix filter (matches the prefix and any more-specific)")
+    filters.add_argument("--prefix-exact", action="append", default=[],
+                         help="prefix filter matching the exact prefix only")
+    filters.add_argument("--prefix-more", action="append", default=[],
+                         help="prefix filter matching the prefix and any more-specific")
+    filters.add_argument("--prefix-less", action="append", default=[],
+                         help="prefix filter matching the prefix and any less-specific")
+    filters.add_argument("--prefix-any", action="append", default=[],
+                         help="prefix filter matching any overlapping prefix")
     filters.add_argument("-j", "--peer-asn", action="append", default=[], help="peer ASN filter")
     filters.add_argument("-y", "--community", action="append", default=[],
                          help="community filter asn:value")
@@ -122,6 +129,9 @@ def build_stream(args: argparse.Namespace) -> BGPStream:
         stream.add_filter("record-type", dump_type)
     for prefix in args.prefix:
         stream.add_filter("prefix", prefix)
+    for name in ("prefix-exact", "prefix-more", "prefix-less", "prefix-any"):
+        for prefix in getattr(args, name.replace("-", "_"), []):
+            stream.add_filter(name, prefix)
     for asn in args.peer_asn:
         stream.add_filter("peer-asn", asn)
     for community in args.community:

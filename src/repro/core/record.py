@@ -14,16 +14,14 @@ indexes, which the dump-file reader passes in as context.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
-from repro.bgp.prefix import Prefix
 from repro.core.elem import BGPElem, ElemType
 from repro.mrt.records import (
     BGP4MPMessage,
     BGP4MPStateChange,
-    CorruptRecord,
     MRTRecord,
     PeerIndexTable,
     RIBPrefixRecord,

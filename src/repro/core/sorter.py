@@ -25,7 +25,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 from repro.core.interfaces import DumpFileSpec
 from repro.core.record import BGPStreamRecord, DumpPosition, RecordStatus
 from repro.mrt.parser import MRTDumpReader, MRTParseError
-from repro.mrt.records import CorruptRecord, PeerIndexTable
+from repro.mrt.records import PeerIndexTable
 from repro.utils.intervals import TimeInterval, group_overlapping
 
 #: Default number of records per batch for the batched APIs.

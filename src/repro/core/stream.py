@@ -53,7 +53,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.core.elem import BGPElem
 from repro.core.filters import FilterSet
-from repro.core.interfaces import BrokerDataInterface, DataInterface
+from repro.core.interfaces import DataInterface
 from repro.core.record import BGPStreamRecord, RecordStatus
 from repro.core.sorter import DEFAULT_BATCH_SIZE, SortedRecordMerger, batch_records
 
@@ -96,6 +96,13 @@ class BGPStream:
         return self
 
     def add_filter(self, name: str, value: str) -> "BGPStream":
+        """Add one named filter (see :mod:`repro.core.filters`).
+
+        Prefix filters accept the four match modes of the BGPStream filter
+        language — ``prefix-exact``, ``prefix-more``, ``prefix-less`` and
+        ``prefix-any`` — plus ``prefix`` as the historical alias for
+        ``prefix-more``; all are answered by one shared patricia trie.
+        """
         if self._started:
             raise RuntimeError("cannot add filters after start()")
         self.filters.add(name, value)

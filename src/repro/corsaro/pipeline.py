@@ -9,8 +9,8 @@ even when the stream mixes many collectors (§6.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.core.record import RecordStatus
 from repro.core.stream import BGPStream

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, List
 
 from repro.core.elem import BGPElem
 from repro.core.record import BGPStreamRecord

@@ -19,7 +19,12 @@
 from repro.corsaro.plugins.stats import StatsPlugin
 from repro.corsaro.plugins.tagger import ElemTypeTagger
 from repro.corsaro.plugins.pfxmonitor import PrefixMonitorPlugin
-from repro.corsaro.plugins.routing_tables import RoutingTablesPlugin, VPState
+from repro.corsaro.plugins.routing_tables import (
+    RouteEntry,
+    RoutingTablesPlugin,
+    SnapshotIndex,
+    VPState,
+)
 from repro.corsaro.plugins.moas import MOASPlugin
 from repro.corsaro.plugins.visibility import VisibilityPlugin
 from repro.corsaro.plugins.communities import CommunityDiversityPlugin
@@ -28,7 +33,9 @@ __all__ = [
     "StatsPlugin",
     "ElemTypeTagger",
     "PrefixMonitorPlugin",
+    "RouteEntry",
     "RoutingTablesPlugin",
+    "SnapshotIndex",
     "VPState",
     "MOASPlugin",
     "VisibilityPlugin",

@@ -10,7 +10,7 @@ communities before propagating them, so the choice of VP matters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.bgp.community import Community
 from repro.corsaro.plugin import Plugin, TaggedRecord

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.bgp.prefix import Prefix
+from repro.bgp.trie import PrefixTrie
 from repro.core.elem import ElemType
 from repro.corsaro.plugin import Plugin, TaggedRecord
 
@@ -36,6 +37,9 @@ class PrefixMonitorPlugin(Plugin):
         self.ranges: List[Prefix] = list(ranges)
         if not self.ranges:
             raise ValueError("pfxmonitor requires at least one IP range to watch")
+        #: The watched ranges indexed as a patricia trie, so the per-elem
+        #: overlap test costs O(prefix length) rather than O(len(ranges)).
+        self._watchlist: PrefixTrie[None] = PrefixTrie((r, None) for r in self.ranges)
         #: (prefix, peer) -> origin ASN of the current route (None = withdrawn).
         self._origin: Dict[Tuple[Prefix, Tuple[str, int]], Optional[int]] = {}
 
@@ -44,7 +48,7 @@ class PrefixMonitorPlugin(Plugin):
     def _watched(self, prefix: Optional[Prefix]) -> bool:
         if prefix is None:
             return False
-        return any(r.overlaps(prefix) for r in self.ranges)
+        return self._watchlist.overlaps(prefix)
 
     # -- plugin API ----------------------------------------------------------------
 

@@ -31,11 +31,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.bgp.aspath import ASPath
 from repro.bgp.community import CommunitySet
 from repro.bgp.prefix import Prefix
+from repro.bgp.trie import AddressLike, PrefixTrie
 from repro.core.elem import BGPElem, ElemType
 from repro.core.record import DumpPosition, RecordStatus
 from repro.corsaro.plugin import Plugin, TaggedRecord
@@ -103,6 +104,69 @@ class VPTable:
         return sum(1 for cell in self.cells.values() if cell.announced)
 
 
+@dataclass(frozen=True)
+class RouteEntry:
+    """One (VP, prefix) route returned by snapshot queries."""
+
+    vp: VPKey
+    prefix: Prefix
+    cell: Cell
+
+
+class SnapshotIndex:
+    """Trie-indexed query interface over a (prefix × VP) snapshot.
+
+    Wraps per-VP routing tables (as emitted in :attr:`RTBinOutput.snapshots`
+    or reconstructed by :meth:`RoutingTablesPlugin.vp_table`) with one
+    patricia trie per VP, giving longest-prefix-match address lookups and
+    more-specific enumeration without scanning the tables.
+    """
+
+    def __init__(self, snapshots: Dict[VPKey, Dict[Prefix, Cell]]) -> None:
+        self._tries: Dict[VPKey, PrefixTrie] = {
+            vp: PrefixTrie(cells.items()) for vp, cells in snapshots.items()
+        }
+
+    def vps(self) -> List[VPKey]:
+        return sorted(self._tries)
+
+    def lookup(self, address: AddressLike, vp: Optional[VPKey] = None) -> List[RouteEntry]:
+        """Longest-prefix-match ``address`` in each VP's table.
+
+        Returns one :class:`RouteEntry` per VP that has a matching route
+        (restricted to ``vp`` when given), i.e. "how does each vantage
+        point reach this address right now".
+        """
+        result: List[RouteEntry] = []
+        for key, trie in self._iter_tries(vp):
+            match = trie.lookup(address)
+            if match is not None:
+                result.append(RouteEntry(vp=key, prefix=match[0], cell=match[1]))
+        return result
+
+    def covered(self, prefix: Prefix, vp: Optional[VPKey] = None) -> List[RouteEntry]:
+        """Every route equal to or more specific than ``prefix``, per VP."""
+        result: List[RouteEntry] = []
+        for key, trie in self._iter_tries(vp):
+            for covered_prefix, cell in trie.covered(prefix):
+                result.append(RouteEntry(vp=key, prefix=covered_prefix, cell=cell))
+        return result
+
+    def covering(self, prefix: Prefix, vp: Optional[VPKey] = None) -> List[RouteEntry]:
+        """Every route containing ``prefix``, most specific first, per VP."""
+        result: List[RouteEntry] = []
+        for key, trie in self._iter_tries(vp):
+            for covering_prefix, cell in trie.covering(prefix):
+                result.append(RouteEntry(vp=key, prefix=covering_prefix, cell=cell))
+        return result
+
+    def _iter_tries(self, vp: Optional[VPKey]):
+        if vp is not None:
+            trie = self._tries.get(vp)
+            return [(vp, trie)] if trie is not None else []
+        return sorted(self._tries.items())
+
+
 @dataclass
 class RTBinOutput:
     """The per-bin output of the RT plugin."""
@@ -122,6 +186,14 @@ class RTBinOutput:
     @property
     def diff_count(self) -> int:
         return len(self.diffs)
+
+    def index(self) -> SnapshotIndex:
+        """A trie-indexed query interface over this bin's snapshots.
+
+        Only synchronisation bins carry snapshots; other bins yield an
+        empty index.
+        """
+        return SnapshotIndex(self.snapshots or {})
 
 
 class RoutingTablesPlugin(Plugin):
@@ -153,7 +225,6 @@ class RoutingTablesPlugin(Plugin):
 
     def process_record(self, tagged: TaggedRecord) -> None:
         record = tagged.record
-        collector = record.collector
 
         if record.status != RecordStatus.VALID:
             self._handle_invalid(record)
@@ -225,6 +296,16 @@ class RoutingTablesPlugin(Plugin):
 
     def vps(self) -> List[VPKey]:
         return sorted(self._tables)
+
+    def index(self, vp: Optional[VPKey] = None) -> SnapshotIndex:
+        """A trie-indexed view of the current consistent routing tables.
+
+        Covers every consistent VP (or just ``vp``), answering
+        ``lookup(address)`` / ``covered(prefix)`` / ``covering(prefix)``
+        against the reconstructed (prefix × VP) table.
+        """
+        vps = [vp] if vp is not None else self.vps()
+        return SnapshotIndex({key: self.vp_table(key) for key in vps})
 
     @property
     def error_probability(self) -> float:

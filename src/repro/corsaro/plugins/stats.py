@@ -11,7 +11,6 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.core.elem import ElemType
 from repro.core.record import RecordStatus
 from repro.corsaro.plugin import Plugin, TaggedRecord
 

@@ -10,7 +10,7 @@ signal from single-VP routing failures (§6.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.bgp.prefix import Prefix
 from repro.core.elem import ElemType

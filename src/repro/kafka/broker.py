@@ -11,8 +11,8 @@ are identical).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -60,7 +60,9 @@ class Topic:
             log.append(message)
             return message
 
-    def read(self, partition: int, offset: int, max_messages: Optional[int] = None) -> List[Message]:
+    def read(
+        self, partition: int, offset: int, max_messages: Optional[int] = None
+    ) -> List[Message]:
         with self._lock:
             log = self._partitions[partition]
             end = len(log) if max_messages is None else min(len(log), offset + max_messages)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Optional
+from typing import Any, List, Optional
 
 from repro.kafka.broker import Message, MessageBroker
 

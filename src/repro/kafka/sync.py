@@ -22,7 +22,7 @@ Two criteria from the paper are implemented:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.kafka.broker import MessageBroker
 from repro.kafka.client import Consumer, Producer

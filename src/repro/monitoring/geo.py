@@ -4,14 +4,17 @@ The per-country outage consumer needs to map prefixes to countries.  The
 original system uses a commercial geolocation database; here the mapping is
 derived from the synthetic topology (every AS has a country and its prefixes
 inherit it), with longest-prefix-match lookup so more-specific announcements
-(hijacks, black-holed /32s) geolocate to the covering allocation.
+(hijacks, black-holed /32s) geolocate to the covering allocation.  Lookups
+walk the shared patricia trie (:mod:`repro.bgp.trie`) instead of scanning
+the allocation list.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from repro.bgp.prefix import Prefix
+from repro.bgp.trie import PrefixTrie
 from repro.collectors.topology import ASTopology
 
 
@@ -20,8 +23,7 @@ class GeoDatabase:
 
     def __init__(self, entries: Mapping[Prefix, str] | None = None) -> None:
         self._countries: Dict[Prefix, str] = dict(entries or {})
-        self._by_length: Dict[int, List[Prefix]] = {}
-        self._rebuild()
+        self._trie: PrefixTrie[str] = PrefixTrie(self._countries.items())
 
     @classmethod
     def from_topology(cls, topology: ASTopology) -> "GeoDatabase":
@@ -32,14 +34,9 @@ class GeoDatabase:
                 entries[prefix] = node.country
         return cls(entries)
 
-    def _rebuild(self) -> None:
-        self._by_length = {}
-        for prefix in self._countries:
-            self._by_length.setdefault(prefix.length, []).append(prefix)
-
     def add(self, prefix: Prefix, country: str) -> None:
         self._countries[prefix] = country
-        self._by_length.setdefault(prefix.length, []).append(prefix)
+        self._trie.insert(prefix, country)
 
     def __len__(self) -> int:
         return len(self._countries)
@@ -49,17 +46,8 @@ class GeoDatabase:
 
     def country_of(self, prefix: Prefix) -> Optional[str]:
         """Country of ``prefix`` via longest-prefix match (None if unknown)."""
-        exact = self._countries.get(prefix)
-        if exact is not None:
-            return exact
-        for length in sorted(self._by_length, reverse=True):
-            if length > prefix.length:
-                # A more-specific allocation cannot cover a less-specific query.
-                pass
-            for candidate in self._by_length[length]:
-                if candidate.contains(prefix):
-                    return self._countries[candidate]
-        return None
+        match = self._trie.longest_match(prefix)
+        return match[1] if match is not None else None
 
     def prefixes_of(self, country: str) -> List[Prefix]:
         return sorted(p for p, c in self._countries.items() if c == country)

@@ -1,19 +1,31 @@
-"""MOAS-based hijack detection consumer (§6.2, the "Hijacks" project).
+"""MOAS- and sub-prefix-based hijack detection consumer (§6.2, "Hijacks").
 
 Most common hijacks manifest as two or more ASes announcing exactly the same
 prefix (or a portion of the same address space) at the same time.  The
 consumer watches the per-bin RT output of every collector, maintains the set
-of origins observed per prefix across all VPs, and raises an alert whenever
-a prefix acquires an origin set it did not have before (optionally filtered
-by a whitelist of known-legitimate MOAS sets).
+of origins observed per prefix across all VPs, and raises:
+
+* a **MOAS alert** whenever a prefix acquires an origin set it did not have
+  before (optionally filtered by a whitelist of known-legitimate MOAS
+  sets); and
+* a **sub-prefix alert** whenever a *more specific* of a known-origin
+  prefix shows up with a foreign origin — the classic sub-prefix hijack,
+  which never produces a MOAS event because the covering prefix and its
+  more specific carry disjoint origin sets.
+
+Sub-prefix detection is what the patricia trie buys this layer: the
+observed prefixes are indexed in a :class:`~repro.bgp.trie.PrefixTrie`, so
+finding the covering prefixes of a new announcement is a walk towards the
+root instead of a scan over every known prefix.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.bgp.prefix import Prefix
+from repro.bgp.trie import PrefixTrie
 from repro.corsaro.plugins.routing_tables import RTBinOutput, VPKey
 from repro.kafka.broker import MessageBroker
 from repro.kafka.client import Consumer
@@ -22,19 +34,30 @@ from repro.monitoring.publisher import diffs_topic
 
 @dataclass(frozen=True)
 class HijackAlert:
-    """A suspicious multi-origin event."""
+    """A suspicious multi-origin or sub-prefix event.
+
+    ``hijack_type`` is ``"moas"`` for same-prefix multi-origin alerts and
+    ``"sub-prefix"`` when a more specific of ``super_prefix`` (which the
+    ``expected_origins`` legitimately announce) appeared with a foreign
+    origin.
+    """
 
     prefix: Prefix
     origins: FrozenSet[int]
     new_origins: FrozenSet[int]
     detected_at: int
+    hijack_type: str = "moas"
+    #: The covering prefix whose address space was hijacked (sub-prefix only).
+    super_prefix: Optional[Prefix] = None
+    #: The origins legitimately announcing ``super_prefix`` (sub-prefix only).
+    expected_origins: FrozenSet[int] = frozenset()
 
     def involves(self, asn: int) -> bool:
-        return asn in self.origins
+        return asn in self.origins or asn in self.expected_origins
 
 
 class HijackConsumer:
-    """Consumes RT bins and raises MOAS alerts."""
+    """Consumes RT bins and raises MOAS / sub-prefix alerts."""
 
     def __init__(
         self,
@@ -43,6 +66,7 @@ class HijackConsumer:
         group: str = "hijack-consumer",
         whitelist: Iterable[FrozenSet[int]] = (),
         min_vps: int = 1,
+        detect_subprefix: bool = True,
     ) -> None:
         self.message_broker = message_broker
         self.collectors = list(collectors)
@@ -50,13 +74,17 @@ class HijackConsumer:
         #: Require an origin to be seen by at least this many VPs to count
         #: (protects against a single misbehaving VP).
         self.min_vps = max(1, min_vps)
+        self.detect_subprefix = detect_subprefix
         self._consumer = Consumer(
             message_broker, group=group, topics=[diffs_topic(c) for c in self.collectors]
         )
-        #: prefix -> {vp -> origin}
-        self._origins: Dict[Prefix, Dict[VPKey, int]] = {}
-        #: prefix -> origin set already alerted on.
+        #: Observed prefixes, each mapped to {vp -> origin}; the trie makes
+        #: the covering-prefix walk of sub-prefix detection O(prefix length).
+        self._origins: PrefixTrie[Dict[VPKey, int]] = PrefixTrie()
+        #: prefix -> origin set already alerted on (MOAS).
         self._known: Dict[Prefix, FrozenSet[int]] = {}
+        #: (sub-prefix, super-prefix) -> foreign origins already alerted on.
+        self._known_sub: Dict[Tuple[Prefix, Prefix], FrozenSet[int]] = {}
         self.alerts: List[HijackAlert] = []
         self.bins_processed = 0
 
@@ -77,24 +105,36 @@ class HijackConsumer:
         self.alerts.extend(new_alerts)
         return new_alerts
 
+    def _per_vp(self, prefix: Prefix) -> Dict[VPKey, int]:
+        per_vp = self._origins.get(prefix)
+        if per_vp is None:
+            per_vp = {}
+            self._origins.insert(prefix, per_vp)
+        return per_vp
+
     def _apply_bin(self, output: RTBinOutput) -> None:
         if output.snapshots:
             for vp, cells in output.snapshots.items():
                 for prefix, cell in cells.items():
                     origin = cell.as_path.origin_asn if cell.as_path else None
                     if origin is not None:
-                        self._origins.setdefault(prefix, {})[vp] = origin
+                        self._per_vp(prefix)[vp] = origin
         for diff in output.diffs:
-            per_vp = self._origins.setdefault(diff.prefix, {})
+            per_vp = self._per_vp(diff.prefix)
             if diff.announced and diff.as_path is not None and diff.as_path.origin_asn:
                 per_vp[diff.vp] = diff.as_path.origin_asn
             else:
                 per_vp.pop(diff.vp, None)
+                if not per_vp:
+                    self._origins.discard(diff.prefix)
 
     # -- detection -----------------------------------------------------------------
 
     def current_origins(self, prefix: Prefix) -> FrozenSet[int]:
-        per_vp = self._origins.get(prefix, {})
+        per_vp = self._origins.get(prefix) or {}
+        return self._count_origins(per_vp)
+
+    def _count_origins(self, per_vp: Dict[VPKey, int]) -> FrozenSet[int]:
         counts: Dict[int, int] = {}
         for origin in per_vp.values():
             counts[origin] = counts.get(origin, 0) + 1
@@ -102,13 +142,19 @@ class HijackConsumer:
 
     def moas_prefixes(self) -> Dict[Prefix, FrozenSet[int]]:
         result = {}
-        for prefix in self._origins:
-            origins = self.current_origins(prefix)
+        for prefix, per_vp in self._origins.items():
+            origins = self._count_origins(per_vp)
             if len(origins) > 1:
                 result[prefix] = origins
         return result
 
     def _detect(self, interval_start: int) -> List[HijackAlert]:
+        alerts = self._detect_moas(interval_start)
+        if self.detect_subprefix:
+            alerts.extend(self._detect_subprefix(interval_start))
+        return alerts
+
+    def _detect_moas(self, interval_start: int) -> List[HijackAlert]:
         alerts: List[HijackAlert] = []
         for prefix, origins in self.moas_prefixes().items():
             if origins in self.whitelist:
@@ -133,3 +179,52 @@ class HijackConsumer:
             if len(self.current_origins(prefix)) <= 1:
                 del self._known[prefix]
         return alerts
+
+    def _detect_subprefix(self, interval_start: int) -> List[HijackAlert]:
+        """Alert on more-specifics announced with a foreign origin.
+
+        For every observed prefix the trie yields its covering prefixes
+        (most specific first); the nearest one with a stable origin set is
+        the expected owner of the address space.  Origins of the more
+        specific that are not among the owner's origins are foreign.
+        """
+        alerts: List[HijackAlert] = []
+        active: Set[Tuple[Prefix, Prefix]] = set()
+        for prefix, per_vp in self._origins.items():
+            origins = self._count_origins(per_vp)
+            if not origins:
+                continue
+            for super_prefix, super_per_vp in self._origins.covering(
+                prefix, include_exact=False
+            ):
+                expected = self._count_origins(super_per_vp)
+                if not expected:
+                    continue
+                foreign = origins - expected
+                if foreign and frozenset(origins | expected) not in self.whitelist:
+                    key = (prefix, super_prefix)
+                    active.add(key)
+                    if self._known_sub.get(key) != foreign:
+                        self._known_sub[key] = foreign
+                        alerts.append(
+                            HijackAlert(
+                                prefix=prefix,
+                                origins=origins,
+                                new_origins=foreign,
+                                detected_at=interval_start,
+                                hijack_type="sub-prefix",
+                                super_prefix=super_prefix,
+                                expected_origins=expected,
+                            )
+                        )
+                # Only the nearest covering prefix with origins is compared:
+                # it is the most specific legitimate allocation.
+                break
+        # Episodes that ended (withdrawn or origins realigned) may re-alert.
+        for key in list(self._known_sub):
+            if key not in active:
+                del self._known_sub[key]
+        return alerts
+
+    def subprefix_alerts(self) -> List[HijackAlert]:
+        return [a for a in self.alerts if a.hijack_type == "sub-prefix"]

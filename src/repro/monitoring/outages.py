@@ -10,10 +10,10 @@ change-point detection: sustained drops are reported as outage alerts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bgp.prefix import Prefix
-from repro.corsaro.plugins.routing_tables import DiffCell, RTBinOutput, VPKey
+from repro.corsaro.plugins.routing_tables import RTBinOutput, VPKey
 from repro.kafka.broker import MessageBroker
 from repro.kafka.client import Consumer
 from repro.monitoring.geo import GeoDatabase

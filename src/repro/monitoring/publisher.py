@@ -9,7 +9,7 @@ indexing entry on the shared meta-data topic, which the sync servers watch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence
 
 from repro.broker.broker import Broker
 from repro.collectors.archive import Archive

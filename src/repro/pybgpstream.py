@@ -29,7 +29,7 @@ from repro.core.elem import BGPElem as _CoreElem
 from repro.core.filters import FilterSet
 from repro.core.interfaces import DataInterface
 from repro.core.parallel import ParallelConfig
-from repro.core.record import BGPStreamRecord as _CoreRecord, RecordStatus
+from repro.core.record import BGPStreamRecord as _CoreRecord
 from repro.core.stream import BGPStream as _CoreStream
 
 _default_interface: Optional[DataInterface] = None
@@ -157,6 +157,12 @@ class BGPStream:
         self._stream = _CoreStream(data_interface=interface, parallel=parallel)
 
     def add_filter(self, name: str, value: str) -> None:
+        """Add one named filter, e.g. ``add_filter("prefix-more", "10.0.0.0/8")``.
+
+        The prefix family supports the full BGPStream filter language:
+        ``prefix`` (alias of ``prefix-more``), ``prefix-exact``,
+        ``prefix-more``, ``prefix-less`` and ``prefix-any``.
+        """
         self._stream.add_filter(name, value)
 
     def set_parallel(self, config: Optional[ParallelConfig]) -> None:

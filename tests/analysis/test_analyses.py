@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.communities import analyse_communities
-from repro.analysis.mapreduce import MapReduceDriver, Partition
+from repro.analysis.mapreduce import MapReduceDriver
 from repro.analysis.moas import analyse_moas
 from repro.analysis.path_inflation import analyse_path_inflation
 from repro.analysis.rib_growth import analyse_rib_growth
@@ -67,7 +67,9 @@ class TestRIBGrowth:
         sizes = [growth.max_table_size(month) for month in month_timestamps]
         assert sizes[-1] > sizes[0] > 0
 
-    def test_full_and_partial_feeds_identified(self, growth, month_timestamps, longitudinal_scenario):
+    def test_full_and_partial_feeds_identified(
+        self, growth, month_timestamps, longitudinal_scenario
+    ):
         month = month_timestamps[-1]
         full = growth.full_feed_vps(month)
         partial = growth.partial_feed_vps(month)

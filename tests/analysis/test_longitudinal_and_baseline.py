@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baseline.bgpdump import BGPDumpBaseline, bgpdump_file, parse_bgpdump_line
 from repro.collectors.topology import ASRole

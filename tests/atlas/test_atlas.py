@@ -7,7 +7,6 @@ import pytest
 from repro.bgp.community import Community
 from repro.bgp.prefix import Prefix
 from repro.collectors.events import RTBHEvent
-from repro.collectors.routing import RouteComputer
 from repro.collectors.topology import ASRole, TopologyConfig, generate_topology
 from repro.atlas.probes import ProbeSelector
 from repro.atlas.rtbh import RTBHExperiment, RTBHRequest

@@ -1,0 +1,206 @@
+"""Unit tests for the patricia trie (`repro.bgp.trie`)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.trie import PrefixTrie
+
+
+def P(text: str) -> Prefix:
+    return Prefix.from_string(text)
+
+
+@pytest.fixture
+def trie() -> PrefixTrie:
+    trie: PrefixTrie = PrefixTrie()
+    for text in (
+        "10.0.0.0/8",
+        "10.1.0.0/16",
+        "10.1.2.0/24",
+        "10.2.0.0/16",
+        "192.0.2.0/24",
+        "2001:db8::/32",
+        "2001:db8:1::/48",
+    ):
+        trie.insert(P(text), text)
+    return trie
+
+
+class TestInsertAndLookup:
+    def test_exact_lookup(self, trie):
+        assert trie.get(P("10.1.0.0/16")) == "10.1.0.0/16"
+        assert trie[P("2001:db8::/32")] == "2001:db8::/32"
+        assert P("10.1.0.0/16") in trie
+        assert P("10.3.0.0/16") not in trie
+        # A different length over the same address is a different key.
+        assert P("10.1.0.0/17") not in trie
+
+    def test_missing_key_raises(self, trie):
+        with pytest.raises(KeyError):
+            trie[P("172.16.0.0/12")]
+        assert trie.get(P("172.16.0.0/12"), "fallback") == "fallback"
+
+    def test_insert_returns_newness_and_replaces_value(self):
+        trie: PrefixTrie = PrefixTrie()
+        assert trie.insert(P("10.0.0.0/8"), 1) is True
+        assert trie.insert(P("10.0.0.0/8"), 2) is False
+        assert trie[P("10.0.0.0/8")] == 2
+        assert len(trie) == 1
+
+    def test_len_and_iteration_order(self, trie):
+        assert len(trie) == 7
+        prefixes = list(trie)
+        # IPv4 first in address order, then IPv6.
+        assert prefixes == [
+            P("10.0.0.0/8"),
+            P("10.1.0.0/16"),
+            P("10.1.2.0/24"),
+            P("10.2.0.0/16"),
+            P("192.0.2.0/24"),
+            P("2001:db8::/32"),
+            P("2001:db8:1::/48"),
+        ]
+
+    def test_mapping_dunders(self):
+        trie: PrefixTrie = PrefixTrie()
+        trie[P("10.0.0.0/8")] = "value"
+        assert trie[P("10.0.0.0/8")] == "value"
+        del trie[P("10.0.0.0/8")]
+        assert len(trie) == 0
+        assert not trie
+
+    def test_default_route_is_storable(self):
+        trie: PrefixTrie = PrefixTrie()
+        trie.insert(P("0.0.0.0/0"), "default")
+        trie.insert(P("::/0"), "default6")
+        assert trie.longest_match("203.0.113.9") == (P("0.0.0.0/0"), "default")
+        assert trie.longest_match("2001:db8::1") == (P("::/0"), "default6")
+        trie.remove(P("0.0.0.0/0"))
+        assert trie.longest_match("203.0.113.9") is None
+
+
+class TestRemove:
+    def test_remove_returns_value(self, trie):
+        assert trie.remove(P("10.1.0.0/16")) == "10.1.0.0/16"
+        assert P("10.1.0.0/16") not in trie
+        # Children of the removed node survive.
+        assert P("10.1.2.0/24") in trie
+        assert len(trie) == 6
+
+    def test_remove_absent_raises(self, trie):
+        with pytest.raises(KeyError):
+            trie.remove(P("10.9.0.0/16"))
+        with pytest.raises(KeyError):
+            trie.remove(P("10.1.0.0/17"))
+
+    def test_discard(self, trie):
+        assert trie.discard(P("10.1.0.0/16")) is True
+        assert trie.discard(P("10.1.0.0/16")) is False
+
+    def test_remove_prunes_glue_nodes(self):
+        # 10.0.0.0/9 and 10.128.0.0/9 force a glue split under 10.0.0.0/8;
+        # removing one sibling must splice the glue node back out.
+        trie: PrefixTrie = PrefixTrie()
+        trie.insert(P("10.0.0.0/9"), "low")
+        trie.insert(P("10.128.0.0/9"), "high")
+        trie.remove(P("10.0.0.0/9"))
+        assert list(trie) == [P("10.128.0.0/9")]
+        assert trie.longest_match("10.200.0.1") == (P("10.128.0.0/9"), "high")
+        trie.remove(P("10.128.0.0/9"))
+        assert len(trie) == 0
+        assert not trie.overlaps(P("0.0.0.0/0"))
+
+    def test_interleaved_insert_remove_round_trips(self):
+        trie: PrefixTrie = PrefixTrie()
+        prefixes = [P(f"10.{i}.0.0/16") for i in range(32)]
+        for prefix in prefixes:
+            trie.insert(prefix, str(prefix))
+        for prefix in prefixes[::2]:
+            trie.remove(prefix)
+        assert sorted(trie) == sorted(prefixes[1::2])
+        for prefix in prefixes[::2]:
+            trie.insert(prefix, "again")
+        assert len(trie) == 32
+
+    def test_clear(self, trie):
+        trie.clear()
+        assert len(trie) == 0
+        assert trie.longest_match("10.1.2.3") is None
+
+
+class TestLongestMatch:
+    def test_most_specific_wins(self, trie):
+        assert trie.longest_match("10.1.2.3")[0] == P("10.1.2.0/24")
+        assert trie.longest_match("10.1.9.9")[0] == P("10.1.0.0/16")
+        assert trie.longest_match("10.200.0.1")[0] == P("10.0.0.0/8")
+        assert trie.longest_match("11.0.0.1") is None
+
+    def test_accepts_prefix_queries(self, trie):
+        assert trie.longest_match(P("10.1.2.0/25"))[0] == P("10.1.2.0/24")
+        # An exact stored prefix matches itself.
+        assert trie.longest_match(P("10.1.2.0/24"))[0] == P("10.1.2.0/24")
+
+    def test_lookup_is_version_aware(self, trie):
+        assert trie.lookup("2001:db8:1::5")[0] == P("2001:db8:1::/48")
+        assert trie.lookup("2001:db9::1") is None
+        assert trie.lookup("192.0.2.7")[0] == P("192.0.2.0/24")
+
+
+class TestCoveringAndCovered:
+    def test_covering_walks_to_root_most_specific_first(self, trie):
+        covering = [p for p, _ in trie.covering(P("10.1.2.0/25"))]
+        assert covering == [P("10.1.2.0/24"), P("10.1.0.0/16"), P("10.0.0.0/8")]
+
+    def test_covering_include_exact(self, trie):
+        with_exact = [p for p, _ in trie.covering(P("10.1.2.0/24"))]
+        without = [p for p, _ in trie.covering(P("10.1.2.0/24"), include_exact=False)]
+        assert with_exact == [P("10.1.2.0/24"), P("10.1.0.0/16"), P("10.0.0.0/8")]
+        assert without == [P("10.1.0.0/16"), P("10.0.0.0/8")]
+
+    def test_covered_subtree_walk(self, trie):
+        covered = [p for p, _ in trie.covered(P("10.0.0.0/8"))]
+        assert covered == [
+            P("10.0.0.0/8"),
+            P("10.1.0.0/16"),
+            P("10.1.2.0/24"),
+            P("10.2.0.0/16"),
+        ]
+        assert [p for p, _ in trie.covered(P("10.1.0.0/16"), include_exact=False)] == [
+            P("10.1.2.0/24")
+        ]
+
+    def test_covered_of_unrelated_prefix_is_empty(self, trie):
+        assert list(trie.covered(P("172.16.0.0/12"))) == []
+        assert list(trie.covering(P("172.16.0.0/12"))) == []
+
+    def test_overlaps_both_directions(self, trie):
+        assert trie.overlaps(P("10.1.2.128/25"))  # covered by stored prefixes
+        assert trie.overlaps(P("0.0.0.0/0"))  # covers stored prefixes
+        assert not trie.overlaps(P("172.16.0.0/12"))
+        assert trie.overlaps(P("2001:db8:1:2::/64"))
+        assert not trie.overlaps(P("2001:db9::/32"))
+
+    def test_versions_never_mix(self, trie):
+        assert list(trie.covered(P("::/0"))) == [
+            (P("2001:db8::/32"), "2001:db8::/32"),
+            (P("2001:db8:1::/48"), "2001:db8:1::/48"),
+        ]
+
+
+class TestConstruction:
+    def test_from_items(self):
+        items = [(P("10.0.0.0/8"), 1), (P("192.0.2.0/24"), 2)]
+        trie = PrefixTrie(items)
+        assert sorted(trie.items()) == sorted(items)
+
+    def test_repr(self, trie):
+        assert "7 prefixes" in repr(trie)
+
+    def test_picklable(self, trie):
+        clone = pickle.loads(pickle.dumps(trie))
+        assert sorted(clone.items()) == sorted(trie.items())
+        assert clone.longest_match("10.1.2.3")[0] == P("10.1.2.0/24")

@@ -1,0 +1,130 @@
+"""Property-based tests: the patricia trie vs a brute-force oracle.
+
+Every query the trie answers (longest-prefix match, covering set, covered
+set, overlap) is recomputed with plain :mod:`ipaddress` arithmetic over the
+same prefix set; the two must agree on arbitrary mixed IPv4/IPv6 inputs,
+including after random removals.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import List, Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.trie import PrefixTrie
+
+
+def _prefix(version: int, bits: int, length: int) -> Prefix:
+    max_length = 32 if version == 4 else 128
+    shift = max_length - length
+    masked = (bits >> shift) << shift if length else 0
+    return Prefix(ipaddress.ip_network((masked, length)))
+
+
+def _prefixes(version: int) -> st.SearchStrategy[Prefix]:
+    max_length = 32 if version == 4 else 128
+    return st.builds(
+        _prefix,
+        st.just(version),
+        st.integers(min_value=0, max_value=2**max_length - 1),
+        st.integers(min_value=0, max_value=max_length),
+    )
+
+
+any_prefix = st.one_of(_prefixes(4), _prefixes(6))
+
+#: A prefix universe plus query prefixes drawn from the same pool, so
+#: queries frequently hit covering/covered relationships instead of always
+#: missing.
+prefix_sets = st.lists(any_prefix, min_size=1, max_size=40, unique=True)
+
+
+class Oracle:
+    """Brute-force reference implementation over a list of prefixes."""
+
+    def __init__(self, prefixes: List[Prefix]):
+        self.prefixes = prefixes
+
+    def covering(self, query: Prefix) -> List[Prefix]:
+        return sorted(p for p in self.prefixes if p.contains(query))
+
+    def covered(self, query: Prefix) -> List[Prefix]:
+        return sorted(p for p in self.prefixes if query.contains(p))
+
+    def overlaps(self, query: Prefix) -> bool:
+        return any(p.overlaps(query) for p in self.prefixes)
+
+    def longest_match(self, query: Prefix) -> Optional[Prefix]:
+        return max(self.covering(query), key=lambda p: p.length, default=None)
+
+
+def _build(prefixes: List[Prefix]) -> PrefixTrie:
+    return PrefixTrie((p, str(p)) for p in prefixes)
+
+
+@given(prefix_sets, any_prefix)
+@settings(max_examples=200, deadline=None)
+def test_covering_and_covered_match_oracle(prefixes, query):
+    trie, oracle = _build(prefixes), Oracle(prefixes)
+    assert sorted(p for p, _ in trie.covering(query)) == oracle.covering(query)
+    assert sorted(p for p, _ in trie.covered(query)) == oracle.covered(query)
+
+
+@given(prefix_sets, any_prefix)
+@settings(max_examples=200, deadline=None)
+def test_longest_match_and_overlap_match_oracle(prefixes, query):
+    trie, oracle = _build(prefixes), Oracle(prefixes)
+    match = trie.longest_match(query)
+    assert (match[0] if match else None) == oracle.longest_match(query)
+    assert trie.overlaps(query) == oracle.overlaps(query)
+
+
+@given(prefix_sets, st.data())
+@settings(max_examples=200, deadline=None)
+def test_queries_against_set_member(prefixes, data):
+    """Querying with a stored prefix always finds itself in both walks."""
+    trie = _build(prefixes)
+    query = data.draw(st.sampled_from(prefixes))
+    assert query in trie
+    assert [p for p, _ in trie.covering(query)][0] == query
+    assert next(iter(trie.covered(query)))[0] in prefixes
+    assert trie.overlaps(query)
+    assert trie.longest_match(query)[0] == query
+
+
+@given(prefix_sets, st.data())
+@settings(max_examples=200, deadline=None)
+def test_removal_preserves_oracle_agreement(prefixes, data):
+    """After removing a random subset the survivors still agree with the oracle."""
+    trie = _build(prefixes)
+    to_remove = data.draw(
+        st.lists(st.sampled_from(prefixes), unique=True, max_size=len(prefixes))
+    )
+    for prefix in to_remove:
+        trie.remove(prefix)
+    survivors = [p for p in prefixes if p not in to_remove]
+    oracle = Oracle(survivors)
+    assert sorted(trie) == sorted(survivors)
+    query = data.draw(any_prefix)
+    assert sorted(p for p, _ in trie.covering(query)) == oracle.covering(query)
+    assert sorted(p for p, _ in trie.covered(query)) == oracle.covered(query)
+    assert trie.overlaps(query) == oracle.overlaps(query)
+
+
+@given(st.lists(st.tuples(any_prefix, st.integers()), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_mapping_semantics_match_dict(items: List[Tuple[Prefix, int]]):
+    """Insert/overwrite/len/iteration behave exactly like a dict."""
+    trie: PrefixTrie = PrefixTrie()
+    reference = {}
+    for prefix, value in items:
+        trie.insert(prefix, value)
+        reference[prefix] = value
+    assert len(trie) == len(reference)
+    assert dict(trie.items()) == reference
+    for prefix, value in reference.items():
+        assert trie[prefix] == value

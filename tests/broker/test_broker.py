@@ -44,7 +44,9 @@ class TestMetadataDB:
         db = MetadataDB()
         db.insert(_record(project="ris", collector="rrc0", timestamp=0))
         db.insert(_record(project="routeviews", collector="route-views2", timestamp=0))
-        db.insert(_record(project="ris", collector="rrc0", dump_type="ribs", timestamp=0, duration=120))
+        db.insert(
+            _record(project="ris", collector="rrc0", dump_type="ribs", timestamp=0, duration=120)
+        )
         assert len(db.query()) == 3
         assert len(db.query(projects=["ris"])) == 2
         assert len(db.query(collectors=["route-views2"])) == 1

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import os
 
-import pytest
 
 from repro.bgp.community import Community
 from repro.bgp.prefix import Prefix
@@ -68,7 +67,10 @@ class TestEventTimeline:
         return EventTimeline(
             [
                 PrefixHijackEvent(
-                    interval=TimeInterval(100, 200), hijacker_asn=9, victim_asn=1, prefixes=(PREFIX,)
+                    interval=TimeInterval(100, 200),
+                    hijacker_asn=9,
+                    victim_asn=1,
+                    prefixes=(PREFIX,),
                 ),
                 OutageEvent(interval=TimeInterval(150, 300), asns=(7,), prefixes=(OTHER,)),
                 PrefixFlapEvent(

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bgp.prefix import Prefix
-from repro.collectors.routing import PolicyPath, Route, RouteComputer, RouteType
+from repro.collectors.routing import RouteComputer, RouteType
 from repro.collectors.topology import (
     ASNode,
     ASRelationship,
@@ -24,7 +24,14 @@ def _tiny_topology() -> ASTopology:
         S              (customer of C1)
     """
     topology = ASTopology()
-    for asn, role in [(10, ASRole.TIER1), (20, ASRole.TIER1), (30, ASRole.TRANSIT), (40, ASRole.TRANSIT), (50, ASRole.STUB)]:
+    roles = [
+        (10, ASRole.TIER1),
+        (20, ASRole.TIER1),
+        (30, ASRole.TRANSIT),
+        (40, ASRole.TRANSIT),
+        (50, ASRole.STUB),
+    ]
+    for asn, role in roles:
         topology.add_as(ASNode(asn=asn, role=role, country="US"))
     topology.add_link(10, 20, ASRelationship.PEER_TO_PEER)
     topology.add_link(30, 10, ASRelationship.CUSTOMER_TO_PROVIDER)

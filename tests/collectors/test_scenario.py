@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bgp.community import Community
-from repro.bgp.fsm import SessionState
 from repro.bgp.prefix import Prefix
 from repro.collectors.archive import Archive
 from repro.collectors.collector import Collector
@@ -15,7 +14,7 @@ from repro.collectors.events import (
     RTBHEvent,
     SessionResetEvent,
 )
-from repro.collectors.projects import PROJECTS, RIPE_RIS, ROUTEVIEWS, project_for_collector
+from repro.collectors.projects import RIPE_RIS, ROUTEVIEWS, project_for_collector
 from repro.collectors.routing import RouteType
 from repro.collectors.scenario import ScenarioConfig, build_scenario
 from repro.collectors.topology import ASRole

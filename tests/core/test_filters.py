@@ -5,11 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.bgp.aspath import ASPath
-from repro.bgp.community import Community, CommunitySet
+from repro.bgp.community import CommunitySet
 from repro.bgp.prefix import Prefix
 from repro.core.elem import BGPElem, ElemType
 from repro.core.filters import FilterSet
-from repro.core.record import BGPStreamRecord, RecordStatus
+from repro.core.record import BGPStreamRecord
 from repro.mrt.constants import BGP4MPSubtype, MRTType
 from repro.mrt.records import BGP4MPMessage, MRTHeader, MRTRecord
 from repro.bgp.message import BGPUpdate
@@ -122,6 +122,67 @@ class TestElemMatching:
         filters = FilterSet().add("prefix-exact", "192.0.2.0/24")
         assert filters.match_elem(_elem(prefix="192.0.2.0/24"))
         assert not filters.match_elem(_elem(prefix="192.0.2.0/25"))
+
+    def test_prefix_more_semantics(self):
+        filters = FilterSet().add("prefix-more", "192.0.2.0/24")
+        assert filters.match_elem(_elem(prefix="192.0.2.0/24"))
+        assert filters.match_elem(_elem(prefix="192.0.2.128/25"))
+        assert not filters.match_elem(_elem(prefix="192.0.0.0/16"))
+        assert not filters.match_elem(_elem(prefix="192.0.3.0/24"))
+
+    def test_prefix_less_semantics(self):
+        filters = FilterSet().add("prefix-less", "192.0.2.0/24")
+        assert filters.match_elem(_elem(prefix="192.0.2.0/24"))
+        assert filters.match_elem(_elem(prefix="192.0.0.0/16"))
+        assert filters.match_elem(_elem(prefix="0.0.0.0/0"))
+        assert not filters.match_elem(_elem(prefix="192.0.2.0/25"))
+        assert not filters.match_elem(_elem(prefix="192.0.3.0/24"))
+
+    def test_prefix_any_semantics(self):
+        filters = FilterSet().add("prefix-any", "192.0.2.0/24")
+        assert filters.match_elem(_elem(prefix="192.0.2.0/24"))
+        assert filters.match_elem(_elem(prefix="192.0.2.128/25"))
+        assert filters.match_elem(_elem(prefix="192.0.0.0/16"))
+        assert not filters.match_elem(_elem(prefix="192.0.3.0/24"))
+
+    def test_prefix_modes_combine_per_prefix(self):
+        """The same prefix may carry several modes; any satisfied mode matches."""
+        filters = (
+            FilterSet()
+            .add("prefix-exact", "192.0.2.0/24")
+            .add("prefix-less", "192.0.2.0/24")
+        )
+        assert filters.match_elem(_elem(prefix="192.0.2.0/24"))
+        assert filters.match_elem(_elem(prefix="192.0.0.0/16"))
+        assert not filters.match_elem(_elem(prefix="192.0.2.0/25"))
+
+    def test_prefix_filters_are_disjunctive_across_prefixes(self):
+        filters = (
+            FilterSet().add("prefix", "10.0.0.0/8").add("prefix", "192.0.2.0/24")
+        )
+        assert filters.match_elem(_elem(prefix="10.1.0.0/16"))
+        assert filters.match_elem(_elem(prefix="192.0.2.0/24"))
+        assert not filters.match_elem(_elem(prefix="172.16.0.0/12"))
+
+    def test_prefixless_elem_passes_non_prefix_filters(self):
+        """Regression: the prefix gate only applies when prefix filters exist.
+
+        A state message (no prefix) must still match a filter set made of
+        non-prefix terms, and must be rejected once any prefix filter is
+        configured.
+        """
+        state = _elem(elem_type=ElemType.STATE, prefix=None, path=(), communities=())
+        assert FilterSet().add("peer-asn", "64500").match_elem(state)
+        assert FilterSet().add("elem-type", "state").match_elem(state)
+        for name in ("prefix", "prefix-exact", "prefix-more", "prefix-less", "prefix-any"):
+            assert not FilterSet().add(name, "0.0.0.0/0").match_elem(state)
+
+    def test_ipv6_prefix_filters(self):
+        filters = FilterSet().add("prefix", "2001:db8::/32")
+        assert filters.match_elem(_elem(prefix="2001:db8:1::/48"))
+        assert not filters.match_elem(_elem(prefix="2001:db9::/32"))
+        # A v4 elem never matches a v6 filter.
+        assert not filters.match_elem(_elem(prefix="32.1.13.0/24"))
 
     def test_aspath_regex(self):
         filters = FilterSet().add("aspath", r"\b3356\b")

@@ -25,7 +25,7 @@ class TestBGPReaderCLI:
         lines = self._run(
             core_archive, ["-w", f"{core_scenario.start},{core_scenario.end}"]
         )
-        data_lines = [l for l in lines if not l.startswith("#")]
+        data_lines = [line for line in lines if not line.startswith("#")]
         assert data_lines
         first = data_lines[0].split("|")
         assert first[0] in ("R", "A", "W", "S")
@@ -36,21 +36,60 @@ class TestBGPReaderCLI:
             core_archive,
             ["-w", f"{core_scenario.start},{core_scenario.end}", "-t", "updates", "-p", "ris"],
         )
-        data_lines = [l for l in lines if not l.startswith("#")]
+        data_lines = [line for line in lines if not line.startswith("#")]
         assert data_lines
-        assert all(l.split("|")[2] == "ris" for l in data_lines)
-        assert all(l.split("|")[0] in ("A", "W", "S") for l in data_lines)
+        assert all(line.split("|")[2] == "ris" for line in data_lines)
+        assert all(line.split("|")[0] in ("A", "W", "S") for line in data_lines)
 
     def test_prefix_filter_subprefix_semantics(self, core_archive, core_scenario):
         lines = self._run(
             core_archive,
             ["-w", f"{core_scenario.start},{core_scenario.end}", "-k", "10.0.0.0/8"],
         )
-        data_lines = [l for l in lines if not l.startswith("#")]
+        data_lines = [line for line in lines if not line.startswith("#")]
         assert data_lines
         for line in data_lines:
             prefix = line.split("|")[6]
             assert prefix.startswith("10.")
+
+    def test_prefix_mode_flags(self, core_archive, core_scenario):
+        """--prefix-exact/-more/-less/-any wire the filter-language modes."""
+        window = ["-w", f"{core_scenario.start},{core_scenario.end}"]
+        all_lines = [
+            line for line in self._run(core_archive, window) if not line.startswith("#")
+        ]
+        assert all_lines
+        # Pick a concrete announced prefix and derive related queries.
+        target = next(line.split("|")[6] for line in all_lines if line.split("|")[6])
+        exact = [
+            line.split("|")[6]
+            for line in self._run(core_archive, window + ["--prefix-exact", target])
+            if not line.startswith("#")
+        ]
+        assert exact and set(exact) == {target}
+        more = [
+            line.split("|")[6]
+            for line in self._run(core_archive, window + ["--prefix-more", "10.0.0.0/8"])
+            if not line.startswith("#")
+        ]
+        assert more and all(p.startswith("10.") for p in more)
+        # prefix-less of a host address inside a seen prefix returns its
+        # covering prefixes (at least the target itself).
+        address = target.split("/")[0]
+        less = [
+            line.split("|")[6]
+            for line in self._run(
+                core_archive, window + ["--prefix-less", f"{address}/32"]
+            )
+            if not line.startswith("#")
+        ]
+        assert target in less
+        any_mode = [
+            line.split("|")[6]
+            for line in self._run(core_archive, window + ["--prefix-any", f"{address}/32"])
+            if not line.startswith("#")
+        ]
+        assert set(less) <= set(any_mode)
 
     def test_bgpdump_format_and_limit(self, core_archive, core_scenario):
         lines = self._run(
@@ -63,16 +102,16 @@ class TestBGPReaderCLI:
                 "5",
             ],
         )
-        data_lines = [l for l in lines if not l.startswith("#")]
+        data_lines = [line for line in lines if not line.startswith("#")]
         assert len(data_lines) == 5
-        assert all(l.startswith(("BGP4MP|", "TABLE_DUMP2|")) for l in data_lines)
+        assert all(line.startswith(("BGP4MP|", "TABLE_DUMP2|")) for line in data_lines)
 
     def test_show_records_flag(self, core_archive, core_scenario):
         lines = self._run(
             core_archive,
             ["-w", f"{core_scenario.start},{core_scenario.end}", "-r", "--limit", "20"],
         )
-        assert any(l.startswith(("ribs|", "updates|")) for l in lines)
+        assert any(line.startswith(("ribs|", "updates|")) for line in lines)
 
     def test_parallel_engine_output_matches_sequential(self, core_archive, core_scenario):
         window = ["-w", f"{core_scenario.start},{core_scenario.end}", "-r"]

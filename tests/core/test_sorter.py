@@ -95,7 +95,6 @@ class TestDumpFileReader:
 class TestSubsetGrouping:
     def test_figure3_style_grouping(self, tmp_path):
         """Files with overlapping intervals merge; disjoint ones do not."""
-        paths = []
         # Two "collectors": RIS-style 5-minute files and RV-style 15-minute file,
         # then a later, disjoint file.
         layout = [

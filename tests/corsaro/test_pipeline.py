@@ -4,10 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bgp.community import Community
-from repro.bgp.prefix import Prefix
 from repro.corsaro.pipeline import BGPCorsaro
-from repro.corsaro.plugin import Plugin, StatelessPlugin, TaggedRecord
+from repro.corsaro.plugin import Plugin, TaggedRecord
 from repro.corsaro.plugins import (
     CommunityDiversityPlugin,
     ElemTypeTagger,
@@ -188,7 +186,11 @@ class TestSimplePlugins:
         plugin = CommunityDiversityPlugin()
         corsaro = BGPCorsaro(stream, [plugin], bin_size=3600)
         corsaro.run()
-        outputs = [o.value for o in corsaro.outputs_for("community-diversity") if o.interval_start >= 0]
+        outputs = [
+            o.value
+            for o in corsaro.outputs_for("community-diversity")
+            if o.interval_start >= 0
+        ]
         assert outputs
         final = outputs[-1]
         assert final.total_distinct_communities > 0
@@ -211,7 +213,11 @@ class TestMOASPlugin:
         plugin = MOASPlugin()
         corsaro = BGPCorsaro(stream, [plugin], bin_size=900)
         corsaro.run()
-        outputs = {o.interval_start: o.value for o in corsaro.outputs_for("moas") if o.interval_start >= 0}
+        outputs = {
+            o.interval_start: o.value
+            for o in corsaro.outputs_for("moas")
+            if o.interval_start >= 0
+        }
         during = [
             v for ts, v in outputs.items() if hijack.interval.start <= ts < hijack.interval.end
         ]

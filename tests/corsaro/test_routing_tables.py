@@ -11,7 +11,7 @@ from repro.bgp.fsm import SessionState
 from repro.bgp.prefix import Prefix
 from repro.broker.broker import Broker
 from repro.collectors.archive import Archive
-from repro.core.interfaces import BrokerDataInterface, DumpFileSpec
+from repro.core.interfaces import BrokerDataInterface
 from repro.core.stream import BGPStream
 from repro.corsaro.pipeline import BGPCorsaro
 from repro.corsaro.plugins.routing_tables import RoutingTablesPlugin, VPState
@@ -101,6 +101,94 @@ class TestRTReconstruction:
         # is simply that comparisons happened and almost all matched.
         assert plugin.compared_prefixes > 0
         assert plugin.error_probability <= 0.01
+
+
+class TestSnapshotQueries:
+    """The trie-indexed lookup(address)/covered(prefix) API over RT snapshots."""
+
+    @pytest.fixture(scope="class")
+    def rt_run(self, corsaro_archive, corsaro_scenario):
+        return _run_rt(corsaro_archive, corsaro_scenario.start, corsaro_scenario.end)
+
+    def test_plugin_index_longest_prefix_match(self, rt_run):
+        plugin, _ = rt_run
+        index = plugin.index()
+        assert index.vps() == [vp for vp in plugin.vps() if plugin.vp_table(vp)]
+        checked = 0
+        for vp in index.vps()[:2]:
+            table = plugin.vp_table(vp)
+            for prefix in list(table)[:25]:
+                address = str(prefix.address)
+                entries = index.lookup(address, vp=vp)
+                assert len(entries) == 1
+                entry = entries[0]
+                assert entry.vp == vp
+                # The oracle: most specific table prefix containing the address.
+                query = Prefix.from_address(address, prefix.max_length)
+                oracle = max(
+                    (p for p in table if p.contains(query)), key=lambda p: p.length
+                )
+                assert entry.prefix == oracle
+                assert entry.cell is table[oracle]
+                checked += 1
+        assert checked > 0
+
+    def test_plugin_index_covered_matches_bruteforce(self, rt_run):
+        plugin, _ = rt_run
+        index = plugin.index()
+        vp = index.vps()[0]
+        table = plugin.vp_table(vp)
+        probe = next(iter(table))
+        query = Prefix.from_address(str(probe.address), max(0, probe.length - 8))
+        got = {(e.vp, e.prefix) for e in index.covered(query, vp=vp)}
+        expected = {(vp, p) for p in table if query.contains(p)}
+        assert got == expected
+        assert (vp, probe) in got
+
+    def test_lookup_across_all_vps(self, rt_run):
+        plugin, _ = rt_run
+        index = plugin.index()
+        vp = index.vps()[0]
+        probe = next(iter(plugin.vp_table(vp)))
+        entries = index.lookup(str(probe.address))
+        assert entries
+        # One entry per VP at most, and the per-VP restriction agrees.
+        assert len({e.vp for e in entries}) == len(entries)
+        for entry in entries:
+            assert index.lookup(str(probe.address), vp=entry.vp) == [entry]
+
+    def test_unknown_address_and_vp_return_empty(self, rt_run):
+        plugin, _ = rt_run
+        index = plugin.index()
+        assert index.lookup("255.255.255.254") == []
+        assert index.lookup("203.0.113.1", vp=("nope", 0, "0.0.0.0")) == []
+        assert index.covered(Prefix.from_string("255.0.0.0/8")) == []
+
+    def test_bin_output_index(self, rt_run):
+        _, outputs = rt_run
+        snapshot_bin = next(v for _, v in sorted(outputs.items()) if v.snapshots)
+        index = snapshot_bin.index()
+        vp = index.vps()[0]
+        prefix, cell = next(iter(snapshot_bin.snapshots[vp].items()))
+        entries = index.lookup(str(prefix.address), vp=vp)
+        assert entries and entries[0].prefix.contains(prefix) or entries[0].prefix == prefix
+        assert (vp, prefix) in {(e.vp, e.prefix) for e in index.covered(prefix, vp=vp)}
+        # Bins without snapshots expose an empty index.
+        plain_bin = next(v for _, v in sorted(outputs.items()) if not v.snapshots)
+        assert plain_bin.index().vps() == []
+        assert plain_bin.index().lookup(str(prefix.address)) == []
+
+    def test_covering_walk(self, rt_run):
+        plugin, _ = rt_run
+        index = plugin.index()
+        vp = index.vps()[0]
+        table = plugin.vp_table(vp)
+        probe = next(iter(table))
+        host = Prefix.from_address(str(probe.address), probe.max_length)
+        covering = [e.prefix for e in index.covering(host, vp=vp)]
+        assert covering == sorted(
+            (p for p in table if p.contains(host)), key=lambda p: -p.length
+        )
 
 
 class TestRTSpecialEvents:

@@ -7,13 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.kafka.broker import MessageBroker, Topic
 from repro.kafka.client import Consumer, Producer
-from repro.kafka.sync import (
-    METADATA_TOPIC,
-    BinMetadata,
-    CompletenessSyncServer,
-    TimeoutSyncServer,
-    publish_bin_metadata,
-)
+from repro.kafka.sync import CompletenessSyncServer, TimeoutSyncServer, publish_bin_metadata
 
 
 class TestTopic:

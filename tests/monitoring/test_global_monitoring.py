@@ -11,12 +11,11 @@ import pytest
 
 from repro.collectors.events import OutageEvent, PrefixHijackEvent
 from repro.kafka.broker import MessageBroker
-from repro.kafka.client import Consumer
 from repro.kafka.sync import CompletenessSyncServer, METADATA_TOPIC
 from repro.monitoring.geo import GeoDatabase
 from repro.monitoring.hijacks import HijackConsumer
 from repro.monitoring.outages import OutageConsumer
-from repro.monitoring.publisher import RTPublisher, diffs_topic, run_publishers
+from repro.monitoring.publisher import diffs_topic, run_publishers
 
 
 @pytest.fixture(scope="module")

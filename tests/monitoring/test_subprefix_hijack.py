@@ -1,0 +1,244 @@
+"""Sub-prefix hijack detection (§6.2 "Hijacks" + the patricia-trie scenario).
+
+A sub-prefix hijack never produces a MOAS event: the hijacker announces a
+*more specific* of the victim's prefix, so the two origin sets live on two
+different prefixes.  Detecting it requires relating a new announcement to
+the covering prefixes already observed — the covering walk of the patricia
+trie.  These tests drive the :class:`HijackConsumer` both synthetically
+(hand-built RT bins) and end-to-end from a generated scenario archive in
+which the hijack event announces a more specific of the victim's prefix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.prefix import Prefix
+from repro.collectors.archive import Archive
+from repro.collectors.events import PrefixHijackEvent
+from repro.collectors.scenario import ScenarioConfig, build_scenario
+from repro.collectors.topology import ASRole, TopologyConfig, generate_topology
+from repro.corsaro.plugins.routing_tables import DiffCell, RTBinOutput
+from repro.kafka.broker import MessageBroker
+from repro.kafka.client import Producer
+from repro.monitoring.hijacks import HijackConsumer
+from repro.monitoring.publisher import diffs_topic, run_publishers
+from repro.utils.intervals import TimeInterval
+
+VP1 = ("rrc0", 64496, "10.0.0.1")
+VP2 = ("rrc0", 64497, "10.0.0.2")
+SUPER = Prefix.from_string("203.0.113.0/24")
+SUB = Prefix.from_string("203.0.113.0/25")
+VICTIM_ASN = 64500
+HIJACKER_ASN = 64666
+
+
+def _announce(vp, prefix, path):
+    return DiffCell(
+        vp=vp,
+        prefix=prefix,
+        announced=True,
+        as_path=ASPath.from_asns(list(path)),
+        next_hop="10.0.0.1",
+    )
+
+
+def _withdraw(vp, prefix):
+    return DiffCell(vp=vp, prefix=prefix, announced=False, as_path=None, next_hop=None)
+
+
+def _bin(interval_start, diffs):
+    return RTBinOutput(
+        interval_start=interval_start,
+        elems_processed=len(diffs),
+        diffs=list(diffs),
+        consistent_vps=(VP1, VP2),
+        table_sizes={},
+    )
+
+
+class TestSubPrefixDetectionSynthetic:
+    def _publish(self, broker, *bins):
+        producer = Producer(broker, default_topic=diffs_topic("rrc0"))
+        for bin_output in bins:
+            producer.send(bin_output)
+
+    def _baseline(self, t=0):
+        """Both VPs carry the victim's covering prefix."""
+        return _bin(
+            t,
+            [
+                _announce(VP1, SUPER, (64496, VICTIM_ASN)),
+                _announce(VP2, SUPER, (64497, VICTIM_ASN)),
+            ],
+        )
+
+    def test_foreign_more_specific_raises_subprefix_alert(self):
+        broker = MessageBroker()
+        self._publish(
+            broker,
+            self._baseline(0),
+            _bin(300, [_announce(VP1, SUB, (64496, HIJACKER_ASN))]),
+        )
+        consumer = HijackConsumer(broker, ["rrc0"])
+        alerts = consumer.poll()
+        assert [a for a in alerts if a.hijack_type == "sub-prefix"] == alerts
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.prefix == SUB
+        assert alert.super_prefix == SUPER
+        assert alert.new_origins == frozenset({HIJACKER_ASN})
+        assert alert.expected_origins == frozenset({VICTIM_ASN})
+        assert alert.detected_at == 300
+        assert alert.involves(HIJACKER_ASN) and alert.involves(VICTIM_ASN)
+
+    def test_same_origin_more_specific_is_not_a_hijack(self):
+        """Traffic engineering: the owner's own more-specific must not alert."""
+        broker = MessageBroker()
+        self._publish(
+            broker,
+            self._baseline(0),
+            _bin(300, [_announce(VP1, SUB, (64496, VICTIM_ASN))]),
+        )
+        assert HijackConsumer(broker, ["rrc0"]).poll() == []
+
+    def test_alert_fires_once_until_episode_ends(self):
+        broker = MessageBroker()
+        consumer = HijackConsumer(broker, ["rrc0"])
+        self._publish(
+            broker,
+            self._baseline(0),
+            _bin(300, [_announce(VP1, SUB, (64496, HIJACKER_ASN))]),
+            _bin(600, [_announce(VP2, SUB, (64497, HIJACKER_ASN))]),
+        )
+        assert len(consumer.poll()) == 1
+        # Withdrawing the sub-prefix everywhere ends the episode...
+        self._publish(broker, _bin(900, [_withdraw(VP1, SUB), _withdraw(VP2, SUB)]))
+        assert consumer.poll() == []
+        # ...so a re-announcement alerts again.
+        self._publish(broker, _bin(1200, [_announce(VP1, SUB, (64496, HIJACKER_ASN))]))
+        again = consumer.poll()
+        assert len(again) == 1
+        assert again[0].detected_at == 1200
+        assert len(consumer.subprefix_alerts()) == 2
+
+    def test_whitelisted_origin_pair_not_alerted(self):
+        broker = MessageBroker()
+        self._publish(
+            broker,
+            self._baseline(0),
+            _bin(300, [_announce(VP1, SUB, (64496, HIJACKER_ASN))]),
+        )
+        consumer = HijackConsumer(
+            broker,
+            ["rrc0"],
+            whitelist=[frozenset({VICTIM_ASN, HIJACKER_ASN})],
+        )
+        assert consumer.poll() == []
+
+    def test_min_vps_suppresses_single_vp_noise(self):
+        broker = MessageBroker()
+        self._publish(
+            broker,
+            self._baseline(0),
+            _bin(300, [_announce(VP1, SUB, (64496, HIJACKER_ASN))]),
+        )
+        consumer = HijackConsumer(broker, ["rrc0"], min_vps=2)
+        assert consumer.poll() == []
+        # A second VP seeing the hijack crosses the threshold.
+        self._publish(broker, _bin(600, [_announce(VP2, SUB, (64497, HIJACKER_ASN))]))
+        alerts = consumer.poll()
+        assert len(alerts) == 1
+        assert alerts[0].hijack_type == "sub-prefix"
+
+    def test_detection_can_be_disabled(self):
+        broker = MessageBroker()
+        self._publish(
+            broker,
+            self._baseline(0),
+            _bin(300, [_announce(VP1, SUB, (64496, HIJACKER_ASN))]),
+        )
+        consumer = HijackConsumer(broker, ["rrc0"], detect_subprefix=False)
+        assert consumer.poll() == []
+
+    def test_moas_detection_still_works_alongside(self):
+        broker = MessageBroker()
+        self._publish(
+            broker,
+            self._baseline(0),
+            _bin(300, [_announce(VP1, SUPER, (64496, HIJACKER_ASN))]),
+        )
+        consumer = HijackConsumer(broker, ["rrc0"])
+        alerts = consumer.poll()
+        assert [a.hijack_type for a in alerts] == ["moas"]
+        assert alerts[0].origins == frozenset({VICTIM_ASN, HIJACKER_ASN})
+
+
+@pytest.fixture(scope="module")
+def subprefix_scenario():
+    """A scenario whose hijack event announces a more specific of the victim."""
+    config = ScenarioConfig(
+        duration=2 * 3600,
+        topology=TopologyConfig(num_tier1=3, num_transit=8, num_stub=20, seed=71),
+        vps_per_collector=3,
+        full_feed_fraction=1.0,
+        churn_updates_per_vp_per_hour=20,
+        seed=72,
+    )
+    topology = generate_topology(config.topology)
+    start = config.start
+    victim = next(a for a in topology.asns() if topology.node(a).role == ASRole.STUB)
+    hijacker = next(
+        a
+        for a in topology.asns()
+        if topology.node(a).role == ASRole.TRANSIT and a not in topology.providers(victim)
+    )
+    victim_prefix = topology.node(victim).prefixes[0]
+    sub_prefix = Prefix.from_address(str(victim_prefix.address), victim_prefix.length + 1)
+    event = PrefixHijackEvent(
+        interval=TimeInterval(start + 1800, start + 1800 + 1800),
+        hijacker_asn=hijacker,
+        victim_asn=victim,
+        prefixes=(sub_prefix,),
+    )
+    scenario = build_scenario(config, events=[event], topology=topology)
+    return scenario, event, victim_prefix, sub_prefix
+
+
+@pytest.fixture(scope="module")
+def subprefix_archive(tmp_path_factory, subprefix_scenario):
+    scenario, _, _, _ = subprefix_scenario
+    archive = Archive(str(tmp_path_factory.mktemp("subprefix-archive")))
+    scenario.generate(archive)
+    return archive
+
+
+class TestSubPrefixDetectionEndToEnd:
+    def test_scenario_subprefix_hijack_alerts(self, subprefix_scenario, subprefix_archive):
+        scenario, event, victim_prefix, sub_prefix = subprefix_scenario
+        message_broker = MessageBroker()
+        collectors = [c.name for c in scenario.collectors]
+        run_publishers(
+            message_broker,
+            subprefix_archive,
+            collectors,
+            scenario.start,
+            scenario.end,
+            bin_size=300,
+        )
+        consumer = HijackConsumer(message_broker, collectors)
+        consumer.poll()
+        alerts = consumer.subprefix_alerts()
+        assert alerts, "the sub-prefix announcement must raise an alert"
+        matching = [a for a in alerts if a.prefix == sub_prefix]
+        assert matching
+        alert = matching[0]
+        assert alert.super_prefix == victim_prefix
+        assert event.hijacker_asn in alert.new_origins
+        assert event.victim_asn in alert.expected_origins
+        # Near-realtime: detection falls inside the hijack window.
+        assert event.interval.start <= alert.detected_at <= event.interval.end + 300
+        # The same event must NOT look like a MOAS: origins differ per prefix.
+        moas = [a for a in consumer.alerts if a.hijack_type == "moas"]
+        assert not [a for a in moas if a.prefix == sub_prefix]

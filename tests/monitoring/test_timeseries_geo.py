@@ -69,7 +69,9 @@ class TestChangePointDetection:
 
 class TestGeoDatabase:
     def test_from_topology_covers_all_prefixes(self):
-        topology = generate_topology(TopologyConfig(num_tier1=3, num_transit=6, num_stub=15, seed=9))
+        topology = generate_topology(
+            TopologyConfig(num_tier1=3, num_transit=6, num_stub=15, seed=9)
+        )
         geo = GeoDatabase.from_topology(topology)
         assert len(geo) == len(topology.all_prefixes())
         for asn in topology.asns():
@@ -78,7 +80,9 @@ class TestGeoDatabase:
                 assert geo.country_of(prefix) == node.country
 
     def test_longest_prefix_match_for_more_specifics(self):
-        geo = GeoDatabase({Prefix.from_string("10.0.0.0/8"): "IQ", Prefix.from_string("10.1.0.0/16"): "DE"})
+        geo = GeoDatabase(
+            {Prefix.from_string("10.0.0.0/8"): "IQ", Prefix.from_string("10.1.0.0/16"): "DE"}
+        )
         assert geo.country_of(Prefix.from_string("10.1.2.0/24")) == "DE"
         assert geo.country_of(Prefix.from_string("10.2.0.0/24")) == "IQ"
         assert geo.country_of(Prefix.from_string("192.0.2.0/24")) is None

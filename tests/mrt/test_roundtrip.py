@@ -19,7 +19,7 @@ from repro.bgp.fsm import SessionState
 from repro.bgp.message import BGPUpdate
 from repro.bgp.prefix import Prefix
 from repro.mrt import parser as mrt_parser
-from repro.mrt.parser import MRTDumpReader, read_dump
+from repro.mrt.parser import read_dump
 from repro.mrt.records import (
     BGP4MPMessage,
     BGP4MPStateChange,
@@ -30,7 +30,7 @@ from repro.mrt.records import (
     RIBEntry,
     RIBPrefixRecord,
 )
-from repro.mrt.writer import MRTDumpWriter, corrupt_file, write_updates_dump
+from repro.mrt.writer import MRTDumpWriter, corrupt_file
 
 
 def _attrs(asns):
