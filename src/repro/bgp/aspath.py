@@ -10,7 +10,6 @@ those structures and codecs (4-byte ASNs, as modern MRT data uses).
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Iterator, List, Sequence, Tuple
 
@@ -24,17 +23,56 @@ class SegmentType(IntEnum):
     AS_CONFED_SET = 4
 
 
-@dataclass(frozen=True)
 class ASPathSegment:
-    """One AS path segment: a type plus an ordered tuple of ASNs."""
+    """One AS path segment: a type plus an ordered tuple of ASNs.
 
-    segment_type: SegmentType
-    asns: Tuple[int, ...]
+    A flyweight value object: ``__slots__`` (no per-instance dict), frozen
+    (mutation raises — canonical instances are shared process-wide by the
+    intern layer), equality takes the identity fast path first and the hash
+    is computed once and cached — interned segments make downstream dict and
+    set operations cheap (see :mod:`repro.core.intern`).
+    """
 
-    def __post_init__(self) -> None:
-        for asn in self.asns:
+    __slots__ = ("segment_type", "asns", "_hash")
+
+    def __init__(self, segment_type: SegmentType, asns: Tuple[int, ...]) -> None:
+        for asn in asns:
             if not 0 <= asn <= 0xFFFFFFFF:
                 raise ValueError(f"ASN {asn} out of 32-bit range")
+        object.__setattr__(self, "segment_type", segment_type)
+        object.__setattr__(self, "asns", asns)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ASPathSegment is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("ASPathSegment is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, ASPathSegment):
+            return NotImplemented
+        return self.segment_type == other.segment_type and self.asns == other.asns
+
+    def __hash__(self) -> int:
+        value = self._hash
+        if value is None:
+            value = hash((self.segment_type, self.asns))
+            object.__setattr__(self, "_hash", value)
+        return value
+
+    def __repr__(self) -> str:
+        return f"ASPathSegment(segment_type={self.segment_type!r}, asns={self.asns!r})"
+
+    def __getstate__(self) -> Tuple[SegmentType, Tuple[int, ...]]:
+        return (self.segment_type, self.asns)
+
+    def __setstate__(self, state: Tuple[SegmentType, Tuple[int, ...]]) -> None:
+        object.__setattr__(self, "segment_type", state[0])
+        object.__setattr__(self, "asns", state[1])
+        object.__setattr__(self, "_hash", None)
 
     def __str__(self) -> str:
         if self.segment_type in (SegmentType.AS_SET, SegmentType.AS_CONFED_SET):
@@ -45,11 +83,52 @@ class ASPathSegment:
         return len(self.asns)
 
 
-@dataclass(frozen=True)
 class ASPath:
-    """A full AS path: an ordered sequence of segments."""
+    """A full AS path: an ordered sequence of segments.
 
-    segments: Tuple[ASPathSegment, ...] = field(default_factory=tuple)
+    Like :class:`ASPathSegment` this is a slotted, frozen flyweight: hash
+    and the bgpdump string form are computed once per canonical object, and
+    equality between interned paths short-circuits on identity.
+    """
+
+    __slots__ = ("segments", "_hash", "_str")
+
+    def __init__(self, segments: Tuple[ASPathSegment, ...] = ()) -> None:
+        object.__setattr__(self, "segments", segments)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_str", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ASPath is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("ASPath is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, ASPath):
+            return NotImplemented
+        return self.segments == other.segments
+
+    def __hash__(self) -> int:
+        value = self._hash
+        if value is None:
+            value = hash(self.segments)
+            object.__setattr__(self, "_hash", value)
+        return value
+
+    def __repr__(self) -> str:
+        return f"ASPath(segments={self.segments!r})"
+
+    def __getstate__(self) -> Tuple[Tuple[ASPathSegment, ...]]:
+        # Always-truthy 1-tuple: a falsy state would skip __setstate__.
+        return (self.segments,)
+
+    def __setstate__(self, state: Tuple[Tuple[ASPathSegment, ...]]) -> None:
+        object.__setattr__(self, "segments", state[0])
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_str", None)
 
     # -- constructors ------------------------------------------------------
 
@@ -87,7 +166,11 @@ class ASPath:
     # -- views -------------------------------------------------------------
 
     def __str__(self) -> str:
-        return " ".join(str(segment) for segment in self.segments)
+        text = self._str
+        if text is None:
+            text = " ".join(str(segment) for segment in self.segments)
+            object.__setattr__(self, "_str", text)
+        return text
 
     def __len__(self) -> int:
         """Path length as used in BGP best-path selection.

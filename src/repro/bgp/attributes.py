@@ -58,13 +58,17 @@ AFI_IPV6 = 2
 SAFI_UNICAST = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class PathAttributes:
     """The decoded attribute set of a route.
 
     ``mp_reach_nlri`` / ``mp_unreach_nlri`` hold IPv6 prefixes announced or
     withdrawn through the multi-protocol attributes; ``mp_next_hop`` is the
     IPv6 next hop carried inside MP_REACH.
+
+    Slotted: one attribute set is shared by every elem a record fans out
+    into, and the intern layer writes canonical path/community/next-hop
+    objects back into it so repeated extraction takes identity fast paths.
     """
 
     origin: Origin = Origin.IGP

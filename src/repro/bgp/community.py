@@ -9,7 +9,6 @@ community diversity, and in §4.3 when matching black-holing communities).
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Iterator, Tuple
 
 #: Well-known community used as the conventional black-hole signal
@@ -22,18 +21,74 @@ NO_ADVERTISE = (65535, 65282)
 NO_EXPORT_SUBCONFED = (65535, 65283)
 
 
-@dataclass(frozen=True, order=True)
 class Community:
-    """A single ``asn:value`` community."""
+    """A single ``asn:value`` community.
 
-    asn: int
-    value: int
+    A slotted, frozen, orderable flyweight value object with a cached hash
+    and an identity-first equality check (see :mod:`repro.core.intern`).
+    """
 
-    def __post_init__(self) -> None:
-        if not 0 <= self.asn <= 0xFFFF:
-            raise ValueError(f"community AS identifier {self.asn} out of 16-bit range")
-        if not 0 <= self.value <= 0xFFFF:
-            raise ValueError(f"community value {self.value} out of 16-bit range")
+    __slots__ = ("asn", "value", "_hash")
+
+    def __init__(self, asn: int, value: int) -> None:
+        if not 0 <= asn <= 0xFFFF:
+            raise ValueError(f"community AS identifier {asn} out of 16-bit range")
+        if not 0 <= value <= 0xFFFF:
+            raise ValueError(f"community value {value} out of 16-bit range")
+        object.__setattr__(self, "asn", asn)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Community is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("Community is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Community):
+            return NotImplemented
+        return self.asn == other.asn and self.value == other.value
+
+    def __lt__(self, other: "Community") -> bool:
+        if not isinstance(other, Community):
+            return NotImplemented
+        return (self.asn, self.value) < (other.asn, other.value)
+
+    def __le__(self, other: "Community") -> bool:
+        if not isinstance(other, Community):
+            return NotImplemented
+        return (self.asn, self.value) <= (other.asn, other.value)
+
+    def __gt__(self, other: "Community") -> bool:
+        if not isinstance(other, Community):
+            return NotImplemented
+        return (self.asn, self.value) > (other.asn, other.value)
+
+    def __ge__(self, other: "Community") -> bool:
+        if not isinstance(other, Community):
+            return NotImplemented
+        return (self.asn, self.value) >= (other.asn, other.value)
+
+    def __hash__(self) -> int:
+        value = self._hash
+        if value is None:
+            value = hash((self.asn, self.value))
+            object.__setattr__(self, "_hash", value)
+        return value
+
+    def __repr__(self) -> str:
+        return f"Community(asn={self.asn!r}, value={self.value!r})"
+
+    def __getstate__(self) -> Tuple[int, int]:
+        return (self.asn, self.value)
+
+    def __setstate__(self, state: Tuple[int, int]) -> None:
+        object.__setattr__(self, "asn", state[0])
+        object.__setattr__(self, "value", state[1])
+        object.__setattr__(self, "_hash", None)
 
     @classmethod
     def from_string(cls, text: str) -> "Community":
@@ -52,12 +107,33 @@ class Community:
 
 
 class CommunitySet:
-    """An immutable set of communities attached to a route."""
+    """An immutable set of communities attached to a route.
 
-    __slots__ = ("_communities",)
+    A frozen flyweight like its members: the hash, the sorted view and the
+    string form are computed once per canonical object and cached, and
+    equality short-circuits on identity (interned sets compare in O(1)).
+    """
+
+    __slots__ = ("_communities", "_hash", "_sorted", "_str")
 
     def __init__(self, communities: Iterable[Community] = ()) -> None:
-        self._communities: FrozenSet[Community] = frozenset(communities)
+        object.__setattr__(self, "_communities", frozenset(communities))
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_sorted", None)
+        object.__setattr__(self, "_str", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("CommunitySet is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("CommunitySet is immutable")
+
+    def _sorted_view(self) -> Tuple[Community, ...]:
+        view = self._sorted
+        if view is None:
+            view = tuple(sorted(self._communities))
+            object.__setattr__(self, "_sorted", view)
+        return view
 
     @classmethod
     def from_strings(cls, texts: Iterable[str]) -> "CommunitySet":
@@ -68,7 +144,7 @@ class CommunitySet:
         return cls(Community(a, v) for a, v in pairs)
 
     def __iter__(self) -> Iterator[Community]:
-        return iter(sorted(self._communities))
+        return iter(self._sorted_view())
 
     def __len__(self) -> int:
         return len(self._communities)
@@ -84,18 +160,37 @@ class CommunitySet:
         return item in self._communities
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, CommunitySet):
             return NotImplemented
         return self._communities == other._communities
 
     def __hash__(self) -> int:
-        return hash(self._communities)
+        value = self._hash
+        if value is None:
+            value = hash(self._communities)
+            object.__setattr__(self, "_hash", value)
+        return value
 
     def __str__(self) -> str:
-        return " ".join(str(c) for c in self)
+        text = self._str
+        if text is None:
+            text = " ".join(str(c) for c in self)
+            object.__setattr__(self, "_str", text)
+        return text
 
     def __repr__(self) -> str:
-        return f"CommunitySet({sorted(self._communities)!r})"
+        return f"CommunitySet({list(self._sorted_view())!r})"
+
+    def __getstate__(self) -> Tuple[FrozenSet[Community]]:
+        return (self._communities,)
+
+    def __setstate__(self, state: Tuple[FrozenSet[Community]]) -> None:
+        object.__setattr__(self, "_communities", state[0])
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_sorted", None)
+        object.__setattr__(self, "_str", None)
 
     # -- set operations ----------------------------------------------------
 
@@ -122,7 +217,7 @@ class CommunitySet:
 
     def encode(self) -> bytes:
         out = bytearray()
-        for community in sorted(self._communities):
+        for community in self._sorted_view():
             out += struct.pack("!HH", community.asn, community.value)
         return bytes(out)
 

@@ -38,7 +38,7 @@ class BGPDecodeError(ValueError):
     """Raised when a BGP message cannot be decoded (corrupt or truncated)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class BGPUpdate:
     """A decoded BGP UPDATE message.
 

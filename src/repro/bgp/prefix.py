@@ -9,18 +9,59 @@ codec lives here and is shared by the message and MRT layers.
 from __future__ import annotations
 
 import ipaddress
-from dataclasses import dataclass
 from typing import Tuple, Union
 
 _IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
 _IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
 
 
-@dataclass(frozen=True)
 class Prefix:
-    """An IP prefix such as ``192.0.2.0/24`` or ``2001:db8::/32``."""
+    """An IP prefix such as ``192.0.2.0/24`` or ``2001:db8::/32``.
 
-    network: _IPNetwork
+    The single hottest value type of the pipeline: every elem, trie node,
+    routing-table key and filter carries one.  It is a slotted, frozen
+    flyweight — no per-instance dict, identity-first equality, and the hash
+    and string form (``ipaddress`` recomputes both on every call) are
+    computed once and cached (see :mod:`repro.core.intern`).
+    """
+
+    __slots__ = ("network", "_hash", "_str")
+
+    def __init__(self, network: _IPNetwork) -> None:
+        object.__setattr__(self, "network", network)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_str", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Prefix is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("Prefix is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self.network == other.network
+
+    def __hash__(self) -> int:
+        value = self._hash
+        if value is None:
+            value = hash(self.network)
+            object.__setattr__(self, "_hash", value)
+        return value
+
+    def __repr__(self) -> str:
+        return f"Prefix(network={self.network!r})"
+
+    def __getstate__(self) -> Tuple[_IPNetwork]:
+        return (self.network,)
+
+    def __setstate__(self, state: Tuple[_IPNetwork]) -> None:
+        object.__setattr__(self, "network", state[0])
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_str", None)
 
     # -- constructors ------------------------------------------------------
 
@@ -60,7 +101,11 @@ class Prefix:
         return 32 if self.version == 4 else 128
 
     def __str__(self) -> str:
-        return str(self.network)
+        text = self._str
+        if text is None:
+            text = str(self.network)
+            object.__setattr__(self, "_str", text)
+        return text
 
     def __lt__(self, other: "Prefix") -> bool:
         return (self.version, int(self.address), self.length) < (

@@ -15,6 +15,7 @@ measurement data behind a small API:
 * :mod:`repro.core.reader` — the ``bgpreader`` command-line tool.
 """
 
+from repro.core.intern import InternPool, default_pool, parse_interning, set_parse_interning
 from repro.core.elem import BGPElem, ElemType
 from repro.core.record import BGPStreamRecord, DumpPosition, RecordStatus
 from repro.core.filters import FilterSet
@@ -31,6 +32,10 @@ from repro.core.sorter import DumpFileReader, SortedRecordMerger
 from repro.core.stream import BGPStream
 
 __all__ = [
+    "InternPool",
+    "default_pool",
+    "parse_interning",
+    "set_parse_interning",
     "BGPElem",
     "ElemType",
     "BGPStreamRecord",

@@ -31,12 +31,19 @@ class ElemType(Enum):
         return self.value
 
 
-@dataclass
+@dataclass(slots=True)
 class BGPElem:
     """One elem.  Fields marked conditional in Table 1 may be ``None``.
 
     ``fields`` in the paper's PyBGPStream exposes a dict view; here
     :meth:`field_dict` provides the same convenience.
+
+    Slotted: elems are the highest-volume objects of the whole framework
+    (one RIB record fans out into thousands), and dropping the per-instance
+    ``__dict__`` makes both construction and attribute access measurably
+    cheaper.  The prefix/path/communities fields hold *interned* flyweight
+    values when the producing stream has an intern pool configured (the
+    default — see :mod:`repro.core.intern`).
     """
 
     elem_type: ElemType

@@ -49,7 +49,9 @@ __all__ = [
 ]
 
 
-def read_dump_file(spec: DumpFileSpec, cache_records: bool = True) -> List[BGPStreamRecord]:
+def read_dump_file(
+    spec: DumpFileSpec, cache_records: bool = True, intern: Optional[bool] = None
+) -> List[BGPStreamRecord]:
     """Parse one dump file into a record list (the worker-pool task).
 
     By default workers ask the parser to cache the decoded records: the
@@ -58,8 +60,14 @@ def read_dump_file(spec: DumpFileSpec, cache_records: bool = True) -> List[BGPSt
     rounds) costs a merge instead of a decode.  Note process-pool workers
     populate the cache in *their* process; the re-read win applies to
     thread/serial executors and to any in-process read that follows.
+
+    ``intern`` forwards the parse-time flyweight-interning knob
+    (:mod:`repro.core.intern`).  Each process-pool worker interns into its
+    own process-wide pool (pools are rebuilt per worker); pickling the
+    records back preserves the object sharing *within* each file's list, and
+    the consumer-side elem pipeline re-canonicalises across files.
     """
-    return list(DumpFileReader(spec, cache_records=cache_records))
+    return list(DumpFileReader(spec, cache_records=cache_records, intern=intern))
 
 
 @dataclass(frozen=True)
@@ -86,6 +94,10 @@ class ParallelConfig:
     #: count, not bytes — disable for streams over very large RIB dumps
     #: where retaining decoded records is unwanted.
     cache_records: bool = True
+    #: Parse-time flyweight interning in the workers (``None`` follows each
+    #: worker process's global switch; ``bgpreader --no-intern`` forces
+    #: ``False`` so process-pool workers skip dedup too).
+    intern: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.executor not in ("auto", "process", "thread", "serial"):
@@ -167,7 +179,10 @@ class ParallelStreamEngine:
         executor = self._ensure_executor()
         if executor is None:
             for subset in subsets:
-                yield [read_dump_file(spec, self.config.cache_records) for spec in subset]
+                yield [
+                    read_dump_file(spec, self.config.cache_records, self.config.intern)
+                    for spec in subset
+                ]
             return
         pending: List[List[Future]] = []
         ahead = self.config.prefetch_subsets + 1
@@ -191,7 +206,9 @@ class ParallelStreamEngine:
         futures: List[Future] = []
         for spec in subset:
             try:
-                futures.append(executor.submit(read_dump_file, spec, cache))
+                futures.append(
+                    executor.submit(read_dump_file, spec, cache, self.config.intern)
+                )
             except RuntimeError:
                 # Pool already broken/shut down; park a pre-failed future so
                 # _collect falls back to in-process parsing.
@@ -207,7 +224,7 @@ class ParallelStreamEngine:
             # Broken pool, unpicklable payload, or a worker killed mid-task:
             # parse the file in the delivering process instead.
             self.fallback_files += 1
-            return read_dump_file(spec, self.config.cache_records)
+            return read_dump_file(spec, self.config.cache_records, self.config.intern)
 
     def _ensure_executor(self) -> Optional[Executor]:
         if not self._executor_created:

@@ -88,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=None,
         help="records per batch for --parallel (default: 1024)",
     )
+    engine.add_argument(
+        "--no-intern", action="store_true",
+        help="disable flyweight interning of parsed BGP values "
+             "(AS paths, community sets, prefixes, peer strings)",
+    )
 
     output = parser.add_argument_group("output")
     output.add_argument("-r", "--show-records", action="store_true",
@@ -104,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
 def build_stream(args: argparse.Namespace) -> BGPStream:
     """Construct a configured BGPStream from parsed CLI arguments."""
     interface = _build_interface(args)
+    # BGPStream(interning=False) opts this stream's readers and workers out
+    # of both interning layers; the process-wide switch is left alone (an
+    # embedding application may have configured it deliberately).
+    interning = not getattr(args, "no_intern", False)
     parallel: Optional[ParallelConfig] = None
     if not getattr(args, "parallel", False) and (
         getattr(args, "workers", None) is not None
@@ -120,7 +129,7 @@ def build_stream(args: argparse.Namespace) -> BGPStream:
             parallel = ParallelConfig(**options)
         except ValueError as exc:
             raise SystemExit(f"bgpreader: error: {exc}")
-    stream = BGPStream(data_interface=interface, parallel=parallel)
+    stream = BGPStream(data_interface=interface, parallel=parallel, interning=interning)
     for project in args.project:
         stream.add_filter("project", project)
     for collector in args.collector:

@@ -14,11 +14,12 @@ indexes, which the dump-file reader passes in as context.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 from repro.core.elem import BGPElem, ElemType
+from repro.core.intern import InternPool
 from repro.mrt.records import (
     BGP4MPMessage,
     BGP4MPStateChange,
@@ -26,6 +27,25 @@ from repro.mrt.records import (
     PeerIndexTable,
     RIBPrefixRecord,
 )
+
+
+def _canonical_attrs(attrs, pool: InternPool):
+    """Canonicalise a shared attribute set through ``pool``, with write-back.
+
+    One attribute set fans out into many elems, so the canonical path and
+    community set are written back into it: later extractions of the same
+    record (or of other records sharing the cached attrs) then take the
+    identity fast path in the pool.  Returns ``(as_path, communities)``.
+    """
+    as_path = attrs.as_path
+    canonical = pool.path(as_path)
+    if canonical is not as_path:
+        attrs.as_path = as_path = canonical
+    communities = attrs.communities
+    canonical = pool.communities(communities)
+    if canonical is not communities:
+        attrs.communities = communities = canonical
+    return as_path, communities
 
 
 class RecordStatus(Enum):
@@ -51,9 +71,16 @@ class DumpPosition(Enum):
         return self.value
 
 
-@dataclass
+@dataclass(slots=True)
 class BGPStreamRecord:
-    """One annotated record of the stream."""
+    """One annotated record of the stream.
+
+    Slotted like every other hot object of the pipeline.  ``intern_pool``
+    is transport, not identity: the stream attaches its flyweight pool here
+    so :meth:`elems` can canonicalise elem fields (and it is excluded from
+    equality/repr and dropped on pickling — worker processes rebuild their
+    own pools).
+    """
 
     project: str
     collector: str
@@ -64,6 +91,39 @@ class BGPStreamRecord:
     mrt: Optional[MRTRecord] = None
     #: The PEER_INDEX_TABLE of the originating RIB dump (context for elems).
     peer_table: Optional[PeerIndexTable] = None
+    #: The flyweight pool elems are canonicalised through (set by the stream).
+    intern_pool: Optional[InternPool] = field(default=None, repr=False, compare=False)
+    _elem_iter: Optional[Iterator[BGPElem]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __getstate__(self) -> Tuple:
+        # The elem cursor (a generator) and the pool do not travel across
+        # process boundaries; everything else does.
+        return (
+            self.project,
+            self.collector,
+            self.dump_type,
+            self.dump_time,
+            self.status,
+            self.dump_position,
+            self.mrt,
+            self.peer_table,
+        )
+
+    def __setstate__(self, state: Tuple) -> None:
+        (
+            self.project,
+            self.collector,
+            self.dump_type,
+            self.dump_time,
+            self.status,
+            self.dump_position,
+            self.mrt,
+            self.peer_table,
+        ) = state
+        self.intern_pool = None
+        self._elem_iter = None
 
     @property
     def time(self) -> int:
@@ -94,7 +154,7 @@ class BGPStreamRecord:
 
     def get_next_elem(self) -> Optional[BGPElem]:
         """C-API-style cursor over elems (used by the PyBGPStream facade)."""
-        if not hasattr(self, "_elem_iter") or self._elem_iter is None:
+        if self._elem_iter is None:
             self._elem_iter = self.elems()
         try:
             return next(self._elem_iter)
@@ -103,6 +163,14 @@ class BGPStreamRecord:
             return None
 
     def _rib_elems(self, body: RIBPrefixRecord) -> Iterator[BGPElem]:
+        pool = self.intern_pool
+        timestamp = self.mrt.timestamp
+        prefix = body.prefix
+        if pool is not None:
+            canonical = pool.prefix(prefix)
+            if canonical is not prefix:
+                body.prefix = prefix = canonical
+        version = prefix.version
         for entry in body.entries:
             peer_address = ""
             peer_asn = 0
@@ -111,51 +179,78 @@ class BGPStreamRecord:
                 peer_address = peer.address
                 peer_asn = peer.asn
             attrs = entry.attributes
+            as_path = attrs.as_path
+            communities = attrs.communities
+            next_hop = attrs.effective_next_hop(version)
+            if pool is not None:
+                peer_address = pool.string(peer_address)
+                as_path, communities = _canonical_attrs(attrs, pool)
+                if next_hop is not None:
+                    next_hop = pool.string(next_hop)
             yield BGPElem(
                 elem_type=ElemType.RIB,
-                time=self.mrt.timestamp,
+                time=timestamp,
                 peer_address=peer_address,
                 peer_asn=peer_asn,
-                prefix=body.prefix,
-                next_hop=attrs.effective_next_hop(body.prefix.version),
-                as_path=attrs.as_path,
-                communities=attrs.communities,
+                prefix=prefix,
+                next_hop=next_hop,
+                as_path=as_path,
+                communities=communities,
                 project=self.project,
                 collector=self.collector,
             )
 
     def _message_elems(self, body: BGP4MPMessage) -> Iterator[BGPElem]:
+        pool = self.intern_pool
+        timestamp = self.mrt.timestamp
         update = body.update
         attrs = update.attributes
+        peer_address = body.peer_address
+        as_path = attrs.as_path
+        communities = attrs.communities
+        if pool is not None:
+            peer_address = pool.string(peer_address)
+            as_path, communities = _canonical_attrs(attrs, pool)
         for prefix in update.all_withdrawn:
+            if pool is not None:
+                prefix = pool.prefix(prefix)
             yield BGPElem(
                 elem_type=ElemType.WITHDRAWAL,
-                time=self.mrt.timestamp,
-                peer_address=body.peer_address,
+                time=timestamp,
+                peer_address=peer_address,
                 peer_asn=body.peer_asn,
                 prefix=prefix,
                 project=self.project,
                 collector=self.collector,
             )
         for prefix in update.all_announced:
+            next_hop = attrs.effective_next_hop(prefix.version)
+            if pool is not None:
+                prefix = pool.prefix(prefix)
+                if next_hop is not None:
+                    next_hop = pool.string(next_hop)
             yield BGPElem(
                 elem_type=ElemType.ANNOUNCEMENT,
-                time=self.mrt.timestamp,
-                peer_address=body.peer_address,
+                time=timestamp,
+                peer_address=peer_address,
                 peer_asn=body.peer_asn,
                 prefix=prefix,
-                next_hop=attrs.effective_next_hop(prefix.version),
-                as_path=attrs.as_path,
-                communities=attrs.communities,
+                next_hop=next_hop,
+                as_path=as_path,
+                communities=communities,
                 project=self.project,
                 collector=self.collector,
             )
 
     def _state_elem(self, body: BGP4MPStateChange) -> BGPElem:
+        pool = self.intern_pool
+        peer_address = body.peer_address
+        if pool is not None:
+            peer_address = pool.string(peer_address)
         return BGPElem(
             elem_type=ElemType.STATE,
             time=self.mrt.timestamp,
-            peer_address=body.peer_address,
+            peer_address=peer_address,
             peer_asn=body.peer_asn,
             old_state=body.old_state,
             new_state=body.new_state,

@@ -46,16 +46,26 @@ class DumpFileReader:
     ``cache_records=True`` asks the MRT parser to keep the decoded records
     of a cleanly-read dump in its per-file cache, so re-reads of the
     unchanged file skip decoding (the parallel engine's workers set this).
+    ``intern`` forwards the parse-time flyweight-interning knob to the MRT
+    reader (``None`` follows the process-wide switch).
     """
 
-    def __init__(self, spec: DumpFileSpec, cache_records: bool = False) -> None:
+    def __init__(
+        self,
+        spec: DumpFileSpec,
+        cache_records: bool = False,
+        intern: Optional[bool] = None,
+    ) -> None:
         self.spec = spec
         self.cache_records = cache_records
+        self.intern = intern
 
     def __iter__(self) -> Iterator[BGPStreamRecord]:
         spec = self.spec
         try:
-            reader = MRTDumpReader(spec.path, cache_records=self.cache_records)
+            reader = MRTDumpReader(
+                spec.path, cache_records=self.cache_records, intern=self.intern
+            )
             reader.open()
         except MRTParseError:
             yield BGPStreamRecord(
@@ -115,10 +125,16 @@ class DumpFileReader:
 
 
 class SortedRecordMerger:
-    """Group a dump-file set by overlapping intervals and merge each group."""
+    """Group a dump-file set by overlapping intervals and merge each group.
 
-    def __init__(self, specs: Sequence[DumpFileSpec]) -> None:
+    ``intern`` forwards the parse-time flyweight-interning knob to every
+    :class:`DumpFileReader` it opens (``None`` follows the process-wide
+    switch).
+    """
+
+    def __init__(self, specs: Sequence[DumpFileSpec], intern: Optional[bool] = None) -> None:
         self.specs = list(specs)
+        self.intern = intern
 
     # -- grouping ------------------------------------------------------------
 
@@ -156,9 +172,11 @@ class SortedRecordMerger:
     def _merge_subset(self, subset: Sequence[DumpFileSpec]) -> Iterator[BGPStreamRecord]:
         """Multi-way merge of the (already time-ordered) files of one subset."""
         if len(subset) == 1:
-            yield from DumpFileReader(subset[0])
+            yield from DumpFileReader(subset[0], intern=self.intern)
             return
-        yield from merge_record_iterators([iter(DumpFileReader(spec)) for spec in subset])
+        yield from merge_record_iterators(
+            [iter(DumpFileReader(spec, intern=self.intern)) for spec in subset]
+        )
 
     # -- introspection (used by benchmarks) ---------------------------------------
 

@@ -49,10 +49,12 @@ Three idioms are supported:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+from dataclasses import replace
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.elem import BGPElem
 from repro.core.filters import FilterSet
+from repro.core.intern import InternPool, default_pool
 from repro.core.interfaces import DataInterface
 from repro.core.record import BGPStreamRecord, RecordStatus
 from repro.core.sorter import DEFAULT_BATCH_SIZE, SortedRecordMerger, batch_records
@@ -62,13 +64,34 @@ if TYPE_CHECKING:
 
 
 class BGPStream:
-    """A configurable, sorted stream of BGP measurement data."""
+    """A configurable, sorted stream of BGP measurement data.
+
+    ``interning`` selects the flyweight pool elems are canonicalised
+    through (:mod:`repro.core.intern`):
+
+    * ``True`` (default) — share the process-wide pool (the one parse-time
+      interning fills, so elem extraction mostly takes identity fast paths);
+    * an :class:`~repro.core.intern.InternPool` — a private, isolated pool
+      for this stream: elem-visible values are canonicalised through it and
+      decode-time interning into the shared default pool is switched off
+      for this stream's reads (isolation would otherwise leak);
+    * ``False`` / ``None`` — no interning for this stream: neither the elem
+      pipeline nor the parse-time dedup of the dump files it reads (the
+      ``intern=False`` knob is threaded through the sequential readers and,
+      unless the :class:`~repro.core.parallel.ParallelConfig` pins its own
+      ``intern``, the parallel workers).  This is what ``bgpreader
+      --no-intern`` configures.  Other streams and direct
+      :func:`repro.mrt.parser.read_dump` calls follow the process-wide
+      switch (:func:`repro.core.intern.set_parse_interning`), which this
+      knob never touches.
+    """
 
     def __init__(
         self,
         data_interface: Optional[DataInterface] = None,
         filters: Optional[FilterSet] = None,
         parallel: Optional["ParallelConfig"] = None,
+        interning: Union[bool, InternPool, None] = True,
     ) -> None:
         self.filters = filters or FilterSet()
         self._interface = data_interface
@@ -76,9 +99,18 @@ class BGPStream:
         self._started = False
         self._record_iter: Optional[Iterator[BGPStreamRecord]] = None
         self._batched_consumer = False
+        self.intern_pool = self._resolve_interning(interning)
         #: Counters useful for benchmarks and sanity checks.
         self.records_read = 0
         self.records_filtered = 0
+
+    @staticmethod
+    def _resolve_interning(
+        interning: Union[bool, InternPool, None],
+    ) -> Optional[InternPool]:
+        if isinstance(interning, InternPool):
+            return interning
+        return default_pool() if interning else None
 
     # -- configuration ------------------------------------------------------------
 
@@ -94,6 +126,18 @@ class BGPStream:
             raise RuntimeError("cannot change the parallel config after start()")
         self._parallel = config
         return self
+
+    def set_interning(self, interning: Union[bool, InternPool, None]) -> "BGPStream":
+        """Change the elem-pipeline intern pool (before :meth:`start`)."""
+        if self._started:
+            raise RuntimeError("cannot change interning after start()")
+        self.intern_pool = self._resolve_interning(interning)
+        return self
+
+    def intern_stats(self) -> Optional[Dict[str, Dict[str, int]]]:
+        """Per-kind ``{size, hits, misses, overflow}`` stats of the stream's
+        intern pool, or ``None`` when interning is disabled."""
+        return self.intern_pool.stats() if self.intern_pool is not None else None
 
     def add_filter(self, name: str, value: str) -> "BGPStream":
         """Add one named filter (see :mod:`repro.core.filters`).
@@ -128,6 +172,21 @@ class BGPStream:
         self._started = True
         return self
 
+    @property
+    def _parse_intern(self) -> Optional[bool]:
+        """The parse-time knob for this stream's readers.
+
+        Follow the global switch only when the stream shares the process
+        pool (decode-time canonicals then are the ones elems reference).  A
+        private pool means *isolation*: decode-time interning into the
+        shared default pool is forced off too, and the stream's own pool
+        dedups the elem-visible values instead.  ``interning=False`` forces
+        both layers off.
+        """
+        if self.intern_pool is None or self.intern_pool is not default_pool():
+            return False
+        return None
+
     def _generate_records(self) -> Iterator[BGPStreamRecord]:
         assert self._interface is not None
         if self._parallel is not None:
@@ -135,7 +194,9 @@ class BGPStream:
                 yield from batch
             return
         for file_batch in self._interface.batches(self.filters):
-            yield from self._filtered(iter(SortedRecordMerger(file_batch)))
+            yield from self._filtered(
+                iter(SortedRecordMerger(file_batch, intern=self._parse_intern))
+            )
 
     def _generate_batches(self, batch_size: int) -> Iterator[List[BGPStreamRecord]]:
         """Filtered, timestamp-ordered record batches (shared by both modes)."""
@@ -144,15 +205,20 @@ class BGPStream:
         if self._parallel is not None:
             from repro.core.parallel import ParallelStreamEngine
 
+            config = self._parallel
+            if config.intern is None and self._parse_intern is not None:
+                # The stream opted out of interning and the config does not
+                # pin its own choice: the workers inherit the opt-out.
+                config = replace(config, intern=self._parse_intern)
             # One engine (and one worker pool) for the whole stream; per
             # meta-data-window pools would pay startup cost on every window.
-            engine = ParallelStreamEngine(self._parallel)
+            engine = ParallelStreamEngine(config)
         try:
             for file_batch in self._interface.batches(self.filters):
                 if engine is not None:
                     source = engine.iter_records(file_batch)
                 else:
-                    source = iter(SortedRecordMerger(file_batch))
+                    source = iter(SortedRecordMerger(file_batch, intern=self._parse_intern))
                 # Re-batching happens after filtering, and per meta-data
                 # window, so live consumers never wait on a half-full batch.
                 yield from batch_records(self._filtered(source), batch_size)
@@ -161,11 +227,13 @@ class BGPStream:
                 engine.close()
 
     def _filtered(self, records: Iterator[BGPStreamRecord]) -> Iterator[BGPStreamRecord]:
+        pool = self.intern_pool
         for record in records:
             self.records_read += 1
             if not self._record_passes(record):
                 self.records_filtered += 1
                 continue
+            record.intern_pool = pool
             yield record
 
     def _record_passes(self, record: BGPStreamRecord) -> bool:

@@ -59,9 +59,15 @@ class VPState(Enum):
         return self in (VPState.UP, VPState.UP_RIB_APPLICATION)
 
 
-@dataclass
+@dataclass(slots=True)
 class Cell:
-    """One (prefix, VP) cell of the routing-table matrix."""
+    """One (prefix, VP) cell of the routing-table matrix.
+
+    Slotted: the RT consumer keeps one cell per (VP × prefix) resident for
+    hours, and with the intern layer upstream the ``as_path`` /
+    ``communities`` references point at shared canonical objects, so the
+    matrix costs per-cell slots plus *one* copy of each distinct value.
+    """
 
     as_path: Optional[ASPath]
     next_hop: Optional[str]
@@ -70,14 +76,18 @@ class Cell:
     announced: bool  # the A/W flag
 
     def same_route(self, other: "Cell") -> bool:
+        # Communities are part of the route: a community-only change (e.g.
+        # a black-holing tag appearing) must surface as a diff cell.  The
+        # equality checks take the interned identity fast path.
         return (
             self.announced == other.announced
             and self.as_path == other.as_path
             and self.next_hop == other.next_hop
+            and self.communities == other.communities
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class DiffCell:
     """One changed cell, as published to consumers at the end of a bin."""
 
@@ -86,9 +96,10 @@ class DiffCell:
     announced: bool
     as_path: Optional[ASPath]
     next_hop: Optional[str]
+    communities: Optional[CommunitySet] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class VPTable:
     """Per-VP state: FSM state, main cells, shadow cells."""
 
@@ -99,12 +110,29 @@ class VPTable:
     dirty: Set[Prefix] = field(default_factory=set)
     #: True when a corrupted Updates record froze updates (E3).
     updates_frozen: bool = False
+    #: Announced cells, maintained incrementally by :meth:`store_cell` (the
+    #: per-bin table_sizes used to rescan every cell of every VP).
+    announced_count: int = 0
+
+    def store_cell(self, prefix: Prefix, cell: Cell) -> None:
+        """Write a main-table cell, keeping ``announced_count`` in step.
+
+        All main-table writes must go through here (shadow cells are
+        buffered separately and only counted when merged).
+        """
+        existing = self.cells.get(prefix)
+        if existing is None:
+            if cell.announced:
+                self.announced_count += 1
+        elif existing.announced != cell.announced:
+            self.announced_count += 1 if cell.announced else -1
+        self.cells[prefix] = cell
 
     def active_prefix_count(self) -> int:
-        return sum(1 for cell in self.cells.values() if cell.announced)
+        return self.announced_count
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RouteEntry:
     """One (VP, prefix) route returned by snapshot queries."""
 
@@ -254,6 +282,7 @@ class RoutingTablesPlugin(Plugin):
                         announced=cell.announced,
                         as_path=cell.as_path,
                         next_hop=cell.next_hop,
+                        communities=cell.communities,
                     )
                 )
             table.dirty = set()
@@ -375,20 +404,26 @@ class RoutingTablesPlugin(Plugin):
                 continue
             if main is None or not main.same_route(shadow_cell):
                 table.dirty.add(prefix)
-            table.cells[prefix] = shadow_cell
+            table.store_cell(prefix, shadow_cell)
         # Prefixes absent from the RIB dump but marked announced are stale
-        # (e.g. a missed withdrawal): mark them withdrawn.
-        for prefix, cell in table.cells.items():
+        # (e.g. a missed withdrawal): mark them withdrawn.  The newest shadow
+        # timestamp is loop-invariant — hoist it (the merge used to rescan
+        # every shadow cell per main cell, O(|cells| x |shadow|)).
+        newest_shadow = max(
+            (c.last_modified for c in table.shadow.values()), default=None
+        )
+        for prefix, cell in list(table.cells.items()):
             if prefix not in table.shadow and cell.announced:
-                if cell.last_modified <= max(
-                    (c.last_modified for c in table.shadow.values()), default=cell.last_modified
-                ):
-                    table.cells[prefix] = Cell(
-                        as_path=None,
-                        next_hop=None,
-                        communities=None,
-                        last_modified=cell.last_modified,
-                        announced=False,
+                if newest_shadow is None or cell.last_modified <= newest_shadow:
+                    table.store_cell(
+                        prefix,
+                        Cell(
+                            as_path=None,
+                            next_hop=None,
+                            communities=None,
+                            last_modified=cell.last_modified,
+                            announced=False,
+                        ),
                     )
                     table.dirty.add(prefix)
         table.shadow = {}
@@ -449,7 +484,7 @@ class RoutingTablesPlugin(Plugin):
         existing = table.cells.get(elem.prefix)
         if existing is None or not existing.same_route(cell):
             table.dirty.add(elem.prefix)
-        table.cells[elem.prefix] = cell
+        table.store_cell(elem.prefix, cell)
 
     def _apply_state_message(self, table: VPTable, elem: BGPElem) -> None:
         # E4: force transitions based on the session FSM.  A down transition

@@ -184,12 +184,26 @@ class MRTDumpReader:
     read neither consults nor populates it); ``cache_records=True``
     additionally stores the decoded records of a cleanly-scanned dump so the
     next read of the unchanged file skips decoding entirely.
+
+    ``intern`` controls parse-time flyweight interning of the decoded values
+    (AS paths, community sets, prefixes, peer/address strings — see
+    :mod:`repro.core.intern`): ``None`` follows the process-wide switch,
+    ``True`` / ``False`` force it for this reader.  Records served from the
+    decoded-record cache tier keep whatever interning they were decoded
+    with.
     """
 
-    def __init__(self, path: str, use_index: bool = True, cache_records: bool = False) -> None:
+    def __init__(
+        self,
+        path: str,
+        use_index: bool = True,
+        cache_records: bool = False,
+        intern: Optional[bool] = None,
+    ) -> None:
         self.path = path
         self.use_index = use_index
         self.cache_records = cache_records
+        self.intern = intern
         self._raw: Optional[IO[bytes]] = None
         self._handle: Optional[IO[bytes]] = None
         self._compressed = False
@@ -303,7 +317,7 @@ class MRTDumpReader:
             if len(body_bytes) < body_length:
                 yield MRTRecord(header, CorruptRecord("truncated record body", body_bytes))
                 return
-            body = decode_record_body(header, header.subtype, body_bytes)
+            body = decode_record_body(header, header.subtype, body_bytes, intern=self.intern)
             yield MRTRecord(header, body)
 
     # The bulk scan: the whole (decompressed) dump parsed from one buffer.
@@ -317,7 +331,9 @@ class MRTDumpReader:
             for entry in index.entries:
                 header = MRTHeader(entry.timestamp, MRTType(entry.mrt_type), entry.subtype)
                 body = data[entry.offset : entry.offset + entry.body_length]
-                record = MRTRecord(header, decode_record_body(header, entry.subtype, body))
+                record = MRTRecord(
+                    header, decode_record_body(header, entry.subtype, body, intern=self.intern)
+                )
                 if records is not None:
                     records.append(record)
                 yield record
@@ -355,7 +371,9 @@ class MRTDumpReader:
                 clean = False
                 break
             body_bytes = data[body_offset : body_offset + body_length]
-            record = MRTRecord(header, decode_record_body(header, subtype, body_bytes))
+            record = MRTRecord(
+                header, decode_record_body(header, subtype, body_bytes, intern=self.intern)
+            )
             entries.append(IndexEntry(body_offset, timestamp, raw_type, subtype, body_length))
             if records is not None:
                 records.append(record)
@@ -387,9 +405,16 @@ def _decompress_bounded(blob: bytes, limit: int) -> Optional[bytes]:
         return None
 
 
-def read_dump(path: str, use_index: bool = True, cache_records: bool = False) -> List[MRTRecord]:
+def read_dump(
+    path: str,
+    use_index: bool = True,
+    cache_records: bool = False,
+    intern: Optional[bool] = None,
+) -> List[MRTRecord]:
     """Read an entire dump file into a list of records."""
-    with MRTDumpReader(path, use_index=use_index, cache_records=cache_records) as reader:
+    with MRTDumpReader(
+        path, use_index=use_index, cache_records=cache_records, intern=intern
+    ) as reader:
         return list(reader)
 
 

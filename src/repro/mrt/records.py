@@ -11,7 +11,7 @@ from __future__ import annotations
 import ipaddress
 import struct
 from dataclasses import dataclass, field
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.bgp.attributes import PathAttributes
 from repro.bgp.fsm import SessionState
@@ -28,7 +28,7 @@ from repro.mrt.constants import (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MRTHeader:
     """The 12-byte MRT common header."""
 
@@ -56,7 +56,7 @@ class MRTHeader:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PeerEntry:
     """One peer (vantage point) entry of the PEER_INDEX_TABLE."""
 
@@ -101,7 +101,7 @@ class PeerEntry:
         return cls(bgp_id, address, asn), offset
 
 
-@dataclass
+@dataclass(slots=True)
 class PeerIndexTable:
     """The PEER_INDEX_TABLE record that opens every TABLE_DUMP_V2 RIB dump."""
 
@@ -134,7 +134,7 @@ class PeerIndexTable:
         return cls(collector_id, view_name, peers)
 
 
-@dataclass
+@dataclass(slots=True)
 class RIBEntry:
     """One route inside a RIB prefix record: which peer, when, which attributes."""
 
@@ -157,7 +157,7 @@ class RIBEntry:
         return cls(peer_index, originated, attrs), offset + attr_len
 
 
-@dataclass
+@dataclass(slots=True)
 class RIBPrefixRecord:
     """A RIB_IPV4_UNICAST / RIB_IPV6_UNICAST record: one prefix, many entries."""
 
@@ -197,7 +197,7 @@ class RIBPrefixRecord:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class BGP4MPMessage:
     """A BGP4MP_MESSAGE_AS4 record: one BGP UPDATE seen from a peer."""
 
@@ -232,7 +232,7 @@ class BGP4MPMessage:
         return cls(peer_asn, local_asn, peer_address, local_address, update)
 
 
-@dataclass
+@dataclass(slots=True)
 class BGP4MPStateChange:
     """A BGP4MP_STATE_CHANGE_AS4 record: the session FSM moved state."""
 
@@ -275,7 +275,7 @@ class BGP4MPStateChange:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class CorruptRecord:
     """Placeholder body for a record whose payload could not be decoded."""
 
@@ -289,7 +289,7 @@ MRTBody = Union[
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class MRTRecord:
     """A full MRT record: common header plus a decoded (or corrupt) body."""
 
@@ -341,13 +341,32 @@ class MRTRecord:
         return cls(header, change)
 
 
-def decode_record_body(header: MRTHeader, subtype: int, body: bytes) -> MRTBody:
+def decode_record_body(
+    header: MRTHeader, subtype: int, body: bytes, intern: Optional[bool] = None
+) -> MRTBody:
     """Decode the body bytes of a record according to its type and subtype.
 
     Returns a :class:`CorruptRecord` (never raises) when the body cannot be
     parsed, so the caller can propagate the not-valid status the way
     libBGPStream does.
+
+    A successfully decoded body is passed through the flyweight intern layer
+    (:mod:`repro.core.intern`): AS paths, community sets, prefixes, peer
+    entries and address strings are replaced by their canonical instances,
+    so the duplicates a RIB dump repeats millions of times become garbage
+    immediately instead of living as long as the record does.  ``intern``
+    follows the process-wide switch when ``None`` and can force the decision
+    per call (the MRT reader and the parallel engine thread it through).
     """
+    decoded = _decode_record_body_raw(header, subtype, body)
+    if not isinstance(decoded, CorruptRecord):
+        pool = _interning_pool(intern)
+        if pool is not None:
+            _intern_body(decoded, pool)
+    return decoded
+
+
+def _decode_record_body_raw(header: MRTHeader, subtype: int, body: bytes) -> MRTBody:
     try:
         if header.mrt_type == MRTType.TABLE_DUMP_V2:
             td_subtype = TableDumpV2Subtype(subtype)
@@ -371,3 +390,62 @@ def decode_record_body(header: MRTHeader, subtype: int, body: bytes) -> MRTBody:
         return CorruptRecord(f"unsupported MRT type {header.mrt_type}", body)
     except (ValueError, struct.error, IndexError) as exc:
         return CorruptRecord(f"decode error: {exc}", body)
+
+
+# ---------------------------------------------------------------------------
+# Parse-time flyweight interning
+# ---------------------------------------------------------------------------
+
+#: Lazily bound reference to :func:`repro.core.intern.parse_pool`.  Bound on
+#: first decode instead of at import time because ``repro.core``'s package
+#: init imports (indirectly) this module.
+_parse_pool = None
+
+
+def _interning_pool(intern: Optional[bool]):
+    global _parse_pool
+    if _parse_pool is None:
+        from repro.core.intern import parse_pool
+
+        _parse_pool = parse_pool
+    return _parse_pool(intern)
+
+
+def _intern_body(body: MRTBody, pool) -> None:
+    """Replace the values of a freshly decoded body with canonical ones."""
+    if isinstance(body, RIBPrefixRecord):
+        body.prefix = pool.prefix(body.prefix)
+        for entry in body.entries:
+            _intern_attributes(entry.attributes, pool)
+    elif isinstance(body, BGP4MPMessage):
+        body.peer_address = pool.string(body.peer_address)
+        body.local_address = pool.string(body.local_address)
+        update = body.update
+        _intern_prefix_list(update.withdrawn, pool)
+        _intern_prefix_list(update.announced, pool)
+        _intern_attributes(update.attributes, pool)
+    elif isinstance(body, BGP4MPStateChange):
+        body.peer_address = pool.string(body.peer_address)
+        body.local_address = pool.string(body.local_address)
+    elif isinstance(body, PeerIndexTable):
+        peers = body.peers
+        for index, peer in enumerate(peers):
+            peers[index] = pool.intern("peer", peer)
+
+
+def _intern_attributes(attrs: PathAttributes, pool) -> None:
+    attrs.as_path = pool.path(attrs.as_path)
+    attrs.communities = pool.communities(attrs.communities)
+    if attrs.next_hop is not None:
+        attrs.next_hop = pool.string(attrs.next_hop)
+    if attrs.mp_next_hop is not None:
+        attrs.mp_next_hop = pool.string(attrs.mp_next_hop)
+    if attrs.mp_reach_nlri:
+        _intern_prefix_list(attrs.mp_reach_nlri, pool)
+    if attrs.mp_unreach_nlri:
+        _intern_prefix_list(attrs.mp_unreach_nlri, pool)
+
+
+def _intern_prefix_list(prefixes: List[Prefix], pool) -> None:
+    for index, prefix in enumerate(prefixes):
+        prefixes[index] = pool.prefix(prefix)

@@ -147,6 +147,7 @@ class BGPStream:
         self,
         data_interface: Optional[DataInterface] = None,
         parallel: Optional[ParallelConfig] = None,
+        interning: object = True,
     ) -> None:
         interface = data_interface or _default_interface
         if interface is None:
@@ -154,7 +155,9 @@ class BGPStream:
                 "no data interface available: pass one to BGPStream(...) or call "
                 "repro.pybgpstream.set_default_data_interface() first"
             )
-        self._stream = _CoreStream(data_interface=interface, parallel=parallel)
+        self._stream = _CoreStream(
+            data_interface=interface, parallel=parallel, interning=interning
+        )
 
     def add_filter(self, name: str, value: str) -> None:
         """Add one named filter, e.g. ``add_filter("prefix-more", "10.0.0.0/8")``.

@@ -1,0 +1,217 @@
+"""Unit tests for the flyweight intern pool (repro.core.intern)."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.bgp.aspath import ASPath, ASPathSegment, SegmentType
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.core.intern import (
+    InternPool,
+    default_pool,
+    parse_interning,
+    parse_interning_enabled,
+    parse_pool,
+    reset_default_pool,
+    set_parse_interning,
+)
+
+
+class TestInternPoolBasics:
+    def test_dedups_equal_values(self):
+        pool = InternPool()
+        a = Prefix.from_string("10.0.0.0/8")
+        b = Prefix.from_string("10.0.0.0/8")
+        assert a is not b
+        assert pool.prefix(a) is a  # first sight: a becomes canonical
+        assert pool.prefix(b) is a  # equal value: canonical returned
+
+    def test_distinct_values_stay_distinct(self):
+        pool = InternPool()
+        a = pool.prefix(Prefix.from_string("10.0.0.0/8"))
+        b = pool.prefix(Prefix.from_string("10.0.0.0/9"))
+        assert a is not b and a != b
+
+    def test_string_and_generic_kinds(self):
+        pool = InternPool()
+        s1 = pool.string("192.0.2.1")
+        s2 = pool.string("192.0.2." + "1")  # force a distinct str object
+        assert s1 is s2
+        t1 = pool.intern("custom-kind", (1, 2))
+        assert pool.intern("custom-kind", (1, 2)) is t1
+        assert pool.stats()["custom-kind"]["size"] == 1
+
+    def test_path_interning_shares_segments(self):
+        pool = InternPool()
+        seg = ASPathSegment(SegmentType.AS_SET, (64512, 64513))
+        p1 = pool.path(ASPath((ASPathSegment(SegmentType.AS_SEQUENCE, (701,)), seg)))
+        p2 = pool.path(
+            ASPath(
+                (
+                    ASPathSegment(SegmentType.AS_SEQUENCE, (3356,)),
+                    ASPathSegment(SegmentType.AS_SET, (64512, 64513)),
+                )
+            )
+        )
+        assert p1 is not p2
+        # The shared AS_SET segment is one object across both canonical paths.
+        assert p1.segments[1] is p2.segments[1]
+
+    def test_path_interning_identity_hit(self):
+        pool = InternPool()
+        path = pool.path(ASPath.from_asns([701, 3356, 15169]))
+        assert pool.path(ASPath.from_asns([701, 3356, 15169])) is path
+        assert pool.path(path) is path
+
+    def test_communities_interning_shares_members(self):
+        pool = InternPool()
+        c1 = pool.communities(CommunitySet.from_pairs([(65535, 666), (3356, 1)]))
+        c2 = pool.communities(CommunitySet.from_pairs([(65535, 666)]))
+        assert pool.communities(CommunitySet.from_pairs([(65535, 666), (3356, 1)])) is c1
+        # The member Community objects were interned too.
+        member = next(iter(c2))
+        assert pool.intern("community", Community(65535, 666)) is member
+
+    def test_interned_equality_and_hash_semantics_preserved(self):
+        pool = InternPool()
+        raw = ASPath.from_asns([1, 2, 3])
+        canonical = pool.path(ASPath.from_asns([1, 2, 3]))
+        assert canonical == raw
+        assert hash(canonical) == hash(raw)
+        assert str(canonical) == str(raw)
+
+    def test_flyweight_values_are_immutable(self):
+        """Canonical objects are shared process-wide; mutation must raise
+        (it would silently corrupt every holder and stale the cached hash)."""
+        prefix = Prefix.from_string("10.0.0.0/8")
+        path = ASPath.from_asns([701, 3356])
+        communities = CommunitySet.from_pairs([(65535, 666)])
+        community = Community(65535, 666)
+        segment = path.segments[0]
+        for obj, attr, value in [
+            (prefix, "network", None),
+            (path, "segments", ()),
+            (segment, "asns", ()),
+            (communities, "_communities", frozenset()),
+            (community, "asn", 1),
+            (prefix, "_hash", 0),
+        ]:
+            with pytest.raises(AttributeError):
+                setattr(obj, attr, value)
+            with pytest.raises(AttributeError):
+                delattr(obj, attr)
+
+
+class TestInternPoolBounds:
+    def test_overflow_passes_values_through(self):
+        pool = InternPool(max_entries=2)
+        a = pool.string("a")
+        b = pool.string("b")
+        c = "c" * 2  # distinct object, pool full
+        assert pool.string(c) is c  # uninterned pass-through
+        assert pool.string("a") is a and pool.string("b") is b  # existing still hit
+        stats = pool.stats()["string"]
+        assert stats["size"] == 2
+        assert stats["overflow"] >= 1
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            InternPool(max_entries=0)
+
+    def test_prefix_kind_gets_scaled_cap(self):
+        """The prefix population of a full RIB outgrows the base cap, so the
+        prefix kind is bounded at a multiple of max_entries."""
+        pool = InternPool(max_entries=2)
+        for i in range(8):
+            pool.prefix(Prefix.from_string(f"10.{i}.0.0/16"))
+        stats = pool.stats()["prefix"]
+        assert stats["size"] == 8  # 16x the base cap of 2: none overflowed
+        assert stats["overflow"] == 0
+        # The scaled cap survives pickling (it is derived state).
+        clone = pickle.loads(pickle.dumps(pool))
+        assert clone.prefix(Prefix.from_string("10.200.0.0/16")) is not None
+        assert clone.stats()["prefix"]["size"] == 9
+
+    def test_stats_and_hit_rate(self):
+        pool = InternPool()
+        assert pool.hit_rate == 0.0
+        pool.string("x")
+        pool.string("x" + "")
+        stats = pool.stats()["string"]
+        assert stats == {"size": 1, "hits": 1, "misses": 1, "overflow": 0}
+        assert 0.0 < pool.hit_rate <= 1.0
+        assert "hit_rate" in repr(pool) or "entries" in repr(pool)
+
+    def test_clear(self):
+        pool = InternPool()
+        pool.string("x")
+        assert len(pool) == 1
+        pool.clear()
+        assert len(pool) == 0
+
+
+class TestInternPoolConcurrencyAndTransport:
+    def test_thread_safety_under_contention(self):
+        pool = InternPool()
+        values = [f"10.{i % 64}.0.0/16" for i in range(2000)]
+        errors = []
+
+        def worker():
+            try:
+                for text in values:
+                    canonical = pool.prefix(Prefix.from_string(text))
+                    assert str(canonical) == text
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert pool.stats()["prefix"]["size"] == 64
+
+    def test_pool_pickles_with_contents(self):
+        pool = InternPool(max_entries=1234)
+        canonical = pool.path(ASPath.from_asns([701, 3356]))
+        clone = pickle.loads(pickle.dumps(pool))
+        assert clone.max_entries == 1234
+        assert clone.sizes() == pool.sizes()
+        # The clone keeps working (lock was rebuilt) and dedups to *its* copy.
+        assert clone.path(ASPath.from_asns([701, 3356])) == canonical
+
+    def test_merge_folds_canonicals(self):
+        a, b = InternPool(), InternPool()
+        pa = a.prefix(Prefix.from_string("10.0.0.0/8"))
+        b.prefix(Prefix.from_string("192.0.2.0/24"))
+        b.merge(a)
+        assert b.prefix(Prefix.from_string("10.0.0.0/8")) is pa
+        assert b.stats()["prefix"]["size"] == 2
+
+
+class TestProcessDefaults:
+    def test_default_pool_is_a_singleton(self):
+        reset_default_pool()
+        pool = default_pool()
+        assert default_pool() is pool
+        reset_default_pool()
+        assert default_pool() is not pool
+
+    def test_parse_interning_switch_and_context(self):
+        previous = set_parse_interning(True)
+        try:
+            assert parse_interning_enabled()
+            assert parse_pool() is not None
+            with parse_interning(False):
+                assert not parse_interning_enabled()
+                assert parse_pool() is None
+                assert parse_pool(True) is not None  # per-call override
+            assert parse_interning_enabled()
+            assert parse_pool(False) is None
+        finally:
+            set_parse_interning(previous)

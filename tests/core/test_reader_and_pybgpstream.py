@@ -121,6 +121,23 @@ class TestBGPReaderCLI:
         )
         assert parallel == sequential
 
+    def test_no_intern_flag_output_identical(self, core_archive, core_scenario):
+        from repro.core.intern import parse_interning_enabled
+
+        window = ["-w", f"{core_scenario.start},{core_scenario.end}", "-r", "--limit", "200"]
+        interned = self._run(core_archive, window)
+        uninterned = self._run(core_archive, window + ["--no-intern"])
+        # The opt-out is per-stream; the process-wide switch is untouched.
+        assert parse_interning_enabled()
+        assert uninterned == interned
+
+    def test_no_intern_disables_stream_pool(self, core_archive):
+        parser = build_parser()
+        args = parser.parse_args(["--archive", core_archive.root, "--no-intern"])
+        stream = build_stream(args)
+        assert stream.intern_pool is None
+        assert stream.intern_stats() is None
+
     def test_tuning_flags_require_parallel(self, core_archive):
         parser = build_parser()
         args = parser.parse_args(["--archive", core_archive.root, "--workers", "4"])

@@ -317,3 +317,123 @@ class TestRTStateMachineUnit:
         vp = ("rrc9", 65001, "10.0.0.1")
         assert plugin.vp_state(vp) == VPState.DOWN
         assert plugin.vp_table(vp) == {}
+
+
+class TestCellSemantics:
+    """Unit checks for Cell.same_route and the incremental announced count."""
+
+    def _cell(self, path=(65001, 65002), next_hop="10.0.0.1", communities=None,
+              announced=True, time=1000):
+        from repro.bgp.community import CommunitySet
+        from repro.corsaro.plugins.routing_tables import Cell
+
+        return Cell(
+            as_path=ASPath.from_asns(list(path)) if announced else None,
+            next_hop=next_hop if announced else None,
+            communities=CommunitySet.from_pairs(communities or []) if announced else None,
+            last_modified=time,
+            announced=announced,
+        )
+
+    def test_same_route_detects_community_only_change(self):
+        """Regression: a community-only change is a route change (policy)."""
+        plain = self._cell(communities=[])
+        tagged = self._cell(communities=[(65535, 666)])
+        assert not plain.same_route(tagged)
+        assert plain.same_route(self._cell(communities=[]))
+        assert tagged.same_route(self._cell(communities=[(65535, 666)]))
+
+    def test_same_route_still_compares_path_and_next_hop(self):
+        base = self._cell()
+        assert not base.same_route(self._cell(path=(65001, 65003)))
+        assert not base.same_route(self._cell(next_hop="10.0.0.2"))
+        assert not base.same_route(self._cell(announced=False))
+
+    def test_store_cell_tracks_announced_count(self):
+        from repro.corsaro.plugins.routing_tables import VPTable
+
+        table = VPTable()
+        p1, p2 = Prefix.from_string("10.1.0.0/24"), Prefix.from_string("10.2.0.0/24")
+        table.store_cell(p1, self._cell())
+        table.store_cell(p2, self._cell())
+        assert table.active_prefix_count() == 2
+        table.store_cell(p1, self._cell(path=(65001, 65009)))  # replace, still announced
+        assert table.active_prefix_count() == 2
+        table.store_cell(p2, self._cell(announced=False))  # withdraw
+        assert table.active_prefix_count() == 1
+        table.store_cell(p2, self._cell(announced=False))  # repeated withdraw
+        assert table.active_prefix_count() == 1
+        table.store_cell(p2, self._cell())  # re-announce
+        assert table.active_prefix_count() == 2
+
+
+class TestCommunityDiffRegression:
+    """End-to-end: a community-only re-announcement must produce a DiffCell."""
+
+    def _make_archive(self, tmp_path):
+        from repro.bgp.attributes import PathAttributes
+        from repro.bgp.community import CommunitySet
+        from repro.bgp.message import BGPUpdate
+        from repro.mrt.records import BGP4MPMessage, PeerEntry
+        from repro.mrt.writer import write_rib_dump, write_updates_dump
+
+        archive = Archive(str(tmp_path / "commdiff"))
+        prefix = Prefix.from_string("10.1.0.0/24")
+        path = ASPath.from_asns([65001, 65002])
+        attrs_plain = PathAttributes(as_path=path, next_hop="10.0.0.1")
+        peers = [PeerEntry("10.0.0.1", "10.0.0.1", 65001)]
+
+        rib_path = archive.path_for("ris", "rrc9", "ribs", 1000)
+        write_rib_dump(rib_path, 1000, "198.51.100.9", peers, {0: {prefix: attrs_plain}})
+        archive.publish("ris", "rrc9", "ribs", 1000, 60, rib_path, available_at=1100)
+
+        # Same prefix, same path, same next hop — only a black-holing
+        # community appears.
+        attrs_tagged = PathAttributes(
+            as_path=path,
+            next_hop="10.0.0.1",
+            communities=CommunitySet.from_pairs([(65535, 666)]),
+        )
+        updates = [
+            (
+                1310,
+                BGP4MPMessage(
+                    65001, 65535, "10.0.0.1", "198.51.100.9",
+                    BGPUpdate(announced=[prefix], attributes=attrs_tagged),
+                ),
+            ),
+        ]
+        upd_path = archive.path_for("ris", "rrc9", "updates", 1300)
+        write_updates_dump(upd_path, updates)
+        archive.publish("ris", "rrc9", "updates", 1300, 300, upd_path, available_at=1700)
+        return archive
+
+    def test_community_only_change_produces_diff_cell(self, tmp_path):
+        archive = self._make_archive(tmp_path)
+        stream = BGPStream(data_interface=BrokerDataInterface(Broker(archives=[archive])))
+        stream.add_interval_filter(900, 2000)
+        plugin = RoutingTablesPlugin(snapshot_interval=None)
+        corsaro = BGPCorsaro(stream, [plugin], bin_size=300)
+        corsaro.run()
+        outputs = [o.value for o in corsaro.outputs_for("routing-tables") if o.interval_start >= 0]
+
+        # The re-announcement bin must publish the cell with its new
+        # communities, even though path and next hop did not change.
+        late_diffs = [
+            d
+            for out in outputs
+            if out.interval_start >= 1200
+            for d in out.diffs
+            if str(d.prefix) == "10.1.0.0/24"
+        ]
+        assert late_diffs, "community-only change did not surface as a DiffCell"
+        assert any(
+            d.communities is not None and (65535, 666) in d.communities for d in late_diffs
+        )
+
+        # And the incremental table size matches a brute-force rescan.
+        vp = ("rrc9", 65001, "10.0.0.1")
+        table = plugin._tables[vp]
+        assert table.active_prefix_count() == sum(
+            1 for cell in table.cells.values() if cell.announced
+        )
