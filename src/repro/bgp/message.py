@@ -9,6 +9,7 @@ them back.
 
 from __future__ import annotations
 
+import ipaddress
 import struct
 from dataclasses import dataclass, field
 from enum import IntEnum
@@ -81,6 +82,82 @@ class BGPUpdate:
         return header + body
 
 
+@dataclass(slots=True)
+class BGPOpen:
+    """A BGP OPEN message (RFC 4271 §4.2).
+
+    Carried verbatim inside BMP Peer Up notifications (the sent and received
+    OPENs of the monitored session).  ``asn`` is the 2-byte My-AS field;
+    4-byte AS speakers put AS_TRANS (23456) here and negotiate the real ASN
+    through a capability, which travels opaquely in ``opt_params``.
+    """
+
+    version: int = 4
+    asn: int = 0
+    hold_time: int = 180
+    bgp_id: str = "0.0.0.0"
+    opt_params: bytes = b""
+
+    def encode(self) -> bytes:
+        """Encode as a complete BGP message (with marker header)."""
+        body = (
+            struct.pack("!BHH", self.version, self.asn, self.hold_time)
+            + ipaddress.IPv4Address(self.bgp_id).packed
+            + bytes([len(self.opt_params)])
+            + self.opt_params
+        )
+        total = HEADER_LEN + len(body)
+        header = MARKER + struct.pack("!HB", total, int(MessageType.OPEN))
+        return header + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BGPOpen":
+        """Decode a complete OPEN message; raises :class:`BGPDecodeError`."""
+        body = _decode_header(data, MessageType.OPEN)
+        if len(body) < 10:
+            raise BGPDecodeError("OPEN body too short")
+        version, asn, hold_time = struct.unpack_from("!BHH", body, 0)
+        bgp_id = str(ipaddress.IPv4Address(body[5:9]))
+        opt_len = body[9]
+        if 10 + opt_len != len(body):
+            raise BGPDecodeError("OPEN optional-parameters length mismatch")
+        return cls(version, asn, hold_time, bgp_id, body[10 : 10 + opt_len])
+
+
+def _decode_header(data: bytes, expected_type: "MessageType") -> bytes:
+    """Validate the marker header of one complete message; return the body.
+
+    Raises :class:`BGPDecodeError` on a short buffer, bad marker, length
+    mismatch, or unexpected message type.
+    """
+    if len(data) < HEADER_LEN:
+        raise BGPDecodeError("message shorter than BGP header")
+    if data[:16] != MARKER:
+        raise BGPDecodeError("bad BGP marker")
+    (length, msg_type) = struct.unpack_from("!HB", data, 16)
+    if length != len(data):
+        raise BGPDecodeError(f"length field {length} does not match data size {len(data)}")
+    if msg_type != expected_type:
+        raise BGPDecodeError(f"not an {expected_type.name} message (type {msg_type})")
+    return data[HEADER_LEN:]
+
+
+def message_length(data: bytes, offset: int = 0) -> int:
+    """The total length of the BGP message starting at ``offset``.
+
+    Used to split back-to-back BGP messages (a BMP Peer Up carries two OPENs
+    head to tail).  Raises :class:`BGPDecodeError` on a bad header.
+    """
+    if offset + HEADER_LEN > len(data):
+        raise BGPDecodeError("message shorter than BGP header")
+    if data[offset : offset + 16] != MARKER:
+        raise BGPDecodeError("bad BGP marker")
+    (length,) = struct.unpack_from("!H", data, offset + 16)
+    if length < HEADER_LEN:
+        raise BGPDecodeError(f"implausible BGP message length {length}")
+    return length
+
+
 def encode_update(update: BGPUpdate) -> bytes:
     """Functional alias for :meth:`BGPUpdate.encode`."""
     return update.encode()
@@ -93,16 +170,7 @@ def decode_update(data: bytes) -> BGPUpdate:
     converts that into a corrupted-record signal, exactly as the extended
     libBGPdump in the paper signals corrupted reads to libBGPStream.
     """
-    if len(data) < HEADER_LEN:
-        raise BGPDecodeError("message shorter than BGP header")
-    if data[:16] != MARKER:
-        raise BGPDecodeError("bad BGP marker")
-    (length, msg_type) = struct.unpack_from("!HB", data, 16)
-    if length != len(data):
-        raise BGPDecodeError(f"length field {length} does not match data size {len(data)}")
-    if msg_type != MessageType.UPDATE:
-        raise BGPDecodeError(f"not an UPDATE message (type {msg_type})")
-    body = data[HEADER_LEN:]
+    body = _decode_header(data, MessageType.UPDATE)
     try:
         return _decode_update_body(body)
     except (ValueError, struct.error) as exc:

@@ -1,0 +1,89 @@
+"""Live BMP subsystem: RFC 7854 codec, OpenBMP-style Kafka feed, converter.
+
+The live half of the framework (the paper consumes BMP streams published
+through Kafka alongside the MRT dump archives):
+
+* :mod:`repro.bmp.constants` / :mod:`repro.bmp.messages` /
+  :mod:`repro.bmp.codec` — the BMP v3 wire codec: all six RFC 7854 message
+  types, an encoder for fixture generation, and an incremental framing
+  scanner with the MRT parser's corruption-signalling discipline;
+* :mod:`repro.bmp.source` — :class:`BMPFeedProducer` /
+  :class:`BMPKafkaDataSource`, the OpenBMP-style router-keyed Kafka feed;
+* :mod:`repro.bmp.convert` — :class:`BMPRecordConverter`, turning live
+  messages into the exact record/elem model of the historical path (state
+  reconstruction on Peer Up, synthesised withdrawals on Peer Down, §6).
+
+The stream-facing entry point is
+:class:`repro.core.interfaces.LiveDataInterface` (registered as the
+``"kafka"`` data interface).
+"""
+
+from repro.bmp.codec import (
+    BMPStreamParser,
+    decode_message,
+    encode_message,
+    scan_buffer,
+    scan_messages,
+)
+from repro.bmp.constants import (
+    BMP_VERSION,
+    BMPInitiationTLVType,
+    BMPMessageType,
+    BMPPeerDownReason,
+    BMPPeerType,
+    BMPStatType,
+    BMPTerminationReason,
+    BMPTerminationTLVType,
+)
+from repro.bmp.convert import BMPRecordConverter
+from repro.bmp.messages import (
+    BMPInfoTLV,
+    BMPMessage,
+    BMPPeerHeader,
+    BMPStat,
+    CorruptBMPMessage,
+    InitiationMessage,
+    PeerDownNotification,
+    PeerUpNotification,
+    RouteMonitoringMessage,
+    StatisticsReport,
+    TerminationMessage,
+)
+from repro.bmp.source import (
+    DEFAULT_BMP_TOPIC,
+    DEFAULT_CONSUMER_GROUP,
+    BMPFeedProducer,
+    BMPKafkaDataSource,
+)
+
+__all__ = [
+    "BMP_VERSION",
+    "BMPInitiationTLVType",
+    "BMPMessageType",
+    "BMPPeerDownReason",
+    "BMPPeerType",
+    "BMPStatType",
+    "BMPTerminationReason",
+    "BMPTerminationTLVType",
+    "BMPInfoTLV",
+    "BMPMessage",
+    "BMPPeerHeader",
+    "BMPStat",
+    "CorruptBMPMessage",
+    "InitiationMessage",
+    "PeerDownNotification",
+    "PeerUpNotification",
+    "RouteMonitoringMessage",
+    "StatisticsReport",
+    "TerminationMessage",
+    "BMPStreamParser",
+    "decode_message",
+    "encode_message",
+    "scan_buffer",
+    "scan_messages",
+    "BMPRecordConverter",
+    "BMPFeedProducer",
+    "BMPKafkaDataSource",
+    "DEFAULT_BMP_TOPIC",
+    "DEFAULT_CONSUMER_GROUP",
+]

@@ -1,0 +1,109 @@
+"""BMP protocol constants (RFC 7854).
+
+The BGP Monitoring Protocol is the near-realtime counterpart of the MRT
+archive format: a router (or a collector acting as one, à la OpenBMP)
+streams its BGP sessions — route monitoring mirrors of every UPDATE, peer
+session events, periodic statistics — over a single framed byte stream.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+#: The protocol version this codec implements (RFC 7854).
+BMP_VERSION = 3
+
+#: Common header: version (1) + total message length (4) + message type (1).
+COMMON_HEADER_LEN = 6
+
+#: Per-peer header: type (1) + flags (1) + distinguisher (8) + address (16)
+#: + AS (4) + BGP ID (4) + timestamp seconds (4) + timestamp microseconds (4).
+PER_PEER_HEADER_LEN = 42
+
+#: Upper bound on a plausible BMP message length; larger values are treated
+#: as corruption (framing is lost at that point, exactly like an implausible
+#: MRT record length).
+MAX_BMP_MESSAGE_LEN = 16 * 1024 * 1024
+
+
+class BMPMessageType(IntEnum):
+    """BMP message types (RFC 7854 §4.1)."""
+
+    ROUTE_MONITORING = 0
+    STATISTICS_REPORT = 1
+    PEER_DOWN_NOTIFICATION = 2
+    PEER_UP_NOTIFICATION = 3
+    INITIATION = 4
+    TERMINATION = 5
+
+
+class BMPPeerType(IntEnum):
+    """Per-peer header peer types (RFC 7854 §4.2)."""
+
+    GLOBAL_INSTANCE = 0
+    RD_INSTANCE = 1
+    LOCAL_INSTANCE = 2
+
+
+#: Per-peer header flag bits (RFC 7854 §4.2).
+PEER_FLAG_IPV6 = 0x80  # V: the peer address is IPv6
+PEER_FLAG_POST_POLICY = 0x40  # L: routes are post-policy (Adj-RIB-In out)
+PEER_FLAG_AS2 = 0x20  # A: the encapsulated messages use 2-byte AS paths
+
+
+class BMPInitiationTLVType(IntEnum):
+    """Information TLV types of the Initiation message (RFC 7854 §4.4)."""
+
+    STRING = 0
+    SYS_DESCR = 1
+    SYS_NAME = 2
+
+
+class BMPTerminationTLVType(IntEnum):
+    """Information TLV types of the Termination message (RFC 7854 §4.5)."""
+
+    STRING = 0
+    REASON = 1
+
+
+class BMPTerminationReason(IntEnum):
+    """Reason codes carried in a Termination REASON TLV (RFC 7854 §4.5)."""
+
+    ADMINISTRATIVELY_CLOSED = 0
+    UNSPECIFIED = 1
+    OUT_OF_RESOURCES = 2
+    REDUNDANT_CONNECTION = 3
+    PERMANENTLY_CLOSED = 4
+
+
+class BMPPeerDownReason(IntEnum):
+    """Reason codes of the Peer Down notification (RFC 7854 §4.9)."""
+
+    LOCAL_NOTIFICATION = 1  # followed by the NOTIFICATION message sent
+    LOCAL_FSM = 2  # followed by a 2-byte FSM event code
+    REMOTE_NOTIFICATION = 3  # followed by the NOTIFICATION message received
+    REMOTE_NO_DATA = 4  # session went down without further data
+    PEER_DE_CONFIGURED = 5  # monitoring stopped, no session event
+
+
+class BMPStatType(IntEnum):
+    """Statistics Report TLV types (RFC 7854 §4.8)."""
+
+    REJECTED_PREFIXES = 0
+    DUPLICATE_PREFIX_ADVERTISEMENTS = 1
+    DUPLICATE_WITHDRAWS = 2
+    CLUSTER_LIST_LOOP = 3
+    AS_PATH_LOOP = 4
+    ORIGINATOR_ID_LOOP = 5
+    CONFED_LOOP = 6
+    ROUTES_ADJ_RIB_IN = 7  # 64-bit gauge
+    ROUTES_LOC_RIB = 8  # 64-bit gauge
+
+
+#: Stat types encoded as 64-bit gauges; all others are 32-bit counters.
+STAT_GAUGE_64 = {BMPStatType.ROUTES_ADJ_RIB_IN, BMPStatType.ROUTES_LOC_RIB}
+
+
+def stat_width(stat_type: int) -> int:
+    """Wire width in bytes of a Statistics Report counter of ``stat_type``."""
+    return 8 if stat_type in STAT_GAUGE_64 else 4

@@ -1,0 +1,222 @@
+"""The OpenBMP-style Kafka delivery of a BMP feed.
+
+OpenBMP collectors publish raw BMP messages onto a Kafka topic, one frame
+(or a small back-to-back batch of frames) per Kafka message, *keyed by the
+monitored router* so all messages of one router land in one partition and
+stay ordered.  This module reproduces that arrangement on top of
+:mod:`repro.kafka`:
+
+* :class:`BMPFeedProducer` — frames and publishes BMP messages;
+* :class:`BMPKafkaDataSource` — the consuming side the live data interface
+  polls: it decodes every frame back into a :class:`BMPMessage` (corrupt
+  frames signalled, never raised) and hands back ``(router, message)``
+  pairs in log order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.bmp.codec import scan_buffer
+from repro.bmp.messages import BMPMessage
+from repro.kafka.broker import Message, MessageBroker, round_robin_take
+from repro.kafka.client import Consumer, Producer
+
+#: The topic OpenBMP publishes raw BMP frames on.
+DEFAULT_BMP_TOPIC = "openbmp.bmp_raw"
+
+#: Consumer-group name the live stream engine uses by default.
+DEFAULT_CONSUMER_GROUP = "bgpstream-live"
+
+
+class BMPFeedProducer:
+    """Publish BMP messages of one (or many) routers onto a broker topic."""
+
+    def __init__(
+        self,
+        broker: MessageBroker,
+        topic: str = DEFAULT_BMP_TOPIC,
+        router: Optional[str] = None,
+        num_partitions: Optional[int] = None,
+    ) -> None:
+        broker.create_topic(topic, num_partitions=num_partitions)
+        self.topic = topic
+        self.router = router
+        self._producer = Producer(broker, default_topic=topic)
+
+    @property
+    def messages_published(self) -> int:
+        return self._producer.messages_sent
+
+    def publish(
+        self,
+        message: Union[BMPMessage, bytes],
+        router: Optional[str] = None,
+        timestamp: float = 0.0,
+    ) -> Message:
+        """Publish one BMP message (or pre-framed wire bytes).
+
+        The Kafka message value is the raw frame; the key is the router
+        name, which is what keeps a router's messages ordered.
+        """
+        key = router or self.router
+        if key is None:
+            raise ValueError("no router given and no default router configured")
+        frame = message.encode() if isinstance(message, BMPMessage) else bytes(message)
+        if not timestamp and isinstance(message, BMPMessage):
+            peer = message.peer
+            if peer is not None:
+                timestamp = peer.timestamp
+        return self._producer.send(frame, key=key, timestamp=timestamp)
+
+    def publish_all(
+        self,
+        messages: Iterable[Union[BMPMessage, bytes]],
+        router: Optional[str] = None,
+    ) -> int:
+        count = 0
+        for message in messages:
+            self.publish(message, router=router)
+            count += 1
+        return count
+
+
+class BMPKafkaDataSource:
+    """The consuming side of the BMP-over-Kafka feed.
+
+    Each poll drains up to ``max_messages`` Kafka messages past the group's
+    committed offsets (round-robin across topics), decodes the frames each
+    value carries and returns ``(router, BMPMessage)`` pairs.  A value may
+    hold several back-to-back frames (collectors batch small messages); a
+    frame that does not decode is returned as a corrupt message so the
+    stream layer can signal it, exactly like a corrupted dump-file read.
+    """
+
+    def __init__(
+        self,
+        broker: MessageBroker,
+        topics: Optional[Sequence[str]] = None,
+        group: str = DEFAULT_CONSUMER_GROUP,
+    ) -> None:
+        self.topics = list(topics) if topics else [DEFAULT_BMP_TOPIC]
+        for topic in self.topics:
+            broker.create_topic(topic)
+        self._consumer = Consumer(broker, group=group, topics=self.topics)
+        self.frames_decoded = 0
+        self.corrupt_frames = 0
+        #: Set by the last ``poll(until_ts=...)`` when the feed held back
+        #: messages that lie entirely past the window boundary.
+        self.window_exceeded = False
+        #: Set when, additionally, *every* partition with backlog is held
+        #: back — the window cannot produce more records.
+        self.window_drained = False
+        #: (topic, partition, offset) -> min peer timestamp of a head
+        #: message known to lie past a window boundary, so later polls of
+        #: the window skip it without re-fetching or re-decoding it.
+        self._deferred_heads: Dict[Tuple[str, int, int], int] = {}
+
+    def poll(
+        self, max_messages: Optional[int] = None, until_ts: Optional[float] = None
+    ) -> List[Tuple[str, BMPMessage]]:
+        """Decode the next batch of frames; empty list = nothing new.
+
+        With ``until_ts`` the poll is *window-aware*: a partition whose
+        head message carries only frames past the boundary is held back —
+        not consumed, not committed, left in the log for the next window's
+        consumer — and skipped by later polls (its boundary timestamp is
+        remembered per head offset), so held-back partitions never eat the
+        fetch budget of partitions still holding in-window messages.
+        ``window_exceeded`` reports that something was held back;
+        ``window_drained`` that nothing consumable remains and the caller
+        can close the window.  A message that straddles the boundary
+        (frames on both sides) is consumed whole: Kafka offsets cannot
+        split a message, and the record-level check in the live interface
+        discards the overhang.
+        """
+        self.window_exceeded = False
+        self.window_drained = False
+        pairs: List[Tuple[str, BMPMessage]] = []
+        if until_ts is None:
+            for kafka_message in self._consumer.poll(max_messages=max_messages):
+                self._decode_into(pairs, kafka_message)
+            return pairs
+        broker = self._consumer.broker
+        group = self._consumer.group
+        deferred: Dict[Tuple[str, int, int], int] = {}
+        queues: List[List[Message]] = []
+        for topic_name in self.topics:
+            topic = broker.topic(topic_name)
+            for partition in range(topic.num_partitions):
+                offset = broker.committed_offset(group, topic_name, partition)
+                head = (topic_name, partition, offset)
+                stamp = self._deferred_heads.get(head)
+                if stamp is not None and stamp > until_ts:
+                    deferred[head] = stamp
+                    continue
+                queue = topic.read(partition, offset, max_messages)
+                if queue:
+                    queues.append(queue)
+        if max_messages is None:
+            merged = [message for queue in queues for message in queue]
+        else:
+            merged = round_robin_take(queues, max_messages)
+        consumed: List[Message] = []
+        closed: set = set()
+        for kafka_message in merged:
+            partition_key = (kafka_message.topic, kafka_message.partition)
+            if partition_key in closed:
+                continue
+            decoded = list(scan_buffer(kafka_message.value))
+            # Compare whole seconds, the resolution records carry: a frame
+            # at until_ts + microseconds belongs to *this* window (its
+            # record.time equals until_ts), so deferring it would strand it
+            # before the next window's interval start.
+            stamps = [m.peer.timestamp_sec for m in decoded if m.peer is not None]
+            if stamps and min(stamps) > until_ts:
+                closed.add(partition_key)
+                deferred[
+                    (kafka_message.topic, kafka_message.partition, kafka_message.offset)
+                ] = min(stamps)
+                continue
+            consumed.append(kafka_message)
+            router = kafka_message.key or ""
+            for message in decoded:
+                self._count_frame(message)
+                pairs.append((router, message))
+        if consumed:
+            self._consumer.commit(consumed)
+            self._consumer.messages_consumed += len(consumed)
+        self._deferred_heads = deferred
+        self.window_exceeded = bool(deferred)
+        # Drained only if nothing was consumable AND the merge covered every
+        # fetched queue's head — with a tiny budget, a head the merge never
+        # reached may still open a partition of in-window messages.
+        self.window_drained = (
+            bool(deferred)
+            and not consumed
+            and (max_messages is None or len(merged) >= len(queues))
+        )
+        return pairs
+
+    def _decode_into(
+        self, pairs: List[Tuple[str, BMPMessage]], kafka_message: Message
+    ) -> None:
+        router = kafka_message.key or ""
+        for message in scan_buffer(kafka_message.value):
+            self._count_frame(message)
+            pairs.append((router, message))
+
+    def _count_frame(self, message: BMPMessage) -> None:
+        if message.is_valid:
+            self.frames_decoded += 1
+        else:
+            self.corrupt_frames += 1
+
+    def lag(self) -> int:
+        """Kafka messages published but not yet consumed by this source."""
+        return self._consumer.lag()
+
+    def seek_to_beginning(self) -> None:
+        """Replay the feed from the first retained frame."""
+        self._deferred_heads.clear()
+        self._consumer.seek_to_beginning()

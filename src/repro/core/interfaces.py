@@ -2,22 +2,36 @@
 
 The Broker data interface is the primary one (and the default); the single
 file, CSV file and SQLite interfaces support analysis of local files without
-a Broker, exactly as the released BGPStream does.  Every interface produces
-:class:`DumpFileSpec` batches; the stream machinery is identical from there
-on.
+a Broker, exactly as the released BGPStream does.  Every file-backed
+interface produces :class:`DumpFileSpec` batches; the stream machinery is
+identical from there on.  :class:`LiveDataInterface` is the near-realtime
+counterpart: it yields ready-made record batches straight off a BMP-over-
+Kafka feed (:mod:`repro.bmp`).
+
+Interfaces can be addressed by name through the registry
+(:func:`make_data_interface`), matching the paper's named-interface API:
+``broker``, ``csvfile``, ``sqlite``, ``singlefile`` and ``kafka`` (the live
+BMP feed, also reachable as ``bmp``).
 """
 
 from __future__ import annotations
 
 import csv
+import inspect
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.broker.broker import Broker, BrokerQuery
 from repro.broker.db import MetadataDB
 from repro.collectors.projects import project_for_collector
 from repro.core.filters import FilterSet
+from repro.core.record import BGPStreamRecord
 from repro.utils.timeutil import Clock, SystemClock
+
+if TYPE_CHECKING:
+    from repro.bmp.convert import BMPRecordConverter
+    from repro.bmp.source import BMPKafkaDataSource
+    from repro.kafka.broker import MessageBroker
 
 
 @dataclass(frozen=True)
@@ -196,6 +210,236 @@ class SQLiteDataInterface(DataInterface):
         specs = [_spec_from_record(r) for r in records]
         if specs:
             yield specs
+
+
+class LiveDataInterface(DataInterface):
+    """Live mode: records come off a near-realtime BMP feed, not dump files.
+
+    The interface polls a :class:`~repro.bmp.source.BMPKafkaDataSource`
+    (client-pull, §3.3.2: data is requested only when the application is
+    ready for more), converts each BMP message into BGPStream records
+    through a :class:`~repro.bmp.convert.BMPRecordConverter`, and yields
+    them in arrival batches.  The stream applies its filters and intern
+    pool to live records exactly as to replayed ones.
+
+    Bounded windows: when the stream's filters carry an ``interval_end``
+    (an ``until_ts``), the interface stops as soon as the feed progresses
+    past it, so a BGPCorsaro consumer's bins close deterministically in
+    live mode.  Without one it polls forever (or until
+    ``max_empty_polls`` consecutive empty polls, which simulations set so
+    runs terminate).
+    """
+
+    #: Marks interfaces whose batches are records, not dump-file specs.
+    yields_records = True
+
+    def __init__(
+        self,
+        source: Optional["BMPKafkaDataSource"] = None,
+        *,
+        broker: Optional["MessageBroker"] = None,
+        topics: Optional[Sequence[str]] = None,
+        group: Optional[str] = None,
+        clock: Optional[Clock] = None,
+        poll_interval: float = 1.0,
+        max_empty_polls: Optional[int] = None,
+        max_poll_messages: Optional[int] = None,
+        project: Optional[str] = None,
+        track_state: Optional[bool] = None,
+        converter: Optional["BMPRecordConverter"] = None,
+    ) -> None:
+        # Imported lazily: repro.bmp depends on repro.core and this module
+        # is part of the repro.core package init.
+        from repro.bmp.convert import LIVE_PROJECT, BMPRecordConverter
+        from repro.bmp.source import DEFAULT_CONSUMER_GROUP, BMPKafkaDataSource
+
+        if source is None:
+            if broker is None:
+                raise ValueError("LiveDataInterface needs a source or a message broker")
+            source = BMPKafkaDataSource(
+                broker, topics=topics, group=group or DEFAULT_CONSUMER_GROUP
+            )
+        elif broker is not None or topics is not None or group is not None:
+            raise ValueError("pass either a ready source or broker/topics/group, not both")
+        self.source = source
+        if converter is not None:
+            if project is not None or track_state is not None:
+                raise ValueError(
+                    "pass either a ready converter or project/track_state, not both"
+                )
+            self.converter = converter
+        else:
+            self.converter = BMPRecordConverter(
+                project=project or LIVE_PROJECT,
+                track_state=True if track_state is None else track_state,
+            )
+        self.clock = clock or SystemClock()
+        self.poll_interval = poll_interval
+        #: Stop after this many consecutive empty polls (None = poll forever).
+        self.max_empty_polls = max_empty_polls
+        #: Cap on Kafka messages per poll (bounded batches for bin-oriented
+        #: consumers; None = drain everything available).
+        self.max_poll_messages = max_poll_messages
+
+    def batches(self, filters: FilterSet) -> Iterator[List[DumpFileSpec]]:
+        raise RuntimeError(
+            "LiveDataInterface yields record batches, not dump files; "
+            "use record_batches() (BGPStream does this automatically)"
+        )
+
+    def record_batches(self, filters: FilterSet) -> Iterator[List[BGPStreamRecord]]:
+        """Poll the feed and yield record batches until the window closes."""
+        until_ts = filters.interval_end
+        # A window-aware source (BMPKafkaDataSource) leaves messages past
+        # the boundary uncommitted in the log, so a later window on the same
+        # broker/consumer group picks them up instead of losing them.
+        window_aware = until_ts is not None and self._source_accepts_until_ts()
+        empty_polls = 0
+        while True:
+            if window_aware:
+                pairs = self.source.poll(self.max_poll_messages, until_ts=until_ts)
+                # One held-back partition does not mean the whole feed
+                # passed the boundary: other partitions may still hold
+                # in-window messages (a bounded fetch surfaces them over
+                # several polls).  The source owns that determination and
+                # reports it as window_drained.
+                window_closed = bool(getattr(self.source, "window_drained", False))
+                held_back = bool(getattr(self.source, "window_exceeded", False))
+            else:
+                pairs = self.source.poll(self.max_poll_messages)
+                window_closed = False
+                held_back = False
+            if not pairs:
+                if window_closed:
+                    return
+                if not held_back:
+                    # A poll that held something back made progress (the
+                    # deferral frees the next fetch's budget for other
+                    # partitions) and does not count as an empty poll.
+                    empty_polls += 1
+                    if (
+                        self.max_empty_polls is not None
+                        and empty_polls >= self.max_empty_polls
+                    ):
+                        return
+                    self.clock.sleep(self.poll_interval)
+                continue
+            empty_polls = 0
+            batch: List[BGPStreamRecord] = []
+            for router, message in pairs:
+                for record in self.converter.convert(router, message):
+                    if until_ts is not None and record.time > until_ts:
+                        # Overhang of a straddling frame batch (consumed
+                        # whole because offsets cannot split a message):
+                        # discard it.  Only a window-unaware source closes
+                        # the window here — a window-aware one may still
+                        # hold in-window messages on other partitions and
+                        # signals the close via window_drained.
+                        if not window_aware:
+                            window_closed = True
+                        continue
+                    batch.append(record)
+            if batch:
+                yield batch
+            if window_closed:
+                return
+
+    def _source_accepts_until_ts(self) -> bool:
+        try:
+            return "until_ts" in inspect.signature(self.source.poll).parameters
+        except (TypeError, ValueError):
+            return False
+
+
+# ---------------------------------------------------------------------------
+# The named-interface registry
+# ---------------------------------------------------------------------------
+
+
+def _make_broker_interface(
+    broker: Optional[Broker] = None,
+    archive: Optional[str] = None,
+    archives: Optional[Sequence] = None,
+    **options,
+) -> BrokerDataInterface:
+    if broker is None:
+        from repro.collectors.archive import Archive
+
+        paths = list(archives or [])
+        if archive is not None:
+            paths.append(archive)
+        if not paths:
+            raise ValueError("the broker interface needs broker=... or archive=...")
+        broker = Broker(
+            archives=[Archive(p) if isinstance(p, str) else p for p in paths]
+        )
+    elif archive is not None or archives:
+        raise ValueError("pass either broker=... or archive(s)=..., not both")
+    return BrokerDataInterface(broker, **options)
+
+
+def _make_csvfile_interface(path: Optional[str] = None, **options) -> CSVFileDataInterface:
+    csv_path = path or options.pop("csv_path", None)
+    if csv_path is None:
+        raise ValueError("the csvfile interface needs path=...")
+    return CSVFileDataInterface(csv_path, **options)
+
+
+def _make_sqlite_interface(path: Optional[str] = None, **options) -> SQLiteDataInterface:
+    db_path = path or options.pop("db_path", None)
+    if db_path is None:
+        raise ValueError("the sqlite interface needs path=...")
+    return SQLiteDataInterface(db_path, **options)
+
+
+def _make_singlefile_interface(
+    path: Optional[str] = None, dump_type: str = "updates", **options
+) -> SingleFileDataInterface:
+    if path is None:
+        raise ValueError("the singlefile interface needs path=...")
+    return SingleFileDataInterface(path, dump_type=dump_type, **options)
+
+
+#: name -> factory.  Factories accept keyword options only.
+_INTERFACE_REGISTRY: Dict[str, Callable[..., DataInterface]] = {
+    "broker": _make_broker_interface,
+    "csvfile": _make_csvfile_interface,
+    "sqlite": _make_sqlite_interface,
+    "singlefile": _make_singlefile_interface,
+    "kafka": LiveDataInterface,
+    "bmp": LiveDataInterface,  # alias: the kafka interface carries BMP frames
+}
+
+
+def register_data_interface(name: str, factory: Callable[..., DataInterface]) -> None:
+    """Register (or replace) a named data-interface factory."""
+    _INTERFACE_REGISTRY[name] = factory
+
+
+def data_interface_names() -> List[str]:
+    """The registered interface names."""
+    return sorted(_INTERFACE_REGISTRY)
+
+
+def make_data_interface(
+    name: Union[str, DataInterface], **options
+) -> DataInterface:
+    """Build a data interface from its registry name (instances pass through).
+
+    This is the paper's named-interface idiom:
+    ``BGPStream(data_interface="sqlite", interface_options={"path": ...})``
+    next to the instance-passing API.
+    """
+    if isinstance(name, DataInterface):
+        if options:
+            raise ValueError("options are only accepted with a registry name")
+        return name
+    factory = _INTERFACE_REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown data interface {name!r}; expected one of {data_interface_names()}"
+        )
+    return factory(**options)
 
 
 def _spec_from_record(record) -> DumpFileSpec:

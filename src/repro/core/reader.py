@@ -8,13 +8,16 @@ projects in one process, to work in live mode, and to filter.
 
 Because this reproduction has no network access, the data source is either a
 local archive directory produced by the collector simulation (``--archive``),
-a broker SQLite database (``--sqlite``), a CSV index (``--csv``), or a single
-MRT file (``--single-file``).
+a broker SQLite database (``--sqlite``), a CSV index (``--csv``), a single
+MRT file (``--single-file``), or — for live mode — a recorded raw BMP frame
+stream (``--live``, à la OpenBMP) which is replayed through an in-memory
+Kafka broker and consumed by the live data interface.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import IO, List, Optional
 
@@ -24,6 +27,7 @@ from repro.core.interfaces import (
     BrokerDataInterface,
     CSVFileDataInterface,
     DataInterface,
+    LiveDataInterface,
     SingleFileDataInterface,
     SQLiteDataInterface,
 )
@@ -47,6 +51,23 @@ def build_parser() -> argparse.ArgumentParser:
         default="updates",
         choices=["ribs", "updates"],
         help="dump type of --single-file (default: updates)",
+    )
+    source.add_argument(
+        "--live",
+        help="live mode: path to a recorded raw BMP frame stream, replayed "
+             "through an in-memory Kafka broker (OpenBMP-style feed)",
+    )
+    source.add_argument(
+        "--bmp-topic",
+        default=None,
+        help="Kafka topic the BMP frames travel on (with --live; "
+             "default: openbmp.bmp_raw)",
+    )
+    source.add_argument(
+        "--bmp-router",
+        default=None,
+        help="router name keying the BMP feed (with --live; "
+             "default: the --live file name)",
     )
 
     filters = parser.add_argument_group("filters")
@@ -119,6 +140,10 @@ def build_stream(args: argparse.Namespace) -> BGPStream:
         or getattr(args, "batch_size", None) is not None
     ):
         raise SystemExit("bgpreader: error: --workers/--batch-size require --parallel")
+    if getattr(args, "parallel", False) and getattr(args, "live", None):
+        raise SystemExit(
+            "bgpreader: error: --parallel parses dump files and does not apply to --live"
+        )
     if getattr(args, "parallel", False):
         options = {}
         if args.workers is not None:
@@ -156,9 +181,23 @@ def build_stream(args: argparse.Namespace) -> BGPStream:
 
 
 def _build_interface(args: argparse.Namespace) -> DataInterface:
-    sources = [bool(args.archive), bool(args.sqlite), bool(args.csv), bool(args.single_file)]
+    sources = [
+        bool(args.archive),
+        bool(args.sqlite),
+        bool(args.csv),
+        bool(args.single_file),
+        bool(getattr(args, "live", None)),
+    ]
     if sum(sources) != 1:
-        raise SystemExit("exactly one of --archive / --sqlite / --csv / --single-file is required")
+        raise SystemExit(
+            "exactly one of --archive / --sqlite / --csv / --single-file / --live is required"
+        )
+    if not getattr(args, "live", None) and (
+        getattr(args, "bmp_topic", None) or getattr(args, "bmp_router", None)
+    ):
+        raise SystemExit("bgpreader: error: --bmp-topic/--bmp-router require --live")
+    if getattr(args, "live", None):
+        return _build_live_interface(args)
     if args.archive:
         broker = Broker(archives=[Archive(args.archive)])
         return BrokerDataInterface(broker, max_empty_polls=1)
@@ -167,6 +206,33 @@ def _build_interface(args: argparse.Namespace) -> DataInterface:
     if args.csv:
         return CSVFileDataInterface(args.csv)
     return SingleFileDataInterface(args.single_file, dump_type=args.single_file_type)
+
+
+def _build_live_interface(args: argparse.Namespace) -> LiveDataInterface:
+    """Replay a recorded raw BMP frame stream as an OpenBMP-style live feed.
+
+    The file's back-to-back BMP frames are published as one Kafka message
+    onto the feed topic, keyed by the router name; the live interface then
+    consumes them exactly as it would a real near-realtime feed (a truncated
+    or corrupt tail is signalled as a not-valid record, like a corrupted
+    dump file).
+    """
+    from repro.bmp.source import DEFAULT_BMP_TOPIC, BMPFeedProducer
+    from repro.kafka.broker import MessageBroker
+
+    topic = args.bmp_topic or DEFAULT_BMP_TOPIC
+    router = args.bmp_router or os.path.basename(args.live)
+    broker = MessageBroker()
+    producer = BMPFeedProducer(broker, topic=topic, router=router)
+    try:
+        with open(args.live, "rb") as handle:
+            producer.publish(handle.read())
+    except OSError as exc:
+        raise SystemExit(f"bgpreader: error: cannot read --live file: {exc}")
+    # The whole feed is already on the topic: one empty poll means done.
+    return LiveDataInterface(
+        broker=broker, topics=[topic], max_empty_polls=1, poll_interval=0.0
+    )
 
 
 def run(args: argparse.Namespace, out: IO[str]) -> int:

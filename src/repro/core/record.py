@@ -91,6 +91,9 @@ class BGPStreamRecord:
     mrt: Optional[MRTRecord] = None
     #: The PEER_INDEX_TABLE of the originating RIB dump (context for elems).
     peer_table: Optional[PeerIndexTable] = None
+    #: The monitored router the record came from, for records delivered over
+    #: a live BMP feed (empty for archive replay; see :mod:`repro.bmp`).
+    router: str = ""
     #: The flyweight pool elems are canonicalised through (set by the stream).
     intern_pool: Optional[InternPool] = field(default=None, repr=False, compare=False)
     _elem_iter: Optional[Iterator[BGPElem]] = field(
@@ -109,6 +112,7 @@ class BGPStreamRecord:
             self.dump_position,
             self.mrt,
             self.peer_table,
+            self.router,
         )
 
     def __setstate__(self, state: Tuple) -> None:
@@ -121,6 +125,7 @@ class BGPStreamRecord:
             self.dump_position,
             self.mrt,
             self.peer_table,
+            self.router,
         ) = state
         self.intern_pool = None
         self._elem_iter = None

@@ -45,6 +45,13 @@ Three idioms are supported:
   pool.  Both modes emit exactly the same record sequence as the
   sequential ``records()`` path, which remains the byte-identical
   reference.
+
+All three idioms also run in **live mode**: with a live data interface
+(``BGPStream(live={"broker": message_broker})``, or
+``data_interface="kafka"``) the records come off a BMP-over-Kafka feed
+(:mod:`repro.bmp`) instead of dump files, flow through the same filter and
+intern pipeline, and an ``add_interval_filter(t0, until_ts)`` bounds the
+live window so bin-oriented consumers terminate deterministically.
 """
 
 from __future__ import annotations
@@ -55,7 +62,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 from repro.core.elem import BGPElem
 from repro.core.filters import FilterSet
 from repro.core.intern import InternPool, default_pool
-from repro.core.interfaces import DataInterface
+from repro.core.interfaces import DataInterface, LiveDataInterface, make_data_interface
 from repro.core.record import BGPStreamRecord, RecordStatus
 from repro.core.sorter import DEFAULT_BATCH_SIZE, SortedRecordMerger, batch_records
 
@@ -88,12 +95,40 @@ class BGPStream:
 
     def __init__(
         self,
-        data_interface: Optional[DataInterface] = None,
+        data_interface: Union[DataInterface, str, None] = None,
         filters: Optional[FilterSet] = None,
         parallel: Optional["ParallelConfig"] = None,
         interning: Union[bool, InternPool, None] = True,
+        live: Union[LiveDataInterface, Dict, None] = None,
+        interface_options: Optional[Dict] = None,
     ) -> None:
+        """``data_interface`` accepts an instance or a registry name
+        (``"broker"``, ``"csvfile"``, ``"sqlite"``, ``"singlefile"``,
+        ``"kafka"``); a name is resolved through
+        :func:`repro.core.interfaces.make_data_interface` with
+        ``interface_options``.  ``live`` is a shortcut for the BMP live
+        mode: pass a ready :class:`LiveDataInterface` or a dict of its
+        options (broker, topics, poll bounds, ...) and the stream reads the
+        near-realtime feed instead of dump files."""
         self.filters = filters or FilterSet()
+        if data_interface is not None and live is not None:
+            raise ValueError("pass either data_interface or live, not both")
+        if live is not None:
+            if interface_options:
+                raise ValueError(
+                    "interface_options do not apply to live= (pass the "
+                    "options inside the live dict instead)"
+                )
+            if isinstance(live, LiveDataInterface):
+                data_interface = live
+            else:
+                data_interface = make_data_interface("kafka", **dict(live))
+        elif data_interface is not None:
+            data_interface = make_data_interface(
+                data_interface, **(interface_options or {})
+            )
+        elif interface_options:
+            raise ValueError("interface_options require a data_interface name")
         self._interface = data_interface
         self._parallel = parallel
         self._started = False
@@ -114,11 +149,20 @@ class BGPStream:
 
     # -- configuration ------------------------------------------------------------
 
-    def set_data_interface(self, interface: DataInterface) -> "BGPStream":
+    def set_data_interface(
+        self, interface: Union[DataInterface, str], **options
+    ) -> "BGPStream":
+        """Set the data interface: an instance, or a registry name plus its
+        options (``set_data_interface("sqlite", path="broker.db")``)."""
         if self._started:
             raise RuntimeError("cannot change the data interface after start()")
-        self._interface = interface
+        self._interface = make_data_interface(interface, **options)
         return self
+
+    @property
+    def is_live(self) -> bool:
+        """True when the stream reads a live feed rather than dump files."""
+        return getattr(self._interface, "yields_records", False)
 
     def set_parallel(self, config: Optional["ParallelConfig"]) -> "BGPStream":
         """Enable (or disable, with ``None``) the parallel batched engine."""
@@ -167,6 +211,11 @@ class BGPStream:
                 "no data interface configured; pass one to BGPStream() or "
                 "call set_data_interface()"
             )
+        if self.is_live and self._parallel is not None:
+            raise RuntimeError(
+                "the parallel engine parses dump files and does not apply to "
+                "a live stream; drop parallel= or the live interface"
+            )
         if self._started:
             return self
         self._started = True
@@ -189,6 +238,9 @@ class BGPStream:
 
     def _generate_records(self) -> Iterator[BGPStreamRecord]:
         assert self._interface is not None
+        if self.is_live:
+            yield from self._generate_live_records()
+            return
         if self._parallel is not None:
             for batch in self._generate_batches(self._parallel.batch_size):
                 yield from batch
@@ -198,9 +250,23 @@ class BGPStream:
                 iter(SortedRecordMerger(file_batch, intern=self._parse_intern))
             )
 
+    def _generate_live_records(self) -> Iterator[BGPStreamRecord]:
+        """Live mode: the interface already yields ready-made records."""
+        assert isinstance(self._interface, LiveDataInterface) or getattr(
+            self._interface, "yields_records", False
+        )
+        for record_batch in self._interface.record_batches(self.filters):
+            yield from self._filtered(iter(record_batch))
+
     def _generate_batches(self, batch_size: int) -> Iterator[List[BGPStreamRecord]]:
         """Filtered, timestamp-ordered record batches (shared by both modes)."""
         assert self._interface is not None
+        if self.is_live:
+            # Re-batch per poll so a live consumer never waits on a
+            # half-full batch while the feed is quiet.
+            for record_batch in self._interface.record_batches(self.filters):
+                yield from batch_records(self._filtered(iter(record_batch)), batch_size)
+            return
         engine = None
         if self._parallel is not None:
             from repro.core.parallel import ParallelStreamEngine

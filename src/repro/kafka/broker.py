@@ -27,6 +27,28 @@ class Message:
     timestamp: float = 0.0
 
 
+def round_robin_take(queues: List[List[Message]], budget: int) -> List[Message]:
+    """Merge queues one message per queue per round, up to ``budget``.
+
+    Each queue contributes a contiguous prefix, so committing the result
+    advances every partition's offset without gaps.
+    """
+    result: List[Message] = []
+    cursor = 0
+    while len(result) < budget:
+        progressed = False
+        for queue in queues:
+            if cursor < len(queue):
+                result.append(queue[cursor])
+                progressed = True
+                if len(result) >= budget:
+                    break
+        if not progressed:
+            break
+        cursor += 1
+    return result
+
+
 class Topic:
     """A named topic: a fixed number of append-only partition logs."""
 
@@ -88,11 +110,23 @@ class MessageBroker:
 
     # -- topic management -------------------------------------------------------
 
-    def create_topic(self, name: str, num_partitions: int = 1) -> Topic:
+    def create_topic(self, name: str, num_partitions: Optional[int] = None) -> Topic:
+        """Create a topic, or return the existing one.
+
+        ``num_partitions=None`` means "whatever exists" (1 when creating);
+        an explicit count that contradicts an existing topic raises rather
+        than silently dropping the partitioning the caller asked for.
+        """
         with self._lock:
-            if name in self._topics:
-                return self._topics[name]
-            topic = Topic(name, num_partitions)
+            existing = self._topics.get(name)
+            if existing is not None:
+                if num_partitions is not None and existing.num_partitions != num_partitions:
+                    raise ValueError(
+                        f"topic {name!r} already exists with "
+                        f"{existing.num_partitions} partitions, not {num_partitions}"
+                    )
+                return existing
+            topic = Topic(name, num_partitions or 1)
             self._topics[name] = topic
             return topic
 
@@ -119,17 +153,29 @@ class MessageBroker:
         group: str,
         max_messages: Optional[int] = None,
     ) -> List[Message]:
-        """Read new messages for a consumer group (across all partitions)."""
+        """Read new messages for a consumer group (across all partitions).
+
+        With a bounded budget the partitions are interleaved round-robin —
+        draining them in index order would let a busy partition 0 starve
+        the rest (the router-keyed BMP feed spreads routers across
+        partitions precisely to avoid that).
+        """
         topic_obj = self.topic(topic)
-        result: List[Message] = []
-        for partition in range(topic_obj.num_partitions):
-            offset = self.committed_offset(group, topic, partition)
-            budget = None if max_messages is None else max_messages - len(result)
-            if budget is not None and budget <= 0:
-                break
-            messages = topic_obj.read(partition, offset, budget)
-            result.extend(messages)
-        return result
+        if max_messages is None:
+            return [
+                message
+                for partition in range(topic_obj.num_partitions)
+                for message in topic_obj.read(
+                    partition, self.committed_offset(group, topic, partition)
+                )
+            ]
+        fetched = [
+            topic_obj.read(
+                partition, self.committed_offset(group, topic, partition), max_messages
+            )
+            for partition in range(topic_obj.num_partitions)
+        ]
+        return round_robin_take(fetched, max_messages)
 
     def commit(self, group: str, messages: List[Message]) -> None:
         """Mark ``messages`` as processed for the group."""

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
-from repro.kafka.broker import Message, MessageBroker
+from repro.kafka.broker import Message, MessageBroker, round_robin_take
 
 
 class Producer:
@@ -47,13 +47,24 @@ class Consumer:
         self.messages_consumed = 0
 
     def poll(self, max_messages: Optional[int] = None, commit: bool = True) -> List[Message]:
-        result: List[Message] = []
-        for topic in self.topics:
-            budget = None if max_messages is None else max_messages - len(result)
-            if budget is not None and budget <= 0:
-                break
-            messages = self.broker.consume(topic, self.group, budget)
-            result.extend(messages)
+        if max_messages is None:
+            result = [
+                message
+                for topic in self.topics
+                for message in self.broker.consume(topic, self.group)
+            ]
+        else:
+            # With a bounded budget, draining topics in list order would let
+            # a busy first topic starve the rest; fetch each topic's backlog
+            # (capped at the budget) once, then take messages round-robin —
+            # one per topic per round — until the budget is spent.  Only the
+            # returned messages are committed, so the leftover fetches are
+            # re-read by the next poll.
+            fetched = [
+                list(self.broker.consume(topic, self.group, max_messages))
+                for topic in self.topics
+            ]
+            result = round_robin_take(fetched, max_messages)
         if commit and result:
             self.broker.commit(self.group, result)
         self.messages_consumed += len(result)

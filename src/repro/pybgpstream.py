@@ -23,11 +23,11 @@ default data source is configured per-process with
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Union
 
 from repro.core.elem import BGPElem as _CoreElem
 from repro.core.filters import FilterSet
-from repro.core.interfaces import DataInterface
+from repro.core.interfaces import DataInterface, LiveDataInterface
 from repro.core.parallel import ParallelConfig
 from repro.core.record import BGPStreamRecord as _CoreRecord
 from repro.core.stream import BGPStream as _CoreStream
@@ -141,22 +141,38 @@ class BGPStream:
     unchanged on top of the parallel batched engine: dump files are parsed
     concurrently while ``get_next_record()`` keeps handing out the exact
     record sequence of the sequential reference path.
+
+    ``data_interface`` also accepts a registry name (``"broker"``,
+    ``"csvfile"``, ``"sqlite"``, ``"singlefile"``, ``"kafka"``) together
+    with ``interface_options``, matching the paper's named-interface API;
+    and ``live=`` switches the Listing-1 idiom onto the near-realtime
+    BMP-over-Kafka feed (pass a ready
+    :class:`~repro.core.interfaces.LiveDataInterface` or a dict of its
+    options, e.g. ``live={"broker": message_broker}``).
     """
 
     def __init__(
         self,
-        data_interface: Optional[DataInterface] = None,
+        data_interface: Union[DataInterface, str, None] = None,
         parallel: Optional[ParallelConfig] = None,
         interning: object = True,
+        live: Union[LiveDataInterface, Dict, None] = None,
+        interface_options: Optional[Dict] = None,
     ) -> None:
-        interface = data_interface or _default_interface
-        if interface is None:
-            raise RuntimeError(
-                "no data interface available: pass one to BGPStream(...) or call "
-                "repro.pybgpstream.set_default_data_interface() first"
-            )
+        interface = data_interface
+        if interface is None and live is None:
+            interface = _default_interface
+            if interface is None:
+                raise RuntimeError(
+                    "no data interface available: pass one to BGPStream(...) or call "
+                    "repro.pybgpstream.set_default_data_interface() first"
+                )
         self._stream = _CoreStream(
-            data_interface=interface, parallel=parallel, interning=interning
+            data_interface=interface,
+            parallel=parallel,
+            interning=interning,
+            live=live,
+            interface_options=interface_options,
         )
 
     def add_filter(self, name: str, value: str) -> None:
@@ -175,8 +191,15 @@ class BGPStream:
         end_value: Optional[int] = None if end in (-1, None) else end
         self._stream.add_interval_filter(start, end_value)
 
-    def set_data_interface(self, interface: DataInterface) -> None:
-        self._stream.set_data_interface(interface)
+    def set_data_interface(self, interface: Union[DataInterface, str], **options) -> None:
+        """Set the interface: an instance, or a registry name plus options
+        (``set_data_interface("sqlite", path="broker.db")``)."""
+        self._stream.set_data_interface(interface, **options)
+
+    @property
+    def is_live(self) -> bool:
+        """True when the stream reads a live BMP feed rather than dump files."""
+        return self._stream.is_live
 
     def start(self) -> None:
         self._stream.start()

@@ -1,0 +1,307 @@
+"""Golden round-trip and corruption-signalling tests for the BMP codec."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.message import BGPOpen, BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.bmp.codec import BMPStreamParser, decode_message, scan_messages
+from repro.bmp.constants import (
+    BMP_VERSION,
+    BMPInitiationTLVType,
+    BMPMessageType,
+    BMPPeerDownReason,
+    BMPStatType,
+    BMPTerminationReason,
+    BMPTerminationTLVType,
+)
+from repro.bmp.messages import (
+    BMPInfoTLV,
+    BMPMessage,
+    BMPPeerHeader,
+    BMPStat,
+    CorruptBMPMessage,
+)
+
+
+def make_peer(**overrides) -> BMPPeerHeader:
+    defaults = dict(
+        address="10.1.2.3",
+        asn=65001,
+        bgp_id="192.0.2.1",
+        timestamp_sec=1_450_000_000,
+        timestamp_usec=123_456,
+    )
+    defaults.update(overrides)
+    return BMPPeerHeader(**defaults)
+
+
+def make_update() -> BGPUpdate:
+    return BGPUpdate(
+        withdrawn=[Prefix.from_string("198.51.100.0/24")],
+        announced=[Prefix.from_string("203.0.113.0/24"), Prefix.from_string("192.0.2.0/25")],
+        attributes=PathAttributes(
+            as_path=ASPath.from_string("65001 65002 65003"),
+            next_hop="10.1.2.3",
+            communities=CommunitySet([Community(65001, 100)]),
+        ),
+    )
+
+
+def all_six_messages() -> list:
+    peer = make_peer()
+    return [
+        BMPMessage.initiation(
+            [
+                BMPInfoTLV(BMPInitiationTLVType.SYS_NAME, b"rtr1.example"),
+                BMPInfoTLV(BMPInitiationTLVType.SYS_DESCR, b"test router"),
+            ]
+        ),
+        BMPMessage.peer_up(
+            peer,
+            local_address="10.0.0.1",
+            local_port=179,
+            remote_port=40123,
+            sent_open=BGPOpen(asn=65000, hold_time=90, bgp_id="10.0.0.1"),
+            received_open=BGPOpen(
+                asn=65001, hold_time=90, bgp_id="192.0.2.1", opt_params=b"\x02\x00"
+            ),
+            information=[BMPInfoTLV(0, b"session up")],
+        ),
+        BMPMessage.route_monitoring(peer, make_update()),
+        BMPMessage.stats_report(
+            peer,
+            [
+                BMPStat(BMPStatType.REJECTED_PREFIXES, 7),
+                BMPStat(BMPStatType.ROUTES_ADJ_RIB_IN, 2**40),  # 64-bit gauge
+            ],
+        ),
+        BMPMessage.peer_down(
+            peer, BMPPeerDownReason.LOCAL_FSM, struct.pack("!H", 23)
+        ),
+        BMPMessage.termination(
+            [
+                BMPInfoTLV(
+                    BMPTerminationTLVType.REASON,
+                    struct.pack("!H", BMPTerminationReason.ADMINISTRATIVELY_CLOSED),
+                )
+            ]
+        ),
+    ]
+
+
+class TestGoldenRoundTrips:
+    @pytest.mark.parametrize("message", all_six_messages(), ids=lambda m: m.msg_type.name)
+    def test_encode_decode_lossless(self, message):
+        wire = message.encode()
+        decoded = decode_message(wire)
+        assert decoded.is_valid
+        assert decoded.msg_type == message.msg_type
+        assert decoded.body == message.body
+        assert decoded.encode() == wire
+
+    def test_back_to_back_stream(self):
+        messages = all_six_messages()
+        blob = b"".join(m.encode() for m in messages)
+        decoded = scan_messages(blob)
+        assert [m.msg_type for m in decoded] == [m.msg_type for m in messages]
+        assert all(m.is_valid for m in decoded)
+        assert [m.body for m in decoded] == [m.body for m in messages]
+
+    def test_ipv6_peer_and_prefixes(self):
+        peer = make_peer(address="2001:db8::1")
+        update = BGPUpdate(
+            attributes=PathAttributes(
+                as_path=ASPath.from_string("65001"),
+                mp_next_hop="2001:db8::1",
+                mp_reach_nlri=[Prefix.from_string("2001:db8:1::/48")],
+            )
+        )
+        message = BMPMessage.route_monitoring(peer, update)
+        decoded = decode_message(message.encode())
+        assert decoded.is_valid
+        assert decoded.peer.address == "2001:db8::1"
+        assert decoded.peer.version == 6
+        assert decoded.body.update.all_announced == [Prefix.from_string("2001:db8:1::/48")]
+
+    def test_peer_up_local_address_family_independent_of_peer_flag(self):
+        # An IPv4 session can be monitored from an IPv6 local address and
+        # vice versa: the family must round-trip from the field content,
+        # not the peer header's V flag.
+        v6_local = BMPMessage.peer_up(
+            make_peer(address="10.0.0.1"), local_address="2001:db8::1"
+        )
+        decoded = decode_message(v6_local.encode())
+        assert decoded.is_valid
+        assert decoded.body.local_address == "2001:db8::1"
+        v4_local = BMPMessage.peer_up(
+            make_peer(address="2001:db8::9"), local_address="192.0.2.7"
+        )
+        decoded = decode_message(v4_local.encode())
+        assert decoded.is_valid
+        assert decoded.body.local_address == "192.0.2.7"
+
+    def test_unknown_stat_type_round_trips_as_raw_bytes(self):
+        # RFC 7854 defines stat types beyond the enum (per-AFI/SAFI gauges
+        # carry 2-byte AFI + 1-byte SAFI + 8-byte gauge) and vendors add
+        # more; they are length-delimited and must round-trip, not corrupt
+        # the whole report.
+        afi_safi_gauge = struct.pack("!HB", 1, 1) + (2**33).to_bytes(8, "big")
+        message = BMPMessage.stats_report(
+            make_peer(),
+            [
+                BMPStat(BMPStatType.REJECTED_PREFIXES, 7),
+                BMPStat(9, afi_safi_gauge),
+                BMPStat(0xFFFF, b"vendor-blob"),
+            ],
+        )
+        decoded = decode_message(message.encode())
+        assert decoded.is_valid
+        assert decoded.body.stats == message.body.stats
+        assert decoded.encode() == message.encode()
+
+    def test_known_stat_type_with_wrong_length_is_corrupt(self):
+        peer = make_peer()
+        body = peer.encode() + struct.pack("!I", 1) + struct.pack("!HH", 0, 8) + b"\x00" * 8
+        blob = struct.pack(
+            "!BIB", BMP_VERSION, 6 + len(body), int(BMPMessageType.STATISTICS_REPORT)
+        ) + body
+        decoded = decode_message(blob)
+        assert not decoded.is_valid
+        assert "implausible length" in decoded.body.reason
+
+    def test_peer_header_microsecond_timestamp(self):
+        peer = make_peer(timestamp_sec=100, timestamp_usec=250_000)
+        decoded = decode_message(BMPMessage.route_monitoring(peer, BGPUpdate()).encode())
+        assert decoded.peer.timestamp_sec == 100
+        assert decoded.peer.timestamp_usec == 250_000
+        assert decoded.peer.timestamp == pytest.approx(100.25)
+
+    def test_termination_reason_accessor(self):
+        message = all_six_messages()[-1]
+        decoded = decode_message(message.encode())
+        assert decoded.body.reason == BMPTerminationReason.ADMINISTRATIVELY_CLOSED
+
+    def test_peer_down_fsm_code(self):
+        decoded = decode_message(all_six_messages()[4].encode())
+        assert decoded.body.reason == BMPPeerDownReason.LOCAL_FSM
+        assert decoded.body.fsm_code == 23
+
+
+class TestCorruptionSignalling:
+    def test_truncated_tail_is_signalled_not_raised(self):
+        blob = b"".join(m.encode() for m in all_six_messages())
+        decoded = scan_messages(blob[:-10])
+        assert len(decoded) == 6
+        assert all(m.is_valid for m in decoded[:-1])
+        assert isinstance(decoded[-1].body, CorruptBMPMessage)
+        assert "truncated" in decoded[-1].body.reason
+
+    def test_bad_version_kills_framing(self):
+        good = all_six_messages()[2].encode()
+        bad = bytes([9]) + good[1:]
+        decoded = scan_messages(good + bad + good)
+        # one good message, one corruption signal, nothing after
+        assert [m.is_valid for m in decoded] == [True, False]
+        assert "version" in decoded[1].body.reason
+
+    def test_implausible_length_kills_framing(self):
+        frame = struct.pack("!BIB", BMP_VERSION, 2**31, 0)
+        decoded = scan_messages(frame)
+        assert len(decoded) == 1 and not decoded[0].is_valid
+        assert "implausible" in decoded[0].body.reason
+
+    def test_unknown_message_type_is_per_frame(self):
+        good = all_six_messages()[0].encode()
+        unknown = struct.pack("!BIB", BMP_VERSION, 8, 99) + b"\x00\x00"
+        decoded = scan_messages(unknown + good)
+        # framing survives an unknown type: the good frame still decodes
+        assert [m.is_valid for m in decoded] == [False, True]
+        assert decoded[0].msg_type is None
+
+    def test_corrupt_update_inside_route_monitoring(self):
+        peer = make_peer()
+        wire = bytearray(BMPMessage.route_monitoring(peer, make_update()).encode())
+        wire[48:64] = b"\x00" * 16  # stomp the embedded UPDATE's BGP marker
+        good = BMPMessage.initiation([]).encode()
+        decoded = scan_messages(bytes(wire) + good)
+        assert [m.is_valid for m in decoded] == [False, True]
+        assert decoded[0].msg_type == BMPMessageType.ROUTE_MONITORING
+
+    def test_stats_with_wrong_width_is_corrupt(self):
+        peer = make_peer()
+        body = peer.encode() + struct.pack("!I", 1) + struct.pack("!HH", 0, 8) + b"\x00" * 8
+        frame = struct.pack("!BIB", BMP_VERSION, 6 + len(body), 1) + body
+        decoded = decode_message(frame)
+        assert not decoded.is_valid
+        assert "implausible length" in decoded.body.reason
+
+    def test_decode_message_length_mismatch(self):
+        wire = all_six_messages()[0].encode()
+        assert not decode_message(wire + b"\x00").is_valid
+        assert not decode_message(wire[:-1]).is_valid
+        assert not decode_message(b"\x03\x00").is_valid
+
+
+class TestIncrementalParser:
+    def test_byte_at_a_time_feed(self):
+        messages = all_six_messages()
+        blob = b"".join(m.encode() for m in messages)
+        parser = BMPStreamParser()
+        seen = []
+        for i in range(len(blob)):
+            parser.feed(blob[i : i + 1])
+            seen.extend(parser.messages())
+        seen.extend(parser.finish())
+        assert [m.msg_type for m in seen] == [m.msg_type for m in messages]
+        assert all(m.is_valid for m in seen)
+        assert parser.messages_decoded == len(messages)
+        assert parser.corrupt_messages == 0
+        assert parser.pending_bytes == 0
+
+    def test_partial_tail_waits_then_completes(self):
+        wire = all_six_messages()[2].encode()
+        parser = BMPStreamParser()
+        parser.feed(wire[:10])
+        assert list(parser.messages()) == []
+        parser.feed(wire[10:])
+        (message,) = list(parser.messages())
+        assert message.is_valid
+
+    def test_finish_flushes_truncated_tail(self):
+        wire = all_six_messages()[2].encode()
+        parser = BMPStreamParser()
+        parser.feed(wire[: len(wire) - 3])
+        assert list(parser.messages()) == []
+        flushed = list(parser.finish())
+        assert len(flushed) == 1 and not flushed[0].is_valid
+        assert parser.corrupt_messages == 1
+
+    def test_abandoned_iterator_does_not_redeliver(self):
+        # Breaking out of messages() mid-drain must still trim the consumed
+        # frames: the next call may not re-yield (or re-count) them.
+        messages = all_six_messages()
+        parser = BMPStreamParser()
+        parser.feed(b"".join(m.encode() for m in messages))
+        first = None
+        for first in parser.messages():
+            break
+        rest = list(parser.messages())
+        assert [m.msg_type for m in [first] + rest] == [m.msg_type for m in messages]
+        assert parser.messages_decoded == len(messages)
+        assert parser.corrupt_messages == 0
+        assert parser.pending_bytes == 0
+
+    def test_dead_parser_ignores_further_input(self):
+        parser = BMPStreamParser()
+        parser.feed(bytes([9]) + b"\x00" * 10)
+        assert [m.is_valid for m in parser.messages()] == [False]
+        assert parser.dead
+        parser.feed(all_six_messages()[0].encode())
+        assert list(parser.messages()) == []

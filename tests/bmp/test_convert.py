@@ -1,0 +1,235 @@
+"""Tests for the BMP → BGPStream record converter (paper §6)."""
+
+from __future__ import annotations
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.fsm import SessionState
+from repro.bgp.message import BGPOpen, BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.bmp.convert import LIVE_PROJECT, BMPRecordConverter
+from repro.bmp.messages import BMPMessage, BMPPeerHeader, BMPStat
+from repro.core.record import RecordStatus
+from repro.mrt.records import BGP4MPMessage, BGP4MPStateChange
+
+
+def make_peer(address="10.1.2.3", asn=65001, timestamp=1000, **overrides):
+    return BMPPeerHeader(
+        address=address, asn=asn, bgp_id="192.0.2.1", timestamp_sec=timestamp, **overrides
+    )
+
+
+def update_announcing(*prefixes, withdrawn=()):
+    return BGPUpdate(
+        announced=[Prefix.from_string(p) for p in prefixes],
+        withdrawn=[Prefix.from_string(p) for p in withdrawn],
+        attributes=PathAttributes(
+            as_path=ASPath.from_string("65001 65002"), next_hop="10.1.2.3"
+        ),
+    )
+
+
+class TestRouteMonitoring:
+    def test_becomes_an_updates_record(self):
+        converter = BMPRecordConverter()
+        peer = make_peer()
+        (record,) = converter.convert(
+            "rtr1", BMPMessage.route_monitoring(peer, update_announcing("203.0.113.0/24"))
+        )
+        assert record.status == RecordStatus.VALID
+        assert record.project == LIVE_PROJECT
+        assert record.collector == "rtr1"
+        assert record.router == "rtr1"
+        assert record.dump_type == "updates"
+        assert record.time == 1000
+        body = record.mrt.body
+        assert isinstance(body, BGP4MPMessage)
+        assert body.peer_asn == 65001
+        assert body.peer_address == "10.1.2.3"
+        (elem,) = list(record.elems())
+        assert str(elem.prefix) == "203.0.113.0/24"
+        assert str(elem.elem_type) == "A"
+
+    def test_tracks_announced_state(self):
+        converter = BMPRecordConverter()
+        peer = make_peer()
+        converter.convert(
+            "rtr1",
+            BMPMessage.route_monitoring(
+                peer, update_announcing("203.0.113.0/24", "198.51.100.0/24")
+            ),
+        )
+        converter.convert(
+            "rtr1",
+            BMPMessage.route_monitoring(
+                peer, update_announcing(withdrawn=("198.51.100.0/24",))
+            ),
+        )
+        assert converter.announced_prefixes("rtr1", peer) == {
+            Prefix.from_string("203.0.113.0/24")
+        }
+
+    def test_state_is_per_router_and_peer(self):
+        converter = BMPRecordConverter()
+        peer_a = make_peer(address="10.0.0.1")
+        peer_b = make_peer(address="10.0.0.2")
+        converter.convert(
+            "rtr1", BMPMessage.route_monitoring(peer_a, update_announcing("203.0.113.0/24"))
+        )
+        converter.convert(
+            "rtr2", BMPMessage.route_monitoring(peer_b, update_announcing("198.51.100.0/24"))
+        )
+        assert converter.announced_prefixes("rtr1", peer_a) == {
+            Prefix.from_string("203.0.113.0/24")
+        }
+        assert converter.announced_prefixes("rtr1", peer_b) == set()
+        assert converter.announced_prefixes("rtr2", peer_b) == {
+            Prefix.from_string("198.51.100.0/24")
+        }
+
+
+class TestPeerUpDown:
+    def test_peer_up_emits_established_state_change_and_resets_rib(self):
+        converter = BMPRecordConverter()
+        peer = make_peer()
+        converter.convert(
+            "rtr1", BMPMessage.route_monitoring(peer, update_announcing("203.0.113.0/24"))
+        )
+        (record,) = converter.convert(
+            "rtr1",
+            BMPMessage.peer_up(
+                make_peer(timestamp=1050),
+                sent_open=BGPOpen(asn=65000),
+                received_open=BGPOpen(asn=65001),
+            ),
+        )
+        body = record.mrt.body
+        assert isinstance(body, BGP4MPStateChange)
+        assert body.new_state == SessionState.ESTABLISHED
+        # the RIB-in snapshot that follows re-announces everything
+        assert converter.announced_prefixes("rtr1", peer) == set()
+
+    def test_peer_down_synthesises_withdrawals_then_state_change(self):
+        converter = BMPRecordConverter()
+        peer = make_peer()
+        converter.convert(
+            "rtr1",
+            BMPMessage.route_monitoring(
+                peer, update_announcing("203.0.113.0/24", "198.51.100.0/24")
+            ),
+        )
+        records = converter.convert(
+            "rtr1", BMPMessage.peer_down(make_peer(timestamp=1100), reason=4)
+        )
+        assert len(records) == 2
+        withdrawal, state_change = records
+        elems = list(withdrawal.elems())
+        assert sorted(str(e.prefix) for e in elems) == ["198.51.100.0/24", "203.0.113.0/24"]
+        assert {str(e.elem_type) for e in elems} == {"W"}
+        body = state_change.mrt.body
+        assert isinstance(body, BGP4MPStateChange)
+        assert body.new_state == SessionState.IDLE
+        assert converter.withdrawals_synthesised == 2
+        # state is gone: a second peer down yields only the state change
+        assert len(converter.convert("rtr1", BMPMessage.peer_down(peer, reason=4))) == 1
+
+    def test_peer_down_withdraws_ipv6_via_mp_unreach(self):
+        converter = BMPRecordConverter()
+        peer = make_peer(address="2001:db8::1")
+        update = BGPUpdate(
+            attributes=PathAttributes(
+                as_path=ASPath.from_string("65001"),
+                mp_next_hop="2001:db8::1",
+                mp_reach_nlri=[Prefix.from_string("2001:db8:1::/48")],
+            )
+        )
+        converter.convert("rtr1", BMPMessage.route_monitoring(peer, update))
+        withdrawal, _ = converter.convert("rtr1", BMPMessage.peer_down(peer, reason=4))
+        (elem,) = list(withdrawal.elems())
+        assert str(elem.elem_type) == "W"
+        assert str(elem.prefix) == "2001:db8:1::/48"
+
+    def test_stateless_mode_skips_synthesised_withdrawals(self):
+        converter = BMPRecordConverter(track_state=False)
+        peer = make_peer()
+        converter.convert(
+            "rtr1", BMPMessage.route_monitoring(peer, update_announcing("203.0.113.0/24"))
+        )
+        records = converter.convert("rtr1", BMPMessage.peer_down(peer, reason=4))
+        assert len(records) == 1
+        assert isinstance(records[0].mrt.body, BGP4MPStateChange)
+
+    def test_stateless_mode_accumulates_no_per_peer_state(self):
+        # Peer Up must not seed the announced-state dict when tracking is
+        # off: a long-lived stateless tail would otherwise grow one entry
+        # per session flap, and Termination would tear down sessions from
+        # state the stateless mode claims not to keep.
+        converter = BMPRecordConverter(track_state=False)
+        for i in range(5):
+            peer = make_peer(address=f"10.0.0.{i + 1}")
+            converter.convert("rtr1", BMPMessage.peer_up(peer))
+            converter.convert(
+                "rtr1",
+                BMPMessage.route_monitoring(peer, update_announcing("203.0.113.0/24")),
+            )
+        assert converter._announced == {}
+        assert converter.convert("rtr1", BMPMessage.termination([])) == []
+
+
+class TestTerminationAndOthers:
+    def test_termination_tears_down_every_peer_of_the_router(self):
+        converter = BMPRecordConverter()
+        peer_a = make_peer(address="10.0.0.1")
+        peer_b = make_peer(address="10.0.0.2", timestamp=1010)
+        converter.convert(
+            "rtr1", BMPMessage.route_monitoring(peer_a, update_announcing("203.0.113.0/24"))
+        )
+        converter.convert(
+            "rtr1", BMPMessage.route_monitoring(peer_b, update_announcing("198.51.100.0/24"))
+        )
+        converter.convert(
+            "rtr2", BMPMessage.route_monitoring(make_peer(), update_announcing("192.0.2.0/25"))
+        )
+        records = converter.convert("rtr1", BMPMessage.termination([]))
+        # per peer: one withdrawal record + one state change
+        assert len(records) == 4
+        withdrawn = {
+            str(e.prefix)
+            for r in records
+            for e in r.elems()
+            if str(e.elem_type) == "W"
+        }
+        assert withdrawn == {"203.0.113.0/24", "198.51.100.0/24"}
+        assert all(r.time == 1010 for r in records)  # last time seen on rtr1
+        # rtr2's session is untouched
+        assert converter.announced_prefixes("rtr2", make_peer()) == {
+            Prefix.from_string("192.0.2.0/25")
+        }
+
+    def test_initiation_and_stats_produce_no_records(self):
+        converter = BMPRecordConverter()
+        assert converter.convert("rtr1", BMPMessage.initiation([])) == []
+        assert (
+            converter.convert(
+                "rtr1", BMPMessage.stats_report(make_peer(timestamp=1234), [BMPStat(0, 7)])
+            )
+            == []
+        )
+        # ... but stats advance the router's last-seen time
+        (record,) = converter.convert(
+            "rtr1", BMPMessage.route_monitoring(make_peer(timestamp=0), update_announcing())
+        )
+        assert record.time == 1234
+
+    def test_corrupt_message_becomes_not_valid_record(self):
+        converter = BMPRecordConverter()
+        converter.convert(
+            "rtr1", BMPMessage.route_monitoring(make_peer(), update_announcing())
+        )
+        from repro.bmp.codec import decode_message
+
+        (record,) = converter.convert("rtr1", decode_message(b"\x03\x00"))
+        assert record.status == RecordStatus.CORRUPTED_RECORD
+        assert record.time == 1000  # the router's last-seen time
+        assert list(record.elems()) == []
+        assert converter.corrupt_messages == 1

@@ -1,0 +1,594 @@
+"""End-to-end tests for the live BMP path: Kafka feed, stream, corsaro.
+
+The load-bearing guarantee (ISSUE 5 acceptance): the same UPDATE sequence
+delivered via BMP-over-broker yields an elem stream identical to the
+MRT-file replay, at ``field_dict`` level, with filters and interning
+applied.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.bmp.convert import LIVE_PROJECT
+from repro.bmp.messages import BMPMessage, BMPPeerHeader
+from repro.bmp.source import (
+    DEFAULT_BMP_TOPIC,
+    BMPFeedProducer,
+    BMPKafkaDataSource,
+)
+from repro.core.interfaces import (
+    LiveDataInterface,
+    SingleFileDataInterface,
+    data_interface_names,
+    make_data_interface,
+)
+from repro.core.record import RecordStatus
+from repro.core.stream import BGPStream
+from repro.kafka.broker import MessageBroker
+from repro.mrt.records import BGP4MPMessage
+from repro.mrt.writer import write_updates_dump
+
+ROUTER = "rtr1.example"
+
+
+def make_update(announce=(), withdraw=(), path="65001 65002 65010", communities=()):
+    return BGPUpdate(
+        announced=[Prefix.from_string(p) for p in announce],
+        withdrawn=[Prefix.from_string(p) for p in withdraw],
+        attributes=PathAttributes(
+            as_path=ASPath.from_string(path),
+            next_hop="10.1.2.3",
+            communities=CommunitySet([Community(*c) for c in communities])
+            if communities
+            else None,
+        ),
+    )
+
+
+def update_sequence():
+    """(timestamp, peer_address, peer_asn, update) — two peers, mixed ops."""
+    return [
+        (1000, "10.1.2.3", 65001, make_update(announce=("203.0.113.0/24",))),
+        (
+            1010,
+            "10.9.9.9",
+            65009,
+            make_update(
+                announce=("198.51.100.0/24", "192.0.2.0/25"),
+                path="65009 65010",
+                communities=((65009, 300),),
+            ),
+        ),
+        (1020, "10.1.2.3", 65001, make_update(withdraw=("203.0.113.0/24",))),
+        (
+            1030,
+            "10.1.2.3",
+            65001,
+            make_update(announce=("203.0.113.0/24",), communities=((65001, 100), (65001, 200))),
+        ),
+    ]
+
+
+def publish_sequence(broker, sequence, router=ROUTER):
+    producer = BMPFeedProducer(broker, router=router)
+    for timestamp, address, asn, update in sequence:
+        peer = BMPPeerHeader(address=address, asn=asn, timestamp_sec=timestamp)
+        producer.publish(BMPMessage.route_monitoring(peer, update))
+    return producer
+
+
+def mrt_dump_of(sequence, tmp_path):
+    path = str(tmp_path / "updates.mrt")
+    bodies = [
+        (
+            timestamp,
+            BGP4MPMessage(
+                peer_asn=asn,
+                local_asn=0,
+                peer_address=address,
+                local_address="0.0.0.0",
+                update=update,
+            ),
+        )
+        for timestamp, address, asn, update in sequence
+    ]
+    write_updates_dump(path, bodies, compress=False)
+    return path
+
+
+def elem_signature(elem):
+    return (str(elem.elem_type), elem.time, elem.peer_asn, elem.peer_address, elem.field_dict())
+
+
+def live_stream(broker, **interface_options):
+    interface = LiveDataInterface(
+        broker=broker, max_empty_polls=1, poll_interval=0.0, **interface_options
+    )
+    return BGPStream(data_interface=interface)
+
+
+class TestBMPKafkaDataSource:
+    def test_round_trip_keyed_by_router(self):
+        broker = MessageBroker()
+        publish_sequence(broker, update_sequence())
+        source = BMPKafkaDataSource(broker)
+        pairs = source.poll()
+        assert len(pairs) == 4
+        assert {router for router, _ in pairs} == {ROUTER}
+        assert all(message.is_valid for _, message in pairs)
+        assert source.frames_decoded == 4
+        assert source.poll() == []  # offsets committed
+
+    def test_corrupt_frame_is_signalled_not_raised(self):
+        broker = MessageBroker()
+        producer = BMPFeedProducer(broker, router=ROUTER)
+        good = BMPMessage.initiation([])
+        producer.publish(good)
+        producer.publish(good.encode()[:-2])  # truncated raw frame
+        source = BMPKafkaDataSource(broker)
+        pairs = source.poll()
+        assert [message.is_valid for _, message in pairs] == [True, False]
+        assert source.corrupt_frames == 1
+
+    def test_seek_to_beginning_replays(self):
+        broker = MessageBroker()
+        publish_sequence(broker, update_sequence())
+        source = BMPKafkaDataSource(broker)
+        assert len(source.poll()) == 4
+        source.seek_to_beginning()
+        assert len(source.poll()) == 4
+
+    def test_lag_and_default_topic(self):
+        broker = MessageBroker()
+        publish_sequence(broker, update_sequence())
+        source = BMPKafkaDataSource(broker)
+        assert source.topics == [DEFAULT_BMP_TOPIC]
+        assert source.lag() == 4
+        source.poll()
+        assert source.lag() == 0
+
+
+class TestLiveEquivalence:
+    """BMP-over-broker and MRT-file replay must produce identical elems."""
+
+    def equivalent_streams(self, tmp_path, filters=()):
+        sequence = update_sequence()
+        broker = MessageBroker()
+        publish_sequence(broker, sequence)
+        live = live_stream(broker)
+        replay = BGPStream(
+            data_interface=SingleFileDataInterface(
+                mrt_dump_of(sequence, tmp_path),
+                dump_type="updates",
+                project=LIVE_PROJECT,
+                collector=ROUTER,
+            )
+        )
+        for stream in (live, replay):
+            stream.add_interval_filter(900, 2000)
+            for name, value in filters:
+                stream.add_filter(name, value)
+        return live, replay
+
+    def test_unfiltered_equivalence(self, tmp_path):
+        live, replay = self.equivalent_streams(tmp_path)
+        live_elems = [elem_signature(e) for _, e in live.elems()]
+        replay_elems = [elem_signature(e) for _, e in replay.elems()]
+        assert live_elems == replay_elems
+        assert len(live_elems) == 5  # 4 announcements + 1 withdrawal
+
+    def test_equivalence_under_prefix_and_peer_filters(self, tmp_path):
+        live, replay = self.equivalent_streams(
+            tmp_path, filters=[("prefix-more", "203.0.113.0/24"), ("peer-asn", "65001")]
+        )
+        live_elems = [elem_signature(e) for _, e in live.elems()]
+        replay_elems = [elem_signature(e) for _, e in replay.elems()]
+        assert live_elems == replay_elems
+        assert len(live_elems) == 3
+        assert {s[3] for s in live_elems} == {"10.1.2.3"}
+
+    def test_live_elems_are_interned(self, tmp_path):
+        live, _ = self.equivalent_streams(tmp_path)
+        elems = [e for _, e in live.elems()]
+        first, last = elems[0], elems[-1]
+        # same canonical AS path object through the stream's intern pool
+        assert str(first.as_path) == str(last.as_path)
+        assert first.as_path is last.as_path
+
+    def test_record_metadata(self, tmp_path):
+        sequence = update_sequence()
+        broker = MessageBroker()
+        publish_sequence(broker, sequence)
+        records = list(live_stream(broker).records())
+        assert all(r.project == LIVE_PROJECT for r in records)
+        assert all(r.collector == ROUTER for r in records)
+        assert all(r.router == ROUTER for r in records)
+        assert [r.time for r in records] == [1000, 1010, 1020, 1030]
+
+
+class TestBoundedWindows:
+    def test_until_ts_closes_the_stream_deterministically(self):
+        broker = MessageBroker()
+        publish_sequence(broker, update_sequence())
+        stream = live_stream(broker)
+        stream.add_interval_filter(1000, 1015)
+        times = [record.time for record in stream.records()]
+        assert times == [1000, 1010]
+
+    def test_empty_feed_terminates_on_max_empty_polls(self):
+        stream = live_stream(MessageBroker())
+        stream.add_interval_filter(0, None)
+        assert list(stream.records()) == []
+
+    def test_max_poll_messages_bounds_batches(self):
+        broker = MessageBroker()
+        publish_sequence(broker, update_sequence())
+        interface = LiveDataInterface(
+            broker=broker, max_empty_polls=1, poll_interval=0.0, max_poll_messages=1
+        )
+        batches = list(interface.record_batches(BGPStream().filters))
+        assert [len(batch) for batch in batches] == [1, 1, 1, 1]
+
+    def test_consecutive_windows_share_the_feed_without_loss(self):
+        # Messages past until_ts must stay uncommitted in the log: a later
+        # window on the same broker and consumer group (the next BGPCorsaro
+        # bin) picks them up instead of silently losing everything fetched
+        # by the poll that crossed the bin boundary.
+        broker = MessageBroker()
+        publish_sequence(broker, update_sequence())
+
+        def window_times(start, end):
+            stream = live_stream(broker)
+            stream.add_interval_filter(start, end)
+            return [record.time for record in stream.records()]
+
+        assert window_times(1000, 1015) == [1000, 1010]
+        assert window_times(1016, 1040) == [1020, 1030]
+
+    def test_one_boundary_topic_does_not_close_the_window_early(self):
+        # A held-back message on one topic must not end the window while
+        # other topics still hold in-window messages that a bounded fetch
+        # has not surfaced yet.
+        broker = MessageBroker()
+        ahead = BMPFeedProducer(broker, topic="feed-ahead", router="rtr-ahead")
+        ahead.publish(
+            BMPMessage.route_monitoring(
+                BMPPeerHeader(address="10.9.9.9", asn=65009, timestamp_sec=2000),
+                make_update(announce=("198.51.100.0/24",), path="65009 65010"),
+            )
+        )
+        behind = BMPFeedProducer(broker, topic="feed-behind", router="rtr-behind")
+        for i in range(10):
+            peer = BMPPeerHeader(address="10.1.2.3", asn=65001, timestamp_sec=1000 + i)
+            behind.publish(
+                BMPMessage.route_monitoring(peer, make_update(announce=("203.0.113.0/24",)))
+            )
+        interface = LiveDataInterface(
+            broker=broker,
+            topics=["feed-ahead", "feed-behind"],
+            max_empty_polls=1,
+            poll_interval=0.0,
+            max_poll_messages=4,
+        )
+        stream = BGPStream(live=interface)
+        stream.add_interval_filter(1000, 1500)
+        assert [record.time for record in stream.records()] == list(range(1000, 1010))
+        # ... and the held-back message surfaces in the next window
+        follow_up = BGPStream(
+            live=LiveDataInterface(
+                broker=broker,
+                topics=["feed-ahead", "feed-behind"],
+                max_empty_polls=1,
+                poll_interval=0.0,
+            )
+        )
+        follow_up.add_interval_filter(1501, 2500)
+        assert [record.time for record in follow_up.records()] == [2000]
+
+    def test_held_back_partition_heads_do_not_eat_the_poll_budget(self):
+        # With more past-window partition heads than the poll budget, the
+        # deferral cache must free the next fetch for the starved
+        # partitions; otherwise the window closes having delivered nothing.
+        broker = MessageBroker()
+        topic = broker.create_topic("t", num_partitions=4)
+        producer = BMPFeedProducer(broker, topic="t", num_partitions=4)
+        router_on = {}
+        i = 0
+        while len(router_on) < 4:
+            key = f"r{i}"
+            i += 1
+            router_on.setdefault(topic.partition_for(key), key)
+        for partition, timestamp in [(0, 2000), (1, 2000), (2, 500), (3, 600)]:
+            peer = BMPPeerHeader(address="10.1.2.3", asn=65001, timestamp_sec=timestamp)
+            producer.publish(
+                BMPMessage.route_monitoring(peer, make_update(announce=("203.0.113.0/24",))),
+                router=router_on[partition],
+            )
+
+        def window_times(start, end):
+            interface = LiveDataInterface(
+                broker=broker,
+                topics=["t"],
+                max_empty_polls=1,
+                poll_interval=0.0,
+                max_poll_messages=2,
+            )
+            stream = BGPStream(live=interface)
+            stream.add_interval_filter(start, end)
+            return sorted(record.time for record in stream.records())
+
+        assert window_times(0, 1000) == [500, 600]
+        assert window_times(1001, 3000) == [2000, 2000]
+
+    def test_straddling_batch_does_not_close_the_window_on_other_partitions(self):
+        # A straddling frame batch on one partition is consumed whole and
+        # its overhang discarded — but that must not end the window while
+        # another partition still holds an unfetched in-window message.
+        broker = MessageBroker()
+        topic = broker.create_topic("t", num_partitions=2)
+        producer = BMPFeedProducer(broker, topic="t", num_partitions=2)
+        router_on = {}
+        i = 0
+        while len(router_on) < 2:
+            key = f"r{i}"
+            i += 1
+            router_on.setdefault(topic.partition_for(key), key)
+        straddle = bytearray()
+        for timestamp in (990, 1010):
+            peer = BMPPeerHeader(address="10.1.2.3", asn=65001, timestamp_sec=timestamp)
+            straddle += BMPMessage.route_monitoring(
+                peer, make_update(announce=("203.0.113.0/24",))
+            ).encode()
+        producer.publish(bytes(straddle), router=router_on[0])
+        peer = BMPPeerHeader(address="10.9.9.9", asn=65009, timestamp_sec=995)
+        producer.publish(
+            BMPMessage.route_monitoring(
+                peer, make_update(announce=("198.51.100.0/24",), path="65009 65010")
+            ),
+            router=router_on[1],
+        )
+        interface = LiveDataInterface(
+            broker=broker,
+            topics=["t"],
+            max_empty_polls=1,
+            poll_interval=0.0,
+            max_poll_messages=1,
+        )
+        stream = BGPStream(live=interface)
+        stream.add_interval_filter(0, 1000)
+        assert sorted(record.time for record in stream.records()) == [990, 995]
+
+    def test_boundary_frame_with_microseconds_belongs_to_the_window(self):
+        # Records carry whole seconds: a frame at until_ts + microseconds
+        # converts to record.time == until_ts and must be delivered in this
+        # window, not held back (the next window's interval starts past it).
+        broker = MessageBroker()
+        producer = BMPFeedProducer(broker, router=ROUTER)
+        peer = BMPPeerHeader(
+            address="10.1.2.3", asn=65001, timestamp_sec=1000, timestamp_usec=500_000
+        )
+        producer.publish(
+            BMPMessage.route_monitoring(peer, make_update(announce=("203.0.113.0/24",)))
+        )
+        stream = live_stream(broker)
+        stream.add_interval_filter(900, 1000)
+        assert [record.time for record in stream.records()] == [1000]
+
+    def test_straddling_frame_batch_still_closes_the_window(self):
+        # One Kafka message holding frames on both sides of the boundary
+        # cannot be split by offset commits: it is consumed whole, the
+        # overhang discarded, and the window still closes deterministically.
+        broker = MessageBroker()
+        producer = BMPFeedProducer(broker, router=ROUTER)
+        frames = bytearray()
+        for timestamp, address, asn, update in update_sequence():
+            peer = BMPPeerHeader(address=address, asn=asn, timestamp_sec=timestamp)
+            frames += BMPMessage.route_monitoring(peer, update).encode()
+        producer.publish(bytes(frames))
+        stream = live_stream(broker)
+        stream.add_interval_filter(1000, 1015)
+        assert [record.time for record in stream.records()] == [1000, 1010]
+
+    def test_batched_api_works_live(self):
+        broker = MessageBroker()
+        publish_sequence(broker, update_sequence())
+        stream = live_stream(broker)
+        records = [r for batch in stream.records_batched(2) for r in batch]
+        assert [r.time for r in records] == [1000, 1010, 1020, 1030]
+
+    def test_corrupt_frame_surfaces_as_invalid_record(self):
+        broker = MessageBroker()
+        producer = publish_sequence(broker, update_sequence()[:1])
+        producer.publish(b"\x09garbage-frame")
+        records = list(live_stream(broker).records())
+        assert [r.status for r in records] == [
+            RecordStatus.VALID,
+            RecordStatus.CORRUPTED_RECORD,
+        ]
+
+
+class TestStreamConfiguration:
+    def test_registry_names(self):
+        assert {"broker", "csvfile", "sqlite", "singlefile", "kafka", "bmp"} <= set(
+            data_interface_names()
+        )
+
+    def test_kafka_interface_by_name(self):
+        broker = MessageBroker()
+        publish_sequence(broker, update_sequence())
+        stream = BGPStream(
+            data_interface="kafka",
+            interface_options={"broker": broker, "max_empty_polls": 1, "poll_interval": 0.0},
+        )
+        assert stream.is_live
+        assert len(list(stream.records())) == 4
+
+    def test_live_shortcut_dict(self):
+        broker = MessageBroker()
+        publish_sequence(broker, update_sequence())
+        stream = BGPStream(live={"broker": broker, "max_empty_polls": 1, "poll_interval": 0.0})
+        assert stream.is_live
+        assert len(list(stream.records())) == 4
+
+    def test_live_rejects_interface_options(self):
+        with pytest.raises(ValueError, match="interface_options"):
+            BGPStream(
+                live={"broker": MessageBroker()},
+                interface_options={"max_empty_polls": 1},
+            )
+
+    def test_live_and_data_interface_conflict(self):
+        with pytest.raises(ValueError):
+            BGPStream(data_interface="kafka", live={"broker": MessageBroker()})
+
+    def test_live_rejects_parallel_engine(self):
+        from repro.core.parallel import ParallelConfig
+
+        stream = BGPStream(
+            live={"broker": MessageBroker(), "max_empty_polls": 1},
+            parallel=ParallelConfig(max_workers=2),
+        )
+        with pytest.raises(RuntimeError, match="parallel"):
+            stream.start()
+
+    def test_unknown_interface_name(self):
+        with pytest.raises(ValueError, match="unknown data interface"):
+            make_data_interface("carrier-pigeon")
+
+    def test_interface_batches_guard(self):
+        interface = LiveDataInterface(broker=MessageBroker())
+        with pytest.raises(RuntimeError, match="record batches"):
+            next(interface.batches(BGPStream().filters))
+
+    def test_converter_and_converter_options_are_mutually_exclusive(self):
+        from repro.bmp.convert import BMPRecordConverter
+
+        with pytest.raises(ValueError, match="converter"):
+            LiveDataInterface(
+                broker=MessageBroker(),
+                track_state=False,
+                converter=BMPRecordConverter(),
+            )
+
+    def test_source_and_broker_are_mutually_exclusive(self):
+        broker = MessageBroker()
+        source = BMPKafkaDataSource(broker)
+        with pytest.raises(ValueError):
+            LiveDataInterface(source, broker=broker)
+        with pytest.raises(ValueError):
+            LiveDataInterface()
+
+
+class TestPyBGPStreamLive:
+    def test_listing1_idiom_over_live_feed(self):
+        from repro.pybgpstream import BGPRecord, BGPStream as PyBGPStream
+
+        broker = MessageBroker()
+        publish_sequence(broker, update_sequence())
+        stream = PyBGPStream(
+            live={"broker": broker, "max_empty_polls": 1, "poll_interval": 0.0}
+        )
+        assert stream.is_live
+        stream.add_filter("record-type", "updates")
+        stream.add_interval_filter(900, 2000)
+        stream.start()
+        record = BGPRecord()
+        seen = []
+        while stream.get_next_record(record):
+            elem = record.get_next_elem()
+            while elem:
+                seen.append((elem.type, elem.time, elem.fields.get("prefix")))
+                elem = record.get_next_elem()
+        assert len(seen) == 5
+        assert seen[0] == ("A", 1000, "203.0.113.0/24")
+
+    def test_named_interface_passthrough(self):
+        from repro.pybgpstream import BGPStream as PyBGPStream
+
+        broker = MessageBroker()
+        publish_sequence(broker, update_sequence())
+        stream = PyBGPStream(
+            data_interface="kafka",
+            interface_options={"broker": broker, "max_empty_polls": 1, "poll_interval": 0.0},
+        )
+        assert stream.is_live
+
+
+class TestBGPReaderLive:
+    def feed_file(self, tmp_path, include_session=True):
+        peer = BMPPeerHeader(address="10.1.2.3", asn=65001, timestamp_sec=1000)
+        messages = [BMPMessage.initiation([])]
+        messages.append(
+            BMPMessage.route_monitoring(peer, make_update(announce=("203.0.113.0/24",)))
+        )
+        if include_session:
+            messages.append(BMPMessage.peer_down(peer, reason=4))
+        path = tmp_path / "feed.bmp"
+        path.write_bytes(b"".join(m.encode() for m in messages))
+        return str(path)
+
+    def run_reader(self, argv):
+        import io
+
+        from repro.core.reader import build_parser, run
+
+        out = io.StringIO()
+        status = run(build_parser().parse_args(argv), out)
+        return status, out.getvalue().splitlines()
+
+    def test_live_replay(self, tmp_path):
+        status, lines = self.run_reader(["--live", self.feed_file(tmp_path)])
+        assert status == 0
+        assert any(line.startswith("A|1000|bmp|") for line in lines)
+        # Peer Down synthesises the withdrawal then the state change
+        assert any(line.startswith("W|1000|bmp|") for line in lines)
+        assert any("ESTABLISHED|IDLE" in line for line in lines)
+
+    def test_bmp_router_and_topic_knobs(self, tmp_path):
+        status, lines = self.run_reader(
+            [
+                "--live",
+                self.feed_file(tmp_path, include_session=False),
+                "--bmp-topic",
+                "custom.topic",
+                "--bmp-router",
+                "rtrX",
+            ]
+        )
+        assert status == 0
+        assert any("|rtrX|" in line for line in lines)
+
+    def test_bmp_knobs_require_live(self, tmp_path):
+        with pytest.raises(SystemExit, match="--live"):
+            self.run_reader(["--archive", str(tmp_path), "--bmp-topic", "t"])
+
+    def test_live_conflicts_with_parallel(self, tmp_path):
+        with pytest.raises(SystemExit, match="--parallel"):
+            self.run_reader(["--live", self.feed_file(tmp_path), "--parallel"])
+
+
+class TestLiveCorsaro:
+    def test_bins_close_deterministically_with_until_ts(self):
+        from repro.corsaro.pipeline import BGPCorsaro
+        from repro.corsaro.plugins import StatsPlugin
+
+        broker = MessageBroker()
+        sequence = [
+            (ts, "10.1.2.3", 65001, make_update(announce=(f"10.{i}.0.0/16",)))
+            for i, ts in enumerate([1000, 1100, 1250, 1400, 1550])
+        ]
+        publish_sequence(broker, sequence)
+        stream = live_stream(broker)
+        stream.add_interval_filter(900, 1500)  # until_ts closes the last bin
+        corsaro = BGPCorsaro(stream, [StatsPlugin()], bin_size=300)
+        outputs = [o for o in corsaro.process() if o.interval_start != -1]
+        assert [o.interval_start for o in outputs] == [900, 1200]
+        # 1000/1100 land in bin 900, 1250/1400 in bin 1200; 1550 is past
+        # until_ts and never reaches a plugin.
+        assert [o.value.as_dict()["elems"] for o in outputs] == [2, 2]
