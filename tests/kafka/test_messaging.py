@@ -79,6 +79,85 @@ class TestBrokerAndClients:
         with pytest.raises(ValueError):
             Producer(MessageBroker()).send("x")
 
+    def test_bounded_poll_interleaves_topics_round_robin(self):
+        # Regression: with max_messages set, topics used to be drained in
+        # list order, so a busy first topic starved the rest.
+        broker = MessageBroker()
+        busy = Producer(broker, default_topic="busy")
+        quiet = Producer(broker, default_topic="quiet")
+        for value in range(100):
+            busy.send(f"busy-{value}")
+        for value in range(3):
+            quiet.send(f"quiet-{value}")
+        consumer = Consumer(broker, group="g", topics=["busy", "quiet"])
+        polled = consumer.poll(max_messages=6)
+        assert len(polled) == 6
+        by_topic = {m.value for m in polled if m.topic == "quiet"}
+        assert by_topic == {"quiet-0", "quiet-1", "quiet-2"}
+        # one message per topic per round while both topics have backlog
+        assert [m.topic for m in polled[:4]] == ["busy", "quiet", "busy", "quiet"]
+
+    def test_create_topic_rejects_partition_count_mismatch(self):
+        # "Ensure it exists" (no count) tolerates anything; an explicit
+        # count that contradicts the existing topic must not be dropped
+        # silently.
+        broker = MessageBroker()
+        broker.create_topic("data", num_partitions=4)
+        assert broker.create_topic("data").num_partitions == 4
+        with pytest.raises(ValueError, match="4 partitions"):
+            broker.create_topic("data", num_partitions=1)
+
+    def test_bounded_poll_interleaves_partitions_round_robin(self):
+        # Same starvation pattern one level down: within a topic, a busy
+        # partition 0 must not starve the rest under a bounded budget.
+        broker = MessageBroker()
+        broker.create_topic("data", num_partitions=2)
+        producer = Producer(broker, default_topic="data")
+        topic = broker.topic("data")
+        busy_partition = topic.partition_for("busy-router")
+        quiet_key = next(
+            f"r{i}"
+            for i in range(100)
+            if topic.partition_for(f"r{i}") != busy_partition
+        )
+        for value in range(50):
+            producer.send(f"busy-{value}", key="busy-router")
+        for value in range(3):
+            producer.send(f"quiet-{value}", key=quiet_key)
+        consumer = Consumer(broker, group="g", topics=["data"])
+        polled = consumer.poll(max_messages=6)
+        assert len(polled) == 6
+        quiet_seen = {m.value for m in polled if m.partition != busy_partition}
+        assert quiet_seen == {"quiet-0", "quiet-1", "quiet-2"}
+        # commits stay contiguous per partition: the next poll continues
+        # where the busy partition left off
+        assert [m.value for m in consumer.poll(max_messages=3)] == [
+            "busy-3",
+            "busy-4",
+            "busy-5",
+        ]
+
+    def test_bounded_poll_commits_only_returned_messages(self):
+        broker = MessageBroker()
+        producer = Producer(broker, default_topic="data")
+        for value in range(10):
+            producer.send(value)
+        consumer = Consumer(broker, group="g", topics=["data"])
+        assert [m.value for m in consumer.poll(max_messages=4)] == [0, 1, 2, 3]
+        # the fetched-but-unreturned tail is re-read by the next poll
+        assert [m.value for m in consumer.poll(max_messages=4)] == [4, 5, 6, 7]
+        assert [m.value for m in consumer.poll()] == [8, 9]
+
+    def test_bounded_poll_exhausts_all_topics(self):
+        broker = MessageBroker()
+        for topic in ("a", "b", "c"):
+            producer = Producer(broker, default_topic=topic)
+            for value in range(2):
+                producer.send(f"{topic}-{value}")
+        consumer = Consumer(broker, group="g", topics=["a", "b", "c"])
+        assert len(consumer.poll(max_messages=100)) == 6
+        assert consumer.poll(max_messages=100) == []
+
     def test_lag_counts_unconsumed(self):
         broker = MessageBroker()
         producer = Producer(broker, default_topic="data")
