@@ -1,0 +1,213 @@
+"""Lazy zero-copy decode tier vs eager full decode (ISSUE 6).
+
+Three claims about the lazy tier:
+
+1. **filtered replay** — the paper's canonical use case (monitor one prefix
+   of interest across a firehose of updates) only ever reads the cheap gate
+   fields of rejected elems, so deferring path-attribute materialisation
+   until first read speeds the whole replay by ≥3x over eager decode;
+2. **unfiltered replay** — when every elem is fully read (``field_dict`` per
+   elem), the lazy tier materialises everything anyway and must stay within
+   a small constant factor of eager decode (the deferral bookkeeping must
+   not cost a regression);
+3. **BMP scan** — the live-path framing scan re-measured under the lazy
+   tier: Route Monitoring bodies whose attributes are never read defer
+   their decode entirely, so the wire-to-message scan beats the eager scan.
+
+Equivalence (identical field dicts from both tiers) is asserted before any
+timing; the exhaustive cross-product lives in
+``tests/core/test_lazy_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.community import CommunitySet
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.bmp.codec import scan_messages
+from repro.bmp.messages import BMPMessage, BMPPeerHeader
+from repro.core.interfaces import SingleFileDataInterface
+from repro.core.intern import reset_default_pool
+from repro.core.stream import BGPStream
+from repro.mrt.parser import clear_index_cache
+from repro.mrt.records import BGP4MPMessage
+from repro.mrt.writer import write_updates_dump
+
+#: Update shape: transit-grade attribute blocks (long prepended AS paths,
+#: large community sets, aggregator) drawn from repeating populations, one
+#: announcement per message — the shape where per-attribute decode cost
+#: dominates an eager replay.
+UPDATE_MESSAGES = 4000
+PATH_LENGTH = 40
+COMMUNITIES_PER_SET = 100
+DISTINCT_PATHS = 150
+DISTINCT_COMMUNITY_SETS = 80
+
+#: The one prefix the filtered replay watches (announced by one message).
+WATCHED_PREFIX = "10.7.33.0/24"
+
+SPEEDUP_FLOOR = 3.0
+REGRESSION_CEILING = 1.35
+
+
+def _update_bodies():
+    paths = [
+        ASPath.from_asns([65001 + (i * 7 + j) % 3000 for j in range(PATH_LENGTH)])
+        for i in range(DISTINCT_PATHS)
+    ]
+    community_sets = [
+        CommunitySet.from_pairs(
+            [(65000 + (i + j) % 200, j) for j in range(COMMUNITIES_PER_SET)]
+        )
+        for i in range(DISTINCT_COMMUNITY_SETS)
+    ]
+    for i in range(UPDATE_MESSAGES):
+        prefix = Prefix.from_string(f"10.{(i >> 8) % 250}.{i % 250}.0/24")
+        attributes = PathAttributes(
+            origin=0,
+            as_path=paths[i % len(paths)],
+            next_hop=f"192.0.2.{i % 200 + 1}",
+            communities=community_sets[i % len(community_sets)],
+            med=5,
+            local_pref=100,
+            aggregator=(65010, "10.0.0.99"),
+        )
+        update = BGPUpdate(announced=[prefix], withdrawn=[], attributes=attributes)
+        yield (
+            1000 + i // 10,
+            BGP4MPMessage(
+                65001 + i % 4, 64600, f"192.0.2.{i % 4 + 10}", "192.0.2.1", update
+            ),
+        )
+
+
+@pytest.fixture(scope="module")
+def heavy_updates_dump(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("lazy-bench") / "updates.mrt")
+    write_updates_dump(path, _update_bodies(), compress=False)
+    return path
+
+
+def _replay(dump_path, eager, prefix_filter=None, touch=False):
+    """One full pass; returns (matched_elem_count, matched_field_dicts)."""
+    clear_index_cache()
+    reset_default_pool()
+    stream = BGPStream(
+        data_interface=SingleFileDataInterface(dump_path, dump_type="updates"),
+        eager=eager,
+    )
+    if prefix_filter is not None:
+        stream.add_filter("prefix-exact", prefix_filter)
+    matched = 0
+    fields = []
+    for _record, elem in stream.elems():
+        matched += 1
+        if touch:
+            fields.append(elem.field_dict())
+    return matched, fields
+
+
+def _min_seconds(fn, rounds=3):
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_lazy_filtered_replay_beats_eager(benchmark, heavy_updates_dump):
+    """Prefix-of-interest replay: lazy tier ≥3x the eager elems/sec."""
+    # Equivalence first: both tiers surface the identical matches.
+    eager_matched, eager_fields = _replay(
+        heavy_updates_dump, eager=True, prefix_filter=WATCHED_PREFIX, touch=True
+    )
+    lazy_matched, lazy_fields = _replay(
+        heavy_updates_dump, eager=False, prefix_filter=WATCHED_PREFIX, touch=True
+    )
+    assert eager_matched == lazy_matched > 0
+    assert eager_fields == lazy_fields
+
+    def lazy_pass():
+        return _replay(
+            heavy_updates_dump, eager=False, prefix_filter=WATCHED_PREFIX, touch=True
+        )
+
+    benchmark.pedantic(lazy_pass, rounds=3, iterations=1, warmup_rounds=1)
+    lazy_seconds = benchmark.stats.stats.min
+    eager_seconds = _min_seconds(
+        lambda: _replay(
+            heavy_updates_dump, eager=True, prefix_filter=WATCHED_PREFIX, touch=True
+        )
+    )
+
+    speedup = eager_seconds / lazy_seconds
+    benchmark.extra_info["records"] = UPDATE_MESSAGES
+    benchmark.extra_info["eager_records_per_sec"] = round(UPDATE_MESSAGES / eager_seconds)
+    benchmark.extra_info["lazy_records_per_sec"] = round(UPDATE_MESSAGES / lazy_seconds)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"lazy filtered replay only {speedup:.2f}x faster than eager "
+        f"(expected ≥{SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_lazy_unfiltered_replay_no_regression(benchmark, heavy_updates_dump):
+    """Touch-everything replay: deferral bookkeeping must not cost a regression."""
+    eager_matched, _ = _replay(heavy_updates_dump, eager=True, touch=True)
+    lazy_matched, _ = _replay(heavy_updates_dump, eager=False, touch=True)
+    assert eager_matched == lazy_matched == UPDATE_MESSAGES
+
+    def lazy_pass():
+        return _replay(heavy_updates_dump, eager=False, touch=True)
+
+    benchmark.pedantic(lazy_pass, rounds=3, iterations=1, warmup_rounds=1)
+    lazy_seconds = benchmark.stats.stats.min
+    eager_seconds = _min_seconds(lambda: _replay(heavy_updates_dump, eager=True, touch=True))
+
+    ratio = lazy_seconds / eager_seconds
+    benchmark.extra_info["eager_records_per_sec"] = round(UPDATE_MESSAGES / eager_seconds)
+    benchmark.extra_info["lazy_records_per_sec"] = round(UPDATE_MESSAGES / lazy_seconds)
+    benchmark.extra_info["lazy_vs_eager_ratio"] = round(ratio, 2)
+    assert ratio <= REGRESSION_CEILING, (
+        f"lazy full-read replay is {ratio:.2f}x eager (ceiling {REGRESSION_CEILING}x)"
+    )
+
+
+@pytest.fixture(scope="module")
+def bmp_wire():
+    """The same update population as one buffer of encoded BMP frames."""
+    frames = []
+    for timestamp, body in _update_bodies():
+        peer = BMPPeerHeader(
+            address=body.peer_address, asn=body.peer_asn, timestamp_sec=timestamp
+        )
+        frames.append(BMPMessage.route_monitoring(peer, body.update).encode())
+    return b"".join(frames)
+
+
+def test_lazy_bmp_scan_beats_eager(benchmark, bmp_wire):
+    """Framing scan re-measured: deferred bodies make the lazy scan faster."""
+
+    def lazy_scan():
+        return scan_messages(bmp_wire, lazy=True)
+
+    messages = benchmark.pedantic(lazy_scan, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(messages) == UPDATE_MESSAGES
+    assert all(message.is_valid for message in messages)
+    lazy_seconds = benchmark.stats.stats.min
+    eager_seconds = _min_seconds(lambda: scan_messages(bmp_wire, lazy=False))
+
+    benchmark.extra_info["mbytes"] = round(len(bmp_wire) / 1e6, 2)
+    benchmark.extra_info["lazy_messages_per_sec"] = round(UPDATE_MESSAGES / lazy_seconds)
+    benchmark.extra_info["eager_messages_per_sec"] = round(UPDATE_MESSAGES / eager_seconds)
+    benchmark.extra_info["speedup"] = round(eager_seconds / lazy_seconds, 2)
+    # The scan itself never reads the deferred attributes, so the lazy tier
+    # must win outright here; a generous ceiling guards against noise.
+    assert lazy_seconds <= eager_seconds * REGRESSION_CEILING

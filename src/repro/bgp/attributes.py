@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import List, Optional, Tuple
 
-from repro.bgp.aspath import ASPath
+from repro import _profiling as profiling
+from repro.bgp.aspath import ASPath, SegmentType
 from repro.bgp.community import CommunitySet
 from repro.bgp.prefix import Prefix
 
@@ -57,6 +58,23 @@ AFI_IPV4 = 1
 AFI_IPV6 = 2
 SAFI_UNICAST = 1
 
+#: The dataclass fields of :class:`PathAttributes`, in declaration order
+#: (used by pickling and the lazy layer; excludes the canonicalisation
+#: marker, which is transient state).
+_ATTR_FIELDS = (
+    "origin",
+    "as_path",
+    "next_hop",
+    "med",
+    "local_pref",
+    "atomic_aggregate",
+    "aggregator",
+    "communities",
+    "mp_next_hop",
+    "mp_reach_nlri",
+    "mp_unreach_nlri",
+)
+
 
 @dataclass(slots=True)
 class PathAttributes:
@@ -82,6 +100,46 @@ class PathAttributes:
     mp_next_hop: Optional[str] = None
     mp_reach_nlri: List[Prefix] = field(default_factory=list)
     mp_unreach_nlri: List[Prefix] = field(default_factory=list)
+    #: Elem-time canonicalisation marker: the intern pool this attribute set
+    #: was last written back through (see ``repro.core.record``), so repeated
+    #: ``elems()`` calls on a shared set skip the write-back pass.
+    _canonical_for: Optional[object] = field(default=None, init=False, repr=False, compare=False)
+
+    # -- value semantics ---------------------------------------------------
+
+    # Defined explicitly (the dataclass machinery skips fields it finds in
+    # the class body) because the generated __eq__ requires both operands to
+    # be of the *same class*, which would make a lazy attribute set compare
+    # unequal to its eager equivalent.  Reading through ``self.<field>``
+    # lets the lazy subclass materialise deferred attributes on demand.
+    def __eq__(self, other: object):
+        if other is self:
+            return True
+        if not isinstance(other, PathAttributes):
+            return NotImplemented
+        return (
+            self.origin == other.origin
+            and self.next_hop == other.next_hop
+            and self.med == other.med
+            and self.local_pref == other.local_pref
+            and self.atomic_aggregate == other.atomic_aggregate
+            and self.aggregator == other.aggregator
+            and self.as_path == other.as_path
+            and self.communities == other.communities
+            and self.mp_next_hop == other.mp_next_hop
+            and self.mp_reach_nlri == other.mp_reach_nlri
+            and self.mp_unreach_nlri == other.mp_unreach_nlri
+        )
+
+    # -- pickling (the canonicalisation marker does not travel) ------------
+
+    def __getstate__(self) -> Tuple:
+        return tuple(getattr(self, name) for name in _ATTR_FIELDS)
+
+    def __setstate__(self, state: Tuple) -> None:
+        for name, value in zip(_ATTR_FIELDS, state):
+            setattr(self, name, value)
+        self._canonical_for = None
 
     # -- helpers -----------------------------------------------------------
 
@@ -144,6 +202,8 @@ class PathAttributes:
         Unknown attribute types are skipped (they are preserved on the wire
         by real routers but BGPStream does not expose them either).
         """
+        if profiling.counters is not None:
+            profiling.counters.attr_blocks_eager += 1
         attrs = cls()
         offset = 0
         while offset < len(data):
@@ -176,7 +236,7 @@ class PathAttributes:
         elif attr_type == AttrType.AS_PATH:
             self.as_path = ASPath.decode(body)
         elif attr_type == AttrType.NEXT_HOP:
-            self.next_hop = str(ipaddress.IPv4Address(body))
+            self.next_hop = str(ipaddress.IPv4Address(bytes(body)))
         elif attr_type == AttrType.MULTI_EXIT_DISC:
             (self.med,) = struct.unpack("!I", body)
         elif attr_type == AttrType.LOCAL_PREF:
@@ -228,7 +288,7 @@ def _decode_mp_reach(body: bytes) -> Tuple[str, List[Prefix]]:
     offset += nh_len
     offset += 1  # reserved
     # A link-local second next hop may be present; use the first 16 bytes.
-    next_hop = str(ipaddress.IPv6Address(nh_raw[:16])) if nh_len >= 16 else None
+    next_hop = str(ipaddress.IPv6Address(bytes(nh_raw[:16]))) if nh_len >= 16 else None
     version = 6 if afi == AFI_IPV6 else 4
     prefixes: List[Prefix] = []
     while offset < len(body):
@@ -253,3 +313,297 @@ def _decode_mp_unreach(body: bytes) -> List[Prefix]:
         prefix, offset = Prefix.decode(body, offset, version=version)
         prefixes.append(prefix)
     return prefixes
+
+
+# ---------------------------------------------------------------------------
+# Lazy decode tier (PR 6)
+# ---------------------------------------------------------------------------
+
+#: Attribute types whose parse is deferred until first read.  MP_REACH /
+#: MP_UNREACH stay eager: their NLRI are gate fields (the filter's prefix
+#: trie reads them), and ATOMIC_AGGREGATE is a single flag.
+_T_ORIGIN = int(AttrType.ORIGIN)
+_T_AS_PATH = int(AttrType.AS_PATH)
+_T_NEXT_HOP = int(AttrType.NEXT_HOP)
+_T_MED = int(AttrType.MULTI_EXIT_DISC)
+_T_LOCAL_PREF = int(AttrType.LOCAL_PREF)
+_T_AGGREGATOR = int(AttrType.AGGREGATOR)
+_T_COMMUNITIES = int(AttrType.COMMUNITIES)
+
+_DEFERRABLE_TYPES = frozenset(
+    {_T_ORIGIN, _T_AS_PATH, _T_NEXT_HOP, _T_MED, _T_LOCAL_PREF, _T_AGGREGATOR, _T_COMMUNITIES}
+)
+
+_SEGMENT_TYPE_VALUES = frozenset(int(t) for t in SegmentType)
+
+#: Shared empty defaults for the lazy constructor (both classes are frozen
+#: flyweights, so one instance can back every attribute set).
+_EMPTY_PATH = ASPath()
+_EMPTY_COMMUNITIES = CommunitySet()
+
+
+def _validate_deferred_attr(attr_type: int, body) -> None:
+    """Structurally validate a deferred attribute body without building values.
+
+    A malformed deferred attribute must surface the **same corruption
+    signal at decode time** as the eager path, so this raises the exact
+    exception class (and message, where the check is cheap) that
+    :meth:`PathAttributes._apply` would raise — the expensive value
+    construction is all that gets deferred.
+    """
+    if attr_type == _T_ORIGIN:
+        value = body[0]  # IndexError on an empty body, like Origin(body[0])
+        if value > 2:
+            Origin(value)  # raises the eager enum ValueError
+    elif attr_type == _T_AS_PATH:
+        size = len(body)
+        offset = 0
+        while offset < size:
+            if offset + 2 > size:
+                raise ValueError("truncated AS path segment header")
+            if body[offset] not in _SEGMENT_TYPE_VALUES:
+                SegmentType(body[offset])  # raises the eager enum ValueError
+            offset += 2 + 4 * body[offset + 1]
+            if offset > size:
+                raise ValueError("truncated AS path segment body")
+    elif attr_type == _T_NEXT_HOP:
+        if len(body) != 4:
+            ipaddress.IPv4Address(bytes(body))  # raises AddressValueError
+    elif attr_type == _T_MED or attr_type == _T_LOCAL_PREF:
+        if len(body) != 4:
+            struct.unpack("!I", bytes(body))  # raises struct.error
+    elif attr_type == _T_AGGREGATOR:
+        if len(body) != 8:
+            struct.unpack("!I4s", bytes(body))  # raises struct.error
+    elif attr_type == _T_COMMUNITIES:
+        if len(body) % 4:
+            raise ValueError("communities attribute length must be a multiple of 4")
+
+
+class LazyPathAttributes(PathAttributes):
+    """A :class:`PathAttributes` that parses deferred attributes on first read.
+
+    The constructor walks the attribute TLV block exactly like
+    :meth:`PathAttributes.decode` but only *validates* the deferrable
+    attribute bodies (keeping zero-copy slices of the wire buffer); gate
+    attributes the filter layer needs cheaply — MP_REACH/MP_UNREACH NLRI
+    and ATOMIC_AGGREGATE — are applied eagerly.  Reading a deferred field
+    (``attrs.as_path`` …) materialises just that attribute, interning the
+    value through the bound pool so only filter survivors pay the
+    flyweight lookup.
+
+    Semantics are observably identical to the eager class: corruption
+    raises at construction time with the same exception classes, equality
+    and ``encode()`` work against eager sets, and pickling materialises
+    into a plain :class:`PathAttributes` (deferred slices must not cross
+    process boundaries).
+    """
+
+    __slots__ = ("_deferred", "_pool")
+
+    def __init__(self, data=b"", pool=None) -> None:
+        set_field = _SLOT_SETTERS
+        set_field["origin"](self, Origin.IGP)
+        set_field["as_path"](self, _EMPTY_PATH)
+        set_field["next_hop"](self, None)
+        set_field["med"](self, None)
+        set_field["local_pref"](self, None)
+        set_field["aggregator"](self, None)
+        set_field["communities"](self, _EMPTY_COMMUNITIES)
+        self.atomic_aggregate = False
+        self.mp_next_hop = None
+        self.mp_reach_nlri = []
+        self.mp_unreach_nlri = []
+        self._canonical_for = None
+        deferred = {}
+        self._deferred = deferred
+        self._pool = pool
+        size = len(data)
+        offset = 0
+        while offset < size:
+            if offset + 2 > size:
+                raise ValueError("truncated attribute header")
+            flags = data[offset]
+            attr_type = data[offset + 1]
+            offset += 2
+            if flags & FLAG_EXTENDED_LENGTH:
+                if offset + 2 > size:
+                    raise ValueError("truncated extended attribute length")
+                (length,) = struct.unpack_from("!H", data, offset)
+                offset += 2
+            else:
+                if offset + 1 > size:
+                    raise ValueError("truncated attribute length")
+                length = data[offset]
+                offset += 1
+            end = offset + length
+            if end > size:
+                raise ValueError("truncated attribute body")
+            body = data[offset:end]
+            offset = end
+            if attr_type in _DEFERRABLE_TYPES:
+                _validate_deferred_attr(attr_type, body)
+                deferred[attr_type] = body
+            else:
+                self._apply(attr_type, body)
+        if profiling.counters is not None:
+            profiling.counters.attr_blocks_deferred += 1
+
+    # -- lazy machinery ----------------------------------------------------
+
+    def bind_pool(self, pool) -> None:
+        """Intern materialised values through ``pool`` from now on."""
+        self._pool = pool
+
+    @property
+    def deferred_types(self) -> frozenset:
+        """The attribute type codes still awaiting materialisation."""
+        return frozenset(self._deferred)
+
+    def _materialise(self, attr_type: int) -> None:
+        body = self._deferred.get(attr_type)
+        if body is None:
+            return
+        # _apply stores through the shadowing property setters, which write
+        # the slot *before* popping the deferred entry — a concurrent reader
+        # at worst repeats the (idempotent) parse, never sees a half state.
+        self._apply(attr_type, body)
+        pool = self._pool
+        if pool is not None:
+            if attr_type == _T_AS_PATH:
+                _set_as_path(self, pool.path(_get_as_path(self)))
+            elif attr_type == _T_COMMUNITIES:
+                _set_communities(self, pool.communities(_get_communities(self)))
+            elif attr_type == _T_NEXT_HOP:
+                value = _get_next_hop(self)
+                if value is not None:
+                    _set_next_hop(self, pool.string(value))
+        if profiling.counters is not None:
+            profiling.counters.attr_fields_materialised += 1
+
+    def materialise_all(self) -> None:
+        """Force-parse every remaining deferred attribute."""
+        for attr_type in tuple(self._deferred):
+            self._materialise(attr_type)
+
+    # -- pickling ----------------------------------------------------------
+
+    def __reduce__(self):
+        # Deferred wire slices (memoryviews into a dump buffer) and the
+        # bound pool must not travel; an unpickled lazy set is just eager.
+        self.materialise_all()
+        return (
+            PathAttributes,
+            (
+                self.origin,
+                self.as_path,
+                self.next_hop,
+                self.med,
+                self.local_pref,
+                self.atomic_aggregate,
+                self.aggregator,
+                self.communities,
+                self.mp_next_hop,
+                self.mp_reach_nlri,
+                self.mp_unreach_nlri,
+            ),
+        )
+
+
+def _lazy_field(name: str, attr_type: int) -> property:
+    """A property shadowing a parent slot, materialising on first read."""
+    slot = PathAttributes.__dict__[name]
+    slot_get = slot.__get__
+    slot_set = slot.__set__
+
+    def fget(self):
+        if attr_type in self._deferred:
+            self._materialise(attr_type)
+        return slot_get(self)
+
+    def fset(self, value):
+        slot_set(self, value)
+        self._deferred.pop(attr_type, None)
+
+    return property(fget, fset)
+
+
+_SLOT_SETTERS = {
+    name: PathAttributes.__dict__[name].__set__
+    for name in ("origin", "as_path", "next_hop", "med", "local_pref", "aggregator", "communities")
+}
+_get_as_path = PathAttributes.__dict__["as_path"].__get__
+_set_as_path = PathAttributes.__dict__["as_path"].__set__
+_get_communities = PathAttributes.__dict__["communities"].__get__
+_set_communities = PathAttributes.__dict__["communities"].__set__
+_get_next_hop = PathAttributes.__dict__["next_hop"].__get__
+_set_next_hop = PathAttributes.__dict__["next_hop"].__set__
+
+for _name, _attr_type in (
+    ("origin", _T_ORIGIN),
+    ("as_path", _T_AS_PATH),
+    ("next_hop", _T_NEXT_HOP),
+    ("med", _T_MED),
+    ("local_pref", _T_LOCAL_PREF),
+    ("aggregator", _T_AGGREGATOR),
+    ("communities", _T_COMMUNITIES),
+):
+    setattr(LazyPathAttributes, _name, _lazy_field(_name, _attr_type))
+del _name, _attr_type
+
+
+# ---------------------------------------------------------------------------
+# The global lazy-decode switch and the decode entry point
+# ---------------------------------------------------------------------------
+
+_lazy_decode = True
+
+
+def lazy_decode_enabled() -> bool:
+    return _lazy_decode
+
+
+def set_lazy_decode(enabled: bool) -> bool:
+    """Globally enable/disable lazy attribute decoding; returns the previous
+    setting (so callers can restore it)."""
+    global _lazy_decode
+    previous = _lazy_decode
+    _lazy_decode = bool(enabled)
+    return previous
+
+
+def resolve_lazy(lazy: Optional[bool] = None) -> bool:
+    """Resolve a per-call ``lazy=`` knob against the global switch."""
+    return _lazy_decode if lazy is None else bool(lazy)
+
+
+class lazy_decoding:
+    """Context manager scoping the global lazy-decode switch::
+
+        with lazy_decoding(False):
+            update = decode_update(raw)   # fully-materialised attributes
+    """
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self._previous: Optional[bool] = None
+
+    def __enter__(self) -> "lazy_decoding":
+        self._previous = set_lazy_decode(self.enabled)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._previous is not None:
+            set_lazy_decode(self._previous)
+
+
+def decode_attributes(data, lazy: Optional[bool] = None, pool=None) -> PathAttributes:
+    """Decode an attribute TLV block, lazily or eagerly.
+
+    ``lazy=None`` follows the global switch; ``pool`` (lazy mode only)
+    interns values as they materialise.  Either way corruption raises here,
+    with identical exception classes.
+    """
+    if resolve_lazy(lazy):
+        return LazyPathAttributes(data, pool)
+    return PathAttributes.decode(data)

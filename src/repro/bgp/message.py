@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import List
 
-from repro.bgp.attributes import PathAttributes
+from typing import Optional
+
+from repro.bgp.attributes import PathAttributes, decode_attributes
 from repro.bgp.prefix import Prefix
 
 #: The BGP message marker: 16 bytes of 0xFF (RFC 4271 §4.1).
@@ -117,11 +119,11 @@ class BGPOpen:
         if len(body) < 10:
             raise BGPDecodeError("OPEN body too short")
         version, asn, hold_time = struct.unpack_from("!BHH", body, 0)
-        bgp_id = str(ipaddress.IPv4Address(body[5:9]))
+        bgp_id = str(ipaddress.IPv4Address(bytes(body[5:9])))
         opt_len = body[9]
         if 10 + opt_len != len(body):
             raise BGPDecodeError("OPEN optional-parameters length mismatch")
-        return cls(version, asn, hold_time, bgp_id, body[10 : 10 + opt_len])
+        return cls(version, asn, hold_time, bgp_id, bytes(body[10 : 10 + opt_len]))
 
 
 def _decode_header(data: bytes, expected_type: "MessageType") -> bytes:
@@ -163,21 +165,27 @@ def encode_update(update: BGPUpdate) -> bytes:
     return update.encode()
 
 
-def decode_update(data: bytes) -> BGPUpdate:
+def decode_update(data: bytes, lazy: Optional[bool] = None, pool=None) -> BGPUpdate:
     """Decode a complete BGP UPDATE message (with marker header).
 
     Raises :class:`BGPDecodeError` on any structural problem; the MRT layer
     converts that into a corrupted-record signal, exactly as the extended
     libBGPdump in the paper signals corrupted reads to libBGPStream.
+
+    ``data`` may be a ``memoryview`` (the zero-copy readers pass views of
+    the dump/frame buffer straight through).  ``lazy=None`` follows the
+    global lazy-decode switch; lazy mode records zero-copy slices of the
+    attribute block and defers value construction to first read, while
+    structural corruption still raises here, identically to eager mode.
     """
     body = _decode_header(data, MessageType.UPDATE)
     try:
-        return _decode_update_body(body)
+        return _decode_update_body(body, lazy=lazy, pool=pool)
     except (ValueError, struct.error) as exc:
         raise BGPDecodeError(str(exc)) from exc
 
 
-def _decode_update_body(body: bytes) -> BGPUpdate:
+def _decode_update_body(body: bytes, lazy: Optional[bool] = None, pool=None) -> BGPUpdate:
     if len(body) < 4:
         raise BGPDecodeError("UPDATE body too short")
     (withdrawn_len,) = struct.unpack_from("!H", body, 0)
@@ -196,7 +204,9 @@ def _decode_update_body(body: bytes) -> BGPUpdate:
     if attr_end > len(body):
         raise BGPDecodeError("path attributes overrun message")
     attributes = (
-        PathAttributes.decode(body[offset:attr_end]) if attr_len else PathAttributes()
+        decode_attributes(body[offset:attr_end], lazy=lazy, pool=pool)
+        if attr_len
+        else PathAttributes()
     )
 
     announced: List[Prefix] = []

@@ -14,6 +14,15 @@ from typing import Tuple, Union
 _IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
 _IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
 
+# Decode-level flyweight cache: exact wire bytes -> Prefix.  Update churn
+# concentrates on a small fraction of the table, so NLRI entries repeat
+# heavily and the ipaddress construction (the hottest part of decode) can be
+# skipped for every repeat.  Prefix is frozen, so sharing one object across
+# streams and threads is safe.  Bounded by wholesale clearing: the real
+# working set sits far below the cap.  See repro.bgp.wirecache.
+_DECODE_CACHE_MAX = 1 << 16
+_decode_cache: dict = {}
+
 
 class Prefix:
     """An IP prefix such as ``192.0.2.0/24`` or ``2001:db8::/32``.
@@ -157,8 +166,18 @@ class Prefix:
         end = offset + 1 + nbytes
         if end > len(data):
             raise ValueError("truncated NLRI: missing address bytes")
-        addr_len = 4 if version == 4 else 16
-        raw = data[offset + 1 : end] + b"\x00" * (addr_len - nbytes)
-        address = ipaddress.ip_address(raw)
-        network = ipaddress.ip_network(f"{address}/{length}", strict=False)
-        return cls(network), end
+        # bytes() also accepts memoryview slices from the zero-copy readers.
+        raw = bytes(data[offset + 1 : end])
+        key = (version, length, raw)
+        prefix = _decode_cache.get(key)
+        if prefix is None:
+            addr_len = 4 if version == 4 else 16
+            padded = raw + b"\x00" * (addr_len - nbytes)
+            # strict=False masks host bits set beyond the prefix length --
+            # real BGP data occasionally carries such prefixes.
+            network = ipaddress.ip_network((padded, length), strict=False)
+            prefix = cls(network)
+            if len(_decode_cache) >= _DECODE_CACHE_MAX:
+                _decode_cache.clear()
+            _decode_cache[key] = prefix
+        return prefix, end

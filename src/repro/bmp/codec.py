@@ -25,6 +25,7 @@ from __future__ import annotations
 import struct
 from typing import Iterator, List, Optional
 
+from repro import _profiling as profiling
 from repro.bmp.constants import (
     BMP_VERSION,
     COMMON_HEADER_LEN,
@@ -42,26 +43,27 @@ def encode_message(message: BMPMessage) -> bytes:
     return message.encode()
 
 
-def decode_message(data: bytes) -> BMPMessage:
+def decode_message(data: bytes, lazy: Optional[bool] = None) -> BMPMessage:
     """Decode exactly one BMP message occupying the whole buffer.
 
     Never raises: a structural problem comes back as a message with a
-    :class:`CorruptBMPMessage` body.
+    :class:`CorruptBMPMessage` body.  ``lazy`` forwards the lazy-decode
+    knob to the body codec (``None`` follows the global switch).
     """
     if len(data) < COMMON_HEADER_LEN:
-        return _corrupt("message shorter than BMP common header", data)
+        return _corrupt("message shorter than BMP common header", bytes(data))
     version, length, raw_type = _COMMON_HEADER_STRUCT.unpack_from(data, 0)
     if version != BMP_VERSION:
-        return _corrupt(f"unsupported BMP version {version}", data)
+        return _corrupt(f"unsupported BMP version {version}", bytes(data))
     if length != len(data):
         return _corrupt(
-            f"length field {length} does not match data size {len(data)}", data
+            f"length field {length} does not match data size {len(data)}", bytes(data)
         )
     try:
         msg_type = BMPMessageType(raw_type)
     except ValueError:
-        return _corrupt(f"unknown BMP message type {raw_type}", data)
-    body = decode_message_body(msg_type, data[COMMON_HEADER_LEN:])
+        return _corrupt(f"unknown BMP message type {raw_type}", bytes(data))
+    body = decode_message_body(msg_type, data[COMMON_HEADER_LEN:], lazy=lazy)
     return BMPMessage(msg_type, body, version=version)
 
 
@@ -73,9 +75,17 @@ class BMPStreamParser:
     Once framing is lost the parser is *dead*: it signals one corrupt
     message and ignores everything after (resynchronising inside a broken
     byte stream would risk fabricating records).
+
+    ``lazy`` forwards the lazy-decode knob to the Route Monitoring body
+    codec (``None`` follows the global switch).  Each complete frame is
+    snapshotted out of the mutable accumulation buffer before decoding, so
+    lazy attribute views reference immutable bytes — a self-contained
+    buffer that skips the accumulation step entirely goes through
+    :func:`scan_buffer`, which is fully zero-copy.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, lazy: Optional[bool] = None) -> None:
+        self.lazy = lazy
         self._buffer = bytearray()
         self._dead = False
         #: Counters useful for monitoring a long-lived feed.
@@ -124,7 +134,7 @@ class BMPStreamParser:
                 frame_body = bytes(buffer[offset + COMMON_HEADER_LEN : offset + length])
                 try:
                     msg_type: Optional[BMPMessageType] = BMPMessageType(raw_type)
-                    body = decode_message_body(msg_type, frame_body)
+                    body = decode_message_body(msg_type, frame_body, lazy=self.lazy)
                 except ValueError:
                     msg_type = None
                     body = CorruptBMPMessage(
@@ -135,6 +145,9 @@ class BMPStreamParser:
                 self._count(message)
                 offset += length
                 self.bytes_consumed += length
+                counters = profiling.counters
+                if counters is not None:
+                    counters.bmp_frames_scanned += 1
                 yield message
         finally:
             # Must also run when the caller abandons the iterator mid-drain
@@ -168,21 +181,65 @@ class BMPStreamParser:
             self.corrupt_messages += 1
 
 
-def scan_buffer(data: bytes) -> Iterator[BMPMessage]:
+def scan_buffer(data: bytes, lazy: Optional[bool] = None) -> Iterator[BMPMessage]:
     """Scan one complete buffer of back-to-back BMP messages.
 
     Yields every framed message (corrupt bodies signalled per message) and
     a final corruption signal if the buffer ends mid-frame or framing is
-    lost — the bulk-scan counterpart of :class:`BMPStreamParser`.
+    lost — the bulk-scan counterpart of :class:`BMPStreamParser`, with the
+    same kill reasons.
+
+    Unlike the incremental parser this scan is **zero-copy**: the buffer is
+    walked through one :class:`memoryview` and each frame's body is handed
+    to the codec as a view slice, so a Kafka poll's worth of back-to-back
+    frames decodes without per-frame byte copies (and, with ``lazy`` left
+    on, without constructing attribute values the consumer never reads).
+    The buffer must therefore be immutable for the lifetime of the decoded
+    messages — Kafka message values and file contents are.
     """
-    parser = BMPStreamParser()
-    parser.feed(data)
-    yield from parser.finish()
+    view = memoryview(data)
+    size = len(view)
+    offset = 0
+    frames = 0
+    unpack_from = _COMMON_HEADER_STRUCT.unpack_from
+    try:
+        while offset + COMMON_HEADER_LEN <= size:
+            version, length, raw_type = unpack_from(view, offset)
+            if version != BMP_VERSION:
+                yield _corrupt(f"unsupported BMP version {version}", bytes(view[offset:]))
+                return
+            if length < COMMON_HEADER_LEN or length > MAX_BMP_MESSAGE_LEN:
+                yield _corrupt(
+                    f"implausible BMP message length {length}", bytes(view[offset:])
+                )
+                return
+            if offset + length > size:
+                break  # truncated tail: signalled below
+            frame_body = view[offset + COMMON_HEADER_LEN : offset + length]
+            try:
+                msg_type: Optional[BMPMessageType] = BMPMessageType(raw_type)
+                body = decode_message_body(msg_type, frame_body, lazy=lazy)
+            except ValueError:
+                msg_type = None
+                body = CorruptBMPMessage(
+                    f"unknown BMP message type {raw_type}",
+                    bytes(view[offset : offset + length]),
+                )
+            offset += length
+            frames += 1
+            yield BMPMessage(msg_type, body, version=version)
+        if offset < size:
+            yield _corrupt("truncated BMP message at end of stream", bytes(view[offset:]))
+    finally:
+        counters = profiling.counters
+        if counters is not None:
+            counters.bmp_frames_scanned += frames
+            counters.bytes_viewed += offset
 
 
-def scan_messages(data: bytes) -> List[BMPMessage]:
+def scan_messages(data: bytes, lazy: Optional[bool] = None) -> List[BMPMessage]:
     """Like :func:`scan_buffer` but materialised into a list."""
-    return list(scan_buffer(data))
+    return list(scan_buffer(data, lazy=lazy))
 
 
 def _corrupt(reason: str, raw: bytes = b"") -> BMPMessage:

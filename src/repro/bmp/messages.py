@@ -44,9 +44,11 @@ def _pack_addr16(address: str) -> bytes:
 
 def _unpack_addr16(data: bytes, ipv6: bool) -> str:
     """Read a 16-byte address field as IPv6, or IPv4 from the lowest 4 bytes."""
+    # bytes() also accepts the memoryview slices the zero-copy scan hands in
+    # (ipaddress constructors do not).
     if ipv6:
-        return str(ipaddress.IPv6Address(data))
-    return str(ipaddress.IPv4Address(data[12:16]))
+        return str(ipaddress.IPv6Address(bytes(data)))
+    return str(ipaddress.IPv4Address(bytes(data[12:16])))
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,7 +100,7 @@ class BMPPeerHeader:
             data[offset + 10 : offset + 26], bool(flags & PEER_FLAG_IPV6)
         )
         asn, = struct.unpack_from("!I", data, offset + 26)
-        bgp_id = str(ipaddress.IPv4Address(data[offset + 30 : offset + 34]))
+        bgp_id = str(ipaddress.IPv4Address(bytes(data[offset + 30 : offset + 34])))
         sec, usec = struct.unpack_from("!II", data, offset + 34)
         return cls(
             BMPPeerType(peer_type), flags, distinguisher, address, asn, bgp_id, sec, usec
@@ -130,7 +132,7 @@ def _decode_tlvs(data: bytes, offset: int = 0) -> List[BMPInfoTLV]:
         offset += 4
         if offset + length > len(data):
             raise ValueError("truncated information TLV value")
-        tlvs.append(BMPInfoTLV(tlv_type, data[offset : offset + length]))
+        tlvs.append(BMPInfoTLV(tlv_type, bytes(data[offset : offset + length])))
         offset += length
     return tlvs
 
@@ -182,9 +184,11 @@ class RouteMonitoringMessage:
         return self.peer.encode() + self.update.encode()
 
     @classmethod
-    def decode_body(cls, data: bytes) -> "RouteMonitoringMessage":
+    def decode_body(
+        cls, data: bytes, lazy: Optional[bool] = None
+    ) -> "RouteMonitoringMessage":
         peer = BMPPeerHeader.decode(data)
-        update = decode_update(data[PER_PEER_HEADER_LEN:])
+        update = decode_update(data[PER_PEER_HEADER_LEN:], lazy=lazy)
         return cls(peer, update)
 
 
@@ -336,7 +340,7 @@ class PeerDownNotification:
         if len(data) < PER_PEER_HEADER_LEN + 1:
             raise ValueError("truncated Peer Down body")
         reason = data[PER_PEER_HEADER_LEN]
-        return cls(peer, reason, data[PER_PEER_HEADER_LEN + 1 :])
+        return cls(peer, reason, bytes(data[PER_PEER_HEADER_LEN + 1 :]))
 
 
 @dataclass(slots=True)
@@ -430,17 +434,25 @@ class BMPMessage:
         return cls(BMPMessageType.TERMINATION, TerminationMessage(tlvs))
 
 
-def decode_message_body(msg_type: BMPMessageType, body: bytes) -> BMPBody:
+def decode_message_body(
+    msg_type: BMPMessageType, body: bytes, lazy: Optional[bool] = None
+) -> BMPBody:
     """Decode the body bytes of one message according to its type.
 
     Returns a :class:`CorruptBMPMessage` (never raises) when the body cannot
     be parsed, so the framing scan can keep walking the byte stream — the
     same discipline as :func:`repro.mrt.records.decode_record_body`.
+
+    ``body`` may be a ``memoryview`` slice of the frame buffer (the
+    zero-copy scan passes one); ``lazy`` forwards the lazy-decode knob to
+    the Route Monitoring update codec.
     """
     body_cls = _BODY_CLASSES.get(msg_type)
     if body_cls is None:
-        return CorruptBMPMessage(f"unsupported BMP message type {msg_type}", body)
+        return CorruptBMPMessage(f"unsupported BMP message type {msg_type}", bytes(body))
     try:
+        if body_cls is RouteMonitoringMessage:
+            return RouteMonitoringMessage.decode_body(body, lazy=lazy)
         return body_cls.decode_body(body)
     except (ValueError, struct.error, IndexError, BGPDecodeError) as exc:
-        return CorruptBMPMessage(f"decode error: {exc}", body)
+        return CorruptBMPMessage(f"decode error: {exc}", bytes(body))

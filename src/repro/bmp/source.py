@@ -90,6 +90,12 @@ class BMPKafkaDataSource:
     hold several back-to-back frames (collectors batch small messages); a
     frame that does not decode is returned as a corrupt message so the
     stream layer can signal it, exactly like a corrupted dump-file read.
+
+    Frames are scanned zero-copy out of each Kafka value and, by default,
+    Route Monitoring attribute blocks decode lazily (the value buffer is
+    immutable, so deferred views are safe).  ``eager=True`` forces full
+    decode at poll time; ``eager=None`` follows the process-wide
+    lazy-decode switch.
     """
 
     def __init__(
@@ -97,7 +103,9 @@ class BMPKafkaDataSource:
         broker: MessageBroker,
         topics: Optional[Sequence[str]] = None,
         group: str = DEFAULT_CONSUMER_GROUP,
+        eager: Optional[bool] = None,
     ) -> None:
+        self.eager = eager
         self.topics = list(topics) if topics else [DEFAULT_BMP_TOPIC]
         for topic in self.topics:
             broker.create_topic(topic)
@@ -114,6 +122,10 @@ class BMPKafkaDataSource:
         #: message known to lie past a window boundary, so later polls of
         #: the window skip it without re-fetching or re-decoding it.
         self._deferred_heads: Dict[Tuple[str, int, int], int] = {}
+
+    @property
+    def _lazy(self) -> Optional[bool]:
+        return None if self.eager is None else not self.eager
 
     def poll(
         self, max_messages: Optional[int] = None, until_ts: Optional[float] = None
@@ -166,7 +178,7 @@ class BMPKafkaDataSource:
             partition_key = (kafka_message.topic, kafka_message.partition)
             if partition_key in closed:
                 continue
-            decoded = list(scan_buffer(kafka_message.value))
+            decoded = list(scan_buffer(kafka_message.value, lazy=self._lazy))
             # Compare whole seconds, the resolution records carry: a frame
             # at until_ts + microseconds belongs to *this* window (its
             # record.time equals until_ts), so deferring it would strand it
@@ -202,7 +214,7 @@ class BMPKafkaDataSource:
         self, pairs: List[Tuple[str, BMPMessage]], kafka_message: Message
     ) -> None:
         router = kafka_message.key or ""
-        for message in scan_buffer(kafka_message.value):
+        for message in scan_buffer(kafka_message.value, lazy=self._lazy):
             self._count_frame(message)
             pairs.append((router, message))
 

@@ -63,6 +63,30 @@ class BGPElem:
     project: str = ""
     collector: str = ""
 
+    # Defined explicitly (the dataclass machinery skips methods it finds in
+    # the class body): the generated __eq__ requires both operands to be of
+    # the same class, which would make the lazy elems of the zero-copy tier
+    # compare unequal to eager ones despite identical field values.
+    def __eq__(self, other: object):
+        if other is self:
+            return True
+        if not isinstance(other, BGPElem):
+            return NotImplemented
+        return (
+            self.elem_type == other.elem_type
+            and self.time == other.time
+            and self.peer_address == other.peer_address
+            and self.peer_asn == other.peer_asn
+            and self.prefix == other.prefix
+            and self.next_hop == other.next_hop
+            and self.as_path == other.as_path
+            and self.communities == other.communities
+            and self.old_state == other.old_state
+            and self.new_state == other.new_state
+            and self.project == other.project
+            and self.collector == other.collector
+        )
+
     # -- convenience views ---------------------------------------------------
 
     @property

@@ -247,6 +247,7 @@ class LiveDataInterface(DataInterface):
         project: Optional[str] = None,
         track_state: Optional[bool] = None,
         converter: Optional["BMPRecordConverter"] = None,
+        eager: Optional[bool] = None,
     ) -> None:
         # Imported lazily: repro.bmp depends on repro.core and this module
         # is part of the repro.core package init.
@@ -257,10 +258,15 @@ class LiveDataInterface(DataInterface):
             if broker is None:
                 raise ValueError("LiveDataInterface needs a source or a message broker")
             source = BMPKafkaDataSource(
-                broker, topics=topics, group=group or DEFAULT_CONSUMER_GROUP
+                broker, topics=topics, group=group or DEFAULT_CONSUMER_GROUP, eager=eager
             )
         elif broker is not None or topics is not None or group is not None:
             raise ValueError("pass either a ready source or broker/topics/group, not both")
+        elif eager is not None:
+            raise ValueError(
+                "pass either a ready source or eager=, not both (configure "
+                "eager on the source instead)"
+            )
         self.source = source
         if converter is not None:
             if project is not None or track_state is not None:

@@ -50,7 +50,10 @@ __all__ = [
 
 
 def read_dump_file(
-    spec: DumpFileSpec, cache_records: bool = True, intern: Optional[bool] = None
+    spec: DumpFileSpec,
+    cache_records: bool = True,
+    intern: Optional[bool] = None,
+    lazy: Optional[bool] = None,
 ) -> List[BGPStreamRecord]:
     """Parse one dump file into a record list (the worker-pool task).
 
@@ -66,8 +69,15 @@ def read_dump_file(
     own process-wide pool (pools are rebuilt per worker); pickling the
     records back preserves the object sharing *within* each file's list, and
     the consumer-side elem pipeline re-canonicalises across files.
+
+    ``lazy`` forwards the lazy-decode knob: lazy records returned from
+    *thread* workers carry zero-copy attribute views into the dump buffer;
+    process-pool workers materialise on pickle, so the deferral win there is
+    bounded to the worker side.
     """
-    return list(DumpFileReader(spec, cache_records=cache_records, intern=intern))
+    return list(
+        DumpFileReader(spec, cache_records=cache_records, intern=intern, lazy=lazy)
+    )
 
 
 @dataclass(frozen=True)
@@ -98,6 +108,12 @@ class ParallelConfig:
     #: worker process's global switch; ``bgpreader --no-intern`` forces
     #: ``False`` so process-pool workers skip dedup too).
     intern: Optional[bool] = None
+    #: Lazy attribute decoding in the workers (``None`` follows each worker
+    #: process's global switch; ``bgpreader --eager-decode`` forces
+    #: ``False``).  Process-pool workers materialise lazy records when
+    #: pickling them back, so the end-to-end deferral win applies to
+    #: thread/serial executors.
+    lazy: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.executor not in ("auto", "process", "thread", "serial"):
@@ -180,7 +196,12 @@ class ParallelStreamEngine:
         if executor is None:
             for subset in subsets:
                 yield [
-                    read_dump_file(spec, self.config.cache_records, self.config.intern)
+                    read_dump_file(
+                        spec,
+                        self.config.cache_records,
+                        self.config.intern,
+                        self.config.lazy,
+                    )
                     for spec in subset
                 ]
             return
@@ -207,7 +228,9 @@ class ParallelStreamEngine:
         for spec in subset:
             try:
                 futures.append(
-                    executor.submit(read_dump_file, spec, cache, self.config.intern)
+                    executor.submit(
+                        read_dump_file, spec, cache, self.config.intern, self.config.lazy
+                    )
                 )
             except RuntimeError:
                 # Pool already broken/shut down; park a pre-failed future so
@@ -224,7 +247,9 @@ class ParallelStreamEngine:
             # Broken pool, unpicklable payload, or a worker killed mid-task:
             # parse the file in the delivering process instead.
             self.fallback_files += 1
-            return read_dump_file(spec, self.config.cache_records, self.config.intern)
+            return read_dump_file(
+                spec, self.config.cache_records, self.config.intern, self.config.lazy
+            )
 
     def _ensure_executor(self) -> Optional[Executor]:
         if not self._executor_created:

@@ -1,0 +1,50 @@
+"""Decode-path profiling counters (the ``bgpreader --decode-stats`` surface).
+
+The lazy decode tier (PR 6) is justified by work *not* done: attribute
+blocks never parsed, bytes never copied, elems rejected by the filter gate
+before materialisation.  These counters make the win observable at runtime
+instead of only in benchmarks::
+
+    from repro.core import profiling
+
+    profiling.enable()
+    ...  # run a stream
+    stats = profiling.snapshot()
+    print(stats.elems_skipped, stats.bytes_copied)
+    profiling.disable()
+
+Profiling is off by default; every hot-path increment is guarded by a
+single ``if counters is not None`` check, so the disabled cost is one
+global load per site.  The state itself lives in :mod:`repro._profiling`
+(below the :mod:`repro.core` package in the import graph, so the decode
+layers can use it without an import cycle); this module is the public face.
+"""
+
+from __future__ import annotations
+
+from repro._profiling import (
+    DecodeStats,
+    disable,
+    enable,
+    record_intern_stats,
+    snapshot,
+)
+
+__all__ = [
+    "DecodeStats",
+    "counters",
+    "disable",
+    "enable",
+    "record_intern_stats",
+    "snapshot",
+]
+
+
+def __getattr__(name: str):
+    # ``counters`` is a live module global of repro._profiling; resolve it
+    # at access time so this facade never holds a stale binding.
+    if name == "counters":
+        from repro import _profiling
+
+        return _profiling.counters
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -31,6 +31,7 @@ from repro.core.interfaces import (
     SingleFileDataInterface,
     SQLiteDataInterface,
 )
+from repro.core import profiling
 from repro.core.parallel import ParallelConfig
 from repro.core.record import RecordStatus
 from repro.core.stream import BGPStream
@@ -114,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable flyweight interning of parsed BGP values "
              "(AS paths, community sets, prefixes, peer strings)",
     )
+    engine.add_argument(
+        "--eager-decode", action="store_true",
+        help="decode every path attribute at parse time instead of the "
+             "default lazy zero-copy tier (which defers attribute "
+             "construction until a value is actually read)",
+    )
 
     output = parser.add_argument_group("output")
     output.add_argument("-r", "--show-records", action="store_true",
@@ -124,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit bgpdump -m compatible lines")
     output.add_argument("--limit", type=int, default=None,
                         help="stop after printing this many elem lines")
+    output.add_argument("--decode-stats", action="store_true",
+                        help="print decode-tier counters (records scanned, bytes "
+                             "viewed vs copied, attributes deferred vs decoded) as "
+                             "#-prefixed lines after the stream ends")
     return parser
 
 
@@ -154,7 +165,10 @@ def build_stream(args: argparse.Namespace) -> BGPStream:
             parallel = ParallelConfig(**options)
         except ValueError as exc:
             raise SystemExit(f"bgpreader: error: {exc}")
-    stream = BGPStream(data_interface=interface, parallel=parallel, interning=interning)
+    eager = True if getattr(args, "eager_decode", False) else None
+    stream = BGPStream(
+        data_interface=interface, parallel=parallel, interning=interning, eager=eager
+    )
     for project in args.project:
         stream.add_filter("project", project)
     for collector in args.collector:
@@ -237,7 +251,28 @@ def _build_live_interface(args: argparse.Namespace) -> LiveDataInterface:
 
 def run(args: argparse.Namespace, out: IO[str]) -> int:
     """Run BGPReader, writing lines to ``out``; returns the exit status."""
+    stats = getattr(args, "decode_stats", False)
+    if stats:
+        profiling.enable()
+    try:
+        return _run_stream(args, out)
+    finally:
+        if stats:
+            for line in profiling.snapshot().summary_lines():
+                print(f"# {line}", file=out)
+            profiling.disable()
+
+
+def _run_stream(args: argparse.Namespace, out: IO[str]) -> int:
     stream = build_stream(args)
+    try:
+        return _print_stream(args, stream, out)
+    finally:
+        if profiling.counters is not None:
+            profiling.record_intern_stats(stream.intern_pool)
+
+
+def _print_stream(args: argparse.Namespace, stream: BGPStream, out: IO[str]) -> int:
     printed = 0
     for record in stream.records():
         if record.status != RecordStatus.VALID:

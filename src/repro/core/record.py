@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterator, Optional, Tuple
 
+from repro import _profiling as profiling
+from repro.bgp.attributes import LazyPathAttributes
 from repro.core.elem import BGPElem, ElemType
 from repro.core.intern import InternPool
 from repro.mrt.records import (
@@ -36,7 +38,13 @@ def _canonical_attrs(attrs, pool: InternPool):
     community set are written back into it: later extractions of the same
     record (or of other records sharing the cached attrs) then take the
     identity fast path in the pool.  Returns ``(as_path, communities)``.
+
+    The ``_canonical_for`` marker records which pool the set was last
+    written back through, so repeated ``elems()`` calls on the same (or a
+    cache-shared) record skip the write-back pass entirely.
     """
+    if attrs._canonical_for is pool:
+        return attrs.as_path, attrs.communities
     as_path = attrs.as_path
     canonical = pool.path(as_path)
     if canonical is not as_path:
@@ -45,7 +53,120 @@ def _canonical_attrs(attrs, pool: InternPool):
     canonical = pool.communities(communities)
     if canonical is not communities:
         attrs.communities = communities = canonical
+    attrs._canonical_for = pool
     return as_path, communities
+
+
+_get_elem_next_hop = BGPElem.__dict__["next_hop"].__get__
+_set_elem_next_hop = BGPElem.__dict__["next_hop"].__set__
+_get_elem_as_path = BGPElem.__dict__["as_path"].__get__
+_set_elem_as_path = BGPElem.__dict__["as_path"].__set__
+_get_elem_communities = BGPElem.__dict__["communities"].__get__
+_set_elem_communities = BGPElem.__dict__["communities"].__set__
+
+
+class LazyBGPElem(BGPElem):
+    """A :class:`BGPElem` whose attribute-derived fields fill on first read.
+
+    The cheap gate fields the filter layer probes first (type, time, peer,
+    prefix) are set eagerly; ``next_hop`` / ``as_path`` / ``communities``
+    resolve from the (lazy) attribute set only when actually read — so an
+    elem the filters reject never parses its path attributes, and interning
+    / canonicalisation only runs for survivors.  Pickling produces a plain
+    :class:`BGPElem`.
+    """
+
+    __slots__ = ("_attrs", "_version", "_pool", "_ready")
+
+    def __init__(
+        self,
+        elem_type,
+        time,
+        peer_address,
+        peer_asn,
+        prefix,
+        attrs,
+        version,
+        pool,
+        project,
+        collector,
+    ) -> None:
+        self.elem_type = elem_type
+        self.time = time
+        self.peer_address = peer_address
+        self.peer_asn = peer_asn
+        self.prefix = prefix
+        _set_elem_next_hop(self, None)
+        _set_elem_as_path(self, None)
+        _set_elem_communities(self, None)
+        self.old_state = None
+        self.new_state = None
+        self.project = project
+        self.collector = collector
+        self._attrs = attrs
+        self._version = version
+        self._pool = pool
+        self._ready = False
+
+    def _fill(self) -> None:
+        attrs = self._attrs
+        pool = self._pool
+        next_hop = attrs.effective_next_hop(self._version)
+        if pool is not None:
+            as_path, communities = _canonical_attrs(attrs, pool)
+            if next_hop is not None:
+                next_hop = pool.string(next_hop)
+        else:
+            as_path = attrs.as_path
+            communities = attrs.communities
+        _set_elem_next_hop(self, next_hop)
+        _set_elem_as_path(self, as_path)
+        _set_elem_communities(self, communities)
+        # Flag readiness last: a racing reader that saw False just repeats
+        # the (idempotent) fill instead of observing half-set fields.
+        self._ready = True
+        if profiling.counters is not None:
+            profiling.counters.elems_materialised += 1
+
+    def __reduce__(self):
+        return (
+            BGPElem,
+            (
+                self.elem_type,
+                self.time,
+                self.peer_address,
+                self.peer_asn,
+                self.prefix,
+                self.next_hop,
+                self.as_path,
+                self.communities,
+                self.old_state,
+                self.new_state,
+                self.project,
+                self.collector,
+            ),
+        )
+
+
+def _lazy_elem_field(name: str) -> property:
+    slot = BGPElem.__dict__[name]
+    slot_get = slot.__get__
+    slot_set = slot.__set__
+
+    def fget(self):
+        if not self._ready:
+            self._fill()
+        return slot_get(self)
+
+    def fset(self, value):
+        slot_set(self, value)
+
+    return property(fget, fset)
+
+
+for _name in ("next_hop", "as_path", "communities"):
+    setattr(LazyBGPElem, _name, _lazy_elem_field(_name))
+del _name
 
 
 class RecordStatus(Enum):
@@ -176,6 +297,7 @@ class BGPStreamRecord:
             if canonical is not prefix:
                 body.prefix = prefix = canonical
         version = prefix.version
+        counters = profiling.counters
         for entry in body.entries:
             peer_address = ""
             peer_asn = 0
@@ -184,6 +306,26 @@ class BGPStreamRecord:
                 peer_address = peer.address
                 peer_asn = peer.asn
             attrs = entry.attributes
+            if type(attrs) is LazyPathAttributes and attrs._deferred:
+                # Attribute values still deferred: hand out a lazy elem so
+                # the filter gate can reject it without parsing them.
+                if pool is not None:
+                    peer_address = pool.string(peer_address)
+                if counters is not None:
+                    counters.lazy_elems += 1
+                yield LazyBGPElem(
+                    ElemType.RIB,
+                    timestamp,
+                    peer_address,
+                    peer_asn,
+                    prefix,
+                    attrs,
+                    version,
+                    pool,
+                    self.project,
+                    self.collector,
+                )
+                continue
             as_path = attrs.as_path
             communities = attrs.communities
             next_hop = attrs.effective_next_hop(version)
@@ -192,6 +334,8 @@ class BGPStreamRecord:
                 as_path, communities = _canonical_attrs(attrs, pool)
                 if next_hop is not None:
                     next_hop = pool.string(next_hop)
+            if counters is not None:
+                counters.eager_elems += 1
             yield BGPElem(
                 elem_type=ElemType.RIB,
                 time=timestamp,
@@ -211,11 +355,14 @@ class BGPStreamRecord:
         update = body.update
         attrs = update.attributes
         peer_address = body.peer_address
-        as_path = attrs.as_path
-        communities = attrs.communities
         if pool is not None:
             peer_address = pool.string(peer_address)
-            as_path, communities = _canonical_attrs(attrs, pool)
+        lazy = type(attrs) is LazyPathAttributes and bool(attrs._deferred)
+        if not lazy:
+            as_path = attrs.as_path
+            communities = attrs.communities
+            if pool is not None:
+                as_path, communities = _canonical_attrs(attrs, pool)
         for prefix in update.all_withdrawn:
             if pool is not None:
                 prefix = pool.prefix(prefix)
@@ -228,12 +375,31 @@ class BGPStreamRecord:
                 project=self.project,
                 collector=self.collector,
             )
+        counters = profiling.counters
         for prefix in update.all_announced:
-            next_hop = attrs.effective_next_hop(prefix.version)
             if pool is not None:
                 prefix = pool.prefix(prefix)
-                if next_hop is not None:
-                    next_hop = pool.string(next_hop)
+            if lazy:
+                if counters is not None:
+                    counters.lazy_elems += 1
+                yield LazyBGPElem(
+                    ElemType.ANNOUNCEMENT,
+                    timestamp,
+                    peer_address,
+                    body.peer_asn,
+                    prefix,
+                    attrs,
+                    prefix.version,
+                    pool,
+                    self.project,
+                    self.collector,
+                )
+                continue
+            next_hop = attrs.effective_next_hop(prefix.version)
+            if pool is not None and next_hop is not None:
+                next_hop = pool.string(next_hop)
+            if counters is not None:
+                counters.eager_elems += 1
             yield BGPElem(
                 elem_type=ElemType.ANNOUNCEMENT,
                 time=timestamp,

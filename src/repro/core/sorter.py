@@ -47,7 +47,8 @@ class DumpFileReader:
     of a cleanly-read dump in its per-file cache, so re-reads of the
     unchanged file skip decoding (the parallel engine's workers set this).
     ``intern`` forwards the parse-time flyweight-interning knob to the MRT
-    reader (``None`` follows the process-wide switch).
+    reader and ``lazy`` the lazy-decode knob (``None`` follows the
+    respective process-wide switch).
     """
 
     def __init__(
@@ -55,16 +56,21 @@ class DumpFileReader:
         spec: DumpFileSpec,
         cache_records: bool = False,
         intern: Optional[bool] = None,
+        lazy: Optional[bool] = None,
     ) -> None:
         self.spec = spec
         self.cache_records = cache_records
         self.intern = intern
+        self.lazy = lazy
 
     def __iter__(self) -> Iterator[BGPStreamRecord]:
         spec = self.spec
         try:
             reader = MRTDumpReader(
-                spec.path, cache_records=self.cache_records, intern=self.intern
+                spec.path,
+                cache_records=self.cache_records,
+                intern=self.intern,
+                lazy=self.lazy,
             )
             reader.open()
         except MRTParseError:
@@ -127,14 +133,20 @@ class DumpFileReader:
 class SortedRecordMerger:
     """Group a dump-file set by overlapping intervals and merge each group.
 
-    ``intern`` forwards the parse-time flyweight-interning knob to every
-    :class:`DumpFileReader` it opens (``None`` follows the process-wide
-    switch).
+    ``intern`` forwards the parse-time flyweight-interning knob and
+    ``lazy`` the lazy-decode knob to every :class:`DumpFileReader` it opens
+    (``None`` follows the respective process-wide switch).
     """
 
-    def __init__(self, specs: Sequence[DumpFileSpec], intern: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        specs: Sequence[DumpFileSpec],
+        intern: Optional[bool] = None,
+        lazy: Optional[bool] = None,
+    ) -> None:
         self.specs = list(specs)
         self.intern = intern
+        self.lazy = lazy
 
     # -- grouping ------------------------------------------------------------
 
@@ -172,10 +184,13 @@ class SortedRecordMerger:
     def _merge_subset(self, subset: Sequence[DumpFileSpec]) -> Iterator[BGPStreamRecord]:
         """Multi-way merge of the (already time-ordered) files of one subset."""
         if len(subset) == 1:
-            yield from DumpFileReader(subset[0], intern=self.intern)
+            yield from DumpFileReader(subset[0], intern=self.intern, lazy=self.lazy)
             return
         yield from merge_record_iterators(
-            [iter(DumpFileReader(spec, intern=self.intern)) for spec in subset]
+            [
+                iter(DumpFileReader(spec, intern=self.intern, lazy=self.lazy))
+                for spec in subset
+            ]
         )
 
     # -- introspection (used by benchmarks) ---------------------------------------

@@ -91,6 +91,21 @@ class BGPStream:
       :func:`repro.mrt.parser.read_dump` calls follow the process-wide
       switch (:func:`repro.core.intern.set_parse_interning`), which this
       knob never touches.
+
+    ``eager`` selects the attribute-decode tier for this stream's readers
+    (:mod:`repro.bgp.attributes`):
+
+    * ``None`` (default) — follow the process-wide lazy-decode switch
+      (lazy unless :func:`repro.bgp.attributes.set_lazy_decode` turned it
+      off): attribute blocks are recorded as zero-copy slices and decoded
+      on first read, so filtered-out elems never pay for values nobody
+      looks at;
+    * ``True`` — force full decode at parse time (``bgpreader
+      --eager-decode``); every elem field is materialised before delivery;
+    * ``False`` — force lazy decode regardless of the global switch.
+
+    Both tiers produce identical elem values, raise identical errors on
+    corrupt attributes, and honour the same intern pools.
     """
 
     def __init__(
@@ -101,6 +116,7 @@ class BGPStream:
         interning: Union[bool, InternPool, None] = True,
         live: Union[LiveDataInterface, Dict, None] = None,
         interface_options: Optional[Dict] = None,
+        eager: Optional[bool] = None,
     ) -> None:
         """``data_interface`` accepts an instance or a registry name
         (``"broker"``, ``"csvfile"``, ``"sqlite"``, ``"singlefile"``,
@@ -122,7 +138,10 @@ class BGPStream:
             if isinstance(live, LiveDataInterface):
                 data_interface = live
             else:
-                data_interface = make_data_interface("kafka", **dict(live))
+                live_options = dict(live)
+                if eager is not None:
+                    live_options.setdefault("eager", eager)
+                data_interface = make_data_interface("kafka", **live_options)
         elif data_interface is not None:
             data_interface = make_data_interface(
                 data_interface, **(interface_options or {})
@@ -131,6 +150,7 @@ class BGPStream:
             raise ValueError("interface_options require a data_interface name")
         self._interface = data_interface
         self._parallel = parallel
+        self._eager = eager
         self._started = False
         self._record_iter: Optional[Iterator[BGPStreamRecord]] = None
         self._batched_consumer = False
@@ -236,6 +256,18 @@ class BGPStream:
             return False
         return None
 
+    @property
+    def _parse_lazy(self) -> Optional[bool]:
+        """The lazy-decode knob for this stream's readers.
+
+        ``None`` (no ``eager=`` given) follows the process-wide switch;
+        an explicit ``eager=`` pins the tier for every reader this stream
+        opens, including parallel workers that do not pin their own.
+        """
+        if self._eager is None:
+            return None
+        return not self._eager
+
     def _generate_records(self) -> Iterator[BGPStreamRecord]:
         assert self._interface is not None
         if self.is_live:
@@ -247,7 +279,11 @@ class BGPStream:
             return
         for file_batch in self._interface.batches(self.filters):
             yield from self._filtered(
-                iter(SortedRecordMerger(file_batch, intern=self._parse_intern))
+                iter(
+                    SortedRecordMerger(
+                        file_batch, intern=self._parse_intern, lazy=self._parse_lazy
+                    )
+                )
             )
 
     def _generate_live_records(self) -> Iterator[BGPStreamRecord]:
@@ -276,6 +312,9 @@ class BGPStream:
                 # The stream opted out of interning and the config does not
                 # pin its own choice: the workers inherit the opt-out.
                 config = replace(config, intern=self._parse_intern)
+            if config.lazy is None and self._parse_lazy is not None:
+                # Same inheritance for the stream's decode-tier choice.
+                config = replace(config, lazy=self._parse_lazy)
             # One engine (and one worker pool) for the whole stream; per
             # meta-data-window pools would pay startup cost on every window.
             engine = ParallelStreamEngine(config)
@@ -284,7 +323,11 @@ class BGPStream:
                 if engine is not None:
                     source = engine.iter_records(file_batch)
                 else:
-                    source = iter(SortedRecordMerger(file_batch, intern=self._parse_intern))
+                    source = iter(
+                        SortedRecordMerger(
+                            file_batch, intern=self._parse_intern, lazy=self._parse_lazy
+                        )
+                    )
                 # Re-batching happens after filtering, and per meta-data
                 # window, so live consumers never wait on a half-full batch.
                 yield from batch_records(self._filtered(source), batch_size)

@@ -41,12 +41,13 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import IO, Iterator, List, Optional, Tuple
 
+from repro import _profiling as profiling
 from repro.mrt.constants import MRT_HEADER_LEN, MRTType
 from repro.mrt.records import (
     CorruptRecord,
     MRTHeader,
     MRTRecord,
-    decode_record_body,
+    make_body_decoder,
 )
 
 #: gzip magic bytes, used to auto-detect compressed dumps.
@@ -188,9 +189,14 @@ class MRTDumpReader:
     ``intern`` controls parse-time flyweight interning of the decoded values
     (AS paths, community sets, prefixes, peer/address strings — see
     :mod:`repro.core.intern`): ``None`` follows the process-wide switch,
-    ``True`` / ``False`` force it for this reader.  Records served from the
-    decoded-record cache tier keep whatever interning they were decoded
-    with.
+    ``True`` / ``False`` force it for this reader.  ``lazy`` likewise
+    controls lazy attribute decoding (``None`` follows the global
+    lazy-decode switch); the bulk scan hands zero-copy ``memoryview``
+    slices of the dump buffer to the decode layer, so in lazy mode path
+    attributes are parsed only when an elem consumer actually reads them.
+    Records served from the decoded-record cache tier keep whatever
+    interning/laziness they were decoded with (lazy cached records pin
+    their dump buffer until their deferred attributes materialise).
     """
 
     def __init__(
@@ -199,11 +205,13 @@ class MRTDumpReader:
         use_index: bool = True,
         cache_records: bool = False,
         intern: Optional[bool] = None,
+        lazy: Optional[bool] = None,
     ) -> None:
         self.path = path
         self.use_index = use_index
         self.cache_records = cache_records
         self.intern = intern
+        self.lazy = lazy
         self._raw: Optional[IO[bytes]] = None
         self._handle: Optional[IO[bytes]] = None
         self._compressed = False
@@ -289,6 +297,8 @@ class MRTDumpReader:
     # for implausibly large files and corrupt gzip streams.
     def _iter_streaming(self, handle: IO[bytes]) -> Iterator[MRTRecord]:
         unpack = _HEADER_STRUCT.unpack
+        decode_body = make_body_decoder(self.intern, self.lazy)
+        counters = profiling.counters
         while True:
             try:
                 header_bytes = handle.read(MRT_HEADER_LEN)
@@ -317,7 +327,10 @@ class MRTDumpReader:
             if len(body_bytes) < body_length:
                 yield MRTRecord(header, CorruptRecord("truncated record body", body_bytes))
                 return
-            body = decode_record_body(header, header.subtype, body_bytes, intern=self.intern)
+            if counters is not None:
+                counters.records_scanned += 1
+                counters.bytes_copied += MRT_HEADER_LEN + body_length
+            body = decode_body(header, header.subtype, body_bytes)
             yield MRTRecord(header, body)
 
     # The bulk scan: the whole (decompressed) dump parsed from one buffer.
@@ -326,17 +339,24 @@ class MRTDumpReader:
     def _iter_buffer(
         self, data: bytes, signature: Tuple[int, int], index: Optional[DumpIndex]
     ) -> Iterator[MRTRecord]:
+        # One memoryview over the whole buffer: every header peek, body
+        # extraction and (in lazy mode) deferred attribute slice below is a
+        # zero-copy view of this one allocation.
+        view = memoryview(data)
+        decode_body = make_body_decoder(self.intern, self.lazy)
+        counters = profiling.counters
         if index is not None and self._buffer_matches_index(data, index):
             records: Optional[List[MRTRecord]] = [] if self.cache_records else None
             for entry in index.entries:
                 header = MRTHeader(entry.timestamp, MRTType(entry.mrt_type), entry.subtype)
-                body = data[entry.offset : entry.offset + entry.body_length]
-                record = MRTRecord(
-                    header, decode_record_body(header, entry.subtype, body, intern=self.intern)
-                )
+                body = view[entry.offset : entry.offset + entry.body_length]
+                record = MRTRecord(header, decode_body(header, entry.subtype, body))
                 if records is not None:
                     records.append(record)
                 yield record
+            if counters is not None:
+                counters.records_scanned += len(index.entries)
+                counters.bytes_viewed += len(data)
             if records is not None:
                 store_index(self.path, DumpIndex(signature, index.entries, records))
             return
@@ -353,14 +373,15 @@ class MRTDumpReader:
                 clean = False
                 break
             timestamp, raw_type, subtype, body_length = unpack_from(data, offset)
-            header_bytes = data[offset : offset + MRT_HEADER_LEN]
             try:
                 header = MRTHeader(timestamp, MRTType(raw_type), subtype)
             except ValueError as exc:
+                header_bytes = data[offset : offset + MRT_HEADER_LEN]
                 yield _corrupt(f"bad MRT header: {exc}", header_bytes)
                 clean = False
                 break
             if body_length > MAX_RECORD_LEN:
+                header_bytes = data[offset : offset + MRT_HEADER_LEN]
                 yield _corrupt(f"implausible record length {body_length}", header_bytes)
                 clean = False
                 break
@@ -370,15 +391,16 @@ class MRTDumpReader:
                 yield MRTRecord(header, CorruptRecord("truncated record body", body_bytes))
                 clean = False
                 break
-            body_bytes = data[body_offset : body_offset + body_length]
-            record = MRTRecord(
-                header, decode_record_body(header, subtype, body_bytes, intern=self.intern)
-            )
+            body_view = view[body_offset : body_offset + body_length]
+            record = MRTRecord(header, decode_body(header, subtype, body_view))
             entries.append(IndexEntry(body_offset, timestamp, raw_type, subtype, body_length))
             if records is not None:
                 records.append(record)
             yield record
             offset = body_offset + body_length
+        if counters is not None:
+            counters.records_scanned += len(entries)
+            counters.bytes_viewed += offset
         if clean and self.use_index:
             store_index(self.path, DumpIndex(signature, entries, records))
 
@@ -410,10 +432,11 @@ def read_dump(
     use_index: bool = True,
     cache_records: bool = False,
     intern: Optional[bool] = None,
+    lazy: Optional[bool] = None,
 ) -> List[MRTRecord]:
     """Read an entire dump file into a list of records."""
     with MRTDumpReader(
-        path, use_index=use_index, cache_records=cache_records, intern=intern
+        path, use_index=use_index, cache_records=cache_records, intern=intern, lazy=lazy
     ) as reader:
         return list(reader)
 

@@ -13,10 +13,16 @@ import struct
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
-from repro.bgp.attributes import PathAttributes
+from repro.bgp.attributes import (
+    LazyPathAttributes,
+    PathAttributes,
+    decode_attributes,
+    resolve_lazy,
+)
 from repro.bgp.fsm import SessionState
 from repro.bgp.message import BGPUpdate, decode_update
 from repro.bgp.prefix import Prefix
+from repro.bgp.wirecache import address_str
 from repro.mrt.constants import (
     AFI_IPV4,
     AFI_IPV6,
@@ -84,13 +90,13 @@ class PeerEntry:
     def decode(cls, data: bytes, offset: int) -> Tuple["PeerEntry", int]:
         peer_type = data[offset]
         offset += 1
-        bgp_id = str(ipaddress.IPv4Address(data[offset : offset + 4]))
+        bgp_id = address_str(bytes(data[offset : offset + 4]))
         offset += 4
         if peer_type & PEER_TYPE_IPV6:
-            address = str(ipaddress.IPv6Address(data[offset : offset + 16]))
+            address = address_str(bytes(data[offset : offset + 16]))
             offset += 16
         else:
-            address = str(ipaddress.IPv4Address(data[offset : offset + 4]))
+            address = address_str(bytes(data[offset : offset + 4]))
             offset += 4
         if peer_type & PEER_TYPE_AS4:
             (asn,) = struct.unpack_from("!I", data, offset)
@@ -120,10 +126,10 @@ class PeerIndexTable:
 
     @classmethod
     def decode_body(cls, data: bytes) -> "PeerIndexTable":
-        collector_id = str(ipaddress.IPv4Address(data[0:4]))
+        collector_id = address_str(bytes(data[0:4]))
         (view_len,) = struct.unpack_from("!H", data, 4)
         offset = 6
-        view_name = data[offset : offset + view_len].decode(errors="replace")
+        view_name = bytes(data[offset : offset + view_len]).decode(errors="replace")
         offset += view_len
         (peer_count,) = struct.unpack_from("!H", data, offset)
         offset += 2
@@ -150,10 +156,12 @@ class RIBEntry:
         )
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> Tuple["RIBEntry", int]:
+    def decode(
+        cls, data: bytes, offset: int, lazy: Optional[bool] = None
+    ) -> Tuple["RIBEntry", int]:
         peer_index, originated, attr_len = struct.unpack_from("!HIH", data, offset)
         offset += 8
-        attrs = PathAttributes.decode(data[offset : offset + attr_len])
+        attrs = decode_attributes(data[offset : offset + attr_len], lazy=lazy)
         return cls(peer_index, originated, attrs), offset + attr_len
 
 
@@ -180,14 +188,16 @@ class RIBPrefixRecord:
         return bytes(out)
 
     @classmethod
-    def decode_body(cls, data: bytes, version: int) -> "RIBPrefixRecord":
+    def decode_body(
+        cls, data: bytes, version: int, lazy: Optional[bool] = None
+    ) -> "RIBPrefixRecord":
         (sequence,) = struct.unpack_from("!I", data, 0)
         prefix, offset = Prefix.decode(data, 4, version=version)
         (entry_count,) = struct.unpack_from("!H", data, offset)
         offset += 2
         entries: List[RIBEntry] = []
         for _ in range(entry_count):
-            entry, offset = RIBEntry.decode(data, offset)
+            entry, offset = RIBEntry.decode(data, offset, lazy=lazy)
             entries.append(entry)
         return cls(sequence, prefix, entries)
 
@@ -220,15 +230,15 @@ class BGP4MPMessage:
         return bytes(out)
 
     @classmethod
-    def decode_body(cls, data: bytes) -> "BGP4MPMessage":
+    def decode_body(cls, data: bytes, lazy: Optional[bool] = None) -> "BGP4MPMessage":
         peer_asn, local_asn, _ifidx, afi = struct.unpack_from("!IIHH", data, 0)
         offset = 12
         addr_len = 16 if afi == AFI_IPV6 else 4
-        peer_address = str(ipaddress.ip_address(data[offset : offset + addr_len]))
+        peer_address = address_str(bytes(data[offset : offset + addr_len]))
         offset += addr_len
-        local_address = str(ipaddress.ip_address(data[offset : offset + addr_len]))
+        local_address = address_str(bytes(data[offset : offset + addr_len]))
         offset += addr_len
-        update = decode_update(data[offset:])
+        update = decode_update(data[offset:], lazy=lazy)
         return cls(peer_asn, local_asn, peer_address, local_address, update)
 
 
@@ -260,9 +270,9 @@ class BGP4MPStateChange:
         peer_asn, local_asn, _ifidx, afi = struct.unpack_from("!IIHH", data, 0)
         offset = 12
         addr_len = 16 if afi == AFI_IPV6 else 4
-        peer_address = str(ipaddress.ip_address(data[offset : offset + addr_len]))
+        peer_address = address_str(bytes(data[offset : offset + addr_len]))
         offset += addr_len
-        local_address = str(ipaddress.ip_address(data[offset : offset + addr_len]))
+        local_address = address_str(bytes(data[offset : offset + addr_len]))
         offset += addr_len
         old_state, new_state = struct.unpack_from("!HH", data, offset)
         return cls(
@@ -342,7 +352,11 @@ class MRTRecord:
 
 
 def decode_record_body(
-    header: MRTHeader, subtype: int, body: bytes, intern: Optional[bool] = None
+    header: MRTHeader,
+    subtype: int,
+    body: bytes,
+    intern: Optional[bool] = None,
+    lazy: Optional[bool] = None,
 ) -> MRTBody:
     """Decode the body bytes of a record according to its type and subtype.
 
@@ -357,39 +371,62 @@ def decode_record_body(
     immediately instead of living as long as the record does.  ``intern``
     follows the process-wide switch when ``None`` and can force the decision
     per call (the MRT reader and the parallel engine thread it through).
+
+    ``lazy`` (default: the global lazy-decode switch) defers path-attribute
+    value construction to first read; with interning on, only attributes
+    that actually materialise pay the pool lookup.  Callers decoding many
+    records should hoist the knob resolution with :func:`make_body_decoder`.
     """
-    decoded = _decode_record_body_raw(header, subtype, body)
-    if not isinstance(decoded, CorruptRecord):
-        pool = _interning_pool(intern)
-        if pool is not None:
+    return make_body_decoder(intern, lazy)(header, subtype, body)
+
+
+def make_body_decoder(intern: Optional[bool] = None, lazy: Optional[bool] = None):
+    """Build a ``(header, subtype, body) -> MRTBody`` batch decoder.
+
+    Resolves the interning pool and the lazy switch **once** so a whole MRT
+    buffer / Kafka poll amortises the per-record knob lookups (the batch
+    fast path of the zero-copy tier).
+    """
+    pool = _interning_pool(intern)
+    lazy_flag = resolve_lazy(lazy)
+
+    def decode_body(header: MRTHeader, subtype: int, body: bytes) -> MRTBody:
+        decoded = _decode_record_body_raw(header, subtype, body, lazy_flag)
+        if pool is not None and not isinstance(decoded, CorruptRecord):
             _intern_body(decoded, pool)
-    return decoded
+        return decoded
+
+    return decode_body
 
 
-def _decode_record_body_raw(header: MRTHeader, subtype: int, body: bytes) -> MRTBody:
+def _decode_record_body_raw(
+    header: MRTHeader, subtype: int, body: bytes, lazy: Optional[bool] = None
+) -> MRTBody:
     try:
         if header.mrt_type == MRTType.TABLE_DUMP_V2:
             td_subtype = TableDumpV2Subtype(subtype)
             if td_subtype == TableDumpV2Subtype.PEER_INDEX_TABLE:
                 return PeerIndexTable.decode_body(body)
             if td_subtype == TableDumpV2Subtype.RIB_IPV4_UNICAST:
-                return RIBPrefixRecord.decode_body(body, version=4)
+                return RIBPrefixRecord.decode_body(body, version=4, lazy=lazy)
             if td_subtype == TableDumpV2Subtype.RIB_IPV6_UNICAST:
-                return RIBPrefixRecord.decode_body(body, version=6)
-            return CorruptRecord(f"unsupported TABLE_DUMP_V2 subtype {subtype}", body)
+                return RIBPrefixRecord.decode_body(body, version=6, lazy=lazy)
+            return CorruptRecord(
+                f"unsupported TABLE_DUMP_V2 subtype {subtype}", bytes(body)
+            )
         if header.mrt_type in (MRTType.BGP4MP, MRTType.BGP4MP_ET):
             bgp_subtype = BGP4MPSubtype(subtype)
             if bgp_subtype in (BGP4MPSubtype.MESSAGE, BGP4MPSubtype.MESSAGE_AS4):
-                return BGP4MPMessage.decode_body(body)
+                return BGP4MPMessage.decode_body(body, lazy=lazy)
             if bgp_subtype in (
                 BGP4MPSubtype.STATE_CHANGE,
                 BGP4MPSubtype.STATE_CHANGE_AS4,
             ):
                 return BGP4MPStateChange.decode_body(body)
-            return CorruptRecord(f"unsupported BGP4MP subtype {subtype}", body)
-        return CorruptRecord(f"unsupported MRT type {header.mrt_type}", body)
+            return CorruptRecord(f"unsupported BGP4MP subtype {subtype}", bytes(body))
+        return CorruptRecord(f"unsupported MRT type {header.mrt_type}", bytes(body))
     except (ValueError, struct.error, IndexError) as exc:
-        return CorruptRecord(f"decode error: {exc}", body)
+        return CorruptRecord(f"decode error: {exc}", bytes(body))
 
 
 # ---------------------------------------------------------------------------
@@ -434,6 +471,18 @@ def _intern_body(body: MRTBody, pool) -> None:
 
 
 def _intern_attributes(attrs: PathAttributes, pool) -> None:
+    if type(attrs) is LazyPathAttributes and attrs.deferred_types:
+        # Deferred attributes intern when (if!) they materialise — only
+        # filter survivors pay the flyweight lookups.  The eagerly decoded
+        # gate fields (MP next hop / NLRI) are canonicalised now.
+        attrs.bind_pool(pool)
+        if attrs.mp_next_hop is not None:
+            attrs.mp_next_hop = pool.string(attrs.mp_next_hop)
+        if attrs.mp_reach_nlri:
+            _intern_prefix_list(attrs.mp_reach_nlri, pool)
+        if attrs.mp_unreach_nlri:
+            _intern_prefix_list(attrs.mp_unreach_nlri, pool)
+        return
     attrs.as_path = pool.path(attrs.as_path)
     attrs.communities = pool.communities(attrs.communities)
     if attrs.next_hop is not None:

@@ -1,0 +1,549 @@
+"""The lazy zero-copy decode tier must be observably invisible (ISSUE 6).
+
+Property tests: for randomized archives and live BMP feeds, the elem
+streams produced by the lazy tier — as dataclass values, ASCII lines and
+``field_dict()`` views — must be *identical* to the eager reference, across
+every combination of interning, sequential/parallel engines and filters.
+Corruption must surface identically too: the same exception out of
+``decode_update``, the same not-valid records out of the MRT parser, the
+same corrupt-message signals out of the BMP scan, whichever tier decodes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.aspath import ASPath, ASPathSegment, SegmentType
+from repro.bgp.attributes import (
+    LazyPathAttributes,
+    PathAttributes,
+    decode_attributes,
+    lazy_decoding,
+)
+from repro.bgp.community import CommunitySet
+from repro.bgp.fsm import SessionState
+from repro.bgp.message import BGPDecodeError, BGPUpdate, decode_update
+from repro.bgp.prefix import Prefix
+from repro.bmp.codec import scan_messages
+from repro.bmp.messages import BMPMessage, BMPPeerHeader
+from repro.bmp.source import BMPFeedProducer
+from repro.broker.broker import Broker
+from repro.collectors.archive import Archive
+from repro.core import profiling
+from repro.core.interfaces import BrokerDataInterface
+from repro.core.intern import InternPool, parse_interning, reset_default_pool
+from repro.core.parallel import ParallelConfig
+from repro.core.stream import BGPStream
+from repro.kafka.broker import MessageBroker
+from repro.mrt.parser import clear_index_cache, read_dump
+from repro.mrt.records import BGP4MPMessage, BGP4MPStateChange, PeerEntry
+from repro.mrt.writer import write_rib_dump, write_updates_dump
+
+# ---------------------------------------------------------------------------
+# Randomized archive builder (compact cousin of the interning suite's)
+# ---------------------------------------------------------------------------
+
+PEER_ASNS = (65001, 65002)
+
+
+def _random_path(rng: random.Random) -> ASPath:
+    segments = [
+        ASPathSegment(
+            SegmentType.AS_SEQUENCE,
+            tuple(rng.randrange(1, 65000) for _ in range(rng.randrange(1, 5))),
+        )
+    ]
+    if rng.random() < 0.3:
+        segments.append(
+            ASPathSegment(
+                SegmentType.AS_SET,
+                tuple(sorted({rng.randrange(64512, 64600) for _ in range(2)})),
+            )
+        )
+    return ASPath(tuple(segments))
+
+
+def _build_archive(root: str, seed: int) -> Archive:
+    """One collector with a RIB dump and an updates dump (MP-reach, state)."""
+    rng = random.Random(seed)
+    archive = Archive(root)
+    paths = [_random_path(rng) for _ in range(6)]
+    community_sets = [
+        CommunitySet.from_pairs(
+            (rng.randrange(1, 65000), rng.randrange(0, 1000))
+            for _ in range(rng.randrange(0, 4))
+        )
+        for _ in range(4)
+    ]
+    v4_prefixes = [
+        Prefix.from_string(f"10.{rng.randrange(256)}.{rng.randrange(256)}.0/24")
+        for _ in range(12)
+    ]
+    v6_prefixes = [Prefix.from_string(f"2001:db8:{i:x}::/48") for i in range(3)]
+    peers = [PeerEntry(f"10.0.0.{i}", f"10.0.0.{i}", asn) for i, asn in enumerate(PEER_ASNS)]
+
+    def attrs() -> PathAttributes:
+        value = PathAttributes(
+            as_path=rng.choice(paths),
+            next_hop=f"10.0.0.{rng.randrange(1, 5)}",
+            communities=rng.choice(community_sets),
+        )
+        if rng.random() < 0.3:
+            value.med = rng.randrange(0, 500)
+        if rng.random() < 0.2:
+            value.local_pref = rng.randrange(50, 200)
+        return value
+
+    table = {
+        index: {
+            prefix: attrs() for prefix in rng.sample(v4_prefixes, rng.randrange(4, 9))
+        }
+        for index in range(len(peers))
+    }
+    rib_path = archive.path_for("ris", "rrc0", "ribs", 1000)
+    write_rib_dump(rib_path, 1000, "198.51.100.9", peers, table)
+    archive.publish("ris", "rrc0", "ribs", 1000, 60, rib_path, available_at=1100)
+
+    messages = []
+    timestamp = 1300
+    for _ in range(25):
+        timestamp += rng.randrange(0, 20)
+        peer = rng.choice(peers)
+        kind = rng.random()
+        if kind < 0.55:
+            announce_attrs = attrs()
+            if rng.random() < 0.25:
+                announce_attrs.mp_next_hop = "2001:db8::1"
+                announce_attrs.mp_reach_nlri = [rng.choice(v6_prefixes)]
+            update = BGPUpdate(
+                announced=rng.sample(v4_prefixes, rng.randrange(1, 4)),
+                attributes=announce_attrs,
+            )
+            body = BGP4MPMessage(peer.asn, 65535, peer.address, "198.51.100.9", update)
+        elif kind < 0.85:
+            update = BGPUpdate(withdrawn=rng.sample(v4_prefixes, rng.randrange(1, 3)))
+            body = BGP4MPMessage(peer.asn, 65535, peer.address, "198.51.100.9", update)
+        else:
+            body = BGP4MPStateChange(
+                peer.asn, 65535, peer.address, "198.51.100.9",
+                SessionState.ESTABLISHED,
+                rng.choice([SessionState.IDLE, SessionState.ESTABLISHED]),
+            )
+        messages.append((timestamp, body))
+    upd_path = archive.path_for("ris", "rrc0", "updates", 1300)
+    write_updates_dump(upd_path, messages)
+    archive.publish("ris", "rrc0", "updates", 1300, 300, upd_path, available_at=1700)
+    return archive
+
+
+def _consume(archive, *, eager, interning=True, parallel=None, filter_spec=None):
+    """Full pass over the archive, rendered every observable way."""
+    clear_index_cache()
+    reset_default_pool()
+    with parse_interning(bool(interning)):
+        stream = BGPStream(
+            data_interface=BrokerDataInterface(
+                Broker(archives=[archive]), max_empty_polls=1
+            ),
+            parallel=parallel,
+            interning=interning,
+            eager=eager,
+        )
+        if filter_spec is not None:
+            stream.add_filter(*filter_spec)
+        stream.add_interval_filter(900, 2500)
+        record_lines, elems, elem_lines, field_dicts = [], [], [], []
+        for record in stream.records():
+            record_lines.append(record.to_ascii())
+            for elem in record.elems():
+                if not stream.filters.match_elem(elem):
+                    continue
+                elems.append(elem)
+                elem_lines.append(elem.to_ascii())
+                elem_lines.append(elem.to_bgpdump_ascii())
+                field_dicts.append(elem.field_dict())
+        return record_lines, elems, elem_lines, field_dicts
+
+
+# ---------------------------------------------------------------------------
+# The invisibility property: lazy × eager × interning × engine × filters
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    interning=st.booleans(),
+    executor=st.sampled_from([None, "serial", "thread"]),
+    filter_spec=st.sampled_from(
+        [None, ("prefix", "10.0.0.0/9"), ("peer-asn", str(PEER_ASNS[0])), ("aspath", "_6.*$")]
+    ),
+)
+def test_lazy_tier_is_observably_invisible(seed, interning, executor, filter_spec):
+    with tempfile.TemporaryDirectory() as root:
+        archive = _build_archive(root, seed)
+        parallel = (
+            None if executor is None else ParallelConfig(executor=executor, batch_size=32)
+        )
+        reference = _consume(
+            archive, eager=True, interning=interning, filter_spec=filter_spec
+        )
+        lazy = _consume(
+            archive,
+            eager=False,
+            interning=interning,
+            parallel=parallel,
+            filter_spec=filter_spec,
+        )
+        assert lazy[0] == reference[0]  # record ASCII
+        assert lazy[1] == reference[1]  # elems as dataclass values
+        assert lazy[2] == reference[2]  # elem + bgpdump ASCII
+        assert lazy[3] == reference[3]  # field_dict views
+        if filter_spec is None:
+            assert reference[1], "generator produced no elems — test is vacuous"
+
+
+def test_lazy_equivalence_under_live_bmp_feed():
+    """Live mode: the lazy tier's field_dict stream equals the eager one."""
+    rng = random.Random(2016)
+    paths = [_random_path(rng) for _ in range(4)]
+    sequence = []
+    for i in range(20):
+        update = BGPUpdate(
+            announced=[Prefix.from_string(f"203.0.{i}.0/24")],
+            attributes=PathAttributes(
+                as_path=rng.choice(paths),
+                next_hop="10.1.2.3",
+                communities=CommunitySet.from_pairs([(65001, i)]),
+            ),
+        )
+        sequence.append((1000 + 10 * i, f"10.9.9.{i % 3}", 65001 + i % 3, update))
+
+    def consume(eager):
+        reset_default_pool()
+        broker = MessageBroker()
+        producer = BMPFeedProducer(broker, router="rtr1")
+        for timestamp, address, asn, update in sequence:
+            peer = BMPPeerHeader(address=address, asn=asn, timestamp_sec=timestamp)
+            producer.publish(BMPMessage.route_monitoring(peer, update))
+        stream = BGPStream(
+            live={"broker": broker, "max_empty_polls": 1, "poll_interval": 0.0},
+            eager=eager,
+        )
+        return [
+            (record.time, elem.field_dict())
+            for record in stream.records()
+            for elem in record.elems()
+        ]
+
+    eager_out = consume(True)
+    lazy_out = consume(False)
+    assert eager_out
+    assert lazy_out == eager_out
+
+
+# ---------------------------------------------------------------------------
+# Corruption parity: the same signal whichever tier decodes
+# ---------------------------------------------------------------------------
+
+
+def _outcome(call):
+    try:
+        return ("ok", call())
+    except Exception as exc:  # noqa: BLE001 — parity check wants any class
+        return ("raise", type(exc).__name__, str(exc))
+
+
+def _encoded_update() -> bytes:
+    return BGPUpdate(
+        announced=[Prefix.from_string("192.0.2.0/24")],
+        attributes=PathAttributes(
+            as_path=ASPath.from_asns([65001, 65002]),
+            next_hop="10.0.0.1",
+            communities=CommunitySet.from_pairs([(65001, 7)]),
+            med=10,
+            local_pref=200,
+        ),
+    ).encode()
+
+
+def test_corrupt_update_raises_identically_in_both_tiers():
+    """Flipping any byte of an UPDATE yields the same outcome lazy vs eager."""
+    wire = _encoded_update()
+    for offset in range(19, len(wire)):  # skip the marker header: framing layer
+        for flip in (0xFF, 0x01):
+            mutated = bytearray(wire)
+            mutated[offset] ^= flip
+            mutated = bytes(mutated)
+            with lazy_decoding(False):
+                eager = _outcome(lambda: decode_update(mutated))
+            with lazy_decoding(True):
+                lazy = _outcome(lambda: _materialised_update(mutated))
+            assert lazy == eager, f"divergence at offset {offset} flip {flip:#x}"
+
+
+def _materialised_update(wire: bytes) -> BGPUpdate:
+    update = decode_update(wire)
+    update.attributes.encode()  # touch every deferred field
+    return update
+
+
+@pytest.mark.parametrize(
+    "attr",
+    [
+        bytes([0x40, 1, 0]),  # ORIGIN with empty body -> IndexError
+        bytes([0x40, 1, 1, 9]),  # ORIGIN 9 -> enum ValueError
+        bytes([0x40, 2, 3, 2, 2, 0]),  # AS_PATH truncated segment body
+        bytes([0x40, 2, 2, 9, 0]),  # AS_PATH unknown segment type
+        bytes([0x40, 3, 2, 1, 2]),  # NEXT_HOP wrong length -> AddressValueError
+        bytes([0x80, 4, 3, 0, 0, 1]),  # MED wrong length -> struct.error
+        bytes([0xC0, 8, 3, 0, 0, 1]),  # COMMUNITIES not a multiple of 4
+    ],
+)
+def test_deferred_validation_matches_eager_exception(attr):
+    with lazy_decoding(False):
+        eager = _outcome(lambda: PathAttributes.decode(attr))
+    lazy = _outcome(lambda: LazyPathAttributes(attr))
+    assert eager[0] == "raise"
+    assert lazy[:2] == eager[:2]  # same exception class (messages may differ
+    # only for checks the validator reproduces through the same call)
+
+
+def test_corrupt_mrt_records_surface_identically(tmp_path):
+    """Byte-flipped dump files parse to identical record/elem sequences."""
+    rng = random.Random(7)
+    with tempfile.TemporaryDirectory() as root:
+        archive = _build_archive(root, 7)
+        upd_path = archive.path_for("ris", "rrc0", "updates", 1300)
+        wire = open(upd_path, "rb").read()
+        offsets = rng.sample(range(len(wire)), 40)
+        for case, offset in enumerate(offsets):
+            mutated = bytearray(wire)
+            mutated[offset] ^= 0xFF
+            target = tmp_path / f"mutated-{case}.mrt"
+            target.write_bytes(bytes(mutated))
+
+            def render(eager):
+                clear_index_cache()
+                lines = []
+                for record in read_dump(str(target), lazy=not eager):
+                    if record.is_valid:
+                        # Encoding a lazy body materialises every deferred
+                        # attribute, so divergent decodes cannot hide.
+                        lines.append((record.header.timestamp, record.encode()))
+                    else:
+                        lines.append((record.body.reason, bytes(record.body.raw)))
+                return lines
+
+            assert render(eager=False) == render(eager=True), f"offset {offset}"
+
+
+def test_corrupt_bmp_frames_surface_identically():
+    """Byte-flipped BMP buffers scan to identical message sequences."""
+    rng = random.Random(11)
+    peer = BMPPeerHeader(address="10.1.2.3", asn=65001, timestamp_sec=1000)
+    frames = b"".join(
+        BMPMessage.route_monitoring(
+            peer,
+            BGPUpdate(
+                announced=[Prefix.from_string(f"198.51.{i}.0/24")],
+                attributes=PathAttributes(
+                    as_path=ASPath.from_asns([65001, 65000 + i]), next_hop="10.0.0.1"
+                ),
+            ),
+        ).encode()
+        for i in range(6)
+    )
+
+    def render(buffer, eager):
+        out = []
+        for message in scan_messages(buffer, lazy=not eager):
+            if message.is_valid:
+                body = message.body
+                update = getattr(body, "update", None)
+                out.append(
+                    (
+                        message.msg_type,
+                        None if update is None else update.attributes.encode(),
+                    )
+                )
+            else:
+                out.append(("corrupt", message.body.reason, bytes(message.body.raw)))
+        return out
+
+    for offset in rng.sample(range(len(frames)), 50):
+        mutated = bytearray(frames)
+        mutated[offset] ^= 0xFF
+        mutated = bytes(mutated)
+        assert render(mutated, eager=False) == render(mutated, eager=True), f"offset {offset}"
+    # Truncated tail parity with the incremental parser's kill reason.
+    truncated = frames[: len(frames) - 3]
+    lazy_scan = render(truncated, eager=False)
+    assert lazy_scan == render(truncated, eager=True)
+    assert lazy_scan[-1][1] == "truncated BMP message at end of stream"
+
+
+# ---------------------------------------------------------------------------
+# Lazy building blocks: deferral, interning, pickling, repeat-elems marker
+# ---------------------------------------------------------------------------
+
+
+def _attr_block() -> bytes:
+    update = _encoded_update()
+    # 19-byte header, withdrawn_len(2) == 0, attr_len(2), then the block.
+    attr_len = int.from_bytes(update[21:23], "big")
+    return update[23 : 23 + attr_len]
+
+
+def test_lazy_attributes_defer_and_match_eager():
+    block = _attr_block()
+    eager = PathAttributes.decode(block)
+    lazy = decode_attributes(block, lazy=True)
+    assert type(lazy) is LazyPathAttributes
+    assert lazy.deferred_types  # nothing read yet
+    assert lazy == eager  # comparison materialises every field
+    assert not lazy.deferred_types
+    assert lazy.encode() == eager.encode()
+
+
+def test_lazy_attributes_intern_on_materialisation():
+    block = _attr_block()
+    pool = InternPool()
+    lazy = decode_attributes(block, lazy=True, pool=pool)
+    canonical = pool.path(PathAttributes.decode(block).as_path)
+    assert lazy.as_path is canonical
+    assert lazy.communities is pool.communities(lazy.communities)
+
+
+def test_lazy_attributes_pickle_to_plain_eager_class():
+    lazy = decode_attributes(_attr_block(), lazy=True)
+    clone = pickle.loads(pickle.dumps(lazy))
+    assert type(clone) is PathAttributes
+    assert clone == lazy
+
+
+def test_lazy_elems_pickle_to_plain_elems(tmp_path):
+    with tempfile.TemporaryDirectory() as root:
+        archive = _build_archive(root, 3)
+        clear_index_cache()
+        reset_default_pool()
+        stream = BGPStream(
+            data_interface=BrokerDataInterface(
+                Broker(archives=[archive]), max_empty_polls=1
+            ),
+            eager=False,
+        )
+        stream.add_interval_filter(900, 2500)
+        elems = [elem for record in stream.records() for elem in record.elems()]
+        assert elems
+        assert any(type(e).__name__ == "LazyBGPElem" for e in elems)
+        clones = pickle.loads(pickle.dumps(elems))
+        assert [type(c).__name__ for c in clones] == ["BGPElem"] * len(clones)
+        assert clones == elems
+
+
+def test_repeated_elems_take_the_canonical_marker_fast_path():
+    from repro.mrt.records import BGP4MPMessage as MRTMessage
+
+    with tempfile.TemporaryDirectory() as root:
+        archive = _build_archive(root, 5)
+        clear_index_cache()
+        reset_default_pool()
+        stream = BGPStream(
+            data_interface=BrokerDataInterface(
+                Broker(archives=[archive]), max_empty_polls=1
+            ),
+        )
+        stream.add_interval_filter(900, 2500)
+        pool = stream.intern_pool
+        marked = 0
+        for record in stream.records():
+            first = [elem.to_ascii() for elem in record.elems()]
+            body = record.mrt.body if record.mrt is not None else None
+            if (
+                isinstance(body, MRTMessage)
+                and body.update.announced
+                and body.update.attributes.as_path is not None
+            ):
+                # The elem pass canonicalised the attrs and left the marker,
+                # so the next pass short-circuits the write-back walk.
+                assert body.update.attributes._canonical_for is pool
+                marked += 1
+            assert [elem.to_ascii() for elem in record.elems()] == first
+        assert marked > 0
+
+
+def test_decode_stats_counters_report_the_deferral():
+    with tempfile.TemporaryDirectory() as root:
+        archive = _build_archive(root, 9)
+        clear_index_cache()
+        reset_default_pool()
+        profiling.enable()
+        try:
+            stream = BGPStream(
+                data_interface=BrokerDataInterface(
+                    Broker(archives=[archive]), max_empty_polls=1
+                ),
+                eager=False,
+            )
+            stream.add_interval_filter(900, 2500)
+            for record in stream.records():
+                for _ in record.elems():
+                    break  # touch at most one elem per record
+            stats = profiling.snapshot()
+            assert stats.records_scanned > 0
+            assert stats.attr_blocks_deferred > 0
+            assert stats.bytes_viewed > 0
+            assert stats.lazy_elems > 0
+            lines = "\n".join(stats.summary_lines())
+            assert "attr blocks deferred" in lines
+        finally:
+            profiling.disable()
+        assert profiling.counters is None
+
+
+# ---------------------------------------------------------------------------
+# CLI knobs
+# ---------------------------------------------------------------------------
+
+
+def test_bgpreader_eager_decode_and_decode_stats_flags(tmp_path, capsys):
+    from repro.core import reader
+
+    with tempfile.TemporaryDirectory() as root:
+        archive = _build_archive(root, 13)
+        dump = archive.path_for("ris", "rrc0", "updates", 1300)
+
+        def lines(*extra):
+            clear_index_cache()
+            reset_default_pool()
+            args = reader.build_parser().parse_args(
+                ["--single-file", dump, *extra]
+            )
+            import io
+
+            out = io.StringIO()
+            assert reader.run(args, out) == 0
+            return out.getvalue().splitlines()
+
+        default_lines = lines()
+        eager_lines = lines("--eager-decode")
+        assert default_lines == eager_lines
+        assert default_lines
+
+        stats_lines = lines("--decode-stats")
+        comments = [line for line in stats_lines if line.startswith("# ")]
+        assert any("records scanned" in line for line in comments)
+        assert any("attr blocks deferred" in line for line in comments)
+        assert [line for line in stats_lines if not line.startswith("# ")] == default_lines
+
+        eager_stats = lines("--decode-stats", "--eager-decode")
+        assert any(
+            "attr blocks deferred:     0" in line for line in eager_stats
+        )
