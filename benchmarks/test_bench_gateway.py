@@ -1,0 +1,141 @@
+"""Gateway fan-out at scale: 1k+ subscribers off one decode loop (ISSUE 7).
+
+The claim under test is the gateway's whole reason to exist: with N
+subscribers the per-frame cost is one wire decode plus N ``match_elem``
+probes — never N decodes.  The benchmark drives :meth:`StreamHub.run`
+synchronously (no sockets: the transport layer is exercised by the e2e
+tests; here we measure the fan-out core) with 1024 filtered subscribers
+plus one deliberately slow, never-draining subscriber, and asserts:
+
+1. **decode-once** — the Kafka source decoded exactly one frame per
+   published message and the profiling tier scanned each frame once,
+   regardless of subscriber count;
+2. **exact delivery** — every subscriber received precisely its /16 slice,
+   in timestamp order;
+3. **no stall** — the never-draining subscriber ends the run with a
+   bounded queue and gap markers while the decode loop ran to completion.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.bmp import BMPFeedProducer, BMPMessage, BMPPeerHeader
+from repro.core import profiling
+from repro.core.filters import FilterSet
+from repro.core.interfaces import LiveDataInterface
+from repro.core.stream import BGPStream
+from repro.gateway.hub import StreamHub
+from repro.kafka.broker import MessageBroker
+
+SUBSCRIBERS = 1024
+NETS = 64  # /16 nets; SUBSCRIBERS / NETS subscribers watch each
+SECONDS = 64
+PER_SECOND = 16  # updates per feed second → SECONDS * PER_SECOND frames
+BASE_TS = 1_450_000_000
+
+FRAMES = SECONDS * PER_SECOND
+PER_NET = FRAMES // NETS
+FANOUT = SUBSCRIBERS // NETS  # deliveries per elem
+
+#: Conservative lower bound on delivered elems/s — an order of magnitude
+#: below a warm local run, so only a real fan-out regression trips it.
+DELIVERED_PER_SEC_FLOOR = 2_000
+
+
+def build_hub():
+    broker = MessageBroker()
+    producer = BMPFeedProducer(broker, router="rtr1.bench")
+    frame = 0
+    for second in range(SECONDS):
+        for _ in range(PER_SECOND):
+            net = frame % NETS
+            peer = BMPPeerHeader(
+                address="10.0.0.1", asn=64500, timestamp_sec=BASE_TS + second
+            )
+            update = BGPUpdate(
+                announced=[Prefix.from_string(f"10.{net}.{frame // NETS}.0/24")],
+                attributes=PathAttributes(
+                    as_path=ASPath.from_asns([64500, 3356, 15169]),
+                    next_hop="10.0.0.1",
+                ),
+            )
+            producer.publish(BMPMessage.route_monitoring(peer, update))
+            frame += 1
+    stream = BGPStream(
+        live=LiveDataInterface(broker=broker, max_empty_polls=1, poll_interval=0.0)
+    )
+    hub = StreamHub(stream)
+    fast = [
+        hub.subscribe(
+            FilterSet().add("prefix", f"10.{i % NETS}.0.0/16"),
+            max_queued_windows=SECONDS + 1,
+            name=f"sub-{i}",
+        )
+        for i in range(SUBSCRIBERS)
+    ]
+    # One stalled consumer that never pops: it must not slow the bridge.
+    slow = hub.subscribe(
+        FilterSet(), max_queued_windows=2, coalesce_budget=PER_SECOND, name="stalled"
+    )
+    return hub, fast, slow
+
+
+def test_gateway_fanout_1k_subscribers(benchmark):
+    state = {}
+
+    def setup():
+        profiling.enable()
+        state["hub"], state["fast"], state["slow"] = build_hub()
+        return (), {}
+
+    def run_fanout():
+        state["hub"].run()
+
+    benchmark.pedantic(run_fanout, setup=setup, rounds=1)
+    hub, fast, slow = state["hub"], state["fast"], state["slow"]
+    decode = profiling.snapshot()
+    profiling.disable()
+
+    # 1. Decode-once, asserted from both ends: the Kafka source's frame
+    # counter and the profiling tier's scan counter (what the CLI reports
+    # under --decode-stats) each saw every frame exactly once — not
+    # SUBSCRIBERS times.
+    source = hub.stream._interface.source
+    assert source.frames_decoded == FRAMES
+    assert decode.bmp_frames_scanned == FRAMES
+    assert hub.elems_seen == FRAMES
+    assert hub.elems_delivered == FRAMES * FANOUT + slow.elems_matched
+
+    # 2. Exact delivery: each subscriber got precisely its /16 slice, in
+    # timestamp order, gapless.
+    for i, subscriber in enumerate(fast):
+        elems = [e for w in subscriber.drain() for e in w.elems]
+        assert len(elems) == PER_NET
+        assert all(str(e.prefix).startswith(f"10.{i % NETS}.") for e in elems)
+        times = [e.time for e in elems]
+        assert times == sorted(times)
+
+    # 3. The stalled subscriber never blocked the bridge: the run finished,
+    # its queue stayed bounded and its loss is marked, not silent.
+    assert hub.finished
+    snap = slow.snapshot()
+    assert snap["elems_matched"] == FRAMES
+    assert snap["ready"] <= 2
+    remnants = slow.drain()
+    assert sum(len(w.elems) for w in remnants) + snap["elems_dropped"] == FRAMES
+    assert any(w.coalesced or w.has_gap for w in remnants)
+
+    seconds = benchmark.stats.stats.min
+    delivered_per_sec = hub.elems_delivered / seconds
+    benchmark.extra_info["subscribers"] = SUBSCRIBERS + 1
+    benchmark.extra_info["frames"] = FRAMES
+    benchmark.extra_info["elems_delivered"] = hub.elems_delivered
+    benchmark.extra_info["match_probes"] = FRAMES * (SUBSCRIBERS + 1)
+    benchmark.extra_info["delivered_per_sec"] = round(delivered_per_sec)
+    benchmark.extra_info["match_probes_per_sec"] = round(
+        FRAMES * (SUBSCRIBERS + 1) / seconds
+    )
+    assert delivered_per_sec > DELIVERED_PER_SEC_FLOOR

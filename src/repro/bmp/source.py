@@ -122,6 +122,12 @@ class BMPKafkaDataSource:
         #: message known to lie past a window boundary, so later polls of
         #: the window skip it without re-fetching or re-decoding it.
         self._deferred_heads: Dict[Tuple[str, int, int], int] = {}
+        #: Heads of messages that *straddle* the current window boundary
+        #: (frames on both sides): delivered whole but left uncommitted, so
+        #: the next window re-reads them and keeps the overhang frames.
+        #: Later polls of the same window skip them without re-delivering.
+        self._straddled_heads: set = set()
+        self._window_until_ts: Optional[float] = None
 
     @property
     def _lazy(self) -> Optional[bool]:
@@ -140,10 +146,13 @@ class BMPKafkaDataSource:
         fetch budget of partitions still holding in-window messages.
         ``window_exceeded`` reports that something was held back;
         ``window_drained`` that nothing consumable remains and the caller
-        can close the window.  A message that straddles the boundary
-        (frames on both sides) is consumed whole: Kafka offsets cannot
-        split a message, and the record-level check in the live interface
-        discards the overhang.
+        can close the window.  A message that *straddles* the boundary
+        (frames on both sides — Kafka offsets cannot split a message) is
+        delivered whole but left **uncommitted** and its partition closes
+        for the rest of the window: the next window's consumer re-reads it
+        from the log, so the overhang frames are never stranded between
+        consecutive bounded windows (the record-level interval check drops
+        the re-delivered in-window frames).
         """
         self.window_exceeded = False
         self.window_drained = False
@@ -152,15 +161,28 @@ class BMPKafkaDataSource:
             for kafka_message in self._consumer.poll(max_messages=max_messages):
                 self._decode_into(pairs, kafka_message)
             return pairs
+        if until_ts != self._window_until_ts:
+            # A new window boundary: straddlers of the previous window are
+            # ordinary consumable messages again (their delivered frames
+            # fall before the new window's interval start).
+            self._straddled_heads.clear()
+            self._window_until_ts = until_ts
         broker = self._consumer.broker
         group = self._consumer.group
         deferred: Dict[Tuple[str, int, int], int] = {}
+        straddled = 0
         queues: List[List[Message]] = []
         for topic_name in self.topics:
             topic = broker.topic(topic_name)
             for partition in range(topic.num_partitions):
                 offset = broker.committed_offset(group, topic_name, partition)
                 head = (topic_name, partition, offset)
+                if head in self._straddled_heads:
+                    # Already delivered this window; the partition stays
+                    # closed (and eats no fetch budget) until the boundary
+                    # moves.
+                    straddled += 1
+                    continue
                 stamp = self._deferred_heads.get(head)
                 if stamp is not None and stamp > until_ts:
                     deferred[head] = stamp
@@ -190,6 +212,19 @@ class BMPKafkaDataSource:
                     (kafka_message.topic, kafka_message.partition, kafka_message.offset)
                 ] = min(stamps)
                 continue
+            if stamps and max(stamps) > until_ts:
+                # Straddler: deliver every frame (the interface discards the
+                # overhang records), commit nothing, close the partition.
+                closed.add(partition_key)
+                self._straddled_heads.add(
+                    (kafka_message.topic, kafka_message.partition, kafka_message.offset)
+                )
+                straddled += 1
+                router = kafka_message.key or ""
+                for message in decoded:
+                    self._count_frame(message)
+                    pairs.append((router, message))
+                continue
             consumed.append(kafka_message)
             router = kafka_message.key or ""
             for message in decoded:
@@ -199,12 +234,12 @@ class BMPKafkaDataSource:
             self._consumer.commit(consumed)
             self._consumer.messages_consumed += len(consumed)
         self._deferred_heads = deferred
-        self.window_exceeded = bool(deferred)
+        self.window_exceeded = bool(deferred) or straddled > 0
         # Drained only if nothing was consumable AND the merge covered every
         # fetched queue's head — with a tiny budget, a head the merge never
         # reached may still open a partition of in-window messages.
         self.window_drained = (
-            bool(deferred)
+            self.window_exceeded
             and not consumed
             and (max_messages is None or len(merged) >= len(queues))
         )
@@ -231,4 +266,6 @@ class BMPKafkaDataSource:
     def seek_to_beginning(self) -> None:
         """Replay the feed from the first retained frame."""
         self._deferred_heads.clear()
+        self._straddled_heads.clear()
+        self._window_until_ts = None
         self._consumer.seek_to_beginning()

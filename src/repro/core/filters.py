@@ -130,6 +130,83 @@ class FilterSet:
         self.prefix_filters.insert(prefix, existing | mode)
         self.prefix_mode_mask |= mode
 
+    def remove(self, name: str, value: str) -> "FilterSet":
+        """Remove one filter by name — the inverse of :meth:`add`.
+
+        Removing a value that is not present is a no-op, so a gateway
+        subscriber can retract a filter without tracking whether the add
+        ever happened.
+        """
+        if name not in _FILTER_NAMES:
+            raise ValueError(f"unknown filter {name!r}; expected one of {sorted(_FILTER_NAMES)}")
+        if name == "project":
+            self.projects.discard(value)
+        elif name == "collector":
+            self.collectors.discard(value)
+        elif name == "record-type":
+            normalised = {"rib": "ribs", "update": "updates"}.get(value, value)
+            self.record_types.discard(normalised)
+        elif name == "elem-type":
+            mapping = {
+                "rib": ElemType.RIB,
+                "announcement": ElemType.ANNOUNCEMENT,
+                "announcements": ElemType.ANNOUNCEMENT,
+                "withdrawal": ElemType.WITHDRAWAL,
+                "withdrawals": ElemType.WITHDRAWAL,
+                "state": ElemType.STATE,
+            }
+            if value in mapping:
+                self.elem_types.discard(mapping[value])
+        elif name in _PREFIX_MODES:
+            self._remove_prefix(Prefix.from_string(value), _PREFIX_MODES[name])
+        elif name == "peer-asn":
+            self.peer_asns.discard(int(value))
+        elif name == "origin-asn":
+            self.origin_asns.discard(int(value))
+        elif name == "aspath":
+            self.aspath_patterns = [p for p in self.aspath_patterns if p.pattern != value]
+        elif name == "community":
+            self.communities.discard(Community.from_string(value))
+        return self
+
+    def _remove_prefix(self, prefix: Prefix, mode: int) -> None:
+        existing = self.prefix_filters.get(prefix)
+        if existing is None or not existing & mode:
+            return
+        remaining = existing & ~mode
+        if remaining:
+            self.prefix_filters.insert(prefix, remaining)
+        else:
+            self.prefix_filters.remove(prefix)
+        # The dropped bit may survive on other watched prefixes: recompute.
+        mask = 0
+        for _prefix, bits in self.prefix_filters.items():
+            mask |= bits
+        self.prefix_mode_mask = mask
+
+    def copy(self) -> "FilterSet":
+        """An independent copy (mutating either set leaves the other alone).
+
+        Compiled AS-path patterns and the stored prefix mode masks are
+        immutable, so they are shared; the containers are fresh.
+        """
+        clone = FilterSet(
+            projects=set(self.projects),
+            collectors=set(self.collectors),
+            record_types=set(self.record_types),
+            elem_types=set(self.elem_types),
+            peer_asns=set(self.peer_asns),
+            origin_asns=set(self.origin_asns),
+            aspath_patterns=list(self.aspath_patterns),
+            communities=set(self.communities),
+            interval_start=self.interval_start,
+            interval_end=self.interval_end,
+            prefix_mode_mask=self.prefix_mode_mask,
+        )
+        for prefix, mode in self.prefix_filters.items():
+            clone.prefix_filters.insert(prefix, mode)
+        return clone
+
     def add_interval(self, start: int, end: Optional[int]) -> "FilterSet":
         """Set the time interval; ``end=None`` (or -1) selects live mode."""
         if end is not None and end < 0:
@@ -179,14 +256,19 @@ class FilterSet:
         return False
 
     def match_elem(self, elem: BGPElem) -> bool:
-        """Elem-level (content) matching."""
+        """Elem-level (content) matching.
+
+        Terms are ordered so the *gate fields* a lazy elem carries eagerly
+        (type, peer ASN, prefix) are checked before any term that reads a
+        path attribute: ``origin_asn`` / ``aspath`` / ``community`` filters
+        force a :class:`~repro.core.record.LazyBGPElem` to materialise its
+        deferred attributes, and doing that for an elem the prefix trie is
+        about to reject would defeat the lazy decode tier.
+        """
         if self.elem_types and elem.elem_type not in self.elem_types:
             return False
         if self.peer_asns and elem.peer_asn not in self.peer_asns:
             return False
-        if self.origin_asns:
-            if elem.origin_asn is None or elem.origin_asn not in self.origin_asns:
-                return False
         # The prefix gate applies only when prefix filters are configured:
         # an elem without a prefix (e.g. a state message) must still match
         # a filter set made of non-prefix terms.
@@ -194,6 +276,10 @@ class FilterSet:
             if elem.prefix is None:
                 return False
             if not self.match_prefix(elem.prefix):
+                return False
+        # Attribute-reading terms below this line only.
+        if self.origin_asns:
+            if elem.origin_asn is None or elem.origin_asn not in self.origin_asns:
                 return False
         if self.aspath_patterns:
             if elem.as_path is None:

@@ -335,12 +335,16 @@ class LiveDataInterface(DataInterface):
             for router, message in pairs:
                 for record in self.converter.convert(router, message):
                     if until_ts is not None and record.time > until_ts:
-                        # Overhang of a straddling frame batch (consumed
+                        # Overhang of a straddling frame batch (delivered
                         # whole because offsets cannot split a message):
-                        # discard it.  Only a window-unaware source closes
-                        # the window here — a window-aware one may still
-                        # hold in-window messages on other partitions and
-                        # signals the close via window_drained.
+                        # discard it here.  A window-aware source left the
+                        # straddling message uncommitted, so the *next*
+                        # window re-reads it and these frames are delivered
+                        # then — nothing is stranded.  Only a window-unaware
+                        # source closes the window here — a window-aware one
+                        # may still hold in-window messages on other
+                        # partitions and signals the close via
+                        # window_drained.
                         if not window_aware:
                             window_closed = True
                         continue

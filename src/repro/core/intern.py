@@ -70,6 +70,21 @@ KIND_CAP_MULTIPLIERS = {"prefix": 16}
 KINDS = ("prefix", "path", "segment", "communities", "community", "string", "peer")
 
 
+class _CounterBlock:
+    """Hit/overflow tallies owned by exactly one thread.
+
+    Only the owning thread ever writes a block, so the hot-path increments
+    need neither a lock nor atomics; readers (``stats()``) sum the blocks
+    under the pool lock, which under the GIL observes each int whole.
+    """
+
+    __slots__ = ("hits", "overflow")
+
+    def __init__(self) -> None:
+        self.hits: Dict[str, int] = {}
+        self.overflow: Dict[str, int] = {}
+
+
 class InternPool:
     """A bounded, thread-safe flyweight pool for immutable values.
 
@@ -77,17 +92,28 @@ class InternPool:
     probe is lock-free (safe under the GIL: a racing insert at worst stores
     a second equal canonical, never corrupts); inserts take a small lock so
     the bound and the miss counter stay exact.  The *hit* and *overflow*
-    counters are bumped outside the lock to keep the hot paths cheap (a
-    saturated kind must not pay a lock acquisition per occurrence), so under
-    heavy thread contention they may slightly under-count — stats are
-    diagnostics, not accounting.  When a kind reaches its cap new values
-    pass through uninterned (counted as ``overflow``) — bounded memory beats
-    perfect dedup.  The cap is ``max_entries`` per kind, scaled up by
+    counters are kept in per-thread blocks — each thread increments only its
+    own block, so a saturated kind pays no lock acquisition per occurrence
+    and concurrent threads never lose each other's updates (the stats a
+    multi-threaded consumer like the streaming gateway reads are exact, not
+    approximate).  When a kind reaches its cap new values pass through
+    uninterned (counted as ``overflow``) — bounded memory beats perfect
+    dedup.  The cap is ``max_entries`` per kind, scaled up by
     :data:`KIND_CAP_MULTIPLIERS` for kinds with larger realistic
     populations (prefixes).
     """
 
-    __slots__ = ("max_entries", "_caps", "_tables", "_hits", "_misses", "_overflow", "_lock")
+    __slots__ = (
+        "max_entries",
+        "_caps",
+        "_tables",
+        "_base_hits",
+        "_misses",
+        "_base_overflow",
+        "_blocks",
+        "_local",
+        "_lock",
+    )
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         if max_entries <= 0:
@@ -97,10 +123,40 @@ class InternPool:
             kind: max_entries * multiplier for kind, multiplier in KIND_CAP_MULTIPLIERS.items()
         }
         self._tables: Dict[str, dict] = {kind: {} for kind in KINDS}
-        self._hits: Dict[str, int] = {kind: 0 for kind in KINDS}
+        #: Totals carried over from pickling/merging; live deltas sit in the
+        #: per-thread blocks and are folded in on read.
+        self._base_hits: Dict[str, int] = {kind: 0 for kind in KINDS}
         self._misses: Dict[str, int] = {kind: 0 for kind in KINDS}
-        self._overflow: Dict[str, int] = {kind: 0 for kind in KINDS}
+        self._base_overflow: Dict[str, int] = {kind: 0 for kind in KINDS}
+        self._blocks: list = []
+        self._local = threading.local()
         self._lock = threading.Lock()
+
+    # -- per-thread counters -----------------------------------------------
+
+    def _block(self) -> _CounterBlock:
+        block = getattr(self._local, "block", None)
+        if block is None:
+            block = _CounterBlock()
+            with self._lock:
+                self._blocks.append(block)
+            self._local.block = block
+        return block
+
+    def _aggregate(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """Fold the thread blocks into total hit/overflow dicts.
+
+        Caller must hold ``_lock`` (the blocks list must not grow
+        mid-iteration; individual block reads are GIL-atomic).
+        """
+        hits = dict(self._base_hits)
+        overflow = dict(self._base_overflow)
+        for block in self._blocks:
+            for kind, count in block.hits.items():
+                hits[kind] = hits.get(kind, 0) + count
+            for kind, count in block.overflow.items():
+                overflow[kind] = overflow.get(kind, 0) + count
+        return hits, overflow
 
     # -- the generic primitive ---------------------------------------------
 
@@ -111,28 +167,37 @@ class InternPool:
         if table is None:
             with self._lock:
                 table = self._tables.setdefault(kind, {})
-                self._hits.setdefault(kind, 0)
                 self._misses.setdefault(kind, 0)
-                self._overflow.setdefault(kind, 0)
         canonical = table.get(value)
         if canonical is not None:
-            self._hits[kind] += 1
+            hits = self._block().hits
+            hits[kind] = hits.get(kind, 0) + 1
             return canonical
         cap = self._caps.get(kind, self.max_entries)
         if len(table) >= cap:
             # Permanently-full kind: stay on the lock-free path.
-            self._overflow[kind] += 1
+            overflow = self._block().overflow
+            overflow[kind] = overflow.get(kind, 0) + 1
             return value
         with self._lock:
             canonical = table.get(value)
             if canonical is not None:
-                self._hits[kind] += 1
-                return canonical
-            if len(table) >= cap:
-                self._overflow[kind] += 1
-                return value
-            self._misses[kind] += 1
-            table[value] = value
+                hit = True
+                over = False
+            elif len(table) >= cap:
+                hit = False
+                over = True
+            else:
+                hit = over = False
+                self._misses[kind] = self._misses.get(kind, 0) + 1
+                table[value] = value
+        if canonical is not None and hit:
+            hits = self._block().hits
+            hits[kind] = hits.get(kind, 0) + 1
+            return canonical
+        if over:
+            overflow = self._block().overflow
+            overflow[kind] = overflow.get(kind, 0) + 1
         return value
 
     # -- typed conveniences (the elem-pipeline hot paths) ------------------
@@ -155,7 +220,8 @@ class InternPool:
         table = self._tables["path"]
         canonical = table.get(value)
         if canonical is not None:
-            self._hits["path"] += 1
+            hits = self._block().hits
+            hits["path"] = hits.get("path", 0) + 1
             return canonical
         segments = value.segments
         interned = tuple(self.intern("segment", segment) for segment in segments)
@@ -172,7 +238,8 @@ class InternPool:
         table = self._tables["communities"]
         canonical = table.get(value)
         if canonical is not None:
-            self._hits["communities"] += 1
+            hits = self._block().hits
+            hits["communities"] = hits.get("communities", 0) + 1
             return canonical
         members = tuple(value)
         interned = tuple(self.intern("community", member) for member in members)
@@ -215,12 +282,13 @@ class InternPool:
     def stats(self) -> Dict[str, Dict[str, int]]:
         """Per-kind ``{size, hits, misses, overflow}`` counters."""
         with self._lock:
+            hits, overflow = self._aggregate()
             return {
                 kind: {
                     "size": len(table),
-                    "hits": self._hits.get(kind, 0),
+                    "hits": hits.get(kind, 0),
                     "misses": self._misses.get(kind, 0),
-                    "overflow": self._overflow.get(kind, 0),
+                    "overflow": overflow.get(kind, 0),
                 }
                 for kind, table in self._tables.items()
             }
@@ -229,8 +297,9 @@ class InternPool:
     def hit_rate(self) -> float:
         """Overall hits / (hits + misses + overflow); 0.0 when unused."""
         with self._lock:
-            hits = sum(self._hits.values())
-            total = hits + sum(self._misses.values()) + sum(self._overflow.values())
+            hit_totals, overflow_totals = self._aggregate()
+            hits = sum(hit_totals.values())
+            total = hits + sum(self._misses.values()) + sum(overflow_totals.values())
         return hits / total if total else 0.0
 
     def __len__(self) -> int:
@@ -249,21 +318,26 @@ class InternPool:
         with self._lock:
             # Copy under the lock: pickling iterates the dicts and releases
             # the GIL into entry __reduce__/__hash__ calls, so a concurrent
-            # insert would otherwise resize them mid-iteration.
+            # insert would otherwise resize them mid-iteration.  Thread
+            # blocks are folded into plain totals — the unpickled pool
+            # starts with fresh blocks.
+            hits, overflow = self._aggregate()
             return (
                 self.max_entries,
                 {kind: dict(table) for kind, table in self._tables.items()},
-                dict(self._hits),
+                hits,
                 dict(self._misses),
-                dict(self._overflow),
+                overflow,
             )
 
     def __setstate__(self, state: Tuple) -> None:
-        self.max_entries, self._tables, self._hits, self._misses, self._overflow = state
+        self.max_entries, self._tables, self._base_hits, self._misses, self._base_overflow = state
         self._caps = {
             kind: self.max_entries * multiplier
             for kind, multiplier in KIND_CAP_MULTIPLIERS.items()
         }
+        self._blocks = []
+        self._local = threading.local()
         self._lock = threading.Lock()
 
 

@@ -1,0 +1,18 @@
+"""The streaming gateway: one live decode loop, N filtered subscribers.
+
+``repro.gateway`` turns the single-consumer live path (PR 5/6) into a
+service tier: a :class:`~repro.gateway.hub.StreamHub` decodes the
+BMP-over-Kafka feed exactly once in a bridge thread, and an asyncio
+:class:`~repro.gateway.server.GatewayServer` exposes the shared elem
+stream over WebSocket and SSE, one trie-backed
+:class:`~repro.core.filters.FilterSet` and event-time window per
+subscriber, with per-client backpressure (coalesced/dropped windows + gap
+markers) that never stalls the decode loop.
+
+Run it with ``python -m repro.gateway --live frames.bmp``.
+"""
+
+from repro.gateway.hub import GatewayWindow, StreamHub, Subscriber
+from repro.gateway.server import GatewayServer
+
+__all__ = ["GatewayWindow", "StreamHub", "Subscriber", "GatewayServer"]

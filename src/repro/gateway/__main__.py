@@ -1,0 +1,5 @@
+import sys
+
+from repro.gateway.cli import main
+
+sys.exit(main())

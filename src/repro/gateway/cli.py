@@ -1,0 +1,168 @@
+"""repro-gateway: serve a live BMP feed to many filtered subscribers.
+
+Replays a recorded raw BMP frame stream (the ``bgpreader --live`` format)
+through an in-memory Kafka broker, decodes it **once** in a bridge thread,
+and fans the elems out over WebSocket (``/stream/ws``) and SSE
+(``/stream/sse``) with per-client filters, event-time windows and
+backpressure.  ``/stats`` reports the decode-once counters.
+
+    python -m repro.gateway --live frames.bmp --port 8400 \
+        --await-subscribers 1 --idle-polls 100
+
+See ``examples/gateway_client.py`` for both client idioms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import threading
+from typing import IO, List, Optional
+
+from repro.core import profiling
+from repro.core.interfaces import LiveDataInterface
+from repro.core.stream import BGPStream
+from repro.gateway.hub import StreamHub
+from repro.gateway.server import GatewayServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gateway",
+        description="Fan a live BMP feed out to filtered WebSocket/SSE subscribers.",
+    )
+    source = parser.add_argument_group("data source")
+    source.add_argument(
+        "--live",
+        required=True,
+        help="path to a recorded raw BMP frame stream, replayed through an "
+             "in-memory Kafka broker (OpenBMP-style feed)",
+    )
+    source.add_argument("--bmp-topic", default=None,
+                        help="Kafka topic for the BMP frames (default: openbmp.bmp_raw)")
+    source.add_argument("--bmp-router", default=None,
+                        help="router name keying the feed (default: the file name)")
+
+    serving = parser.add_argument_group("serving")
+    serving.add_argument("--host", default="127.0.0.1")
+    serving.add_argument("--port", type=int, default=8400,
+                         help="TCP port (0 picks an ephemeral port; default: 8400)")
+    serving.add_argument(
+        "--await-subscribers", type=int, default=0, metavar="N",
+        help="hold the decode loop until N subscribers connected "
+             "(default: 0 = start immediately)",
+    )
+    serving.add_argument(
+        "--idle-polls", type=int, default=None, metavar="N",
+        help="end the feed after N consecutive empty polls "
+             "(default: poll forever; replay demos want a small number)",
+    )
+    serving.add_argument(
+        "--poll-interval", type=float, default=0.05,
+        help="seconds between feed polls when idle (default: 0.05)",
+    )
+    serving.add_argument(
+        "--exit-when-drained", action="store_true",
+        help="shut the server down once the feed finished and every "
+             "subscriber drained (replay/benchmark mode)",
+    )
+
+    engine = parser.add_argument_group("engine")
+    engine.add_argument("--eager-decode", action="store_true",
+                        help="decode every path attribute at parse time")
+    engine.add_argument("--no-intern", action="store_true",
+                        help="disable flyweight interning of parsed BGP values")
+    engine.add_argument("--decode-stats", action="store_true",
+                        help="enable decode-tier counters (served under /stats; "
+                             "printed as #-lines on exit)")
+    return parser
+
+
+def build_hub(args: argparse.Namespace) -> StreamHub:
+    """The live stream + hub for parsed CLI arguments (no sockets yet)."""
+    from repro.bmp.source import DEFAULT_BMP_TOPIC, BMPFeedProducer
+    from repro.kafka.broker import MessageBroker
+
+    topic = args.bmp_topic or DEFAULT_BMP_TOPIC
+    router = args.bmp_router or os.path.basename(args.live)
+    broker = MessageBroker()
+    producer = BMPFeedProducer(broker, topic=topic, router=router)
+    try:
+        with open(args.live, "rb") as handle:
+            producer.publish(handle.read())
+    except OSError as exc:
+        raise SystemExit(f"repro-gateway: error: cannot read --live file: {exc}")
+    interface = LiveDataInterface(
+        broker=broker,
+        topics=[topic],
+        max_empty_polls=args.idle_polls,
+        poll_interval=args.poll_interval,
+    )
+    stream = BGPStream(
+        data_interface=interface,
+        interning=not args.no_intern,
+        eager=True if args.eager_decode else None,
+    )
+    return StreamHub(stream)
+
+
+async def _amain(args: argparse.Namespace, out: IO[str]) -> int:
+    hub = build_hub(args)
+    server = await GatewayServer(hub, host=args.host, port=args.port).start()
+    print(f"# repro-gateway serving on {args.host}:{server.port}", file=out, flush=True)
+
+    def launch_decode() -> None:
+        if args.await_subscribers > 0:
+            while hub.subscriber_count < args.await_subscribers:
+                if stop_waiting.wait(0.02):
+                    return
+        hub.start()
+
+    stop_waiting = threading.Event()
+    launcher = threading.Thread(target=launch_decode, daemon=True)
+    launcher.start()
+    try:
+        if args.exit_when_drained:
+            while not hub.finished:
+                await asyncio.sleep(0.05)
+            # Let connected subscribers drain their queues before closing.
+            while any(
+                s.ready_count for s in list(hub._subscribers)
+            ):  # pragma: no cover - timing-dependent
+                await asyncio.sleep(0.05)
+        else:
+            await server.serve_forever()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        stop_waiting.set()
+        hub.stop(timeout=2.0)
+        await server.close()
+    return 0
+
+
+def run(args: argparse.Namespace, out: IO[str]) -> int:
+    if args.decode_stats:
+        profiling.enable()
+    try:
+        return asyncio.run(_amain(args, out))
+    finally:
+        if args.decode_stats:
+            for line in profiling.snapshot().summary_lines():
+                print(f"# {line}", file=out)
+            profiling.disable()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return run(args, sys.stdout)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

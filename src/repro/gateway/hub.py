@@ -1,0 +1,433 @@
+"""The fan-out hub: one decode loop, N filtered subscribers.
+
+The :class:`StreamHub` owns a live :class:`~repro.core.stream.BGPStream`
+(BMP-over-Kafka feed) and runs its decode loop in **one** bridge thread.
+Every elem is decoded exactly once; each :class:`Subscriber` then sees the
+shared elem objects through its own trie-backed
+:class:`~repro.core.filters.FilterSet` and its own event-time window, so
+the per-subscriber cost is ``match_elem`` — never a re-decode — and all
+subscribers share the stream's intern pool.
+
+Backpressure is per subscriber and never reaches the decode loop: closed
+windows land in a bounded deque; when a slow consumer lets it fill, the
+oldest two windows *coalesce* into one (elems concatenated, span widened)
+up to an elem budget — and once the budget leaves no room for the oldest
+window at all, that window is dropped wholly and its successor carries a
+gap marker (``gap_before`` / ``dropped_elems``).  A fast subscriber on the
+same feed stays gapless throughout.
+
+The hub is asyncio-agnostic: the server layer bridges into an event loop by
+registering a notifier callback per subscriber
+(:meth:`Subscriber.set_notifier` → ``loop.call_soon_threadsafe``); a
+benchmark or test can equally drive :meth:`StreamHub.run` synchronously and
+pop windows directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from repro.core.elem import BGPElem
+from repro.core.filters import FilterSet
+from repro.core.stream import BGPStream
+
+__all__ = ["GatewayWindow", "Subscriber", "StreamHub"]
+
+#: Default width of a subscriber's event-time window, in feed seconds.
+DEFAULT_WINDOW_SIZE = 1
+
+#: Default bound on closed windows queued per subscriber.
+DEFAULT_MAX_QUEUED_WINDOWS = 8
+
+#: Default cap on elems a coalesced window may accumulate before the
+#: oldest elems are dropped (the gap marker records how many).
+DEFAULT_COALESCE_BUDGET = 4096
+
+
+def _elem_payload(elem: BGPElem) -> Dict:
+    fields = elem.field_dict()
+    communities = fields.get("communities")
+    if isinstance(communities, (set, frozenset)):
+        fields["communities"] = sorted(communities)  # JSON has no sets
+    return {
+        "elem_type": str(elem.elem_type),
+        "time": elem.time,
+        "peer_address": elem.peer_address,
+        "peer_asn": elem.peer_asn,
+        "fields": fields,
+    }
+
+
+class GatewayWindow:
+    """One closed event-time window of elems for one subscriber."""
+
+    __slots__ = ("start", "end", "elems", "coalesced", "dropped_elems", "gap_before")
+
+    def __init__(self, start: int, end: int) -> None:
+        self.start = start
+        self.end = end  # exclusive
+        self.elems: List[BGPElem] = []
+        #: Number of older windows merged into this one under backpressure.
+        self.coalesced = 0
+        #: Elems discarded immediately before or within this window under
+        #: backpressure (budget truncation + wholly dropped predecessors).
+        self.dropped_elems = 0
+        #: Whole windows discarded immediately before this one.
+        self.gap_before = 0
+
+    @property
+    def has_gap(self) -> bool:
+        return self.dropped_elems > 0 or self.gap_before > 0
+
+    def payload(self) -> Dict:
+        """The JSON-ready wire form (elems as ``field_dict`` views)."""
+        body = {
+            "type": "window",
+            "window_start": self.start,
+            "window_end": self.end,
+            "elems": [_elem_payload(elem) for elem in self.elems],
+        }
+        if self.coalesced:
+            body["coalesced"] = self.coalesced
+        if self.dropped_elems:
+            body["dropped_elems"] = self.dropped_elems
+        if self.gap_before:
+            body["gap_before"] = self.gap_before
+        return body
+
+    def __repr__(self) -> str:
+        return (
+            f"GatewayWindow([{self.start}, {self.end}), {len(self.elems)} elems"
+            + (f", coalesced={self.coalesced}" if self.coalesced else "")
+            + (f", gap_before={self.gap_before}" if self.gap_before else "")
+            + ")"
+        )
+
+
+class Subscriber:
+    """One consumer of the shared feed: filters + window + bounded queue.
+
+    All mutable state is guarded by ``_lock`` — the bridge thread matches
+    and windows elems under it, while connection handlers add/remove
+    filters (subscription multiplexing) and pop closed windows from their
+    own threads/tasks.  Every operation under the lock is small and
+    allocation-light, so the decode loop never waits long.
+    """
+
+    def __init__(
+        self,
+        filters: Optional[FilterSet] = None,
+        *,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+        max_queued_windows: int = DEFAULT_MAX_QUEUED_WINDOWS,
+        coalesce_budget: int = DEFAULT_COALESCE_BUDGET,
+        name: Optional[str] = None,
+    ) -> None:
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if max_queued_windows <= 0:
+            raise ValueError("max_queued_windows must be positive")
+        self.name = name
+        self.filters = filters if filters is not None else FilterSet()
+        self.window_size = int(window_size)
+        self.max_queued_windows = max_queued_windows
+        self.coalesce_budget = coalesce_budget
+        self._lock = threading.Lock()
+        self._current: Optional[GatewayWindow] = None
+        self._ready: List[GatewayWindow] = []
+        self._notifier: Optional[Callable[[], None]] = None
+        self.finished = False
+        # Counters (read under the lock via snapshot()).
+        self.elems_matched = 0
+        self.windows_closed = 0
+        self.windows_coalesced = 0
+        self.windows_dropped = 0
+        self.elems_dropped = 0
+
+    # -- multiplexing (called from connection handlers) --------------------
+
+    def add_filter(self, name: str, value: str) -> None:
+        with self._lock:
+            self.filters.add(name, value)
+
+    def remove_filter(self, name: str, value: str) -> None:
+        with self._lock:
+            self.filters.remove(name, value)
+
+    def set_interval(self, start: int, end: Optional[int]) -> None:
+        with self._lock:
+            self.filters.add_interval(start, end)
+
+    def set_notifier(self, notifier: Optional[Callable[[], None]]) -> None:
+        """Register a callback fired (from the bridge thread) whenever a
+        window becomes ready or the feed finishes — the server layer passes
+        ``lambda: loop.call_soon_threadsafe(event.set)``."""
+        with self._lock:
+            self._notifier = notifier
+            pending = bool(self._ready) or self.finished
+        if notifier is not None and pending:
+            notifier()
+
+    # -- the bridge-thread side --------------------------------------------
+
+    def offer(self, elem: BGPElem) -> bool:
+        """Match one shared elem; window it if admitted.  Returns whether
+        the elem was admitted (the hub's fan-out statistics)."""
+        notify = False
+        with self._lock:
+            filters = self.filters
+            if filters.interval_start is not None and elem.time < filters.interval_start:
+                return False
+            if filters.interval_end is not None and elem.time > filters.interval_end:
+                return False
+            if not filters.match_elem(elem):
+                return False
+            self.elems_matched += 1
+            index = int(elem.time) // self.window_size
+            current = self._current
+            if current is None:
+                self._current = current = self._open(index)
+            elif int(elem.time) >= current.end:
+                notify = self._push(current)
+                self._current = current = self._open(index)
+            # Late elems (time before the open window) stay in the open
+            # window: delivery beats strict binning on a live feed.
+            current.elems.append(elem)
+        if notify:
+            self._fire()
+        return True
+
+    def flush(self, finished: bool = False) -> None:
+        """Close the open window (end of feed / stop) and optionally mark
+        the subscriber finished so drains terminate."""
+        notify = False
+        with self._lock:
+            current = self._current
+            if current is not None and current.elems:
+                notify = self._push(current)
+            self._current = None
+            if finished:
+                self.finished = True
+                notify = True
+        if notify:
+            self._fire()
+
+    def _open(self, index: int) -> GatewayWindow:
+        start = index * self.window_size
+        return GatewayWindow(start, start + self.window_size)
+
+    def _push(self, window: GatewayWindow) -> bool:
+        """Queue a closed window; coalesce/drop under backpressure.
+        Returns True when the consumer should be notified.  Caller holds
+        the lock."""
+        self.windows_closed += 1
+        ready = self._ready
+        ready.append(window)
+        while len(ready) > self.max_queued_windows:
+            oldest, second = ready[0], ready[1]
+            overflow = len(oldest.elems) + len(second.elems) - self.coalesce_budget
+            if overflow >= len(oldest.elems):
+                # The budget leaves no room for any of the oldest window's
+                # elems: drop it wholly, marking the gap on its successor.
+                second.gap_before += oldest.gap_before + oldest.coalesced + 1
+                second.dropped_elems += oldest.dropped_elems + len(oldest.elems)
+                self.windows_dropped += 1
+                self.elems_dropped += len(oldest.elems)
+                del ready[0]
+                continue
+            # Coalesce the two oldest into one wider window...
+            merged = GatewayWindow(oldest.start, second.end)
+            merged.elems = oldest.elems + second.elems
+            merged.coalesced = oldest.coalesced + second.coalesced + 1
+            merged.dropped_elems = oldest.dropped_elems + second.dropped_elems
+            merged.gap_before = oldest.gap_before
+            self.windows_coalesced += 1
+            # ...bounded by the elem budget: past it, the oldest elems go.
+            if len(merged.elems) > self.coalesce_budget:
+                overflow = len(merged.elems) - self.coalesce_budget
+                del merged.elems[:overflow]
+                merged.dropped_elems += overflow
+                self.elems_dropped += overflow
+            ready[:2] = [merged]
+        return True
+
+    def _fire(self) -> None:
+        notifier = self._notifier
+        if notifier is not None:
+            try:
+                notifier()
+            except Exception:  # pragma: no cover - a dead loop must not
+                pass  # kill the bridge thread
+
+    # -- the consuming side ------------------------------------------------
+
+    def pop_window(self) -> Optional[GatewayWindow]:
+        """The oldest ready window, or None."""
+        with self._lock:
+            if self._ready:
+                return self._ready.pop(0)
+        return None
+
+    def drain(self) -> List[GatewayWindow]:
+        """All ready windows at once (benchmark/test convenience)."""
+        with self._lock:
+            out, self._ready = self._ready, []
+        return out
+
+    @property
+    def ready_count(self) -> int:
+        with self._lock:
+            return len(self._ready)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "elems_matched": self.elems_matched,
+                "windows_closed": self.windows_closed,
+                "windows_coalesced": self.windows_coalesced,
+                "windows_dropped": self.windows_dropped,
+                "elems_dropped": self.elems_dropped,
+                "ready": len(self._ready),
+            }
+
+
+class StreamHub:
+    """One decode loop fanning a live BGPStream out to N subscribers."""
+
+    def __init__(self, stream: BGPStream) -> None:
+        if not stream.is_live:
+            raise ValueError("StreamHub needs a live BGPStream (BGPStream(live=...))")
+        self.stream = stream
+        self._lock = threading.Lock()
+        self._subscribers: List[Subscriber] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.records_seen = 0
+        self.elems_seen = 0
+        self.elems_delivered = 0
+        self.started = False
+        self.finished = False
+        self.error: Optional[BaseException] = None
+
+    # -- subscriptions ------------------------------------------------------
+
+    def subscribe(
+        self,
+        filters: Optional[FilterSet] = None,
+        *,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+        max_queued_windows: int = DEFAULT_MAX_QUEUED_WINDOWS,
+        coalesce_budget: int = DEFAULT_COALESCE_BUDGET,
+        name: Optional[str] = None,
+    ) -> Subscriber:
+        subscriber = Subscriber(
+            filters,
+            window_size=window_size,
+            max_queued_windows=max_queued_windows,
+            coalesce_budget=coalesce_budget,
+            name=name,
+        )
+        with self._lock:
+            if self.finished:
+                # A late joiner of a finished feed drains nothing but must
+                # still terminate cleanly.
+                subscriber.finished = True
+            self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    # -- the decode loop ----------------------------------------------------
+
+    def run(self) -> None:
+        """Consume the live stream until it ends (or :meth:`stop`).
+
+        Every record decodes once; every elem extracts once; subscribers
+        see the shared objects.  Runs in the caller's thread — use
+        :meth:`start` for the background-thread form.
+        """
+        self.started = True
+        try:
+            for record in self.stream.records():
+                if self._stop.is_set():
+                    break
+                self.records_seen += 1
+                if not record.is_valid:
+                    continue
+                # Snapshot the roster once per record: joins/leaves observed
+                # at record granularity keep the per-elem loop copy-free.
+                with self._lock:
+                    subscribers = list(self._subscribers)
+                for elem in record.elems():
+                    self.elems_seen += 1
+                    for subscriber in subscribers:
+                        if subscriber.offer(elem):
+                            self.elems_delivered += 1
+        except BaseException as exc:  # pragma: no cover - surfaced to callers
+            self.error = exc
+            raise
+        finally:
+            with self._lock:
+                self.finished = True
+                subscribers = list(self._subscribers)
+            for subscriber in subscribers:
+                subscriber.flush(finished=True)
+
+    def start(self) -> threading.Thread:
+        """Run the decode loop in a daemon bridge thread."""
+        if self._thread is not None:
+            raise RuntimeError("hub already started")
+        self._thread = threading.Thread(target=self._guarded_run, daemon=True)
+        self._thread.start()
+        return self._thread
+
+    def _guarded_run(self) -> None:
+        try:
+            self.run()
+        except BaseException:  # noqa: BLE001 - recorded in self.error
+            pass
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        """Ask the decode loop to stop and join the bridge thread."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=timeout)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    def stats(self) -> Dict:
+        with self._lock:
+            subscribers = list(self._subscribers)
+        source = getattr(self.stream._interface, "source", None)
+        body = {
+            "subscribers": len(subscribers),
+            "records_seen": self.records_seen,
+            "elems_seen": self.elems_seen,
+            "elems_delivered": self.elems_delivered,
+            "finished": self.finished,
+        }
+        if source is not None:
+            body["frames_decoded"] = getattr(source, "frames_decoded", None)
+            body["corrupt_frames"] = getattr(source, "corrupt_frames", None)
+        pool = self.stream.intern_pool
+        if pool is not None:
+            body["intern"] = {
+                kind: counters["hits"] + counters["misses"] + counters["overflow"]
+                for kind, counters in pool.stats().items()
+            }
+        return body

@@ -1,0 +1,242 @@
+"""Wire protocols of the streaming gateway (stdlib only).
+
+Nothing installable is assumed: the WebSocket side is a hand-rolled
+RFC 6455 subset (handshake via the SHA-1 accept key, text/close/ping
+frames, client-to-server masking) and the SSE side is plain HTTP with
+``text/event-stream`` framing.  Both carry the same JSON window payloads
+produced by :meth:`repro.gateway.hub.GatewayWindow.payload`.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import struct
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "parse_http_request",
+    "http_response",
+    "sse_preamble",
+    "sse_event",
+    "websocket_accept",
+    "websocket_handshake_response",
+    "encode_ws_frame",
+    "WSFrameParser",
+    "dumps",
+]
+
+#: RFC 6455 §1.3 — the fixed GUID appended to the client key.
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+
+def dumps(payload: Dict) -> str:
+    """Compact JSON — one shape for both transports."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Minimal HTTP request head
+# ---------------------------------------------------------------------------
+
+
+class HTTPRequest:
+    __slots__ = ("method", "path", "query", "headers")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: List[Tuple[str, str]],
+        headers: Dict[str, str],
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.query = query  # ordered (name, value) pairs: repeats allowed
+        self.headers = headers  # lower-cased names
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+def parse_http_request(head: bytes) -> HTTPRequest:
+    """Parse a request head (everything up to the blank line)."""
+    text = head.decode("latin-1")
+    lines = text.split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ValueError(f"malformed request line: {lines[0]!r}")
+    parts = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return HTTPRequest(
+        method.upper(),
+        parts.path,
+        parse_qsl(parts.query, keep_blank_values=True),
+        headers,
+    )
+
+
+def http_response(
+    status: str,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    lines = [f"HTTP/1.1 {status}", f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}", "Connection: close"]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+# ---------------------------------------------------------------------------
+# Server-Sent Events
+# ---------------------------------------------------------------------------
+
+
+def sse_preamble() -> bytes:
+    return (
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: text/event-stream\r\n"
+        b"Cache-Control: no-cache\r\n"
+        b"Connection: close\r\n\r\n"
+    )
+
+
+def sse_event(payload: Dict, event: Optional[str] = None) -> bytes:
+    """One SSE event frame carrying a JSON payload."""
+    out = []
+    if event:
+        out.append(f"event: {event}")
+    out.append(f"data: {dumps(payload)}")
+    return ("\n".join(out) + "\n\n").encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# WebSocket (RFC 6455 subset)
+# ---------------------------------------------------------------------------
+
+
+def websocket_accept(key: str) -> str:
+    """The Sec-WebSocket-Accept value for a client Sec-WebSocket-Key."""
+    digest = hashlib.sha1((key + _WS_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def websocket_handshake_response(request: HTTPRequest) -> bytes:
+    key = request.header("sec-websocket-key")
+    if not key:
+        raise ValueError("missing Sec-WebSocket-Key")
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {websocket_accept(key)}\r\n\r\n"
+    ).encode("latin-1")
+
+
+def encode_ws_frame(payload: bytes, opcode: int = OP_TEXT, mask: bool = False) -> bytes:
+    """One final (FIN=1) frame.  ``mask=True`` builds the client form."""
+    head = bytearray([0x80 | opcode])
+    mask_bit = 0x80 if mask else 0
+    length = len(payload)
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", length)
+    if mask:
+        # A fixed key keeps the codec deterministic; masking exists to
+        # defeat proxy cache poisoning, not for secrecy.
+        key = b"\x37\xfa\x21\x3d"
+        head += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+class WSFrameParser:
+    """Incremental decoder of (possibly masked) WebSocket frames.
+
+    Feed raw socket bytes in; take complete ``(opcode, payload)`` frames
+    out.  Fragmented messages are reassembled; control frames come through
+    as-is between fragments.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._fragments: List[bytes] = []
+        self._fragment_opcode: Optional[int] = None
+
+    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+        self._buffer += data
+        frames: List[Tuple[int, bytes]] = []
+        while True:
+            parsed = self._next_frame()
+            if parsed is None:
+                return frames
+            fin, opcode, payload = parsed
+            if opcode in (OP_CLOSE, OP_PING, OP_PONG):
+                frames.append((opcode, payload))
+                continue
+            if opcode == 0x0:  # continuation
+                self._fragments.append(payload)
+                if fin and self._fragment_opcode is not None:
+                    frames.append((self._fragment_opcode, b"".join(self._fragments)))
+                    self._fragments = []
+                    self._fragment_opcode = None
+                continue
+            if not fin:
+                self._fragment_opcode = opcode
+                self._fragments = [payload]
+                continue
+            frames.append((opcode, payload))
+
+    def _next_frame(self) -> Optional[Tuple[bool, int, bytes]]:
+        buffer = self._buffer
+        if len(buffer) < 2:
+            return None
+        first, second = buffer[0], buffer[1]
+        fin = bool(first & 0x80)
+        opcode = first & 0x0F
+        masked = bool(second & 0x80)
+        length = second & 0x7F
+        offset = 2
+        if length == 126:
+            if len(buffer) < 4:
+                return None
+            length = struct.unpack_from(">H", buffer, 2)[0]
+            offset = 4
+        elif length == 127:
+            if len(buffer) < 10:
+                return None
+            length = struct.unpack_from(">Q", buffer, 2)[0]
+            offset = 10
+        if masked:
+            if len(buffer) < offset + 4:
+                return None
+            key = bytes(buffer[offset : offset + 4])
+            offset += 4
+        if len(buffer) < offset + length:
+            return None
+        payload = bytes(buffer[offset : offset + length])
+        del buffer[: offset + length]
+        if masked:
+            payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+        return fin, opcode, payload

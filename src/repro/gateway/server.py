@@ -1,0 +1,306 @@
+"""The asyncio fan-out server: WebSocket + SSE endpoints over a StreamHub.
+
+Endpoints (all GET):
+
+* ``/stream/sse?prefix=10.0.0.0/8&peer-asn=65001&window=5`` — an SSE
+  stream of ``window`` events (JSON payloads); query parameters name
+  filters exactly like ``BGPStream.add_filter`` (repeat a parameter to add
+  several values) plus the knobs ``window`` (seconds per event-time
+  window), ``interval=START,END``, ``max-queued`` and ``coalesce-budget``.
+* ``/stream/ws`` — the same stream over WebSocket, plus *subscription
+  multiplexing*: the client sends ``{"action": "add_filter", "name":
+  "prefix", "value": "10.0.0.0/8"}`` / ``"remove_filter"`` text frames to
+  retune its FilterSet mid-connection; each is acknowledged with an
+  ``{"type": "ack", ...}`` frame.
+* ``/stats`` — hub / decode / intern counters as JSON.
+
+One bridge thread decodes the feed (see :mod:`repro.gateway.hub`); each
+connection runs a sender coroutine that drains its subscriber's bounded
+window queue.  A slow client blocks only its own ``writer.drain()`` —
+the decode loop never waits, and the subscriber's queue coalesces or
+drops windows (with gap markers) instead of growing without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from repro.core import profiling
+from repro.core.filters import _FILTER_NAMES, FilterSet
+from repro.gateway.hub import (
+    DEFAULT_COALESCE_BUDGET,
+    DEFAULT_MAX_QUEUED_WINDOWS,
+    DEFAULT_WINDOW_SIZE,
+    StreamHub,
+    Subscriber,
+)
+from repro.gateway import protocol
+from repro.gateway.protocol import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    WSFrameParser,
+    encode_ws_frame,
+    http_response,
+    parse_http_request,
+    sse_event,
+    sse_preamble,
+    websocket_handshake_response,
+)
+
+__all__ = ["GatewayServer", "subscription_from_query"]
+
+_MAX_HEAD = 64 * 1024
+
+
+def subscription_from_query(query) -> Tuple[FilterSet, dict]:
+    """Build a FilterSet + subscriber knobs from HTTP query pairs."""
+    filters = FilterSet()
+    knobs = {
+        "window_size": DEFAULT_WINDOW_SIZE,
+        "max_queued_windows": DEFAULT_MAX_QUEUED_WINDOWS,
+        "coalesce_budget": DEFAULT_COALESCE_BUDGET,
+        "name": None,
+    }
+    for name, value in query:
+        if name in _FILTER_NAMES:
+            filters.add(name, value)
+        elif name == "window":
+            knobs["window_size"] = int(value)
+        elif name == "max-queued":
+            knobs["max_queued_windows"] = int(value)
+        elif name == "coalesce-budget":
+            knobs["coalesce_budget"] = int(value)
+        elif name == "name":
+            knobs["name"] = value
+        elif name == "interval":
+            start_text, _, end_text = value.partition(",")
+            end = int(end_text) if end_text and end_text != "-1" else None
+            filters.add_interval(int(start_text), end)
+        else:
+            raise ValueError(f"unknown query parameter {name!r}")
+    return filters, knobs
+
+
+class GatewayServer:
+    """Serve a :class:`StreamHub` over WebSocket and SSE."""
+
+    def __init__(
+        self,
+        hub: StreamHub,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_buffer: Optional[int] = None,
+    ) -> None:
+        self.hub = hub
+        self.host = host
+        self.port = port  # 0 = ephemeral; read back after start()
+        #: Per-connection send-buffer bound (bytes).  Shrinking it makes a
+        #: slow client's backpressure reach the sender coroutine sooner, so
+        #: window coalescing engages instead of the kernel absorbing the
+        #: whole stream; tests use it to exercise that path deterministically.
+        self.socket_buffer = socket_buffer
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.connections_served = 0
+
+    async def start(self) -> "GatewayServer":
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.connections_served += 1
+        if self.socket_buffer is not None:
+            import socket as socket_module
+
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(
+                    socket_module.SOL_SOCKET, socket_module.SO_SNDBUF, self.socket_buffer
+                )
+            writer.transport.set_write_buffer_limits(high=self.socket_buffer)
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            writer.close()
+            return
+        try:
+            if len(head) > _MAX_HEAD:
+                raise ValueError("request head too large")
+            request = parse_http_request(head)
+            if request.method != "GET":
+                writer.write(http_response("405 Method Not Allowed", b'{"error":"GET only"}'))
+            elif request.path == "/stats":
+                await self._serve_stats(writer)
+            elif request.path == "/stream/sse":
+                await self._serve_sse(request, writer)
+            elif request.path == "/stream/ws":
+                await self._serve_ws(request, reader, writer)
+            else:
+                writer.write(http_response("404 Not Found", b'{"error":"not found"}'))
+        except ValueError as exc:
+            writer.write(
+                http_response(
+                    "400 Bad Request",
+                    protocol.dumps({"error": str(exc)}).encode("utf-8"),
+                )
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away: its subscriber was already removed
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _serve_stats(self, writer: asyncio.StreamWriter) -> None:
+        stats = self.hub.stats()
+        if profiling.counters is not None:
+            decode = profiling.snapshot()
+            stats["decode"] = {
+                name: getattr(decode, name) for name in decode.__slots__
+            }
+        writer.write(
+            http_response("200 OK", protocol.dumps(stats).encode("utf-8"))
+        )
+
+    def _subscribe(self, request) -> Subscriber:
+        filters, knobs = subscription_from_query(request.query)
+        return self.hub.subscribe(filters, **knobs)
+
+    async def _serve_sse(self, request, writer: asyncio.StreamWriter) -> None:
+        subscriber = self._subscribe(request)
+        ready = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        subscriber.set_notifier(lambda: loop.call_soon_threadsafe(ready.set))
+        writer.write(sse_preamble())
+        try:
+            async for window in self._windows(subscriber, ready):
+                writer.write(sse_event(window.payload(), event="window"))
+                await writer.drain()
+            writer.write(sse_event({"type": "end"}, event="end"))
+            await writer.drain()
+        finally:
+            self.hub.unsubscribe(subscriber)
+
+    async def _serve_ws(self, request, reader, writer: asyncio.StreamWriter) -> None:
+        if request.header("upgrade").lower() != "websocket":
+            writer.write(http_response("400 Bad Request", b'{"error":"upgrade required"}'))
+            return
+        writer.write(websocket_handshake_response(request))
+        await writer.drain()
+        subscriber = self._subscribe(request)
+        ready = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        subscriber.set_notifier(lambda: loop.call_soon_threadsafe(ready.set))
+        closed = asyncio.Event()
+        receiver = asyncio.ensure_future(
+            self._ws_receiver(subscriber, reader, writer, closed)
+        )
+        try:
+            async for window in self._windows(subscriber, ready, closed):
+                writer.write(
+                    encode_ws_frame(
+                        protocol.dumps(window.payload()).encode("utf-8"), OP_TEXT
+                    )
+                )
+                await writer.drain()
+            if not closed.is_set():
+                writer.write(
+                    encode_ws_frame(protocol.dumps({"type": "end"}).encode("utf-8"), OP_TEXT)
+                )
+                writer.write(encode_ws_frame(b"", OP_CLOSE))
+                await writer.drain()
+        finally:
+            self.hub.unsubscribe(subscriber)
+            receiver.cancel()
+
+    async def _ws_receiver(self, subscriber, reader, writer, closed) -> None:
+        """Apply client control frames: subscription multiplexing."""
+        parser = WSFrameParser()
+        while not closed.is_set():
+            data = await reader.read(4096)
+            if not data:
+                closed.set()
+                return
+            for opcode, payload in parser.feed(data):
+                if opcode == OP_CLOSE:
+                    closed.set()
+                    return
+                if opcode == OP_PING:
+                    writer.write(encode_ws_frame(payload, OP_PONG))
+                    continue
+                if opcode != OP_TEXT:
+                    continue
+                response = self._apply_control(subscriber, payload)
+                # No drain() here: the sender coroutine may be draining
+                # concurrently and StreamWriter.drain is single-waiter.
+                # Acks are tiny; the kernel buffer absorbs them.
+                writer.write(
+                    encode_ws_frame(protocol.dumps(response).encode("utf-8"), OP_TEXT)
+                )
+
+    @staticmethod
+    def _apply_control(subscriber: Subscriber, payload: bytes) -> dict:
+        try:
+            message = json.loads(payload.decode("utf-8"))
+            action = message["action"]
+            if action == "add_filter":
+                subscriber.add_filter(message["name"], message["value"])
+            elif action == "remove_filter":
+                subscriber.remove_filter(message["name"], message["value"])
+            elif action == "set_interval":
+                end = message.get("end")
+                subscriber.set_interval(int(message["start"]), end)
+            else:
+                raise ValueError(f"unknown action {action!r}")
+        except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+            return {"type": "error", "error": str(exc)}
+        return {
+            "type": "ack",
+            "action": action,
+            "name": message.get("name"),
+            "value": message.get("value"),
+        }
+
+    @staticmethod
+    async def _windows(subscriber, ready, closed: Optional[asyncio.Event] = None):
+        """Yield windows as they close; return when the feed (or client)
+        finishes.  Clear-before-check ordering makes the notifier race-free:
+        anything pushed after the pop loop re-sets the event."""
+        while closed is None or not closed.is_set():
+            ready.clear()
+            while (window := subscriber.pop_window()) is not None:
+                yield window
+                if closed is not None and closed.is_set():
+                    return
+            if subscriber.finished and subscriber.ready_count == 0:
+                return
+            if closed is None:
+                await ready.wait()
+            else:
+                closed_wait = asyncio.ensure_future(closed.wait())
+                ready_wait = asyncio.ensure_future(ready.wait())
+                try:
+                    await asyncio.wait(
+                        [closed_wait, ready_wait], return_when=asyncio.FIRST_COMPLETED
+                    )
+                finally:
+                    closed_wait.cancel()
+                    ready_wait.cancel()

@@ -205,3 +205,89 @@ class TestElemMatching:
         )
         assert filters.match_elem(_elem())
         assert not filters.match_elem(_elem(peer_asn=9))
+
+
+class TestRemoveAndCopy:
+    """Gateway multiplexing surface: retract filters / clone per subscriber."""
+
+    def test_remove_is_the_inverse_of_add(self):
+        filters = (
+            FilterSet()
+            .add("elem-type", "announcements")
+            .add("peer-asn", "64500")
+            .add("origin-asn", "15169")
+            .add("aspath", r"\b3356\b")
+            .add("community", "3356:100")
+            .add("project", "ris")
+            .add("collector", "rrc0")
+            .add("record-type", "rib")
+        )
+        assert not filters.match_elem(_elem(peer_asn=9))
+        for name, value in [
+            ("elem-type", "announcements"),
+            ("peer-asn", "64500"),
+            ("origin-asn", "15169"),
+            ("aspath", r"\b3356\b"),
+            ("community", "3356:100"),
+            ("project", "ris"),
+            ("collector", "rrc0"),
+            ("record-type", "rib"),
+        ]:
+            filters.remove(name, value)
+        # Back to the empty set: everything matches again.
+        assert filters.match_elem(_elem(peer_asn=9))
+        assert filters.match_record(_record(project="routeviews", dump_type="ribs"))
+
+    def test_remove_unknown_name_rejected_and_missing_value_is_noop(self):
+        filters = FilterSet().add("peer-asn", "64500")
+        with pytest.raises(ValueError):
+            filters.remove("bogus", "1")
+        filters.remove("peer-asn", "999")  # never added: no-op
+        assert filters.peer_asns == {64500}
+
+    def test_remove_prefix_drops_only_the_named_mode(self):
+        filters = (
+            FilterSet().add("prefix-less", "192.0.2.0/24").add("prefix-exact", "192.0.2.0/24")
+        )
+        assert filters.match_elem(_elem(prefix="192.0.0.0/8"))  # via less
+        filters.remove("prefix-less", "192.0.2.0/24")
+        # The exact mode survives on the same prefix...
+        assert filters.match_elem(_elem(prefix="192.0.2.0/24"))
+        # ...but the less-specific walk is gone, and the mode mask shows it.
+        assert not filters.match_elem(_elem(prefix="192.0.0.0/8"))
+        from repro.core.filters import MATCH_LESS
+
+        assert not filters.prefix_mode_mask & MATCH_LESS
+        filters.remove("prefix-exact", "192.0.2.0/24")
+        assert len(filters.prefix_filters) == 0
+        assert filters.prefix_mode_mask == 0
+        assert filters.match_elem(_elem(prefix="203.0.113.0/24"))  # no gate left
+
+    def test_remove_prefix_recomputes_mask_from_surviving_filters(self):
+        filters = (
+            FilterSet().add("prefix-less", "192.0.2.0/24").add("prefix-less", "198.51.100.0/24")
+        )
+        filters.remove("prefix-less", "192.0.2.0/24")
+        # Another watched prefix still carries the less bit.
+        assert filters.match_elem(_elem(prefix="198.51.0.0/16"))
+
+    def test_copy_is_independent(self):
+        original = (
+            FilterSet()
+            .add("prefix", "192.0.0.0/8")
+            .add("peer-asn", "64500")
+            .add("aspath", r"\b3356\b")
+            .add("community", "3356:100")
+            .add_interval(900, None)
+        )
+        clone = original.copy()
+        assert clone.match_elem(_elem())
+        assert clone.live
+        clone.remove("prefix", "192.0.0.0/8")
+        clone.add("peer-asn", "9")
+        # The original is untouched in both directions.
+        assert original.match_elem(_elem())
+        assert not original.match_elem(_elem(peer_asn=9))
+        assert len(original.prefix_filters) == 1
+        original.remove("community", "3356:100")
+        assert clone.communities

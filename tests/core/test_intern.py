@@ -176,6 +176,65 @@ class TestInternPoolConcurrencyAndTransport:
         assert not errors
         assert pool.stats()["prefix"]["size"] == 64
 
+    def test_counters_exact_under_concurrent_hammering(self):
+        # The gateway runs the pool genuinely multi-threaded (decode thread
+        # + executor callbacks) and its decode-once assertions read stats(),
+        # so hit/miss/overflow accounting must be exact — not best-effort —
+        # under contention, including first-seen kinds and saturated kinds.
+        pool = InternPool(max_entries=8)  # tiny cap => overflow path is hot
+        n_threads, n_rounds = 8, 400
+        values = [f"198.51.{i}.0/24" for i in range(32)]  # 32 > cap of 8
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(seed):
+            try:
+                barrier.wait()
+                for round_no in range(n_rounds):
+                    for i, text in enumerate(values):
+                        pool.prefix(Prefix.from_string(text))
+                        # Brand-new kind registered concurrently from every
+                        # thread: the check-then-act window in registration
+                        # must never drop a counter or raise.
+                        pool.intern("flap", (seed + i + round_no) % 16)
+                    if round_no % 50 == seed % 50:
+                        pool.stats()  # concurrent reader
+                        pickle.dumps(pool)  # concurrent pickler
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = pool.stats()
+        calls = n_threads * n_rounds * len(values)
+        for kind in ("prefix", "flap"):
+            s = stats[kind]
+            assert s["hits"] + s["misses"] + s["overflow"] == calls, kind
+        # Prefixes get a 16x cap multiplier, so all 32 fit (no overflow);
+        # the first-seen "flap" kind has the base cap of 8 and saturates.
+        assert stats["prefix"]["size"] == len(values)
+        assert stats["prefix"]["misses"] == len(values)
+        assert stats["prefix"]["overflow"] == 0
+        assert stats["flap"]["size"] == 8  # base cap respected
+        assert stats["flap"]["misses"] == 8
+        assert stats["flap"]["overflow"] >= (16 - 8) * n_rounds
+        # Canonical identity is stable once inserted.
+        first = pool.prefix(Prefix.from_string(values[0]))
+        assert pool.prefix(Prefix.from_string(values[0])) is first
+
+    def test_pickled_pool_carries_exact_counters(self):
+        pool = InternPool()
+        for _ in range(3):
+            pool.prefix(Prefix.from_string("10.0.0.0/8"))
+        clone = pickle.loads(pickle.dumps(pool))
+        assert clone.stats()["prefix"] == pool.stats()["prefix"]
+        clone.prefix(Prefix.from_string("10.0.0.0/8"))
+        assert clone.stats()["prefix"]["hits"] == pool.stats()["prefix"]["hits"] + 1
+
     def test_pool_pickles_with_contents(self):
         pool = InternPool(max_entries=1234)
         canonical = pool.path(ASPath.from_asns([701, 3356]))

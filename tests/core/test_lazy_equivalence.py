@@ -182,7 +182,16 @@ def _consume(archive, *, eager, interning=True, parallel=None, filter_spec=None)
     interning=st.booleans(),
     executor=st.sampled_from([None, "serial", "thread"]),
     filter_spec=st.sampled_from(
-        [None, ("prefix", "10.0.0.0/9"), ("peer-asn", str(PEER_ASNS[0])), ("aspath", "_6.*$")]
+        [
+            None,
+            ("prefix", "10.0.0.0/9"),
+            ("peer-asn", str(PEER_ASNS[0])),
+            ("aspath", "_6.*$"),
+            # Attribute-referencing terms: these force a lazy elem to
+            # materialise its deferred attributes inside match_elem.
+            ("origin-asn", "64513"),
+            ("community", "65001:7"),
+        ]
     ),
 )
 def test_lazy_tier_is_observably_invisible(seed, interning, executor, filter_spec):
@@ -477,6 +486,70 @@ def test_repeated_elems_take_the_canonical_marker_fast_path():
                 marked += 1
             assert [elem.to_ascii() for elem in record.elems()] == first
         assert marked > 0
+
+
+def test_attribute_filters_agree_between_lazy_and_eager_elems():
+    """match_elem parity on filters that read deferred attributes.
+
+    A lazy elem carries only the gate fields eagerly; origin-asn, aspath
+    and community filters must transparently force materialisation and
+    produce the same verdicts an eager elem gets — never silently match
+    (or reject) on a missing field.
+    """
+    with tempfile.TemporaryDirectory() as root:
+        archive = _build_archive(root, 17)
+        for spec in [
+            ("origin-asn", "64513"),
+            ("aspath", "^65001"),
+            ("aspath", "."),
+            ("community", "65001:7"),
+            ("community", "1:1"),
+        ]:
+            reference = _consume(archive, eager=True, filter_spec=spec)
+            lazy = _consume(archive, eager=False, filter_spec=spec)
+            assert lazy[1] == reference[1], spec
+            assert lazy[3] == reference[3], spec
+        # At least one spec above must actually admit elems, or the parity
+        # claim is vacuous ("." matches every non-empty path string).
+        assert _consume(archive, eager=False, filter_spec=("aspath", "."))[1]
+
+
+def test_attribute_filters_materialise_only_past_the_prefix_gate():
+    """Gate ordering: attribute-reading filter terms run after the trie.
+
+    With a prefix filter that rejects everything, an additional origin-asn
+    term must not cost a single materialisation — the cheap gates run
+    first, so the lazy tier's deferral survives filtered fan-out (this is
+    what keeps the gateway's per-subscriber match_elem cost independent of
+    attribute decode).
+    """
+    with tempfile.TemporaryDirectory() as root:
+        archive = _build_archive(root, 21)
+        clear_index_cache()
+        reset_default_pool()
+        profiling.enable()
+        try:
+            stream = BGPStream(
+                data_interface=BrokerDataInterface(
+                    Broker(archives=[archive]), max_empty_polls=1
+                ),
+                eager=False,
+            )
+            stream.add_interval_filter(900, 2500)
+            stream.add_filter("prefix-exact", "192.0.2.0/24")  # matches no elem
+            stream.add_filter("origin-asn", "65001")
+            matched = [
+                elem
+                for record in stream.records()
+                for elem in record.elems()
+                if stream.filters.match_elem(elem)
+            ]
+            stats = profiling.snapshot()
+        finally:
+            profiling.disable()
+        assert not matched
+        assert stats.lazy_elems > 0
+        assert stats.elems_materialised == 0
 
 
 def test_decode_stats_counters_report_the_deferral():

@@ -1,0 +1,189 @@
+"""The gateway wire layer: HTTP head parsing, SSE framing, RFC 6455 codec."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.gateway.protocol import (
+    OP_BINARY,
+    OP_CLOSE,
+    OP_PING,
+    OP_TEXT,
+    WSFrameParser,
+    dumps,
+    encode_ws_frame,
+    http_response,
+    parse_http_request,
+    sse_event,
+    sse_preamble,
+    websocket_accept,
+    websocket_handshake_response,
+)
+from repro.gateway.server import subscription_from_query
+
+
+class TestHTTP:
+    def test_request_head_parses_target_and_headers(self):
+        head = (
+            b"GET /stream/sse?prefix=10.0.0.0%2F8&prefix=10.1.0.0/16&window=5 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Sec-WebSocket-Key:  abc==  \r\n\r\n"
+        )
+        request = parse_http_request(head)
+        assert request.method == "GET"
+        assert request.path == "/stream/sse"
+        # Repeats preserved in order; percent-encoding decoded.
+        assert request.query == [
+            ("prefix", "10.0.0.0/8"),
+            ("prefix", "10.1.0.0/16"),
+            ("window", "5"),
+        ]
+        assert request.header("SEC-WEBSOCKET-KEY") == "abc=="
+        assert request.header("absent", "fallback") == "fallback"
+
+    def test_malformed_request_line_is_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_http_request(b"NONSENSE\r\n\r\n")
+
+    def test_response_carries_content_length(self):
+        body = b'{"ok":true}'
+        response = http_response("200 OK", body)
+        head, _, got = response.partition(b"\r\n\r\n")
+        assert got == body
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert b"Content-Type: application/json" in head
+
+
+class TestSSE:
+    def test_preamble_is_an_event_stream(self):
+        assert b"Content-Type: text/event-stream" in sse_preamble()
+
+    def test_event_frames_json_payload(self):
+        frame = sse_event({"b": 2, "a": 1}, event="window")
+        assert frame == b'event: window\ndata: {"a":1,"b":2}\n\n'
+        assert json.loads(frame.split(b"data: ")[1]) == {"a": 1, "b": 2}
+
+    def test_event_without_name_has_data_only(self):
+        assert sse_event({"x": 1}) == b'data: {"x":1}\n\n'
+
+
+class TestWebSocketHandshake:
+    def test_accept_matches_the_rfc6455_worked_example(self):
+        # RFC 6455 §1.3's sample nonce and its published accept value.
+        key = "dGhlIHNhbXBsZSBub25jZQ=="
+        assert websocket_accept(key) == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+    def test_handshake_response_echoes_the_accept(self):
+        request = parse_http_request(
+            b"GET /stream/ws HTTP/1.1\r\n"
+            b"Upgrade: websocket\r\n"
+            b"Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n\r\n"
+        )
+        response = websocket_handshake_response(request)
+        assert response.startswith(b"HTTP/1.1 101 Switching Protocols\r\n")
+        assert b"Sec-WebSocket-Accept: s3pPLMBiTxaQ9kYGzzhZRbK+xOo=\r\n" in response
+
+    def test_handshake_without_key_is_rejected(self):
+        request = parse_http_request(b"GET /stream/ws HTTP/1.1\r\n\r\n")
+        with pytest.raises(ValueError, match="Sec-WebSocket-Key"):
+            websocket_handshake_response(request)
+
+
+class TestWSFrameCodec:
+    @pytest.mark.parametrize("mask", [False, True])
+    @pytest.mark.parametrize(
+        "size",
+        [0, 1, 125, 126, 127, 1000, 65535, 65536, 70000],  # all three length forms
+    )
+    def test_round_trip_across_length_encodings(self, size, mask):
+        payload = bytes(i % 251 for i in range(size))
+        wire = encode_ws_frame(payload, OP_BINARY, mask=mask)
+        assert WSFrameParser().feed(wire) == [(OP_BINARY, payload)]
+
+    def test_incremental_feed_one_byte_at_a_time(self):
+        payload = b"x" * 300  # 16-bit length form
+        wire = encode_ws_frame(payload, OP_TEXT, mask=True)
+        parser = WSFrameParser()
+        frames = []
+        for i in range(len(wire)):
+            frames.extend(parser.feed(wire[i : i + 1]))
+        assert frames == [(OP_TEXT, payload)]
+
+    def test_coalesced_frames_all_come_out(self):
+        wire = (
+            encode_ws_frame(b"one", OP_TEXT)
+            + encode_ws_frame(b"", OP_PING)
+            + encode_ws_frame(b"two", OP_TEXT, mask=True)
+            + encode_ws_frame(b"", OP_CLOSE)
+        )
+        assert WSFrameParser().feed(wire) == [
+            (OP_TEXT, b"one"),
+            (OP_PING, b""),
+            (OP_TEXT, b"two"),
+            (OP_CLOSE, b""),
+        ]
+
+    def test_fragmented_message_reassembles_around_control_frames(self):
+        # FIN=0 text fragment, an interleaved ping, then a FIN=1 continuation.
+        first = bytearray(encode_ws_frame(b"hel", OP_TEXT))
+        first[0] &= 0x7F  # clear FIN
+        ping = encode_ws_frame(b"hb", OP_PING)
+        final = bytearray(encode_ws_frame(b"lo", OP_TEXT))
+        final[0] = 0x80  # FIN=1, opcode=0 (continuation)
+        frames = WSFrameParser().feed(bytes(first) + ping + bytes(final))
+        assert frames == [(OP_PING, b"hb"), (OP_TEXT, b"hello")]
+
+    def test_masked_payload_differs_on_the_wire(self):
+        payload = b"secretish"
+        masked = encode_ws_frame(payload, OP_TEXT, mask=True)
+        assert payload not in masked  # actually masked
+        assert WSFrameParser().feed(masked) == [(OP_TEXT, payload)]
+
+
+class TestSubscriptionQuery:
+    def test_filters_and_knobs_parse_together(self):
+        filters, knobs = subscription_from_query(
+            [
+                ("prefix", "10.0.0.0/8"),
+                ("peer-asn", "65001"),
+                ("window", "5"),
+                ("max-queued", "2"),
+                ("coalesce-budget", "10"),
+                ("name", "dashboard"),
+                ("interval", "100,200"),
+            ]
+        )
+        assert filters.peer_asns == {65001}
+        assert (filters.interval_start, filters.interval_end) == (100, 200)
+        assert knobs == {
+            "window_size": 5,
+            "max_queued_windows": 2,
+            "coalesce_budget": 10,
+            "name": "dashboard",
+        }
+
+    def test_open_ended_interval_is_live(self):
+        filters, _ = subscription_from_query([("interval", "100,-1")])
+        assert filters.interval_start == 100
+        assert filters.interval_end is None
+        assert filters.live
+
+    def test_defaults_apply_without_parameters(self):
+        filters, knobs = subscription_from_query([])
+        assert knobs["window_size"] >= 1
+        assert filters.peer_asns == set()
+
+    def test_unknown_parameter_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown query parameter"):
+            subscription_from_query([("bogus", "1")])
+
+    def test_repeated_filter_values_accumulate(self):
+        filters, _ = subscription_from_query(
+            [("peer-asn", "65001"), ("peer-asn", "65002")]
+        )
+        assert filters.peer_asns == {65001, 65002}
+
+    def test_sorted_compact_json_shape(self):
+        assert dumps({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
