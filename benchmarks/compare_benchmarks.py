@@ -2,7 +2,7 @@
 
 The CI ``benchmark-regression`` job runs the trie and parallel-engine
 benchmark files with ``--benchmark-json`` and feeds the result here next to
-the committed ``BENCH_PR3.json`` baseline.  A benchmark regresses when its
+the committed ``BENCH_PR*.json`` baseline.  A benchmark regresses when its
 median exceeds ``--max-ratio`` times the baseline median (2x by default —
 generous, because the baseline and the CI runner are different machines;
 the gate catches algorithmic regressions, not scheduler noise).
@@ -18,8 +18,8 @@ only one file are reported but never fail the gate (new benchmarks have no
 baseline yet; retired ones have no current run).
 
 Refreshing the baseline: rerun the same pytest command with
-``--benchmark-json=BENCH_PR3.json`` on the reference machine and commit the
-file (see the README's "Benchmarks in CI" section).
+``--benchmark-json=BENCH_PR<N>.json`` on the reference machine and commit the
+file (see docs/BENCHMARKS.md for the full recipe).
 """
 
 from __future__ import annotations
@@ -75,7 +75,7 @@ def compare(
 
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed baseline JSON (e.g. BENCH_PR3.json)")
+    parser.add_argument("baseline", help="committed baseline JSON (e.g. BENCH_PR8.json)")
     parser.add_argument("current", help="freshly produced --benchmark-json output")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="fail when current median exceeds baseline by this factor")

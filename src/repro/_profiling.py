@@ -36,6 +36,8 @@ class DecodeStats:
         "bmp_frames_scanned",
         "intern_hits",
         "intern_misses",
+        "segment_hits",
+        "segment_misses",
     )
 
     def __init__(self) -> None:
@@ -74,6 +76,8 @@ class DecodeStats:
             f"eager elems created:      {self.eager_elems}",
             f"intern hits:              {self.intern_hits}",
             f"intern misses:            {self.intern_misses}",
+            f"segment cache hits:       {self.segment_hits}",
+            f"segment cache misses:     {self.segment_misses}",
         ]
         return lines
 

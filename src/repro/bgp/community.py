@@ -114,13 +114,14 @@ class CommunitySet:
     equality short-circuits on identity (interned sets compare in O(1)).
     """
 
-    __slots__ = ("_communities", "_hash", "_sorted", "_str")
+    __slots__ = ("_communities", "_hash", "_sorted", "_str", "_packed")
 
     def __init__(self, communities: Iterable[Community] = ()) -> None:
         object.__setattr__(self, "_communities", frozenset(communities))
         object.__setattr__(self, "_hash", None)
         object.__setattr__(self, "_sorted", None)
         object.__setattr__(self, "_str", None)
+        object.__setattr__(self, "_packed", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("CommunitySet is immutable")
@@ -159,12 +160,24 @@ class CommunitySet:
             item = Community(*item)
         return item in self._communities
 
+    def _packed_view(self) -> Tuple[int, ...]:
+        packed = self._packed
+        if packed is None:
+            packed = tuple(sorted(c.to_int() for c in self._communities))
+            object.__setattr__(self, "_packed", packed)
+        return packed
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
         if not isinstance(other, CommunitySet):
             return NotImplemented
-        return self._communities == other._communities
+        if len(self._communities) != len(other._communities):
+            return False
+        # Equality runs hot inside intern-pool lookups, where distinct but
+        # equal sets are the norm: comparing the cached packed-int views
+        # stays in C instead of one Community.__eq__ call per member.
+        return self._packed_view() == other._packed_view()
 
     def __hash__(self) -> int:
         value = self._hash
@@ -191,6 +204,7 @@ class CommunitySet:
         object.__setattr__(self, "_hash", None)
         object.__setattr__(self, "_sorted", None)
         object.__setattr__(self, "_str", None)
+        object.__setattr__(self, "_packed", None)
 
     # -- set operations ----------------------------------------------------
 

@@ -31,6 +31,8 @@ MAX_MESSAGE_LEN = 4096
 
 
 class MessageType(IntEnum):
+    """The BGP message type codes of RFC 4271 §4.1."""
+
     OPEN = 1
     UPDATE = 2
     NOTIFICATION = 3

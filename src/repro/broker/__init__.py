@@ -6,22 +6,41 @@ location of dump files matching a set of parameters.  Responses are
 *windowed* (bounded spans of data per response) for overload protection, and
 in live mode an empty response simply means "nothing new yet — poll again".
 
-* :class:`~repro.broker.db.MetadataDB` — the SQLite-backed index.
+The production metadata tier around that core:
+
+* :class:`~repro.broker.db.MetadataDB` — the SQLite-backed index, with
+  keyset pagination and transactional crawl state.
 * :class:`~repro.broker.crawler.ArchiveCrawler` — scrapes an
-  :class:`~repro.collectors.archive.Archive` into the index.
+  :class:`~repro.collectors.archive.Archive` into the index; resumable
+  incremental crawls via persisted high-water marks.
 * :class:`~repro.broker.broker.Broker` — the query service used by
-  libBGPStream's broker data interface.
+  libBGPStream's broker data interface; cursor-paginated responses.
+* :class:`~repro.broker.client.BrokerClient` — the polite paginated client
+  (throttling, retry with backoff, resumable cursors).
+* :class:`~repro.broker.segments.SegmentCache` — the persistent
+  decoded-segment cache that lets warm replays skip MRT decoding.
 """
 
-from repro.broker.db import DumpFileRecord, MetadataDB
+from repro.broker.db import CrawlState, DumpFileRecord, MetadataDB
 from repro.broker.crawler import ArchiveCrawler
 from repro.broker.broker import Broker, BrokerQuery, BrokerResponse
+from repro.broker.client import BrokerClient, BrokerRequestError, LocalBrokerTransport
+from repro.broker.cursor import CursorError, decode_cursor, encode_cursor
+from repro.broker.segments import SegmentCache
 
 __all__ = [
     "DumpFileRecord",
+    "CrawlState",
     "MetadataDB",
     "ArchiveCrawler",
     "Broker",
     "BrokerQuery",
     "BrokerResponse",
+    "BrokerClient",
+    "BrokerRequestError",
+    "LocalBrokerTransport",
+    "CursorError",
+    "decode_cursor",
+    "encode_cursor",
+    "SegmentCache",
 ]

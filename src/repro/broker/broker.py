@@ -13,8 +13,22 @@ exposes exactly that contract:
 * an empty response in historical mode means the stream is finished; in
   live mode it means "nothing new yet — poll again later".
 
-The Broker scrapes its archives on demand (and remembers what it has seen),
-which stands in for the real Broker's continuous crawling.
+Production metadata-tier features:
+
+* **cursor pagination** — both :meth:`Broker.get_window` and
+  :meth:`Broker.get_new_files_page` accept a ``page_size`` (bounded by
+  :data:`MAX_PAGE_SIZE`) and return an opaque ``next_cursor``
+  (:mod:`repro.broker.cursor`).  Pages follow a stable keyset order
+  (``(timestamp, id)`` for windows, ``(available_at, id)`` for publication
+  queries), so pagination never repeats or skips files even while the
+  crawler keeps appending rows — and a cursor alone is enough to resume:
+  ``get_window(query, cursor=response.next_cursor)``.
+* **incremental crawling** — the Broker crawls its archives on demand
+  before answering; with the resumable crawler
+  (:mod:`repro.broker.crawler`) each crawl costs O(new files).
+
+The polite, retrying client for this API is
+:class:`repro.broker.client.BrokerClient`.
 """
 
 from __future__ import annotations
@@ -23,12 +37,17 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.broker.crawler import ArchiveCrawler
+from repro.broker.cursor import CursorError, decode_cursor, encode_cursor, query_fingerprint
 from repro.broker.db import DumpFileRecord, MetadataDB
 from repro.collectors.archive import Archive
 
 #: Default maximum span of data (seconds) returned in a single response;
 #: the paper notes broker responses cover up to ~2 hours of data.
 DEFAULT_WINDOW_SPAN = 2 * 3600
+
+#: Default and hard maximum number of files per paginated response.
+DEFAULT_PAGE_SIZE = 500
+MAX_PAGE_SIZE = 2000
 
 
 @dataclass(frozen=True)
@@ -46,16 +65,24 @@ class BrokerQuery:
     def live(self) -> bool:
         return self.interval_end is None
 
+    def fingerprint(self) -> str:
+        """Digest binding cursors to this query's parameters."""
+        return query_fingerprint(self)
+
 
 @dataclass
 class BrokerResponse:
-    """One window of dump-file meta-data."""
+    """One window (or page of a window) of dump-file meta-data."""
 
     files: List[DumpFileRecord] = field(default_factory=list)
     window_start: int = 0
     window_end: int = 0
     #: True if (as far as the Broker can tell right now) more data may follow.
     more_data: bool = False
+    #: Opaque resume token: echo it back as ``cursor=`` to fetch the next
+    #: page (or the next window, once this window is exhausted).  None when
+    #: the response completes the query.
+    next_cursor: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.files)
@@ -92,20 +119,45 @@ class Broker:
         query: BrokerQuery,
         from_time: Optional[int] = None,
         now: Optional[float] = None,
+        cursor: Optional[str] = None,
+        page_size: Optional[int] = None,
     ) -> BrokerResponse:
-        """Return the next window of dump files for ``query``.
+        """Return the next window (or page of a window) of dump files.
 
         ``from_time`` is where the previous window ended (defaults to the
         query's interval start).  ``now`` bounds publication visibility: in
         live mode only files already published at ``now`` are returned; in
         historical mode it defaults to unbounded (all files are assumed
         published, as they were collected in the past).
+
+        ``page_size`` bounds the number of files per response (capped at
+        :data:`MAX_PAGE_SIZE`); when a window holds more files, the
+        response carries a ``next_cursor`` and ``more_data`` stays True.
+        ``cursor`` resumes from a previous response's ``next_cursor`` —
+        when given, ``from_time`` is ignored (the cursor knows better).  A
+        cursor from a different query raises
+        :class:`~repro.broker.cursor.CursorError`.
         """
         self.queries_served += 1
         visible_at = now
         self.crawler.crawl(now=None if visible_at is None else visible_at)
 
-        window_start = query.interval_start if from_time is None else from_time
+        fingerprint = query.fingerprint()
+        after: Optional[Tuple[float, int]] = None
+        if cursor is not None:
+            payload = decode_cursor(cursor, fingerprint)
+            if "w" not in payload:
+                raise CursorError("not a window cursor")
+            window_start = int(payload["w"])
+            if "ts" in payload:
+                after = (payload["ts"], payload["id"])
+            # Later pages of the first window keep its intersection
+            # semantics (the "f" flag travels in the cursor).
+            first_window = bool(payload.get("f"))
+        else:
+            window_start = query.interval_start if from_time is None else from_time
+            first_window = from_time is None
+
         hard_end = query.interval_end
         window_end = window_start + self.window_span
         if hard_end is not None:
@@ -113,35 +165,81 @@ class Broker:
             if window_start >= hard_end:
                 return BrokerResponse([], window_start, window_start, more_data=False)
 
-        files = self.db.query(
-            projects=list(query.projects) or None,
-            collectors=list(query.collectors) or None,
-            dump_types=list(query.dump_types) or None,
-            interval_start=window_start,
-            interval_end=window_end,
-            visible_at=visible_at,
-        )
+        limit = None
+        if page_size is not None:
+            if page_size <= 0:
+                raise ValueError("page_size must be positive")
+            limit = min(page_size, MAX_PAGE_SIZE)
+
         # Windows are half-open [window_start, window_end): a file whose
         # nominal start falls on window_end belongs to the next window (so
         # it is never returned twice), except on the stream's very last
-        # window where the end is inclusive.
+        # window where the end is inclusive.  The first window additionally
+        # includes earlier-starting files whose data interval reaches into
+        # it (intersection semantics); follow-up windows exclude them —
+        # the previous window already returned them.
         last_window = hard_end is not None and window_end == hard_end
-        files = [
-            f
-            for f in files
-            if f.timestamp < window_end or (last_window and f.timestamp <= hard_end)
-        ]
-        # On follow-up windows, drop files the previous window already
-        # returned (their nominal start precedes this window).
-        if from_time is not None:
-            files = [f for f in files if f.timestamp >= window_start]
 
-        more = True if hard_end is None else window_end < hard_end
+        def in_window(f: DumpFileRecord) -> bool:
+            return (
+                f.timestamp < window_end or (last_window and f.timestamp <= hard_end)
+            ) and (first_window or f.timestamp >= window_start)
+
+        def fetch(fetch_after, fetch_limit):
+            return self.db.query_page(
+                projects=list(query.projects) or None,
+                collectors=list(query.collectors) or None,
+                dump_types=list(query.dump_types) or None,
+                interval_start=window_start,
+                interval_end=window_end,
+                visible_at=visible_at,
+                order="time",
+                after=fetch_after,
+                limit=fetch_limit,
+            )
+
+        if limit is None:
+            files = [f for f in fetch(after, None) if in_window(f)]
+        else:
+            # Fill the page to limit+1 in-window rows (the +1 detects further
+            # pages without a second query).  Rows the window filter rejects
+            # — boundary files of the next window, overlap files already
+            # served by the previous one — must not eat the page budget, so
+            # keep fetching past them until the page fills or the set of
+            # intersecting rows is exhausted.
+            files = []
+            fetch_after = after
+            while len(files) <= limit:
+                rows = fetch(fetch_after, limit + 1)
+                files.extend(f for f in rows if in_window(f))
+                if len(rows) <= limit:  # fewer than asked: nothing left
+                    break
+                tail = rows[-1]
+                fetch_after = (tail.timestamp, tail.file_id)
+
+        page_full = limit is not None and len(files) > limit
+        if page_full:
+            files = files[:limit]
+
+        more_windows = True if hard_end is None else window_end < hard_end
+        if page_full:
+            tail = files[-1]
+            payload = {"w": window_start, "ts": tail.timestamp, "id": tail.file_id}
+            if first_window:
+                payload["f"] = 1
+            next_cursor = encode_cursor(payload, fingerprint)
+            more = True
+        else:
+            next_cursor = (
+                encode_cursor({"w": window_end}, fingerprint) if more_windows else None
+            )
+            more = more_windows
         return BrokerResponse(
             files=files,
             window_start=window_start,
             window_end=window_end,
             more_data=more,
+            next_cursor=next_cursor,
         )
 
     def get_new_files(
@@ -174,16 +272,94 @@ class Broker:
             files = [f for f in files if f.available_at > published_after]
         return files
 
-    def iter_windows(self, query: BrokerQuery, now: Optional[float] = None):
+    def get_new_files_page(
+        self,
+        query: BrokerQuery,
+        published_after: Optional[float] = None,
+        now: Optional[float] = None,
+        cursor: Optional[str] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> BrokerResponse:
+        """Paginated :meth:`get_new_files`: publication-ordered keyset pages.
+
+        Pages are ordered by ``(available_at, id)`` — publication order —
+        so a live client can persist the ``next_cursor`` instead of a
+        wall-clock watermark and never re-fetch files across restarts, even
+        when publications arrive out of nominal-time order.  The cursor is
+        a durable watermark: it is returned whenever the page has files
+        (``more_data`` says whether more are ready *right now*), and a
+        caught-up client keeps polling with the same cursor until new
+        publications appear.
+        """
+        self.queries_served += 1
+        self.crawler.crawl(now=now)
+        fingerprint = query.fingerprint()
+        after: Optional[Tuple[float, int]] = None
+        if cursor is not None:
+            payload = decode_cursor(cursor, fingerprint)
+            if "pub" not in payload:
+                raise CursorError("not a publication cursor")
+            after = (payload["pub"], payload["id"])
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        limit = min(page_size, MAX_PAGE_SIZE)
+        files = self.db.query_page(
+            projects=list(query.projects) or None,
+            collectors=list(query.collectors) or None,
+            dump_types=list(query.dump_types) or None,
+            interval_start=query.interval_start,
+            interval_end=None,
+            visible_at=now,
+            order="published",
+            after=after,
+            limit=limit + 1,
+        )
+        if published_after is not None:
+            files = [f for f in files if f.available_at > published_after]
+        page_full = len(files) > limit
+        if page_full:
+            files = files[:limit]
+        next_cursor = None
+        if files:
+            tail = files[-1]
+            next_cursor = encode_cursor(
+                {"pub": tail.available_at, "id": tail.file_id}, fingerprint
+            )
+        return BrokerResponse(
+            files=files,
+            window_start=query.interval_start,
+            window_end=query.interval_start,
+            more_data=page_full,
+            next_cursor=next_cursor,
+        )
+
+    def iter_windows(
+        self,
+        query: BrokerQuery,
+        now: Optional[float] = None,
+        page_size: Optional[int] = None,
+    ):
         """Iterate successive historical windows until the interval is covered.
 
-        Only valid for historical (bounded) queries; live-mode pacing is the
-        caller's responsibility because it involves polling.
+        With ``page_size`` set, large windows arrive as multiple paginated
+        responses (driven by their cursors).  Only valid for historical
+        (bounded) queries; live-mode pacing is the caller's responsibility
+        because it involves polling.
         """
         if query.live:
             raise ValueError("iter_windows requires a bounded (historical) query")
-        cursor = query.interval_start
-        while cursor < (query.interval_end or 0):
-            response = self.get_window(query, from_time=cursor, now=now)
+        if page_size is not None:
+            cursor: Optional[str] = None
+            while True:
+                response = self.get_window(
+                    query, cursor=cursor, page_size=page_size, now=now
+                )
+                yield response
+                cursor = response.next_cursor
+                if cursor is None:
+                    return
+        position = query.interval_start
+        while position < (query.interval_end or 0):
+            response = self.get_window(query, from_time=position, now=now)
             yield response
-            cursor = response.window_end
+            position = response.window_end

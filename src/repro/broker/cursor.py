@@ -1,0 +1,97 @@
+"""Opaque, resumable pagination cursors for the Broker query API.
+
+A cursor is the client's bookmark into a paginated Broker result set: the
+Broker hands one back with every partial response, and the client echoes it
+verbatim on the next request to resume exactly where the previous page
+ended.  Cursors are *opaque* — clients must not parse or fabricate them —
+and *self-validating*:
+
+* a checksum rejects truncated or mangled cursor strings;
+* a fingerprint of the originating query parameters is baked in, so a
+  cursor replayed against a *different* query (or after the client edited
+  its filters) is rejected instead of silently returning wrong pages;
+* a version field lets the encoding evolve without breaking old clients
+  mid-flight (an unknown version is a clean :class:`CursorError`, not a
+  crash).
+
+The payload itself is a small dict of keyset-pagination state (the last
+row's sort key), which is what makes pages stable under concurrent archive
+growth: resuming "after (timestamp, id)" never re-serves or skips rows no
+matter how many new files the crawler indexed in between.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+from typing import Dict, Optional
+
+#: Bump when the payload layout changes incompatibly.
+CURSOR_VERSION = 1
+
+
+class CursorError(ValueError):
+    """A cursor string is malformed, corrupted, or bound to another query."""
+
+
+def query_fingerprint(query) -> str:
+    """A short stable digest of the query parameters a cursor belongs to."""
+    material = json.dumps(
+        [
+            sorted(query.projects),
+            sorted(query.collectors),
+            sorted(query.dump_types),
+            query.interval_start,
+            query.interval_end,
+        ],
+        separators=(",", ":"),
+    )
+    return hashlib.sha1(material.encode("utf-8")).hexdigest()[:12]
+
+
+def encode_cursor(payload: Dict, fingerprint: str) -> str:
+    """Pack ``payload`` into an opaque URL-safe cursor string."""
+    body = dict(payload)
+    body["v"] = CURSOR_VERSION
+    body["q"] = fingerprint
+    raw = json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    check = hashlib.sha1(raw).hexdigest()[:8].encode("ascii")
+    return base64.urlsafe_b64encode(check + raw).decode("ascii").rstrip("=")
+
+
+def decode_cursor(cursor: str, fingerprint: Optional[str] = None) -> Dict:
+    """Unpack a cursor string, verifying integrity and query binding.
+
+    ``fingerprint`` (when given) must match the fingerprint baked into the
+    cursor at encode time; a mismatch means the client changed its query
+    parameters between pages, which would silently corrupt pagination.
+    """
+    if not isinstance(cursor, str) or not cursor:
+        raise CursorError("empty cursor")
+    padded = cursor + "=" * (-len(cursor) % 4)
+    try:
+        blob = base64.urlsafe_b64decode(padded.encode("ascii"))
+    except (binascii.Error, ValueError, UnicodeEncodeError) as exc:
+        raise CursorError(f"undecodable cursor: {exc}") from exc
+    check, raw = blob[:8], blob[8:]
+    if hashlib.sha1(raw).hexdigest()[:8].encode("ascii") != check:
+        raise CursorError("cursor checksum mismatch (truncated or corrupted)")
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CursorError(f"unreadable cursor payload: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CursorError("cursor payload is not an object")
+    if payload.get("v") != CURSOR_VERSION:
+        raise CursorError(f"unsupported cursor version {payload.get('v')!r}")
+    if fingerprint is not None and payload.get("q") != fingerprint:
+        raise CursorError(
+            "cursor belongs to a different query (filters or interval changed "
+            "between pages)"
+        )
+    # The version and fingerprint are envelope, not pagination state.
+    payload.pop("v", None)
+    payload.pop("q", None)
+    return payload

@@ -69,6 +69,12 @@ class BrokerDataInterface(DataInterface):
     when the application is ready to process more data, and in live mode the
     interface blocks (polling the Broker through the clock) until new data
     is available.
+
+    ``page_size`` bounds the files per meta-data response; when set (or when
+    resuming from a ``cursor``), historical windows are pulled through the
+    Broker's cursor pagination and :attr:`last_cursor` tracks the most
+    recent resume token, so an interrupted stream can be restarted with
+    ``cursor=interface.last_cursor`` without re-fetching earlier pages.
     """
 
     def __init__(
@@ -77,6 +83,8 @@ class BrokerDataInterface(DataInterface):
         clock: Optional[Clock] = None,
         poll_interval: float = 30.0,
         max_empty_polls: Optional[int] = None,
+        page_size: Optional[int] = None,
+        cursor: Optional[str] = None,
     ) -> None:
         self.broker = broker
         self.clock = clock or SystemClock()
@@ -84,6 +92,12 @@ class BrokerDataInterface(DataInterface):
         #: In live mode, stop after this many consecutive empty polls
         #: (None = poll forever).  Simulations set a bound so runs terminate.
         self.max_empty_polls = max_empty_polls
+        self.page_size = page_size
+        #: The cursor to resume from (consumed by the first request).
+        self.cursor = cursor
+        #: The opaque resume token of the most recent response (checkpoint
+        #: this to survive restarts); None until the first paginated pull.
+        self.last_cursor: Optional[str] = None
 
     def batches(self, filters: FilterSet) -> Iterator[List[DumpFileSpec]]:
         query = BrokerQuery(
@@ -94,14 +108,17 @@ class BrokerDataInterface(DataInterface):
             interval_end=filters.interval_end,
         )
         if not query.live:
-            cursor: Optional[int] = None
+            if self.page_size is not None or self.cursor is not None:
+                yield from self._paginated_batches(query)
+                return
+            from_time: Optional[int] = None
             while True:
-                response = self.broker.get_window(query, from_time=cursor, now=None)
+                response = self.broker.get_window(query, from_time=from_time, now=None)
                 if response.files:
                     yield [_spec_from_record(f) for f in response.files]
                 if not response.more_data:
                     return
-                cursor = response.window_end
+                from_time = response.window_end
             return
 
         # Live mode: ask the Broker for anything *published* since the last
@@ -122,6 +139,40 @@ class BrokerDataInterface(DataInterface):
             if self.max_empty_polls is not None and empty_polls >= self.max_empty_polls:
                 return
             self.clock.sleep(self.poll_interval)
+
+    def _paginated_batches(self, query: BrokerQuery) -> Iterator[List[DumpFileSpec]]:
+        """Historical pull through cursor pagination (bounded responses).
+
+        Pages are a transport detail: the sorted merge downstream needs the
+        whole window, so pages are reassembled into one batch per window
+        before yielding.  ``last_cursor`` only advances at window
+        boundaries — it always points at the first *unyielded* page, so a
+        consumer that stops mid-stream can resume without losing files
+        from a window whose pages were fetched but never delivered.
+        """
+        cursor = self.cursor
+        pending: List[DumpFileSpec] = []
+        pending_window: Optional[int] = None
+        while True:
+            response = self.broker.get_window(
+                query, cursor=cursor, page_size=self.page_size, now=None
+            )
+            if pending and response.window_start != pending_window:
+                # This fetch crossed into the next window: the previous
+                # window is complete.  Resuming from `cursor` re-fetches
+                # only the page we are holding but have not yet yielded.
+                self.last_cursor = cursor
+                yield pending
+                pending = []
+            if response.files:
+                pending_window = response.window_start
+                pending.extend(_spec_from_record(f) for f in response.files)
+            cursor = response.next_cursor
+            if cursor is None:
+                self.last_cursor = None
+                break
+        if pending:
+            yield pending
 
 
 class SingleFileDataInterface(DataInterface):

@@ -54,6 +54,7 @@ def read_dump_file(
     cache_records: bool = True,
     intern: Optional[bool] = None,
     lazy: Optional[bool] = None,
+    segment_cache=None,
 ) -> List[BGPStreamRecord]:
     """Parse one dump file into a record list (the worker-pool task).
 
@@ -74,9 +75,20 @@ def read_dump_file(
     *thread* workers carry zero-copy attribute views into the dump buffer;
     process-pool workers materialise on pickle, so the deferral win there is
     bounded to the worker side.
+
+    ``segment_cache`` is an optional persistent decoded-segment cache
+    (:class:`repro.broker.segments.SegmentCache`); it pickles by
+    configuration, so process-pool workers reopen the same on-disk cache
+    and a hit skips the MRT decode entirely.
     """
     return list(
-        DumpFileReader(spec, cache_records=cache_records, intern=intern, lazy=lazy)
+        DumpFileReader(
+            spec,
+            cache_records=cache_records,
+            intern=intern,
+            lazy=lazy,
+            segment_cache=segment_cache,
+        )
     )
 
 
@@ -114,6 +126,12 @@ class ParallelConfig:
     #: pickling them back, so the end-to-end deferral win applies to
     #: thread/serial executors.
     lazy: Optional[bool] = None
+    #: Optional persistent decoded-segment cache
+    #: (:class:`repro.broker.segments.SegmentCache`).  Unlike
+    #: ``cache_records`` this survives the process: warm replays of a window
+    #: unpickle decoded segments instead of re-decoding MRT, in workers and
+    #: fallback paths alike.
+    segment_cache: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.executor not in ("auto", "process", "thread", "serial"):
@@ -201,6 +219,7 @@ class ParallelStreamEngine:
                         self.config.cache_records,
                         self.config.intern,
                         self.config.lazy,
+                        self.config.segment_cache,
                     )
                     for spec in subset
                 ]
@@ -229,7 +248,12 @@ class ParallelStreamEngine:
             try:
                 futures.append(
                     executor.submit(
-                        read_dump_file, spec, cache, self.config.intern, self.config.lazy
+                        read_dump_file,
+                        spec,
+                        cache,
+                        self.config.intern,
+                        self.config.lazy,
+                        self.config.segment_cache,
                     )
                 )
             except RuntimeError:
@@ -248,7 +272,11 @@ class ParallelStreamEngine:
             # parse the file in the delivering process instead.
             self.fallback_files += 1
             return read_dump_file(
-                spec, self.config.cache_records, self.config.intern, self.config.lazy
+                spec,
+                self.config.cache_records,
+                self.config.intern,
+                self.config.lazy,
+                self.config.segment_cache,
             )
 
     def _ensure_executor(self) -> Optional[Executor]:

@@ -70,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="router name keying the BMP feed (with --live; "
              "default: the --live file name)",
     )
+    source.add_argument(
+        "--page-size",
+        type=int,
+        default=None,
+        help="files per Broker meta-data page (with --archive; enables "
+             "cursor pagination of the meta-data pull)",
+    )
+    source.add_argument(
+        "--cursor",
+        default=None,
+        help="opaque resume token from a previous paginated run (with "
+             "--archive; the final '# next-cursor:' line of an interrupted "
+             "run)",
+    )
 
     filters = parser.add_argument_group("filters")
     filters.add_argument("-p", "--project", action="append", default=[], help="project name")
@@ -114,6 +128,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-intern", action="store_true",
         help="disable flyweight interning of parsed BGP values "
              "(AS paths, community sets, prefixes, peer strings)",
+    )
+    engine.add_argument(
+        "--broker-cache", metavar="DIR", default=None,
+        help="persistent decoded-segment cache directory: unchanged dump "
+             "files replay their decoded records from here instead of "
+             "re-decoding MRT, and newly decoded files are stored for the "
+             "next run",
+    )
+    engine.add_argument(
+        "--broker-cache-size", type=int, default=None, metavar="BYTES",
+        help="on-disk budget of --broker-cache in bytes (least-recently-"
+             "used segments are evicted beyond it; default: 512 MiB)",
     )
     engine.add_argument(
         "--eager-decode", action="store_true",
@@ -166,8 +192,13 @@ def build_stream(args: argparse.Namespace) -> BGPStream:
         except ValueError as exc:
             raise SystemExit(f"bgpreader: error: {exc}")
     eager = True if getattr(args, "eager_decode", False) else None
+    segment_cache = _build_segment_cache(args)
     stream = BGPStream(
-        data_interface=interface, parallel=parallel, interning=interning, eager=eager
+        data_interface=interface,
+        parallel=parallel,
+        interning=interning,
+        eager=eager,
+        segment_cache=segment_cache,
     )
     for project in args.project:
         stream.add_filter("project", project)
@@ -194,6 +225,29 @@ def build_stream(args: argparse.Namespace) -> BGPStream:
     return stream
 
 
+def _build_segment_cache(args: argparse.Namespace):
+    """The optional persistent decoded-segment cache (``--broker-cache``)."""
+    cache_dir = getattr(args, "broker_cache", None)
+    cache_size = getattr(args, "broker_cache_size", None)
+    if cache_dir is None:
+        if cache_size is not None:
+            raise SystemExit("bgpreader: error: --broker-cache-size requires --broker-cache")
+        return None
+    if getattr(args, "live", None):
+        raise SystemExit(
+            "bgpreader: error: --broker-cache caches decoded dump files and "
+            "does not apply to --live"
+        )
+    from repro.broker.segments import DEFAULT_MAX_BYTES, SegmentCache
+
+    try:
+        return SegmentCache(
+            cache_dir, max_bytes=cache_size if cache_size is not None else DEFAULT_MAX_BYTES
+        )
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"bgpreader: error: cannot open --broker-cache: {exc}")
+
+
 def _build_interface(args: argparse.Namespace) -> DataInterface:
     sources = [
         bool(args.archive),
@@ -210,11 +264,21 @@ def _build_interface(args: argparse.Namespace) -> DataInterface:
         getattr(args, "bmp_topic", None) or getattr(args, "bmp_router", None)
     ):
         raise SystemExit("bgpreader: error: --bmp-topic/--bmp-router require --live")
+    if not args.archive and (
+        getattr(args, "page_size", None) is not None
+        or getattr(args, "cursor", None) is not None
+    ):
+        raise SystemExit("bgpreader: error: --page-size/--cursor require --archive")
     if getattr(args, "live", None):
         return _build_live_interface(args)
     if args.archive:
         broker = Broker(archives=[Archive(args.archive)])
-        return BrokerDataInterface(broker, max_empty_polls=1)
+        return BrokerDataInterface(
+            broker,
+            max_empty_polls=1,
+            page_size=getattr(args, "page_size", None),
+            cursor=getattr(args, "cursor", None),
+        )
     if args.sqlite:
         return SQLiteDataInterface(args.sqlite)
     if args.csv:
@@ -266,10 +330,16 @@ def run(args: argparse.Namespace, out: IO[str]) -> int:
 def _run_stream(args: argparse.Namespace, out: IO[str]) -> int:
     stream = build_stream(args)
     try:
-        return _print_stream(args, stream, out)
+        status = _print_stream(args, stream, out)
     finally:
         if profiling.counters is not None:
             profiling.record_intern_stats(stream.intern_pool)
+    # A paginated pull that stopped early (e.g. --limit) leaves a resume
+    # token; print it so the next invocation can pass it back as --cursor.
+    cursor = getattr(stream._interface, "last_cursor", None)
+    if cursor:
+        print(f"# next-cursor: {cursor}", file=out)
+    return status
 
 
 def _print_stream(args: argparse.Namespace, stream: BGPStream, out: IO[str]) -> int:

@@ -24,7 +24,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.interfaces import DumpFileSpec
 from repro.core.record import BGPStreamRecord, DumpPosition, RecordStatus
-from repro.mrt.parser import MRTDumpReader, MRTParseError
+from repro.mrt.parser import MRTDumpReader, MRTParseError, file_signature
 from repro.mrt.records import PeerIndexTable
 from repro.utils.intervals import TimeInterval, group_overlapping
 
@@ -49,6 +49,12 @@ class DumpFileReader:
     ``intern`` forwards the parse-time flyweight-interning knob to the MRT
     reader and ``lazy`` the lazy-decode knob (``None`` follows the
     respective process-wide switch).
+
+    ``segment_cache`` is an optional persistent decoded-segment cache
+    (:class:`repro.broker.segments.SegmentCache`): a hit replays the file's
+    annotated records without touching the MRT wire bytes; a miss reads
+    normally and — if the iteration completes and the file is unchanged —
+    stores the decoded segment for the next run.
     """
 
     def __init__(
@@ -57,13 +63,35 @@ class DumpFileReader:
         cache_records: bool = False,
         intern: Optional[bool] = None,
         lazy: Optional[bool] = None,
+        segment_cache=None,
     ) -> None:
         self.spec = spec
         self.cache_records = cache_records
         self.intern = intern
         self.lazy = lazy
+        self.segment_cache = segment_cache
 
     def __iter__(self) -> Iterator[BGPStreamRecord]:
+        cache = self.segment_cache
+        if cache is None:
+            yield from self._read()
+            return
+        signature = file_signature(self.spec.path)
+        cached = cache.load(self.spec)
+        if cached is not None:
+            yield from cached
+            return
+        records: List[BGPStreamRecord] = []
+        for record in self._read():
+            records.append(record)
+            yield record
+        # Store only complete, consistent reads: an abandoned iteration never
+        # reaches this point, and a file replaced mid-read fails the
+        # signature check.
+        if signature is not None and signature == file_signature(self.spec.path):
+            cache.store(self.spec, records, signature=signature)
+
+    def _read(self) -> Iterator[BGPStreamRecord]:
         spec = self.spec
         try:
             reader = MRTDumpReader(
@@ -135,7 +163,8 @@ class SortedRecordMerger:
 
     ``intern`` forwards the parse-time flyweight-interning knob and
     ``lazy`` the lazy-decode knob to every :class:`DumpFileReader` it opens
-    (``None`` follows the respective process-wide switch).
+    (``None`` follows the respective process-wide switch);
+    ``segment_cache`` forwards an optional persistent decoded-segment cache.
     """
 
     def __init__(
@@ -143,10 +172,12 @@ class SortedRecordMerger:
         specs: Sequence[DumpFileSpec],
         intern: Optional[bool] = None,
         lazy: Optional[bool] = None,
+        segment_cache=None,
     ) -> None:
         self.specs = list(specs)
         self.intern = intern
         self.lazy = lazy
+        self.segment_cache = segment_cache
 
     # -- grouping ------------------------------------------------------------
 
@@ -184,11 +215,23 @@ class SortedRecordMerger:
     def _merge_subset(self, subset: Sequence[DumpFileSpec]) -> Iterator[BGPStreamRecord]:
         """Multi-way merge of the (already time-ordered) files of one subset."""
         if len(subset) == 1:
-            yield from DumpFileReader(subset[0], intern=self.intern, lazy=self.lazy)
+            yield from DumpFileReader(
+                subset[0],
+                intern=self.intern,
+                lazy=self.lazy,
+                segment_cache=self.segment_cache,
+            )
             return
         yield from merge_record_iterators(
             [
-                iter(DumpFileReader(spec, intern=self.intern, lazy=self.lazy))
+                iter(
+                    DumpFileReader(
+                        spec,
+                        intern=self.intern,
+                        lazy=self.lazy,
+                        segment_cache=self.segment_cache,
+                    )
+                )
                 for spec in subset
             ]
         )

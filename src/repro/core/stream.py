@@ -59,10 +59,16 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.broker.broker import Broker
 from repro.core.elem import BGPElem
 from repro.core.filters import FilterSet
 from repro.core.intern import InternPool, default_pool
-from repro.core.interfaces import DataInterface, LiveDataInterface, make_data_interface
+from repro.core.interfaces import (
+    BrokerDataInterface,
+    DataInterface,
+    LiveDataInterface,
+    make_data_interface,
+)
 from repro.core.record import BGPStreamRecord, RecordStatus
 from repro.core.sorter import DEFAULT_BATCH_SIZE, SortedRecordMerger, batch_records
 
@@ -112,11 +118,13 @@ class BGPStream:
         self,
         data_interface: Union[DataInterface, str, None] = None,
         filters: Optional[FilterSet] = None,
-        parallel: Optional["ParallelConfig"] = None,
+        parallel: Union["ParallelConfig", bool, None] = None,
         interning: Union[bool, InternPool, None] = True,
         live: Union[LiveDataInterface, Dict, None] = None,
         interface_options: Optional[Dict] = None,
         eager: Optional[bool] = None,
+        broker: Optional[Broker] = None,
+        segment_cache=None,
     ) -> None:
         """``data_interface`` accepts an instance or a registry name
         (``"broker"``, ``"csvfile"``, ``"sqlite"``, ``"singlefile"``,
@@ -125,8 +133,38 @@ class BGPStream:
         ``interface_options``.  ``live`` is a shortcut for the BMP live
         mode: pass a ready :class:`LiveDataInterface` or a dict of its
         options (broker, topics, poll bounds, ...) and the stream reads the
-        near-realtime feed instead of dump files."""
+        near-realtime feed instead of dump files.
+
+        ``broker`` is the Broker shortcut: ``BGPStream(broker=broker)``
+        wraps it in a :class:`~repro.core.interfaces.BrokerDataInterface`
+        (``interface_options`` become its options — ``page_size``,
+        ``cursor``, poll bounds) **and defaults the stream to the parallel
+        batched engine**, so a multi-collector window replays at
+        parallel-engine speed out of the box.  Pass ``parallel=False`` to
+        force the sequential path, or a ready
+        :class:`~repro.core.parallel.ParallelConfig` to tune it.
+
+        ``segment_cache`` (a :class:`repro.broker.segments.SegmentCache`)
+        makes every reader this stream opens — sequential or parallel —
+        replay decoded segments of unchanged dump files from disk instead
+        of re-decoding MRT, and persist newly decoded files for the next
+        run."""
         self.filters = filters or FilterSet()
+        if broker is not None:
+            if data_interface is not None or live is not None:
+                raise ValueError("pass either broker= or data_interface/live, not both")
+            data_interface = BrokerDataInterface(broker, **(interface_options or {}))
+            interface_options = None
+            if parallel is None:
+                from repro.core.parallel import ParallelConfig
+
+                parallel = ParallelConfig()
+        if parallel is False:
+            parallel = None
+        elif parallel is True:
+            from repro.core.parallel import ParallelConfig
+
+            parallel = ParallelConfig()
         if data_interface is not None and live is not None:
             raise ValueError("pass either data_interface or live, not both")
         if live is not None:
@@ -150,6 +188,7 @@ class BGPStream:
             raise ValueError("interface_options require a data_interface name")
         self._interface = data_interface
         self._parallel = parallel
+        self._segment_cache = segment_cache
         self._eager = eager
         self._started = False
         self._record_iter: Optional[Iterator[BGPStreamRecord]] = None
@@ -281,7 +320,10 @@ class BGPStream:
             yield from self._filtered(
                 iter(
                     SortedRecordMerger(
-                        file_batch, intern=self._parse_intern, lazy=self._parse_lazy
+                        file_batch,
+                        intern=self._parse_intern,
+                        lazy=self._parse_lazy,
+                        segment_cache=self._segment_cache,
                     )
                 )
             )
@@ -315,6 +357,9 @@ class BGPStream:
             if config.lazy is None and self._parse_lazy is not None:
                 # Same inheritance for the stream's decode-tier choice.
                 config = replace(config, lazy=self._parse_lazy)
+            if config.segment_cache is None and self._segment_cache is not None:
+                # The workers inherit the stream's persistent segment cache.
+                config = replace(config, segment_cache=self._segment_cache)
             # One engine (and one worker pool) for the whole stream; per
             # meta-data-window pools would pay startup cost on every window.
             engine = ParallelStreamEngine(config)
@@ -325,7 +370,10 @@ class BGPStream:
                 else:
                     source = iter(
                         SortedRecordMerger(
-                            file_batch, intern=self._parse_intern, lazy=self._parse_lazy
+                            file_batch,
+                            intern=self._parse_intern,
+                            lazy=self._parse_lazy,
+                            segment_cache=self._segment_cache,
                         )
                     )
                 # Re-batching happens after filtering, and per meta-data

@@ -31,6 +31,9 @@ class CommunityDiversityOutput:
 
 
 class CommunityDiversityPlugin(Plugin):
+    """Per-bin community diversity: distinct communities, the AS
+    identifiers they carry, and the fraction of VPs observing any."""
+
     name = "community-diversity"
 
     def __init__(self) -> None:

@@ -34,6 +34,9 @@ class MOASOutput:
 
 
 class MOASPlugin(Plugin):
+    """Detect Multi-Origin AS prefixes: a per-bin report of every prefix
+    announced with more than one origin AS across the tracked VPs."""
+
     name = "moas"
 
     def __init__(self, per_collector: bool = False) -> None:

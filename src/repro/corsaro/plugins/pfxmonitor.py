@@ -31,6 +31,9 @@ class PrefixMonitorOutput:
 
 
 class PrefixMonitorPlugin(Plugin):
+    """The paper's pfxmonitor (§4.4): watch a set of IP ranges through a
+    patricia trie and report per-bin prefix/origin activity inside them."""
+
     name = "pfxmonitor"
 
     def __init__(self, ranges: Iterable[Prefix]) -> None:

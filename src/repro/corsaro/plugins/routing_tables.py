@@ -225,6 +225,10 @@ class RTBinOutput:
 
 
 class RoutingTablesPlugin(Plugin):
+    """Reconstruct per-(VP × prefix) routing tables from the stream (§6):
+    RIB snapshots seed the matrix, updates mutate it, and periodic
+    snapshots expose a queryable index with optional accuracy tracking."""
+
     name = "routing-tables"
 
     def __init__(

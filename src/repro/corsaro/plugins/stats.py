@@ -36,6 +36,9 @@ class BinStats:
 
 
 class StatsPlugin(Plugin):
+    """Per-bin stream accounting: record/elem counts by collector and
+    elem type — BGPCorsaro's basic observability plugin."""
+
     name = "stats"
 
     def __init__(self) -> None:

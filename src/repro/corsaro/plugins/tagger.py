@@ -15,6 +15,9 @@ from repro.corsaro.plugin import StatelessPlugin, TaggedRecord
 
 
 class ElemTypeTagger(StatelessPlugin):
+    """Tag each record with the elem types it contains and whether any
+    elem carries a watched community — cheap routing for later plugins."""
+
     name = "elem-type-tagger"
 
     #: Tag keys written by this plugin.

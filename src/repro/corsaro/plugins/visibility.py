@@ -34,6 +34,10 @@ class VisibilityOutput:
 
 
 class VisibilityPlugin(Plugin):
+    """Track per-prefix visibility across VPs (§5 outage analysis): how
+    many vantage points currently see each prefix, aggregated by country
+    when a prefix→country mapping is supplied."""
+
     name = "visibility"
 
     def __init__(

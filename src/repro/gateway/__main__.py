@@ -1,3 +1,5 @@
+"""Entry point for ``python -m repro.gateway`` — runs the gateway CLI."""
+
 import sys
 
 from repro.gateway.cli import main

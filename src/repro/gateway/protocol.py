@@ -49,6 +49,9 @@ def dumps(payload: Dict) -> str:
 
 
 class HTTPRequest:
+    """The parsed head of one HTTP request: method, path, query pairs
+    and headers — all the hand-rolled server needs to route it."""
+
     __slots__ = ("method", "path", "query", "headers")
 
     def __init__(

@@ -105,12 +105,23 @@ _RECORD_CACHE_BUDGET = 2_000_000
 _record_budget_used = 0
 
 
-def _file_signature(path: str) -> Optional[Tuple[int, int]]:
+def file_signature(path: str) -> Optional[Tuple[int, int]]:
+    """The ``(st_size, st_mtime_ns)`` identity of a dump file's content.
+
+    Both the in-memory index cache and the persistent decoded-segment cache
+    (:mod:`repro.broker.segments`) key on this: a file whose signature
+    changed is a different file, and anything cached under the old
+    signature must miss.  Returns None when the file cannot be stat'ed.
+    """
     try:
         stat = os.stat(path)
     except OSError:
         return None
     return (stat.st_size, stat.st_mtime_ns)
+
+
+#: Backwards-compatible private alias (pre-PR 8 name).
+_file_signature = file_signature
 
 
 def cached_index(path: str) -> Optional[DumpIndex]:

@@ -1,0 +1,28 @@
+"""Fixtures for the broker-tier tests: a small generated dump archive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectors.archive import Archive
+from repro.collectors.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.collectors.topology import TopologyConfig
+
+
+@pytest.fixture(scope="session")
+def broker_scenario() -> Scenario:
+    config = ScenarioConfig(
+        duration=1800,
+        topology=TopologyConfig(num_tier1=2, num_transit=4, num_stub=10, seed=81),
+        vps_per_collector=2,
+        churn_updates_per_vp_per_hour=20,
+        seed=82,
+    )
+    return build_scenario(config)
+
+
+@pytest.fixture(scope="session")
+def broker_archive(tmp_path_factory, broker_scenario) -> Archive:
+    archive = Archive(str(tmp_path_factory.mktemp("broker-archive")))
+    broker_scenario.generate(archive)
+    return archive

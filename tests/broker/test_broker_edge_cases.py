@@ -1,0 +1,135 @@
+"""Broker edge cases: empty windows, live-boundary semantics, duplicate
+files across overlapping archives."""
+
+from __future__ import annotations
+
+from repro.broker.broker import Broker, BrokerQuery
+from repro.broker.db import DumpFileRecord, MetadataDB
+from repro.collectors.archive import Archive
+
+
+def _record(timestamp, collector="rrc0", duration=900, available_at=None, path=None):
+    if available_at is None:
+        available_at = timestamp + duration + 60
+    path = path or f"/a/{collector}/{timestamp}.mrt.gz"
+    return DumpFileRecord("ris", collector, "updates", timestamp, duration, path, available_at)
+
+
+class TestEmptyWindows:
+    def test_interval_before_any_data(self):
+        db = MetadataDB()
+        db.insert(_record(100_000))
+        broker = Broker(db=db, window_span=3600)
+        query = BrokerQuery(interval_start=0, interval_end=3600)
+        responses = list(broker.iter_windows(query))
+        assert all(r.empty for r in responses)
+        assert not responses[-1].more_data
+
+    def test_gap_between_dumps_yields_empty_middle_windows(self):
+        db = MetadataDB()
+        db.insert(_record(0))
+        db.insert(_record(4 * 3600))
+        broker = Broker(db=db, window_span=3600)
+        query = BrokerQuery(interval_start=0, interval_end=5 * 3600)
+        responses = list(broker.iter_windows(query))
+        # Windows over the gap are empty but still signal more_data so the
+        # client keeps going and reaches the late file.
+        assert any(r.empty and r.more_data for r in responses)
+        files = [f for r in responses for f in r]
+        assert {f.timestamp for f in files} == {0, 4 * 3600}
+
+    def test_empty_db_paginated_query(self):
+        broker = Broker(db=MetadataDB())
+        query = BrokerQuery(interval_start=0, interval_end=3600)
+        response = broker.get_window(query, page_size=5)
+        assert response.empty
+        assert response.next_cursor is None
+
+    def test_zero_length_interval(self):
+        db = MetadataDB()
+        db.insert(_record(0))
+        broker = Broker(db=db)
+        query = BrokerQuery(interval_start=100, interval_end=100)
+        response = broker.get_window(query)
+        assert response.empty and not response.more_data
+
+
+class TestLiveBoundaries:
+    def test_live_query_exposes_no_future_publications(self):
+        db = MetadataDB()
+        db.insert(_record(0, available_at=1000))
+        broker = Broker(db=db)
+        query = BrokerQuery(interval_start=0, interval_end=None)
+        assert broker.get_window(query, now=999).empty
+        assert broker.get_window(query, now=999.5).empty
+        # Publication instant itself is visible (<= semantics).
+        assert len(broker.get_window(query, now=1000)) == 1
+
+    def test_live_empty_response_means_poll_again(self):
+        broker = Broker(db=MetadataDB())
+        query = BrokerQuery(interval_start=0, interval_end=None)
+        response = broker.get_window(query, now=100)
+        assert response.empty
+        assert response.more_data  # live streams never end
+
+    def test_live_flag_follows_interval_end(self):
+        assert BrokerQuery(interval_start=0, interval_end=None).live
+        assert not BrokerQuery(interval_start=0, interval_end=0).live
+
+    def test_published_exactly_at_poll_boundary_not_lost(self):
+        # A file published exactly at the previous poll's `now` must not
+        # slip between two get_new_files polls: the publication query is
+        # strictly-greater on published_after, so polling with the previous
+        # now excludes it only if it was already returned then.
+        db = MetadataDB()
+        broker = Broker(db=db)
+        query = BrokerQuery(interval_start=0, interval_end=None)
+        first_now = 500.0
+        assert broker.get_new_files(query, now=first_now) == []
+        db.insert(_record(0, available_at=first_now))  # published "at" the poll
+        late = broker.get_new_files(query, published_after=None, now=first_now + 30)
+        assert len(late) == 1
+
+
+class TestDuplicateArchives:
+    def _dual_archives(self, tmp_path):
+        # Two archives sharing some published files (mirrored repositories):
+        # the same path must be indexed exactly once.
+        shared_dir = tmp_path / "shared"
+        shared_dir.mkdir()
+        a1 = Archive(str(tmp_path / "a1"))
+        a2 = Archive(str(tmp_path / "a2"))
+        for i in range(4):
+            dump = str(shared_dir / f"shared{i}.mrt.gz")
+            open(dump, "wb").close()
+            a1.publish("ris", "rrc0", "updates", i * 900, 900, dump, available_at=1)
+            if i % 2 == 0:  # half the files are mirrored on the second archive
+                a2.publish("ris", "rrc0", "updates", i * 900, 900, dump, available_at=1)
+        only2 = str(shared_dir / "only2.mrt.gz")
+        open(only2, "wb").close()
+        a2.publish("ris", "rrc0", "updates", 4 * 900, 900, only2, available_at=1)
+        return a1, a2
+
+    def test_mirrored_files_indexed_once(self, tmp_path):
+        a1, a2 = self._dual_archives(tmp_path)
+        broker = Broker(archives=[a1, a2])
+        query = BrokerQuery(interval_start=0, interval_end=5 * 900)
+        files = [f for r in broker.iter_windows(query) for f in r]
+        paths = [f.path for f in files]
+        assert len(paths) == len(set(paths)) == 5
+
+    def test_dedup_survives_pagination(self, tmp_path):
+        a1, a2 = self._dual_archives(tmp_path)
+        broker = Broker(archives=[a1, a2])
+        query = BrokerQuery(interval_start=0, interval_end=5 * 900)
+        files = [f for r in broker.iter_windows(query, page_size=2) for f in r]
+        paths = [f.path for f in files]
+        assert len(paths) == len(set(paths)) == 5
+
+    def test_both_archives_keep_independent_crawl_state(self, tmp_path):
+        a1, a2 = self._dual_archives(tmp_path)
+        broker = Broker(archives=[a1, a2])
+        broker.crawler.crawl(now=10)
+        states = broker.db.crawl_states()
+        assert len(states) == 2
+        assert {s.position for s in states} == {4, 3}

@@ -1,0 +1,162 @@
+"""Tests for the paginated Broker client: throttling, retry, resumption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.broker import Broker, BrokerQuery
+from repro.broker.client import BrokerClient, BrokerRequestError, LocalBrokerTransport
+from repro.broker.db import DumpFileRecord, MetadataDB
+from repro.utils.timeutil import SimulatedClock
+
+
+def _record(timestamp, collector="rrc0"):
+    return DumpFileRecord(
+        "ris", collector, "updates", timestamp, 900,
+        f"/a/{collector}/{timestamp}.mrt.gz", timestamp + 960,
+    )
+
+
+def _broker(n=20):
+    db = MetadataDB()
+    for i in range(n):
+        db.insert(_record(i * 900))
+    return Broker(db=db, window_span=7200)
+
+
+class FlakyTransport:
+    """Fails the first ``failures`` requests, then delegates."""
+
+    def __init__(self, inner, failures):
+        self.inner = inner
+        self.failures = failures
+        self.calls = 0
+
+    def get_window(self, *args, **kwargs):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise BrokerRequestError("transient")
+        return self.inner.get_window(*args, **kwargs)
+
+    def get_new_files_page(self, *args, **kwargs):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise BrokerRequestError("transient")
+        return self.inner.get_new_files_page(*args, **kwargs)
+
+
+class TestPagedPulls:
+    def test_iter_files_covers_the_query(self):
+        broker = _broker(20)
+        client = BrokerClient(broker, page_size=3)
+        query = BrokerQuery(interval_start=0, interval_end=20 * 900)
+        paths = [f.path for f in client.iter_files(query)]
+        assert len(paths) == len(set(paths)) == 20
+        assert client.requests_sent == len(list(
+            BrokerClient(broker, page_size=3).iter_pages(query)
+        ))
+
+    def test_cursor_resume_skips_served_pages(self):
+        broker = _broker(20)
+        query = BrokerQuery(interval_start=0, interval_end=20 * 900)
+        client = BrokerClient(broker, page_size=4)
+        pages = client.iter_pages(query)
+        first = next(pages)
+        pages.close()
+
+        resumed = BrokerClient(broker, page_size=4)
+        rest = [f.path for f in resumed.iter_files(query, cursor=first.next_cursor)]
+        served = [f.path for f in first.files]
+        assert not set(served) & set(rest)
+        assert len(served) + len(rest) == 20
+
+    def test_constructor_validation(self):
+        broker = _broker(1)
+        with pytest.raises(ValueError):
+            BrokerClient()  # neither broker nor transport
+        with pytest.raises(ValueError):
+            BrokerClient(broker, transport=LocalBrokerTransport(broker))  # both
+        with pytest.raises(ValueError):
+            BrokerClient(broker, page_size=0)
+
+
+class TestThrottling:
+    def test_requests_spaced_by_min_interval(self):
+        broker = _broker(12)
+        clock = SimulatedClock(start=1000.0)
+        client = BrokerClient(
+            broker, page_size=3, min_request_interval=2.0, clock=clock
+        )
+        query = BrokerQuery(interval_start=0, interval_end=12 * 900)
+        list(client.iter_pages(query))
+        assert client.requests_sent >= 4
+        # Every request after the first waited out the interval.
+        assert clock.now() >= 1000.0 + 2.0 * (client.requests_sent - 1)
+        assert client.throttle_waits > 0
+
+    def test_no_throttle_by_default(self):
+        broker = _broker(6)
+        clock = SimulatedClock()
+        client = BrokerClient(broker, page_size=2, clock=clock)
+        list(client.iter_pages(BrokerQuery(interval_start=0, interval_end=6 * 900)))
+        assert clock.now() == 0.0
+        assert client.throttle_waits == 0
+
+
+class TestRetry:
+    def test_transient_failures_retried_with_backoff(self):
+        broker = _broker(4)
+        clock = SimulatedClock()
+        flaky = FlakyTransport(LocalBrokerTransport(broker), failures=2)
+        client = BrokerClient(
+            transport=flaky, page_size=10, max_retries=3,
+            backoff_base=0.5, clock=clock,
+        )
+        query = BrokerQuery(interval_start=0, interval_end=4 * 900)
+        files = [f for f in client.iter_files(query)]
+        assert len(files) == 4
+        assert client.retries == 2
+        # Exponential: 0.5 then 1.0 seconds slept on the injected clock.
+        assert clock.now() == pytest.approx(1.5)
+
+    def test_retries_exhausted_raises(self):
+        broker = _broker(2)
+        flaky = FlakyTransport(LocalBrokerTransport(broker), failures=10)
+        client = BrokerClient(
+            transport=flaky, page_size=10, max_retries=2, clock=SimulatedClock()
+        )
+        with pytest.raises(BrokerRequestError):
+            list(client.iter_files(BrokerQuery(interval_start=0, interval_end=900)))
+        assert client.retries == 2
+
+    def test_backoff_capped(self):
+        broker = _broker(1)
+        clock = SimulatedClock()
+        flaky = FlakyTransport(LocalBrokerTransport(broker), failures=5)
+        client = BrokerClient(
+            transport=flaky, page_size=10, max_retries=5,
+            backoff_base=10.0, backoff_cap=15.0, clock=clock,
+        )
+        list(client.iter_files(BrokerQuery(interval_start=0, interval_end=900)))
+        # 10, 15, 15, 15, 15 — never beyond the cap.
+        assert clock.now() == pytest.approx(70.0)
+
+
+class TestLivePolling:
+    def test_poll_published_watermark_loop(self):
+        db = MetadataDB()
+        db.insert(_record(0))
+        broker = Broker(db=db)
+        client = BrokerClient(broker, page_size=10)
+        query = BrokerQuery(interval_start=0, interval_end=None)
+
+        first = client.poll_published(query, now=10**9)
+        assert len(first.files) == 1
+        watermark = first.next_cursor
+
+        again = client.poll_published(query, cursor=watermark, now=10**9)
+        assert again.empty
+
+        db.insert(_record(900, collector="rrc1"))
+        fresh = client.poll_published(query, cursor=watermark, now=10**9)
+        assert [f.collector for f in fresh.files] == ["rrc1"]

@@ -1,0 +1,75 @@
+"""Tests for the opaque, self-validating pagination cursors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.broker import BrokerQuery
+from repro.broker.cursor import (
+    CursorError,
+    decode_cursor,
+    encode_cursor,
+    query_fingerprint,
+)
+
+
+class TestCursorRoundtrip:
+    def test_roundtrip_preserves_payload(self):
+        payload = {"w": 3600, "ts": 4200, "id": 17}
+        cursor = encode_cursor(dict(payload), "fp1")
+        assert decode_cursor(cursor, "fp1") == payload
+
+    def test_cursor_is_opaque_ascii(self):
+        cursor = encode_cursor({"w": 0}, "fp")
+        assert isinstance(cursor, str)
+        assert cursor.isascii()
+        assert "{" not in cursor  # not plain JSON
+
+    def test_roundtrip_without_fingerprint_check(self):
+        cursor = encode_cursor({"pub": 12.5, "id": 3}, "whatever")
+        assert decode_cursor(cursor)["pub"] == 12.5
+
+
+class TestCursorValidation:
+    def test_tampered_cursor_rejected(self):
+        cursor = encode_cursor({"w": 100}, "fp")
+        tampered = cursor[:-2] + ("AA" if not cursor.endswith("AA") else "BB")
+        with pytest.raises(CursorError):
+            decode_cursor(tampered, "fp")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CursorError):
+            decode_cursor("not-a-cursor!!", None)
+        with pytest.raises(CursorError):
+            decode_cursor("", None)
+
+    def test_wrong_fingerprint_rejected(self):
+        cursor = encode_cursor({"w": 100}, "fp-a")
+        with pytest.raises(CursorError):
+            decode_cursor(cursor, "fp-b")
+
+    def test_cursor_error_is_value_error(self):
+        assert issubclass(CursorError, ValueError)
+
+
+class TestQueryFingerprint:
+    def test_same_query_same_fingerprint(self):
+        a = BrokerQuery(projects=("ris",), interval_start=0, interval_end=100)
+        b = BrokerQuery(projects=("ris",), interval_start=0, interval_end=100)
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_parameter_change_changes_fingerprint(self):
+        base = BrokerQuery(projects=("ris",), interval_start=0, interval_end=100)
+        for other in [
+            BrokerQuery(projects=("routeviews",), interval_start=0, interval_end=100),
+            BrokerQuery(projects=("ris",), interval_start=1, interval_end=100),
+            BrokerQuery(projects=("ris",), interval_start=0, interval_end=101),
+            BrokerQuery(projects=("ris",), collectors=("rrc0",), interval_start=0, interval_end=100),
+            BrokerQuery(projects=("ris",), dump_types=("ribs",), interval_start=0, interval_end=100),
+        ]:
+            assert query_fingerprint(base) != query_fingerprint(other)
+
+    def test_live_and_bounded_differ(self):
+        live = BrokerQuery(interval_start=0, interval_end=None)
+        bounded = BrokerQuery(interval_start=0, interval_end=3600)
+        assert query_fingerprint(live) != query_fingerprint(bounded)

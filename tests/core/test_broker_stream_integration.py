@@ -1,0 +1,147 @@
+"""Integration tests: paginated broker interface, BGPStream(broker=...),
+segment-cached replay, and the bgpreader cache/cursor flags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.broker import Broker
+from repro.broker.segments import SegmentCache
+from repro.core.interfaces import BrokerDataInterface
+from repro.core.reader import build_parser, run
+from repro.core.stream import BGPStream
+
+
+def _signature(stream):
+    return [
+        (r.time, r.project, r.collector, r.dump_type, r.status, r.dump_position)
+        for r in stream.records()
+    ]
+
+
+class TestPaginatedInterface:
+    def test_paginated_batches_match_unpaginated(self, core_archive, core_scenario):
+        plain = BGPStream(data_interface=BrokerDataInterface(Broker(archives=[core_archive])))
+        plain.add_interval_filter(core_scenario.start, core_scenario.end)
+        paged = BGPStream(
+            data_interface=BrokerDataInterface(Broker(archives=[core_archive]), page_size=2)
+        )
+        paged.add_interval_filter(core_scenario.start, core_scenario.end)
+        assert _signature(paged) == _signature(plain)
+
+    def test_last_cursor_resumes_the_pull(self, core_archive, core_scenario):
+        # A short window span forces several windows so there is a
+        # mid-stream cursor to resume from.
+        interface = BrokerDataInterface(
+            Broker(archives=[core_archive], window_span=1800), page_size=2
+        )
+        stream = BGPStream(data_interface=interface)
+        stream.add_interval_filter(core_scenario.start, core_scenario.end)
+        batches = interface.batches(stream.filters)
+        first = next(batches)
+        batches.close()
+        assert interface.last_cursor is not None
+
+        resumed_iface = BrokerDataInterface(
+            Broker(archives=[core_archive], window_span=1800),
+            page_size=2,
+            cursor=interface.last_cursor,
+        )
+        resumed = BGPStream(data_interface=resumed_iface)
+        resumed.add_interval_filter(core_scenario.start, core_scenario.end)
+        rest_paths = {s.path for b in resumed_iface.batches(resumed.filters) for s in b}
+        assert not {s.path for s in first} & rest_paths
+
+
+class TestBrokerShortcut:
+    def test_broker_kwarg_defaults_to_parallel(self, core_archive):
+        stream = BGPStream(broker=Broker(archives=[core_archive]))
+        assert stream._parallel is not None
+
+    def test_parallel_false_forces_sequential(self, core_archive):
+        stream = BGPStream(broker=Broker(archives=[core_archive]), parallel=False)
+        assert stream._parallel is None
+
+    def test_broker_kwarg_excludes_other_interfaces(self, core_archive):
+        with pytest.raises(ValueError):
+            BGPStream(broker=Broker(archives=[core_archive]), data_interface="csvfile")
+
+    def test_broker_replay_matches_sequential_reference(self, core_archive, core_scenario):
+        reference = BGPStream(
+            data_interface=BrokerDataInterface(Broker(archives=[core_archive]))
+        )
+        reference.add_interval_filter(core_scenario.start, core_scenario.end)
+        fast = BGPStream(broker=Broker(archives=[core_archive]))
+        fast.add_interval_filter(core_scenario.start, core_scenario.end)
+        flat = [
+            (r.time, r.project, r.collector, r.dump_type, r.status, r.dump_position)
+            for batch in fast.records_batched()
+            for r in batch
+        ]
+        assert flat == _signature(reference)
+
+
+class TestSegmentCachedStream:
+    def test_warm_replay_identical(self, tmp_path, core_archive, core_scenario):
+        cache = SegmentCache(str(tmp_path / "segments"))
+
+        def replay():
+            stream = BGPStream(
+                broker=Broker(archives=[core_archive]),
+                segment_cache=cache,
+                parallel=False,
+            )
+            stream.add_interval_filter(core_scenario.start, core_scenario.end)
+            return _signature(stream)
+
+        cold = replay()
+        stores = cache.stats()["stores"]
+        assert stores > 0
+        warm = replay()
+        assert warm == cold
+        assert cache.stats()["hits"] >= stores
+
+
+class TestReaderFlags:
+    def test_broker_cache_flag_warms_across_invocations(self, tmp_path, core_archive):
+        import io
+
+        parser = build_parser()
+        # No --limit: a truncated read abandons iteration mid-file and the
+        # cache (correctly) stores nothing from incomplete reads.
+        argv = [
+            "--archive", core_archive.root,
+            "--broker-cache", str(tmp_path / "segcache"),
+        ]
+        out1, out2 = io.StringIO(), io.StringIO()
+        assert run(parser.parse_args(argv), out1) == 0
+        assert run(parser.parse_args(argv), out2) == 0
+        assert out1.getvalue() == out2.getvalue()
+        cache = SegmentCache(str(tmp_path / "segcache"))
+        assert cache.stats()["segments"] > 0
+
+    def test_cache_size_requires_cache_dir(self):
+        parser = build_parser()
+        args = parser.parse_args(["--archive", "/tmp/x", "--broker-cache-size", "1024"])
+        with pytest.raises(SystemExit):
+            run(args, __import__("io").StringIO())
+
+    def test_page_size_requires_archive(self, tmp_path):
+        parser = build_parser()
+        single = str(tmp_path / "f.mrt")
+        open(single, "wb").close()
+        args = parser.parse_args(["--single-file", single, "--page-size", "2"])
+        with pytest.raises(SystemExit):
+            run(args, __import__("io").StringIO())
+
+    def test_paginated_archive_read_matches_plain(self, core_archive):
+        import io
+
+        parser = build_parser()
+        plain_out, paged_out = io.StringIO(), io.StringIO()
+        run(parser.parse_args(["--archive", core_archive.root]), plain_out)
+        run(
+            parser.parse_args(["--archive", core_archive.root, "--page-size", "2"]),
+            paged_out,
+        )
+        assert paged_out.getvalue() == plain_out.getvalue()

@@ -1,0 +1,75 @@
+"""Docstring-coverage gate, mirroring ruff's D100/D101/D104 selection.
+
+CI enforces the gate with ruff (``pyproject.toml`` selects D100, D101 and
+D104 for ``src/``); this script applies the same three rules with only the
+stdlib so the gate can run anywhere ruff is not installed:
+
+* D100 — missing docstring in public module
+* D101 — missing docstring in public class
+* D104 — missing docstring in public package (``__init__.py``)
+
+Usage::
+
+    python tools/check_docstrings.py [ROOT ...]
+
+Defaults to ``src`` next to the repository root.  Exits non-zero listing
+every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+
+def iter_python_files(root: str) -> Iterator[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if not d.startswith((".", "__pycache__")))
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path: str) -> List[Tuple[str, int, str]]:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    violations: List[Tuple[str, int, str]] = []
+    is_package = os.path.basename(path) == "__init__.py"
+    if ast.get_docstring(tree) is None:
+        code = "D104" if is_package else "D100"
+        kind = "package" if is_package else "module"
+        violations.append((code, 1, f"missing docstring in public {kind}"))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if ast.get_docstring(node) is None:
+            violations.append(
+                ("D101", node.lineno, f"missing docstring in public class `{node.name}`")
+            )
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    roots = argv or [os.path.join(repo_root, "src")]
+    failed = 0
+    for root in roots:
+        for path in iter_python_files(root):
+            for code, lineno, message in check_file(path):
+                rel = os.path.relpath(path, repo_root)
+                print(f"{rel}:{lineno}: {code} {message}")
+                failed += 1
+    if failed:
+        print(f"\n{failed} docstring violation(s)", file=sys.stderr)
+        return 1
+    print("docstring coverage OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

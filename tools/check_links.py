@@ -1,0 +1,109 @@
+"""Markdown link checker for the repository docs.
+
+Validates every markdown link and image reference in the given files
+(default: ``README.md`` and ``docs/*.md``):
+
+* **Relative links** must point at an existing file or directory
+  (resolved against the linking file's location).
+* **Anchor links** (``file.md#section`` or bare ``#section``) must match a
+  heading in the target document, using GitHub's slug rules (lowercase,
+  punctuation stripped, spaces to dashes).
+* **External links** (``http(s)://``) are syntax-checked only — CI must
+  not depend on third-party uptime.
+
+Usage::
+
+    python tools/check_links.py [FILE ...]
+
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+from typing import List, Set, Tuple
+
+#: Inline links/images: [text](target) / ![alt](target).  Reference-style
+#: definitions: [label]: target.
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, drop punctuation,
+    spaces become dashes."""
+    text = re.sub(r"[`*_]|\[|\]|\(.*?\)", "", heading)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: str) -> Set[str]:
+    with open(path, encoding="utf-8") as handle:
+        source = _CODE_FENCE.sub("", handle.read())
+    return {_slugify(m.group(1)) for m in _HEADING.finditer(source)}
+
+
+def _targets(path: str) -> List[str]:
+    with open(path, encoding="utf-8") as handle:
+        source = _CODE_FENCE.sub("", handle.read())
+    found = [m.group(1) for m in _INLINE_LINK.finditer(source)]
+    found += [m.group(1) for m in _REFERENCE_DEF.finditer(source)]
+    return found
+
+
+def check_file(path: str, repo_root: str) -> List[Tuple[str, str]]:
+    """All broken links of one markdown file as (target, reason) pairs."""
+    broken: List[Tuple[str, str]] = []
+    base = os.path.dirname(os.path.abspath(path))
+    for target in _targets(path):
+        if target.startswith(("http://", "https://")):
+            if " " in target or target in ("http://", "https://"):
+                broken.append((target, "malformed external URL"))
+            continue
+        if target.startswith("mailto:"):
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = os.path.abspath(path) if not file_part else os.path.normpath(
+            os.path.join(base, file_part)
+        )
+        if not os.path.exists(resolved):
+            broken.append((target, f"missing file {os.path.relpath(resolved, repo_root)}"))
+            continue
+        if anchor:
+            if not resolved.endswith(".md"):
+                continue
+            if anchor not in _anchors(resolved):
+                broken.append((target, f"no heading for #{anchor}"))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = argv or [
+        os.path.join(repo_root, "README.md"),
+        *sorted(glob.glob(os.path.join(repo_root, "docs", "*.md"))),
+    ]
+    failed = 0
+    for path in files:
+        if not os.path.exists(path):
+            print(f"{path}: file not found", file=sys.stderr)
+            failed += 1
+            continue
+        for target, reason in check_file(path, repo_root):
+            print(f"{os.path.relpath(path, repo_root)}: broken link {target!r} ({reason})")
+            failed += 1
+    if failed:
+        print(f"\n{failed} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"links OK across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
