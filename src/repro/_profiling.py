@@ -38,6 +38,7 @@ class DecodeStats:
         "intern_misses",
         "segment_hits",
         "segment_misses",
+        "segment_corrupt",
     )
 
     def __init__(self) -> None:
@@ -78,6 +79,7 @@ class DecodeStats:
             f"intern misses:            {self.intern_misses}",
             f"segment cache hits:       {self.segment_hits}",
             f"segment cache misses:     {self.segment_misses}",
+            f"segment files corrupt:    {self.segment_corrupt}",
         ]
         return lines
 

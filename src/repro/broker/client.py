@@ -15,12 +15,18 @@ classic well-behaved-crawler discipline:
 * **retry with exponential backoff** — a transport that raises
   :class:`BrokerRequestError` is retried up to ``max_retries`` times with
   ``backoff_base * 2**attempt`` second waits (capped at ``backoff_cap``),
-  then the error propagates.
+  then the error propagates.  The schedule is the shared
+  :class:`~repro.core.resilience.RetryPolicy` — the one backoff
+  implementation in the tree — and an optional
+  :class:`~repro.core.resilience.CircuitBreaker` can sit between the retry
+  loop and the transport so a hard broker outage fails fast instead of
+  burning the whole backoff budget per request.
 
 The transport is injectable: :class:`LocalBrokerTransport` calls a
 :class:`~repro.broker.broker.Broker` in-process (the default); a real
 deployment would drop in an HTTP transport with the same two methods, and
-tests wrap transports with fault injectors.
+tests wrap transports with fault injectors
+(:func:`repro.core.resilience.inject_faults`).
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.broker.broker import (
     BrokerResponse,
 )
 from repro.broker.db import DumpFileRecord
+from repro.core.resilience import CircuitBreaker, RetryPolicy
 from repro.utils.timeutil import Clock, SystemClock
 
 
@@ -86,6 +93,8 @@ class BrokerClient:
         max_retries: int = 4,
         backoff_base: float = 0.5,
         backoff_cap: float = 30.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        circuit_breaker: Optional[CircuitBreaker] = None,
         clock: Optional[Clock] = None,
     ) -> None:
         if (broker is None) == (transport is None):
@@ -97,9 +106,13 @@ class BrokerClient:
         self.transport = transport if transport is not None else LocalBrokerTransport(broker)
         self.page_size = page_size
         self.min_request_interval = min_request_interval
-        self.max_retries = max_retries
-        self.backoff_base = backoff_base
-        self.backoff_cap = backoff_cap
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_retries=max_retries, base=backoff_base, cap=backoff_cap
+        )
+        self.max_retries = self.retry_policy.max_retries
+        self.backoff_base = self.retry_policy.base
+        self.backoff_cap = self.retry_policy.cap
+        self.circuit_breaker = circuit_breaker
         self.clock = clock or SystemClock()
         self._last_request: Optional[float] = None
         #: Introspection counters (tests assert throttling/retry behaviour).
@@ -162,21 +175,24 @@ class BrokerClient:
     # -- transport discipline ------------------------------------------------
 
     def _send(self, method: str, query: BrokerQuery, **kwargs) -> BrokerResponse:
-        attempt = 0
-        while True:
+        def one_attempt() -> BrokerResponse:
             self._throttle()
             self.requests_sent += 1
             self._last_request = self.clock.now()
-            try:
-                return getattr(self.transport, method)(query, **kwargs)
-            except BrokerRequestError:
-                if attempt >= self.max_retries:
-                    raise
-                delay = min(self.backoff_base * (2**attempt), self.backoff_cap)
-                self.retries += 1
-                attempt += 1
-                if delay > 0:
-                    self.clock.sleep(delay)
+            call = getattr(self.transport, method)
+            if self.circuit_breaker is not None:
+                return self.circuit_breaker.call(lambda: call(query, **kwargs))
+            return call(query, **kwargs)
+
+        def count_retry(_attempt: int, _exc: BaseException, _delay: float) -> None:
+            self.retries += 1
+
+        return self.retry_policy.run(
+            one_attempt,
+            clock=self.clock,
+            retry_on=(BrokerRequestError,),
+            on_retry=count_retry,
+        )
 
     def _throttle(self) -> None:
         if self.min_request_interval <= 0 or self._last_request is None:

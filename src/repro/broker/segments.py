@@ -30,8 +30,11 @@ Design points:
   tracks byte sizes and a monotonic use counter; storing beyond
   ``max_bytes`` evicts the least-recently-used segments.  Segment files are
   written atomically (temp file + rename) and a segment that fails to load
-  (torn write, foreign bytes) is deleted and treated as a miss — the wire
-  decode path is always there as the fallback.
+  (torn write, foreign bytes) is **quarantined** — renamed to
+  ``<segment>.corrupt`` (mirroring the broker-db recovery discipline),
+  counted, dropped from the manifest and treated as a miss — the wire
+  decode path is always there as the fallback, and the preserved bytes are
+  there for a post-mortem.
 * **Observable.**  Hit/miss/store/eviction counters are kept per cache and
   folded into the ``--decode-stats`` profiling counters
   (:mod:`repro._profiling`), so a warm replay visibly reports where its
@@ -99,6 +102,7 @@ class SegmentCache:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.corrupt = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -171,8 +175,10 @@ class SegmentCache:
             records = _rebuild_records(payload, spec)
         except Exception:
             # Torn write, foreign bytes, or a layout from another version:
-            # drop the segment and fall back to the decode path.
-            self._forget(key, filename)
+            # quarantine the segment (preserve the bytes as `.corrupt` for a
+            # post-mortem, like the broker-db recovery discipline), count it,
+            # and fall back to the decode path.
+            self._quarantine(key, filename)
             return self._miss()
         self._touch(key)
         self.hits += 1
@@ -259,6 +265,7 @@ class SegmentCache:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
         }
 
     # -- internals ---------------------------------------------------------
@@ -286,6 +293,20 @@ class SegmentCache:
             os.remove(filename)
         except OSError:
             pass
+
+    def _quarantine(self, key: str, filename: str) -> None:
+        """Preserve an unreadable segment as ``.corrupt`` and drop its row."""
+        with self._lock:
+            self._conn.execute("DELETE FROM segments WHERE key = ?", (key,))
+            self._conn.commit()
+        try:
+            os.replace(filename, filename + ".corrupt")
+        except OSError:
+            pass
+        self.corrupt += 1
+        counters = profiling.counters
+        if counters is not None:
+            counters.segment_corrupt += 1
 
     def _next_seq_locked(self) -> int:
         row = self._conn.execute("SELECT COALESCE(MAX(use_seq), 0) FROM segments").fetchone()

@@ -279,6 +279,17 @@ class LiveDataInterface(DataInterface):
     live mode.  Without one it polls forever (or until
     ``max_empty_polls`` consecutive empty polls, which simulations set so
     runs terminate).
+
+    Resilience: a ``retry_policy``
+    (:class:`~repro.core.resilience.RetryPolicy`) retries polls that raise
+    transient errors (:class:`~repro.core.resilience.TransientError` or
+    :class:`ConnectionError`) with backoff on the injected clock, and an
+    optional ``circuit_breaker`` fails polls fast during a hard feed
+    outage.  Retries happen *between* polls, and a poll commits its
+    consumer offsets only on success — so a failed poll delivers nothing
+    and re-delivers nothing: the retry path can never duplicate or lose a
+    message.  A non-transient error (or retry exhaustion) propagates to
+    the stream owner — in the gateway that is the hub's supervisor.
     """
 
     #: Marks interfaces whose batches are records, not dump-file specs.
@@ -299,6 +310,8 @@ class LiveDataInterface(DataInterface):
         track_state: Optional[bool] = None,
         converter: Optional["BMPRecordConverter"] = None,
         eager: Optional[bool] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+        circuit_breaker: Optional["CircuitBreaker"] = None,
     ) -> None:
         # Imported lazily: repro.bmp depends on repro.core and this module
         # is part of the repro.core package init.
@@ -337,6 +350,10 @@ class LiveDataInterface(DataInterface):
         #: Cap on Kafka messages per poll (bounded batches for bin-oriented
         #: consumers; None = drain everything available).
         self.max_poll_messages = max_poll_messages
+        self.retry_policy = retry_policy
+        self.circuit_breaker = circuit_breaker
+        #: Polls that had to be retried (transient feed failures absorbed).
+        self.poll_retries = 0
 
     def batches(self, filters: FilterSet) -> Iterator[List[DumpFileSpec]]:
         raise RuntimeError(
@@ -354,7 +371,7 @@ class LiveDataInterface(DataInterface):
         empty_polls = 0
         while True:
             if window_aware:
-                pairs = self.source.poll(self.max_poll_messages, until_ts=until_ts)
+                pairs = self._poll(until_ts=until_ts)
                 # One held-back partition does not mean the whole feed
                 # passed the boundary: other partitions may still hold
                 # in-window messages (a bounded fetch surfaces them over
@@ -363,7 +380,7 @@ class LiveDataInterface(DataInterface):
                 window_closed = bool(getattr(self.source, "window_drained", False))
                 held_back = bool(getattr(self.source, "window_exceeded", False))
             else:
-                pairs = self.source.poll(self.max_poll_messages)
+                pairs = self._poll()
                 window_closed = False
                 held_back = False
             if not pairs:
@@ -404,6 +421,37 @@ class LiveDataInterface(DataInterface):
                 yield batch
             if window_closed:
                 return
+
+    def _poll(self, until_ts: Optional[int] = None):
+        """One source poll, run through the breaker and retry policy.
+
+        Offsets commit inside a *successful* poll only, so a retried poll
+        neither loses nor re-delivers messages — at-most-once per attempt,
+        exactly-once across the retry loop.
+        """
+        if until_ts is not None:
+
+            def call():
+                return self.source.poll(self.max_poll_messages, until_ts=until_ts)
+        else:
+
+            def call():
+                return self.source.poll(self.max_poll_messages)
+
+        guarded = call
+        if self.circuit_breaker is not None:
+            breaker = self.circuit_breaker
+
+            def guarded():
+                return breaker.call(call)
+
+        if self.retry_policy is None:
+            return guarded()
+
+        def count_retry(_attempt: int, _exc: BaseException, _delay: float) -> None:
+            self.poll_retries += 1
+
+        return self.retry_policy.run(guarded, clock=self.clock, on_retry=count_retry)
 
     def _source_accepts_until_ts(self) -> bool:
         try:

@@ -1,0 +1,556 @@
+"""The shared resilience toolkit: retries, breakers, supervision, faults.
+
+A continuous live monitor cannot afford the failure modes of a batch job:
+one transient Kafka hiccup must not kill a bridge thread, a flapping broker
+must not be hammered in a tight loop, and a crash must surface as an
+explicit, bounded event — never as a silent clean-looking end-of-stream.
+This module is the one place those disciplines live; every tier (broker
+client, Kafka poll path, gateway hub) builds on the same four primitives
+instead of hand-rolling its own:
+
+* :class:`RetryPolicy` — capped exponential backoff with optional seeded
+  jitter.  Pure configuration plus a ``run()`` driver that sleeps on an
+  injected :class:`~repro.utils.timeutil.Clock`, so tests replay the exact
+  schedule on a :class:`~repro.utils.timeutil.SimulatedClock` at full speed.
+* :class:`CircuitBreaker` — classic closed → open → half-open breaker.
+  After ``failure_threshold`` consecutive failures the circuit opens and
+  calls fail fast with :class:`CircuitOpenError` (no load on a struggling
+  dependency); after ``reset_timeout`` a limited number of half-open probes
+  decide whether to close it again.
+* :class:`Deadline` — an absolute time budget.  ``RetryPolicy.run`` accepts
+  one so a retried operation gives up when the budget is spent rather than
+  after a fixed attempt count.
+* :class:`Supervisor` — a restart loop for crash-prone long-running
+  callables (the gateway bridge thread): restart budget, backoff between
+  restarts, crash counters, and an ``on_crash`` hook where the owner
+  rebuilds whatever state the crash invalidated.
+
+The second half is the **fault-injection harness** the resilience tests and
+the chaos equivalence suite drive: a :class:`FaultPlan` scripts failures by
+call index (deterministically — no randomness, no wall clock) and
+:func:`inject_faults` wraps any object so the scripted faults fire before
+its named methods run.  The same plan object injects transient Kafka poll
+errors, broker transport failures, and permanent outages.
+
+Everything here is deterministic and fake-clock-friendly: no module-level
+wall-clock reads, no hidden threads, jitter only from a seeded PRNG.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type, Union
+
+from repro.utils.timeutil import Clock, SystemClock
+
+__all__ = [
+    "TransientError",
+    "InjectedFault",
+    "RetryPolicy",
+    "CircuitOpenError",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "Deadline",
+    "Supervisor",
+    "FaultPlan",
+    "FaultInjector",
+    "inject_faults",
+]
+
+
+class TransientError(Exception):
+    """A failure worth retrying: timeouts, connection resets, 5xx-alikes.
+
+    Retry sites default their ``retry_on`` to this class (plus
+    :class:`ConnectionError`), so a fault injector raising
+    :class:`InjectedFault` exercises exactly the production retry path.
+    """
+
+
+class InjectedFault(TransientError):
+    """The scripted failure a :class:`FaultPlan` raises by default."""
+
+
+class DeadlineExceeded(Exception):
+    """An operation ran out of its :class:`Deadline` budget."""
+
+
+class Deadline:
+    """An absolute time budget measured on an injected clock.
+
+    ``Deadline(5.0, clock=clock)`` expires five clock-seconds after
+    construction; :meth:`check` raises :class:`DeadlineExceeded` once it
+    has.  Pass one to :meth:`RetryPolicy.run` to bound a whole retried
+    operation rather than each attempt.
+    """
+
+    __slots__ = ("clock", "expires_at")
+
+    def __init__(self, seconds: float, clock: Optional[Clock] = None) -> None:
+        if seconds < 0:
+            raise ValueError("a deadline cannot lie in the past")
+        self.clock = clock or SystemClock()
+        self.expires_at = self.clock.now() + seconds
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (never negative)."""
+        return max(0.0, self.expires_at - self.clock.now())
+
+    @property
+    def expired(self) -> bool:
+        return self.clock.now() >= self.expires_at
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded(f"{what} exceeded its deadline")
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class RetryPolicy:
+    """Capped exponential backoff with optional seeded jitter.
+
+    The schedule is ``min(base * 2**attempt, cap)`` seconds before retry
+    ``attempt + 1`` (attempt counting from 0), optionally scaled by a
+    jitter factor drawn from a **seeded** PRNG — two policies built with
+    the same seed produce the same schedule, so tests assert exact timing
+    on a simulated clock.
+
+    The policy itself never sleeps; :meth:`run` drives the loop and sleeps
+    on the clock the call site injects.  This is the one backoff
+    implementation in the tree: :class:`~repro.broker.client.BrokerClient`,
+    the live Kafka poll path and the gateway supervisor all delegate here.
+    """
+
+    __slots__ = ("max_retries", "base", "cap", "jitter", "_rng")
+
+    def __init__(
+        self,
+        max_retries: int = 4,
+        base: float = 0.5,
+        cap: float = 30.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if base < 0 or cap < 0:
+            raise ValueError("base and cap must be >= 0")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must lie in [0, 1)")
+        self.max_retries = max_retries
+        self.base = base
+        self.cap = cap
+        self.jitter = jitter
+        self._rng = random.Random(seed) if jitter else None
+
+    def delay(self, attempt: int) -> float:
+        """The wait before retry ``attempt + 1`` (attempt counts from 0)."""
+        delay = min(self.base * (2**attempt), self.cap)
+        if self._rng is not None:
+            delay *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return delay
+
+    def delays(self) -> List[float]:
+        """The full backoff schedule (one entry per permitted retry)."""
+        return [self.delay(attempt) for attempt in range(self.max_retries)]
+
+    def run(
+        self,
+        fn: Callable,
+        *,
+        clock: Optional[Clock] = None,
+        retry_on: Tuple[Type[BaseException], ...] = (TransientError, ConnectionError),
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+        deadline: Optional[Deadline] = None,
+    ):
+        """Call ``fn`` until it succeeds, the budget or deadline runs out.
+
+        Only ``retry_on`` exceptions are retried; anything else propagates
+        immediately.  ``on_retry(attempt, exc, delay)`` fires before each
+        backoff sleep (call sites hang their counters on it).  With a
+        ``deadline``, the last error propagates as soon as the budget is
+        spent, even if attempts remain.
+        """
+        clock = clock or SystemClock()
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except retry_on as exc:
+                if attempt >= self.max_retries:
+                    raise
+                if deadline is not None and deadline.expired:
+                    raise
+                delay = self.delay(attempt)
+                attempt += 1
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                if delay > 0:
+                    clock.sleep(delay)
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_retries={self.max_retries}, base={self.base}, "
+            f"cap={self.cap}, jitter={self.jitter})"
+        )
+
+
+class CircuitOpenError(Exception):
+    """Raised instead of calling through while the circuit is open."""
+
+
+class CircuitBreaker:
+    """A closed → open → half-open circuit breaker.
+
+    ``failure_threshold`` *consecutive* failures open the circuit: calls
+    then fail fast with :class:`CircuitOpenError` for ``reset_timeout``
+    clock-seconds, after which up to ``half_open_probes`` trial calls are
+    let through — one success closes the circuit, one failure re-opens it
+    for another timeout.  Thread-safe; time comes from the injected clock.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Optional[Clock] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if failure_threshold <= 0:
+            raise ValueError("failure_threshold must be positive")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        if half_open_probes <= 0:
+            raise ValueError("half_open_probes must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_probes = half_open_probes
+        self.clock = clock or SystemClock()
+        self.name = name
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        #: Lifetime counters (tests and /stats read these).
+        self.successes = 0
+        self.failures = 0
+        self.rejections = 0
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        """The current state, with the open → half-open transition applied."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._state == self.OPEN and (
+            self.clock.now() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = self.HALF_OPEN
+            self._probes_in_flight = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (claims a half-open probe)."""
+        with self._lock:
+            state = self._state_locked()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            if self._state != self.CLOSED:
+                self._state = self.CLOSED
+                self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            self._consecutive_failures += 1
+            state = self._state_locked()
+            if state == self.HALF_OPEN or (
+                state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._open_locked()
+
+    def _open_locked(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self.clock.now()
+        self._probes_in_flight = 0
+        self.opens += 1
+
+    def call(self, fn: Callable):
+        """Run ``fn`` through the breaker: fail fast while open, record the
+        outcome otherwise.  The wrapped call's exceptions propagate."""
+        if not self.allow():
+            with self._lock:
+                self.rejections += 1
+            label = f" {self.name!r}" if self.name else ""
+            raise CircuitOpenError(f"circuit{label} is open")
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def stats(self) -> Dict[str, Union[str, int]]:
+        """State plus the lifetime counters, for /stats-style surfaces."""
+        return {
+            "state": self.state,
+            "successes": self.successes,
+            "failures": self.failures,
+            "rejections": self.rejections,
+            "opens": self.opens,
+        }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker(state={self.state!r}, opens={self.opens})"
+
+
+class Supervisor:
+    """Restart a crash-prone callable with a bounded budget and backoff.
+
+    ``run`` is invoked until it returns cleanly.  When it raises, the crash
+    is recorded and — budget permitting — ``on_crash(exc, crash_count)``
+    runs first (the owner rebuilds whatever the crash invalidated; return
+    ``False`` to veto the restart), then the supervisor sleeps the
+    backoff's next delay on the injected clock and re-invokes ``run``.
+    Once the budget is spent (or the veto fired) the supervisor *gives up
+    cleanly*: ``gave_up`` is set, ``last_error`` holds the exception,
+    ``on_give_up`` fires, and :meth:`supervise` re-raises so inline callers
+    see the failure (the threaded form records it instead).
+
+    The supervisor is single-use: one :meth:`supervise` / :meth:`start`
+    per instance.
+    """
+
+    def __init__(
+        self,
+        run: Callable[[], None],
+        *,
+        max_restarts: int = 3,
+        backoff: Optional[RetryPolicy] = None,
+        clock: Optional[Clock] = None,
+        on_crash: Optional[Callable[[BaseException, int], Optional[bool]]] = None,
+        on_give_up: Optional[Callable[[BaseException], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        self.run = run
+        self.max_restarts = max_restarts
+        self.backoff = backoff or RetryPolicy(max_retries=max_restarts, base=0.05, cap=2.0)
+        self.clock = clock or SystemClock()
+        self.on_crash = on_crash
+        self.on_give_up = on_give_up
+        self.name = name
+        self._thread: Optional[threading.Thread] = None
+        #: Crash bookkeeping (read by tests and the gateway's /stats).
+        self.crashes = 0
+        self.restarts = 0
+        self.gave_up = False
+        self.finished = False
+        self.last_error: Optional[BaseException] = None
+
+    def supervise(self) -> None:
+        """Run the supervision loop in the calling thread.
+
+        Returns when ``run`` finished cleanly; raises the final exception
+        when the restart budget is exhausted (or a restart was vetoed).
+        """
+        while True:
+            try:
+                self.run()
+            except Exception as exc:  # noqa: BLE001 - the whole point
+                self.crashes += 1
+                self.last_error = exc
+                proceed = self.crashes <= self.max_restarts
+                if proceed and self.on_crash is not None:
+                    proceed = self.on_crash(exc, self.crashes) is not False
+                if not proceed:
+                    self.gave_up = True
+                    if self.on_give_up is not None:
+                        self.on_give_up(exc)
+                    raise
+                delay = self.backoff.delay(self.crashes - 1)
+                self.restarts += 1
+                if delay > 0:
+                    self.clock.sleep(delay)
+            else:
+                self.finished = True
+                return
+
+    def start(self) -> threading.Thread:
+        """Run the supervision loop in a daemon thread.
+
+        The threaded form never lets the final exception escape — it is
+        recorded in ``last_error``/``gave_up`` for the owner to surface.
+        """
+        if self._thread is not None:
+            raise RuntimeError("supervisor already started")
+
+        def guarded() -> None:
+            try:
+                self.supervise()
+            except Exception:  # noqa: BLE001 - recorded in last_error
+                pass
+
+        self._thread = threading.Thread(
+            target=guarded, daemon=True, name=self.name or "supervisor"
+        )
+        self._thread.start()
+        return self._thread
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def snapshot(self) -> Dict[str, Union[int, bool, Optional[str]]]:
+        """Crash counters plus the last error's class name."""
+        error = self.last_error
+        return {
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "gave_up": self.gave_up,
+            "finished": self.finished,
+            "error": type(error).__name__ if error is not None else None,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+#: An exception instance, an exception class, or a factory of either.
+FaultSpec = Union[BaseException, Type[BaseException], Callable[[int], BaseException]]
+
+
+class FaultPlan:
+    """A deterministic script of failures, keyed by call index.
+
+    ``FaultPlan(fail_at=(2, 5))`` makes the 3rd and 6th guarded calls
+    raise; ``fail_from=10`` turns every call from index 10 on into a
+    failure (a permanent outage).  The raised error defaults to
+    :class:`InjectedFault` (a :class:`TransientError`, so production retry
+    paths engage); pass ``error=`` an exception class or instance to
+    script non-transient crashes instead.
+
+    One plan may guard several wrapped objects at once — the call counter
+    is shared, which is exactly what a cross-layer chaos scenario wants
+    ("the 7th broker interaction of this run fails, whoever makes it").
+    Counters: ``calls`` (guarded calls seen), ``injected`` (faults fired).
+    """
+
+    def __init__(
+        self,
+        fail_at: Iterable[int] = (),
+        *,
+        fail_from: Optional[int] = None,
+        error: FaultSpec = InjectedFault,
+    ) -> None:
+        self.fail_at = frozenset(fail_at)
+        if fail_from is not None and fail_from < 0:
+            raise ValueError("fail_from must be >= 0")
+        self.fail_from = fail_from
+        self.error = error
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.injected = 0
+
+    def should_fail(self, index: int) -> bool:
+        if index in self.fail_at:
+            return True
+        return self.fail_from is not None and index >= self.fail_from
+
+    def tick(self, operation: str = "call") -> None:
+        """Count one guarded call; raise if the script says this one fails."""
+        with self._lock:
+            index = self.calls
+            self.calls += 1
+            if not self.should_fail(index):
+                return
+            self.injected += 1
+        raise self._build_error(index, operation)
+
+    def _build_error(self, index: int, operation: str) -> BaseException:
+        error = self.error
+        if isinstance(error, BaseException):
+            return error
+        if isinstance(error, type) and issubclass(error, BaseException):
+            return error(f"injected fault in {operation} (call {index})")
+        return error(index)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(fail_at={sorted(self.fail_at)}, fail_from={self.fail_from}, "
+            f"calls={self.calls}, injected={self.injected})"
+        )
+
+
+class FaultInjector:
+    """A transparent proxy that runs a :class:`FaultPlan` before methods.
+
+    Reads delegate to the wrapped object untouched; calling one of the
+    guarded method names first ticks the plan (which may raise the
+    scripted fault) and only then delegates.  ``functools.wraps``
+    preserves the wrapped method's signature, so introspection-based
+    feature detection (e.g. the live interface probing for ``until_ts``)
+    sees through the wrapper.
+    """
+
+    def __init__(self, inner, plan: FaultPlan, methods: Iterable[str]) -> None:
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "plan", plan)
+        object.__setattr__(self, "_methods", frozenset(methods))
+
+    def __getattr__(self, name: str):
+        attr = getattr(self._inner, name)
+        if name in self._methods and callable(attr):
+            import functools
+
+            @functools.wraps(attr)
+            def guarded(*args, **kwargs):
+                self.plan.tick(name)
+                return attr(*args, **kwargs)
+
+            return guarded
+        return attr
+
+    def __setattr__(self, name: str, value) -> None:
+        setattr(self._inner, name, value)
+
+    def __repr__(self) -> str:
+        return f"FaultInjector({self._inner!r}, plan={self.plan!r})"
+
+
+def inject_faults(inner, plan: FaultPlan, methods: Iterable[str]) -> FaultInjector:
+    """Wrap ``inner`` so ``plan``'s scripted faults fire before ``methods``.
+
+    The three chaos-suite layers are all spelled with this one helper::
+
+        inject_faults(consumer, plan, ["poll"])                 # Kafka consumer
+        inject_faults(source, plan, ["poll"])                   # BMP feed source
+        inject_faults(transport, plan,
+                      ["get_window", "get_new_files_page"])     # broker transport
+    """
+    return FaultInjector(inner, plan, methods)

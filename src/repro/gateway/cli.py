@@ -77,6 +77,23 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--decode-stats", action="store_true",
                         help="enable decode-tier counters (served under /stats; "
                              "printed as #-lines on exit)")
+
+    resilience = parser.add_argument_group("resilience")
+    resilience.add_argument(
+        "--max-restarts", type=int, default=3, metavar="N",
+        help="bridge crashes absorbed by supervised restart before the hub "
+             "gives up and surfaces the error (default: 3)",
+    )
+    resilience.add_argument(
+        "--heartbeat-interval", type=float, default=15.0, metavar="SECONDS",
+        help="send-side silence before a keepalive frame (SSE comment / WS "
+             "ping); 0 disables heartbeats (default: 15)",
+    )
+    resilience.add_argument(
+        "--session-ttl", type=float, default=60.0, metavar="SECONDS",
+        help="how long a disconnected session= subscription is retained for "
+             "reconnect-with-cursor before it is reaped (default: 60)",
+    )
     return parser
 
 
@@ -94,23 +111,39 @@ def build_hub(args: argparse.Namespace) -> StreamHub:
             producer.publish(handle.read())
     except OSError as exc:
         raise SystemExit(f"repro-gateway: error: cannot read --live file: {exc}")
-    interface = LiveDataInterface(
-        broker=broker,
-        topics=[topic],
-        max_empty_polls=args.idle_polls,
-        poll_interval=args.poll_interval,
+
+    def stream_factory() -> BGPStream:
+        # Rebuilt after a bridge crash: the new source joins the same
+        # broker + consumer group, so committed offsets are the resume
+        # point and no message is lost or re-delivered.
+        interface = LiveDataInterface(
+            broker=broker,
+            topics=[topic],
+            max_empty_polls=args.idle_polls,
+            poll_interval=args.poll_interval,
+        )
+        return BGPStream(
+            data_interface=interface,
+            interning=not args.no_intern,
+            eager=True if args.eager_decode else None,
+        )
+
+    return StreamHub(
+        stream_factory=stream_factory,
+        max_restarts=max(args.max_restarts, 0),
     )
-    stream = BGPStream(
-        data_interface=interface,
-        interning=not args.no_intern,
-        eager=True if args.eager_decode else None,
-    )
-    return StreamHub(stream)
 
 
 async def _amain(args: argparse.Namespace, out: IO[str]) -> int:
     hub = build_hub(args)
-    server = await GatewayServer(hub, host=args.host, port=args.port).start()
+    heartbeat = args.heartbeat_interval if args.heartbeat_interval > 0 else None
+    server = await GatewayServer(
+        hub,
+        host=args.host,
+        port=args.port,
+        heartbeat_interval=heartbeat,
+        session_ttl=args.session_ttl,
+    ).start()
     print(f"# repro-gateway serving on {args.host}:{server.port}", file=out, flush=True)
 
     def launch_decode() -> None:

@@ -21,6 +21,21 @@ registering a notifier callback per subscriber
 (:meth:`Subscriber.set_notifier` → ``loop.call_soon_threadsafe``); a
 benchmark or test can equally drive :meth:`StreamHub.run` synchronously and
 pop windows directly.
+
+Resilience: the decode loop runs under a
+:class:`~repro.core.resilience.Supervisor`.  A bridge crash (a poll path
+that exhausted its retries, a decode bug) is never silent: every
+subscriber's next window carries a ``crash_before`` marker, the hub
+rebuilds its stream through ``stream_factory`` and resumes from the
+consumer group's committed offsets — the PR 5 window-holdback machinery
+makes that boundary exact, so a crash can neither lose nor duplicate
+elems (offsets commit inside successful polls only).  When the restart
+budget is spent the hub *gives up cleanly*: subscribers finish with
+``error`` set, so the server sends a distinct error frame instead of a
+flush indistinguishable from end-of-stream.  Subscribers can additionally
+retain delivered-but-unacked windows (``retain_unacked``) — the server's
+reconnect-with-cursor resume tokens are built on :meth:`Subscriber.ack` /
+:meth:`Subscriber.requeue_unacked`.
 """
 
 from __future__ import annotations
@@ -30,7 +45,9 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.elem import BGPElem
 from repro.core.filters import FilterSet
+from repro.core.resilience import RetryPolicy, Supervisor
 from repro.core.stream import BGPStream
+from repro.utils.timeutil import Clock, SystemClock
 
 __all__ = ["GatewayWindow", "Subscriber", "StreamHub"]
 
@@ -43,6 +60,9 @@ DEFAULT_MAX_QUEUED_WINDOWS = 8
 #: Default cap on elems a coalesced window may accumulate before the
 #: oldest elems are dropped (the gap marker records how many).
 DEFAULT_COALESCE_BUDGET = 4096
+
+#: Default bridge restart budget when the hub can rebuild its stream.
+DEFAULT_MAX_RESTARTS = 3
 
 
 def _elem_payload(elem: BGPElem) -> Dict:
@@ -62,7 +82,15 @@ def _elem_payload(elem: BGPElem) -> Dict:
 class GatewayWindow:
     """One closed event-time window of elems for one subscriber."""
 
-    __slots__ = ("start", "end", "elems", "coalesced", "dropped_elems", "gap_before")
+    __slots__ = (
+        "start",
+        "end",
+        "elems",
+        "coalesced",
+        "dropped_elems",
+        "gap_before",
+        "crash_before",
+    )
 
     def __init__(self, start: int, end: int) -> None:
         self.start = start
@@ -75,10 +103,13 @@ class GatewayWindow:
         self.dropped_elems = 0
         #: Whole windows discarded immediately before this one.
         self.gap_before = 0
+        #: Bridge crashes (followed by a supervised restart) that occurred
+        #: before this window was delivered — the explicit crash marker.
+        self.crash_before = 0
 
     @property
     def has_gap(self) -> bool:
-        return self.dropped_elems > 0 or self.gap_before > 0
+        return self.dropped_elems > 0 or self.gap_before > 0 or self.crash_before > 0
 
     def payload(self) -> Dict:
         """The JSON-ready wire form (elems as ``field_dict`` views)."""
@@ -94,6 +125,8 @@ class GatewayWindow:
             body["dropped_elems"] = self.dropped_elems
         if self.gap_before:
             body["gap_before"] = self.gap_before
+        if self.crash_before:
+            body["crash_before"] = self.crash_before
         return body
 
     def __repr__(self) -> str:
@@ -122,6 +155,7 @@ class Subscriber:
         window_size: int = DEFAULT_WINDOW_SIZE,
         max_queued_windows: int = DEFAULT_MAX_QUEUED_WINDOWS,
         coalesce_budget: int = DEFAULT_COALESCE_BUDGET,
+        retain_unacked: bool = False,
         name: Optional[str] = None,
     ) -> None:
         if window_size <= 0:
@@ -133,17 +167,28 @@ class Subscriber:
         self.window_size = int(window_size)
         self.max_queued_windows = max_queued_windows
         self.coalesce_budget = coalesce_budget
+        #: Keep popped windows until :meth:`ack` releases them, so a
+        #: reconnecting client can replay what it never acknowledged.
+        self.retain_unacked = retain_unacked
         self._lock = threading.Lock()
         self._current: Optional[GatewayWindow] = None
         self._ready: List[GatewayWindow] = []
+        self._inflight: List[GatewayWindow] = []
         self._notifier: Optional[Callable[[], None]] = None
+        self._pending_crash = 0
         self.finished = False
+        #: The terminal bridge error, set only when the hub gave up (a
+        #: recovered crash leaves markers, not an error).
+        self.error: Optional[BaseException] = None
+        #: Highest window boundary the client has acknowledged.
+        self.acked_through: Optional[int] = None
         # Counters (read under the lock via snapshot()).
         self.elems_matched = 0
         self.windows_closed = 0
         self.windows_coalesced = 0
         self.windows_dropped = 0
         self.elems_dropped = 0
+        self.crashes = 0
 
     # -- multiplexing (called from connection handlers) --------------------
 
@@ -198,9 +243,11 @@ class Subscriber:
             self._fire()
         return True
 
-    def flush(self, finished: bool = False) -> None:
+    def flush(self, finished: bool = False, error: Optional[BaseException] = None) -> None:
         """Close the open window (end of feed / stop) and optionally mark
-        the subscriber finished so drains terminate."""
+        the subscriber finished so drains terminate.  ``error`` marks a
+        terminal bridge failure — consumers then surface a distinct error
+        frame instead of a clean end-of-stream."""
         notify = False
         with self._lock:
             current = self._current
@@ -209,9 +256,20 @@ class Subscriber:
             self._current = None
             if finished:
                 self.finished = True
+                if error is not None:
+                    self.error = error
                 notify = True
         if notify:
             self._fire()
+
+    def mark_crash(self) -> None:
+        """Record a bridge crash: the next delivered window carries a
+        ``crash_before`` marker.  The open window stays open — elems that
+        arrive after the supervised restart keep filling it, so window
+        spans never overlap and nothing is delivered twice."""
+        with self._lock:
+            self.crashes += 1
+            self._pending_crash += 1
 
     def _open(self, index: int) -> GatewayWindow:
         start = index * self.window_size
@@ -222,6 +280,9 @@ class Subscriber:
         Returns True when the consumer should be notified.  Caller holds
         the lock."""
         self.windows_closed += 1
+        if self._pending_crash:
+            window.crash_before += self._pending_crash
+            self._pending_crash = 0
         ready = self._ready
         ready.append(window)
         while len(ready) > self.max_queued_windows:
@@ -232,6 +293,7 @@ class Subscriber:
                 # elems: drop it wholly, marking the gap on its successor.
                 second.gap_before += oldest.gap_before + oldest.coalesced + 1
                 second.dropped_elems += oldest.dropped_elems + len(oldest.elems)
+                second.crash_before += oldest.crash_before
                 self.windows_dropped += 1
                 self.elems_dropped += len(oldest.elems)
                 del ready[0]
@@ -242,6 +304,7 @@ class Subscriber:
             merged.coalesced = oldest.coalesced + second.coalesced + 1
             merged.dropped_elems = oldest.dropped_elems + second.dropped_elems
             merged.gap_before = oldest.gap_before
+            merged.crash_before = oldest.crash_before + second.crash_before
             self.windows_coalesced += 1
             # ...bounded by the elem budget: past it, the oldest elems go.
             if len(merged.elems) > self.coalesce_budget:
@@ -263,11 +326,62 @@ class Subscriber:
     # -- the consuming side ------------------------------------------------
 
     def pop_window(self) -> Optional[GatewayWindow]:
-        """The oldest ready window, or None."""
+        """The oldest ready window, or None.
+
+        With ``retain_unacked`` the popped window also enters the in-flight
+        buffer, where it stays until :meth:`ack` covers its end boundary
+        (or the buffer overflows — then the oldest unacked window sheds
+        with the same gap accounting as queue backpressure)."""
         with self._lock:
-            if self._ready:
-                return self._ready.pop(0)
-        return None
+            if not self._ready:
+                return None
+            window = self._ready.pop(0)
+            if self.retain_unacked:
+                self._inflight.append(window)
+                self._shed_inflight_locked()
+            return window
+
+    def ack(self, boundary: int) -> int:
+        """Release retained windows ending at or before ``boundary``.
+
+        Returns how many windows the ack released.  ``boundary`` is the
+        ``window_end`` the client last processed — exactly what its resume
+        token names."""
+        with self._lock:
+            before = len(self._inflight)
+            self._inflight = [w for w in self._inflight if w.end > boundary]
+            if self.acked_through is None or boundary > self.acked_through:
+                self.acked_through = boundary
+            return before - len(self._inflight)
+
+    def requeue_unacked(self) -> int:
+        """Put every retained window back at the head of the ready queue.
+
+        A reconnecting client calls this (after acking through its resume
+        token) so windows it received but never acknowledged are delivered
+        again, oldest first, ahead of anything that queued meanwhile.
+        Returns how many windows were requeued."""
+        with self._lock:
+            count = len(self._inflight)
+            if count:
+                self._ready[:0] = self._inflight
+                self._inflight = []
+        if count:
+            self._fire()
+        return count
+
+    def _shed_inflight_locked(self) -> None:
+        # A client that never acks must not pin unbounded memory: past the
+        # queue bound, the oldest unacked window sheds and its successor
+        # (still retained, so a future reconnect sees it) carries the gap.
+        while len(self._inflight) > self.max_queued_windows:
+            oldest = self._inflight.pop(0)
+            successor = self._inflight[0]
+            successor.gap_before += oldest.gap_before + oldest.coalesced + 1
+            successor.dropped_elems += oldest.dropped_elems + len(oldest.elems)
+            successor.crash_before += oldest.crash_before
+            self.windows_dropped += 1
+            self.elems_dropped += len(oldest.elems)
 
     def drain(self) -> List[GatewayWindow]:
         """All ready windows at once (benchmark/test convenience)."""
@@ -280,6 +394,11 @@ class Subscriber:
         with self._lock:
             return len(self._ready)
 
+    @property
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
             return {
@@ -288,17 +407,50 @@ class Subscriber:
                 "windows_coalesced": self.windows_coalesced,
                 "windows_dropped": self.windows_dropped,
                 "elems_dropped": self.elems_dropped,
+                "crashes": self.crashes,
                 "ready": len(self._ready),
+                "inflight": len(self._inflight),
             }
 
 
 class StreamHub:
-    """One decode loop fanning a live BGPStream out to N subscribers."""
+    """One decode loop fanning a live BGPStream out to N subscribers.
 
-    def __init__(self, stream: BGPStream) -> None:
+    With a ``stream_factory`` the decode loop is *supervised*: a bridge
+    crash marks every subscriber (``crash_before``), the stream is rebuilt
+    through the factory — the consumer group's committed offsets are the
+    resume point, so nothing is lost or re-delivered — and the loop
+    restarts, up to ``max_restarts`` times with ``restart_backoff``
+    between attempts.  Without a factory the budget defaults to zero and
+    the first crash is terminal, but still *surfaced*: subscribers finish
+    with ``error`` set and :meth:`stats` reports the exception class.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[BGPStream] = None,
+        *,
+        stream_factory: Optional[Callable[[], BGPStream]] = None,
+        max_restarts: Optional[int] = None,
+        restart_backoff: Optional[RetryPolicy] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if stream is None:
+            if stream_factory is None:
+                raise ValueError("StreamHub needs a stream or a stream_factory")
+            stream = stream_factory()
         if not stream.is_live:
             raise ValueError("StreamHub needs a live BGPStream (BGPStream(live=...))")
         self.stream = stream
+        self._stream_factory = stream_factory
+        if max_restarts is None:
+            max_restarts = DEFAULT_MAX_RESTARTS if stream_factory is not None else 0
+        if max_restarts > 0 and stream_factory is None:
+            raise ValueError("a restart budget needs a stream_factory to rebuild with")
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self.clock = clock or SystemClock()
+        self._supervisor: Optional[Supervisor] = None
         self._lock = threading.Lock()
         self._subscribers: List[Subscriber] = []
         self._stop = threading.Event()
@@ -306,8 +458,10 @@ class StreamHub:
         self.records_seen = 0
         self.elems_seen = 0
         self.elems_delivered = 0
+        self.restarts = 0
         self.started = False
         self.finished = False
+        self.gave_up = False
         self.error: Optional[BaseException] = None
 
     # -- subscriptions ------------------------------------------------------
@@ -319,6 +473,7 @@ class StreamHub:
         window_size: int = DEFAULT_WINDOW_SIZE,
         max_queued_windows: int = DEFAULT_MAX_QUEUED_WINDOWS,
         coalesce_budget: int = DEFAULT_COALESCE_BUDGET,
+        retain_unacked: bool = False,
         name: Optional[str] = None,
     ) -> Subscriber:
         subscriber = Subscriber(
@@ -326,13 +481,17 @@ class StreamHub:
             window_size=window_size,
             max_queued_windows=max_queued_windows,
             coalesce_budget=coalesce_budget,
+            retain_unacked=retain_unacked,
             name=name,
         )
         with self._lock:
             if self.finished:
                 # A late joiner of a finished feed drains nothing but must
-                # still terminate cleanly.
+                # still terminate cleanly (and see the terminal error, if
+                # the feed died rather than ended).
                 subscriber.finished = True
+                if self.gave_up:
+                    subscriber.error = self.error
             self._subscribers.append(subscriber)
         return subscriber
 
@@ -355,37 +514,82 @@ class StreamHub:
 
         Every record decodes once; every elem extracts once; subscribers
         see the shared objects.  Runs in the caller's thread — use
-        :meth:`start` for the background-thread form.
+        :meth:`start` for the background-thread form.  The loop runs under
+        a :class:`~repro.core.resilience.Supervisor`; once the restart
+        budget is spent the terminal exception is re-raised here (the
+        threaded form records it instead — either way subscribers finish
+        with ``error`` set, never with a clean-looking flush).
         """
-        self.started = True
+        supervisor = Supervisor(
+            self._run_once,
+            max_restarts=self.max_restarts,
+            backoff=self.restart_backoff,
+            clock=self.clock,
+            on_crash=self._handle_crash,
+            name="gateway-bridge",
+        )
+        self._supervisor = supervisor
         try:
-            for record in self.stream.records():
-                if self._stop.is_set():
-                    break
-                self.records_seen += 1
-                if not record.is_valid:
-                    continue
-                # Snapshot the roster once per record: joins/leaves observed
-                # at record granularity keep the per-elem loop copy-free.
-                with self._lock:
-                    subscribers = list(self._subscribers)
-                for elem in record.elems():
-                    self.elems_seen += 1
-                    for subscriber in subscribers:
-                        if subscriber.offer(elem):
-                            self.elems_delivered += 1
-        except BaseException as exc:  # pragma: no cover - surfaced to callers
+            supervisor.supervise()
+        except BaseException as exc:
             self.error = exc
+            self.gave_up = True
+            self._finish(exc)
             raise
-        finally:
+        else:
+            self._finish(None)
+
+    def _run_once(self) -> None:
+        """One bridge attempt over the current stream (raises on error)."""
+        self.started = True
+        for record in self.stream.records():
+            if self._stop.is_set():
+                return
+            self.records_seen += 1
+            if not record.is_valid:
+                continue
+            # Snapshot the roster once per record: joins/leaves observed
+            # at record granularity keep the per-elem loop copy-free.
             with self._lock:
-                self.finished = True
                 subscribers = list(self._subscribers)
-            for subscriber in subscribers:
-                subscriber.flush(finished=True)
+            for elem in record.elems():
+                self.elems_seen += 1
+                for subscriber in subscribers:
+                    if subscriber.offer(elem):
+                        self.elems_delivered += 1
+
+    def _handle_crash(self, exc: BaseException, crash_no: int) -> bool:
+        """Supervisor hook: mark every subscriber, rebuild the stream.
+
+        Returning False vetoes the restart (no factory, or the rebuild
+        itself failed) and the supervisor gives up.
+        """
+        self.error = exc
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            subscriber.mark_crash()
+        if self._stream_factory is None or self._stop.is_set():
+            return False
+        try:
+            # The rebuilt stream's source joins the same broker + consumer
+            # group: committed offsets survive the crash, so the new bridge
+            # resumes exactly after the last successfully polled message.
+            self.stream = self._stream_factory()
+        except Exception:
+            return False
+        self.restarts += 1
+        return True
+
+    def _finish(self, error: Optional[BaseException]) -> None:
+        with self._lock:
+            self.finished = True
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            subscriber.flush(finished=True, error=error)
 
     def start(self) -> threading.Thread:
-        """Run the decode loop in a daemon bridge thread."""
+        """Run the (supervised) decode loop in a daemon bridge thread."""
         if self._thread is not None:
             raise RuntimeError("hub already started")
         self._thread = threading.Thread(target=self._guarded_run, daemon=True)
@@ -395,8 +599,8 @@ class StreamHub:
     def _guarded_run(self) -> None:
         try:
             self.run()
-        except BaseException:  # noqa: BLE001 - recorded in self.error
-            pass
+        except BaseException:  # noqa: BLE001 - recorded in self.error and
+            pass  # surfaced through subscriber.error / stats()["error"]
 
     def stop(self, timeout: Optional[float] = 5.0) -> None:
         """Ask the decode loop to stop and join the bridge thread."""
@@ -410,16 +614,27 @@ class StreamHub:
         if thread is not None:
             thread.join(timeout=timeout)
 
+    @property
+    def crashes(self) -> int:
+        """Bridge crashes so far (terminal one included)."""
+        supervisor = self._supervisor
+        return supervisor.crashes if supervisor is not None else 0
+
     def stats(self) -> Dict:
         with self._lock:
             subscribers = list(self._subscribers)
         source = getattr(self.stream._interface, "source", None)
+        error = self.error
         body = {
             "subscribers": len(subscribers),
             "records_seen": self.records_seen,
             "elems_seen": self.elems_seen,
             "elems_delivered": self.elems_delivered,
             "finished": self.finished,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "gave_up": self.gave_up,
+            "error": type(error).__name__ if error is not None else None,
         }
         if source is not None:
             body["frames_decoded"] = getattr(source, "frames_decoded", None)

@@ -21,6 +21,7 @@ __all__ = [
     "http_response",
     "sse_preamble",
     "sse_event",
+    "sse_heartbeat",
     "websocket_accept",
     "websocket_handshake_response",
     "encode_ws_frame",
@@ -120,13 +121,27 @@ def sse_preamble() -> bytes:
     )
 
 
-def sse_event(payload: Dict, event: Optional[str] = None) -> bytes:
-    """One SSE event frame carrying a JSON payload."""
+def sse_event(
+    payload: Dict, event: Optional[str] = None, event_id: Optional[str] = None
+) -> bytes:
+    """One SSE event frame carrying a JSON payload.
+
+    ``event_id`` becomes the frame's ``id:`` line — browsers echo the last
+    one back as ``Last-Event-ID`` on reconnect, which is exactly how the
+    gateway's resume tokens ride the standard SSE reconnect machinery.
+    """
     out = []
     if event:
         out.append(f"event: {event}")
+    if event_id:
+        out.append(f"id: {event_id}")
     out.append(f"data: {dumps(payload)}")
     return ("\n".join(out) + "\n\n").encode("utf-8")
+
+
+def sse_heartbeat() -> bytes:
+    """An SSE comment frame — keeps NATs/proxies open, carries no event."""
+    return b": heartbeat\n\n"
 
 
 # ---------------------------------------------------------------------------

@@ -19,13 +19,31 @@ connection runs a sender coroutine that drains its subscriber's bounded
 window queue.  A slow client blocks only its own ``writer.drain()`` —
 the decode loop never waits, and the subscriber's queue coalesces or
 drops windows (with gap markers) instead of growing without bound.
+
+Reconnect-with-cursor: a client that adds ``session=<id>`` (or a bare
+``session=`` for a server-generated id) gets a durable subscription whose
+windows each carry a **resume token** ``<session>:<window_end>`` (also the
+SSE ``id:`` line).  On disconnect the subscriber is parked, retaining
+every delivered-but-unacked window; reconnecting with
+``resume=<token>`` (or the standard ``Last-Event-ID`` header) acks
+through the token's boundary and replays the rest — across client drops
+*and* supervised hub restarts, the client misses nothing it had not
+already acked.  WebSocket clients ack mid-stream with ``{"action":
+"ack", "window_end": N}`` control frames; SSE clients ack implicitly by
+reconnecting with their last event id.  Parked sessions idle longer than
+``session_ttl`` are reaped; ``heartbeat_interval`` adds keepalive frames
+(SSE comments / WS pings) so dead connections surface promptly.  A
+terminal bridge failure ends every stream with a distinct ``{"type":
+"error", ...}`` frame — never a clean-looking ``end``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional, Tuple
+import time
+import uuid
+from typing import Dict, List, Optional, Tuple
 
 from repro.core import profiling
 from repro.core.filters import _FILTER_NAMES, FilterSet
@@ -47,6 +65,7 @@ from repro.gateway.protocol import (
     http_response,
     parse_http_request,
     sse_event,
+    sse_heartbeat,
     sse_preamble,
     websocket_handshake_response,
 )
@@ -54,6 +73,25 @@ from repro.gateway.protocol import (
 __all__ = ["GatewayServer", "subscription_from_query"]
 
 _MAX_HEAD = 64 * 1024
+
+#: Default seconds a detached session survives before it is reaped.
+DEFAULT_SESSION_TTL = 60.0
+
+
+class ResumeGone(Exception):
+    """A resume token that no longer names a live session (HTTP 410)."""
+
+
+class _Session:
+    """One durable subscription: a parked or attached retained subscriber."""
+
+    __slots__ = ("id", "subscriber", "attached", "detached_at")
+
+    def __init__(self, session_id: str, subscriber: Subscriber) -> None:
+        self.id = session_id
+        self.subscriber = subscriber
+        self.attached = True
+        self.detached_at: Optional[float] = None
 
 
 def subscription_from_query(query) -> Tuple[FilterSet, dict]:
@@ -94,6 +132,9 @@ class GatewayServer:
         host: str = "127.0.0.1",
         port: int = 0,
         socket_buffer: Optional[int] = None,
+        heartbeat_interval: Optional[float] = None,
+        session_ttl: float = DEFAULT_SESSION_TTL,
+        reap_interval: Optional[float] = None,
     ) -> None:
         self.hub = hub
         self.host = host
@@ -103,19 +144,65 @@ class GatewayServer:
         #: window coalescing engages instead of the kernel absorbing the
         #: whole stream; tests use it to exercise that path deterministically.
         self.socket_buffer = socket_buffer
+        #: Seconds of send-side silence before a keepalive frame goes out
+        #: (SSE comment / WS ping).  None disables heartbeats.
+        self.heartbeat_interval = heartbeat_interval
+        #: Seconds a detached session survives before reaping frees its
+        #: subscriber (and everything it retained).
+        self.session_ttl = session_ttl
+        self.reap_interval = (
+            reap_interval if reap_interval is not None else max(session_ttl / 4.0, 0.5)
+        )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._sessions: Dict[str, _Session] = {}
+        self._reaper: Optional[asyncio.Task] = None
         self.connections_served = 0
+        self.sessions_reaped = 0
 
     async def start(self) -> "GatewayServer":
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        self._reaper = asyncio.ensure_future(self._reap_loop())
         return self
 
     async def close(self) -> None:
+        if self._reaper is not None:
+            self._reaper.cancel()
+            self._reaper = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    # -- session registry ----------------------------------------------------
+
+    async def _reap_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.reap_interval)
+            self.reap_idle_sessions()
+
+    def reap_idle_sessions(self, now: Optional[float] = None) -> int:
+        """Drop detached sessions idle past ``session_ttl``; returns count."""
+        now = now if now is not None else time.monotonic()
+        doomed = [
+            session
+            for session in self._sessions.values()
+            if not session.attached
+            and session.detached_at is not None
+            and now - session.detached_at > self.session_ttl
+        ]
+        for session in doomed:
+            self._drop_session(session)
+            self.sessions_reaped += 1
+        return len(doomed)
+
+    def _drop_session(self, session: _Session) -> None:
+        self._sessions.pop(session.id, None)
+        self.hub.unsubscribe(session.subscriber)
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -153,6 +240,13 @@ class GatewayServer:
                 await self._serve_ws(request, reader, writer)
             else:
                 writer.write(http_response("404 Not Found", b'{"error":"not found"}'))
+        except ResumeGone as exc:
+            writer.write(
+                http_response(
+                    "410 Gone",
+                    protocol.dumps({"error": str(exc)}).encode("utf-8"),
+                )
+            )
         except ValueError as exc:
             writer.write(
                 http_response(
@@ -171,6 +265,11 @@ class GatewayServer:
 
     async def _serve_stats(self, writer: asyncio.StreamWriter) -> None:
         stats = self.hub.stats()
+        stats["server"] = {
+            "connections_served": self.connections_served,
+            "sessions": len(self._sessions),
+            "sessions_reaped": self.sessions_reaped,
+        }
         if profiling.counters is not None:
             decode = profiling.snapshot()
             stats["decode"] = {
@@ -180,32 +279,134 @@ class GatewayServer:
             http_response("200 OK", protocol.dumps(stats).encode("utf-8"))
         )
 
-    def _subscribe(self, request) -> Subscriber:
-        filters, knobs = subscription_from_query(request.query)
-        return self.hub.subscribe(filters, **knobs)
+    # -- subscription / session attach --------------------------------------
+
+    def _attach(self, request) -> Tuple[Subscriber, Optional[_Session]]:
+        """Resolve a request into a subscriber: fresh, durable, or resumed.
+
+        ``session=`` opts into a durable (retaining) subscription;
+        ``resume=<session>:<boundary>`` (or ``Last-Event-ID``) re-attaches
+        one, acking through the boundary and replaying the rest.
+        """
+        query: List[Tuple[str, str]] = []
+        session_id: Optional[str] = None
+        resume_token: Optional[str] = None
+        for name, value in request.query:
+            if name == "session":
+                session_id = value or uuid.uuid4().hex[:12]
+            elif name == "resume":
+                resume_token = value
+            else:
+                query.append((name, value))
+        if resume_token is None:
+            last_event_id = request.header("last-event-id")
+            if last_event_id:
+                resume_token = last_event_id
+        if resume_token is not None:
+            sid, _, boundary_text = resume_token.rpartition(":")
+            if not sid:
+                raise ValueError(f"malformed resume token {resume_token!r}")
+            try:
+                boundary = int(boundary_text)
+            except ValueError:
+                raise ValueError(f"malformed resume token {resume_token!r}")
+            session = self._reattach(sid)
+            session.subscriber.ack(boundary)
+            session.subscriber.requeue_unacked()
+            return session.subscriber, session
+        if session_id is not None:
+            if session_id in self._sessions:
+                # Re-attach without an ack: everything unacked replays.
+                session = self._reattach(session_id)
+                session.subscriber.requeue_unacked()
+                return session.subscriber, session
+            filters, knobs = subscription_from_query(query)
+            knobs["retain_unacked"] = True
+            if knobs.get("name") is None:
+                knobs["name"] = session_id
+            subscriber = self.hub.subscribe(filters, **knobs)
+            session = _Session(session_id, subscriber)
+            self._sessions[session_id] = session
+            return subscriber, session
+        filters, knobs = subscription_from_query(query)
+        return self.hub.subscribe(filters, **knobs), None
+
+    def _reattach(self, session_id: str) -> _Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise ResumeGone(f"unknown or expired session {session_id!r}")
+        if session.attached:
+            raise ResumeGone(f"session {session_id!r} is already attached")
+        session.attached = True
+        session.detached_at = None
+        return session
+
+    def _release(self, subscriber: Subscriber, session: Optional[_Session]) -> None:
+        """Connection over: park a session (or drop a finished one), or
+        unsubscribe an ephemeral subscriber."""
+        if session is None:
+            self.hub.unsubscribe(subscriber)
+            return
+        if subscriber.finished and subscriber.ready_count == 0:
+            # The feed is over and the client saw everything — nothing a
+            # reconnect could replay that it hasn't already received.
+            self._drop_session(session)
+            return
+        session.attached = False
+        session.detached_at = time.monotonic()
+
+    def _resume_token(self, session: Optional[_Session], window) -> Optional[str]:
+        if session is None:
+            return None
+        return f"{session.id}:{window.end}"
+
+    def _final_frame(self, subscriber: Subscriber) -> dict:
+        """The distinct stream-end frame: clean ``end`` or terminal error."""
+        error = subscriber.error
+        if error is not None:
+            return {
+                "type": "error",
+                "error": type(error).__name__,
+                "message": str(error),
+                "crashes": self.hub.crashes,
+                "restarts": self.hub.restarts,
+            }
+        body = {"type": "end"}
+        if subscriber.crashes:
+            body["crashes"] = subscriber.crashes
+        return body
 
     async def _serve_sse(self, request, writer: asyncio.StreamWriter) -> None:
-        subscriber = self._subscribe(request)
+        subscriber, session = self._attach(request)
         ready = asyncio.Event()
         loop = asyncio.get_running_loop()
         subscriber.set_notifier(lambda: loop.call_soon_threadsafe(ready.set))
         writer.write(sse_preamble())
         try:
             async for window in self._windows(subscriber, ready):
-                writer.write(sse_event(window.payload(), event="window"))
+                if window is None:
+                    writer.write(sse_heartbeat())
+                    await writer.drain()
+                    continue
+                token = self._resume_token(session, window)
+                body = window.payload()
+                if token is not None:
+                    body["resume"] = token
+                writer.write(sse_event(body, event="window", event_id=token))
                 await writer.drain()
-            writer.write(sse_event({"type": "end"}, event="end"))
+            final = self._final_frame(subscriber)
+            writer.write(sse_event(final, event=final["type"]))
             await writer.drain()
         finally:
-            self.hub.unsubscribe(subscriber)
+            self._release(subscriber, session)
 
     async def _serve_ws(self, request, reader, writer: asyncio.StreamWriter) -> None:
         if request.header("upgrade").lower() != "websocket":
             writer.write(http_response("400 Bad Request", b'{"error":"upgrade required"}'))
             return
+        subscriber, session = self._attach(request)
         writer.write(websocket_handshake_response(request))
         await writer.drain()
-        subscriber = self._subscribe(request)
         ready = asyncio.Event()
         loop = asyncio.get_running_loop()
         subscriber.set_notifier(lambda: loop.call_soon_threadsafe(ready.set))
@@ -215,20 +416,27 @@ class GatewayServer:
         )
         try:
             async for window in self._windows(subscriber, ready, closed):
+                if window is None:
+                    writer.write(encode_ws_frame(b"heartbeat", OP_PING))
+                    await writer.drain()
+                    continue
+                body = window.payload()
+                token = self._resume_token(session, window)
+                if token is not None:
+                    body["resume"] = token
                 writer.write(
-                    encode_ws_frame(
-                        protocol.dumps(window.payload()).encode("utf-8"), OP_TEXT
-                    )
+                    encode_ws_frame(protocol.dumps(body).encode("utf-8"), OP_TEXT)
                 )
                 await writer.drain()
             if not closed.is_set():
+                final = self._final_frame(subscriber)
                 writer.write(
-                    encode_ws_frame(protocol.dumps({"type": "end"}).encode("utf-8"), OP_TEXT)
+                    encode_ws_frame(protocol.dumps(final).encode("utf-8"), OP_TEXT)
                 )
                 writer.write(encode_ws_frame(b"", OP_CLOSE))
                 await writer.drain()
         finally:
-            self.hub.unsubscribe(subscriber)
+            self._release(subscriber, session)
             receiver.cancel()
 
     async def _ws_receiver(self, subscriber, reader, writer, closed) -> None:
@@ -268,6 +476,14 @@ class GatewayServer:
             elif action == "set_interval":
                 end = message.get("end")
                 subscriber.set_interval(int(message["start"]), end)
+            elif action == "ack":
+                released = subscriber.ack(int(message["window_end"]))
+                return {
+                    "type": "ack",
+                    "action": action,
+                    "window_end": int(message["window_end"]),
+                    "released": released,
+                }
             else:
                 raise ValueError(f"unknown action {action!r}")
         except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
@@ -279,11 +495,12 @@ class GatewayServer:
             "value": message.get("value"),
         }
 
-    @staticmethod
-    async def _windows(subscriber, ready, closed: Optional[asyncio.Event] = None):
+    async def _windows(self, subscriber, ready, closed: Optional[asyncio.Event] = None):
         """Yield windows as they close; return when the feed (or client)
         finishes.  Clear-before-check ordering makes the notifier race-free:
-        anything pushed after the pop loop re-sets the event."""
+        anything pushed after the pop loop re-sets the event.  With a
+        ``heartbeat_interval``, a wait that times out yields ``None`` — the
+        caller sends its transport's keepalive frame."""
         while closed is None or not closed.is_set():
             ready.clear()
             while (window := subscriber.pop_window()) is not None:
@@ -293,14 +510,24 @@ class GatewayServer:
             if subscriber.finished and subscriber.ready_count == 0:
                 return
             if closed is None:
-                await ready.wait()
+                if self.heartbeat_interval is None:
+                    await ready.wait()
+                else:
+                    try:
+                        await asyncio.wait_for(ready.wait(), self.heartbeat_interval)
+                    except asyncio.TimeoutError:
+                        yield None
             else:
                 closed_wait = asyncio.ensure_future(closed.wait())
                 ready_wait = asyncio.ensure_future(ready.wait())
                 try:
-                    await asyncio.wait(
-                        [closed_wait, ready_wait], return_when=asyncio.FIRST_COMPLETED
+                    done, _pending = await asyncio.wait(
+                        [closed_wait, ready_wait],
+                        return_when=asyncio.FIRST_COMPLETED,
+                        timeout=self.heartbeat_interval,
                     )
+                    if not done:
+                        yield None
                 finally:
                     closed_wait.cancel()
                     ready_wait.cancel()

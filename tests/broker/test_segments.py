@@ -107,6 +107,27 @@ class TestInvalidation:
         # The bad segment was dropped and re-stored by the recovery read.
         assert cache.stats()["stores"] == 2
 
+    def test_corrupt_segment_is_quarantined_and_counted(self, tmp_path, broker_archive):
+        cache = SegmentCache(str(tmp_path / "cache"))
+        spec = _specs_for(broker_archive)[0]
+        list(DumpFileReader(spec, segment_cache=cache))
+        (filename,) = [f for f in os.listdir(cache.root) if f.endswith(".seg")]
+        with open(os.path.join(cache.root, filename), "wb") as handle:
+            handle.write(b"torn write garbage")
+        counters = profiling.enable()
+        try:
+            list(DumpFileReader(spec, segment_cache=cache))
+            # The torn file is preserved for forensics, not deleted ...
+            assert os.path.exists(os.path.join(cache.root, filename + ".corrupt"))
+            assert not os.path.exists(os.path.join(cache.root, filename + ".corrupt.seg"))
+            # ... its manifest row is gone, and the event is counted.
+            assert cache.corrupt == 1
+            assert cache.stats()["corrupt"] == 1
+            assert counters.segment_corrupt == 1
+            assert "segment files corrupt" in "\n".join(counters.summary_lines())
+        finally:
+            profiling.disable()
+
     def test_missing_source_file_never_stored(self, tmp_path):
         cache = SegmentCache(str(tmp_path / "cache"))
         ghost = DumpFileSpec(str(tmp_path / "missing.mrt.gz"),

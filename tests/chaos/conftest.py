@@ -1,0 +1,8 @@
+"""Make the gateway test helpers (``test_hub`` etc.) importable here."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "gateway"))
