@@ -33,7 +33,17 @@ from typing import Dict, List
 def load_medians(path: str) -> Dict[str, float]:
     with open(path) as handle:
         data = json.load(handle)
-    return {b["fullname"]: b["stats"]["median"] for b in data.get("benchmarks", [])}
+    medians: Dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        # Defensive: a malformed or truncated entry (no fullname, missing
+        # stats) must degrade to "that benchmark has no data here", not
+        # crash the whole gate with a KeyError.
+        name = bench.get("fullname")
+        median = bench.get("stats", {}).get("median")
+        if name is None or median is None:
+            continue
+        medians[name] = median
+    return medians
 
 
 def compare(
@@ -57,7 +67,9 @@ def compare(
         base = baseline.get(name)
         cur = current.get(name)
         if base is None or cur is None:
-            missing = "no baseline" if base is None else "not run"
+            # One-sided benchmarks never fail the gate: an addition has no
+            # baseline yet, a retired one no current run.
+            missing = "new benchmark, no baseline" if base is None else "not run"
             print(f"{name:<{width}}  {'-':>10}  {'-':>10}  [{missing}]")
             continue
         ratio = cur / base if base > 0 else float("inf")

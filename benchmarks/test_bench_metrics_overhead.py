@@ -1,0 +1,183 @@
+"""Telemetry overhead gates (ISSUE 10).
+
+Two claims about the metrics tier:
+
+1. **disabled** — every instrumented call site guards on one module-global
+   boolean, so an instrumented replay with metrics disabled is the plain
+   replay (the benchmark-regression gate compares this entry's median to
+   the committed baseline, catching any creep);
+2. **enabled** — the per-thread sharded hot paths (dict probe + integer
+   add; two ``perf_counter`` calls per record for the decode span) must
+   cost <5% on the lazy-decode touch-everything replay, measured
+   min-of-rounds against the disabled replay in the same process.
+
+The workload is the transit-grade update population from
+``test_bench_lazy_decode`` (long prepended paths, large community sets):
+attribute decode dominates, which is exactly the regime the <5% promise is
+made for — per-record instrumentation amortised over real decode work.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.community import CommunitySet
+from repro.bgp.message import BGPUpdate
+from repro.bgp.prefix import Prefix
+from repro.core import metrics
+from repro.core.interfaces import SingleFileDataInterface
+from repro.core.intern import reset_default_pool
+from repro.core.stream import BGPStream
+from repro.mrt.parser import clear_index_cache
+from repro.mrt.records import BGP4MPMessage
+from repro.mrt.writer import write_updates_dump
+
+UPDATE_MESSAGES = 2500
+PATH_LENGTH = 40
+COMMUNITIES_PER_SET = 100
+DISTINCT_PATHS = 120
+DISTINCT_COMMUNITY_SETS = 60
+
+#: Enabled-metrics ceiling on the lazy replay (the ISSUE 10 promise).
+ENABLED_CEILING = 1.05
+ROUNDS = 7
+
+
+def _update_bodies():
+    paths = [
+        ASPath.from_asns([65001 + (i * 7 + j) % 3000 for j in range(PATH_LENGTH)])
+        for i in range(DISTINCT_PATHS)
+    ]
+    community_sets = [
+        CommunitySet.from_pairs(
+            [(65000 + (i + j) % 200, j) for j in range(COMMUNITIES_PER_SET)]
+        )
+        for i in range(DISTINCT_COMMUNITY_SETS)
+    ]
+    for i in range(UPDATE_MESSAGES):
+        prefix = Prefix.from_string(f"10.{(i >> 8) % 250}.{i % 250}.0/24")
+        attributes = PathAttributes(
+            origin=0,
+            as_path=paths[i % len(paths)],
+            next_hop=f"192.0.2.{i % 200 + 1}",
+            communities=community_sets[i % len(community_sets)],
+            med=5,
+            local_pref=100,
+        )
+        update = BGPUpdate(announced=[prefix], withdrawn=[], attributes=attributes)
+        yield (
+            1000 + i // 10,
+            BGP4MPMessage(
+                65001 + i % 4, 64600, f"192.0.2.{i % 4 + 10}", "192.0.2.1", update
+            ),
+        )
+
+
+@pytest.fixture(scope="module")
+def heavy_updates_dump(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("metrics-bench") / "updates.mrt")
+    write_updates_dump(path, _update_bodies(), compress=False)
+    return path
+
+
+def _replay(dump_path):
+    """One lazy touch-everything pass; returns the elem count."""
+    clear_index_cache()
+    reset_default_pool()
+    stream = BGPStream(
+        data_interface=SingleFileDataInterface(dump_path, dump_type="updates"),
+        eager=False,
+    )
+    matched = 0
+    for _record, elem in stream.elems():
+        matched += 1
+        elem.field_dict()
+    return matched
+
+
+def _min_seconds(fn, rounds=ROUNDS):
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_metrics_disabled_replay(benchmark, heavy_updates_dump):
+    """The baseline entry: instrumented code with the registry disabled.
+
+    The call sites are compiled in; only the ``if _metrics.enabled:`` guard
+    runs.  The CI benchmark-regression gate compares this median to the
+    committed baseline, so any disabled-path creep fails the gate.
+    """
+    metrics.disable()
+    matched = benchmark.pedantic(
+        lambda: _replay(heavy_updates_dump), rounds=ROUNDS, iterations=1, warmup_rounds=1
+    )
+    assert matched == UPDATE_MESSAGES
+    benchmark.extra_info["records_per_sec"] = round(
+        UPDATE_MESSAGES / benchmark.stats.stats.min
+    )
+
+
+def test_metrics_enabled_overhead(benchmark, heavy_updates_dump):
+    """Enabled metrics cost <5% on the lazy replay (min-of-rounds).
+
+    Enabled and disabled rounds are interleaved (with a GC sweep before
+    each timing) so clock drift, heap state and scheduler noise hit both
+    sides alike.  The gate takes the more robust of two estimators — the
+    per-side minima ratio and the median of per-round paired ratios — so
+    one disturbed round (a GC pause, a scheduler preemption) cannot fail
+    a benchmark whose true overhead is ~1%.
+    """
+    enabled_times, disabled_times = [], []
+    _replay(heavy_updates_dump)  # warm-up (page cache, pyc, interning)
+    for _ in range(ROUNDS):
+        gc.collect()
+        metrics.enable()
+        try:
+            start = time.perf_counter()
+            matched = _replay(heavy_updates_dump)
+            enabled_times.append(time.perf_counter() - start)
+        finally:
+            metrics.disable()
+        assert matched == UPDATE_MESSAGES
+        gc.collect()
+        start = time.perf_counter()
+        matched = _replay(heavy_updates_dump)
+        disabled_times.append(time.perf_counter() - start)
+        assert matched == UPDATE_MESSAGES
+    enabled_seconds = min(enabled_times)
+    disabled_seconds = min(disabled_times)
+    paired_median = statistics.median(
+        e / d for e, d in zip(enabled_times, disabled_times)
+    )
+
+    # Record the enabled replay as this file's second baseline entry.
+    metrics.enable()
+    try:
+        benchmark.pedantic(
+            lambda: _replay(heavy_updates_dump), rounds=2, iterations=1
+        )
+    finally:
+        metrics.disable()
+
+    ratio = min(enabled_seconds / disabled_seconds, paired_median)
+    benchmark.extra_info["disabled_records_per_sec"] = round(
+        UPDATE_MESSAGES / disabled_seconds
+    )
+    benchmark.extra_info["enabled_records_per_sec"] = round(
+        UPDATE_MESSAGES / enabled_seconds
+    )
+    benchmark.extra_info["enabled_vs_disabled_ratio"] = round(ratio, 3)
+    assert ratio <= ENABLED_CEILING, (
+        f"enabled metrics cost {ratio:.3f}x the disabled replay "
+        f"(ceiling {ENABLED_CEILING}x)"
+    )

@@ -17,6 +17,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+import time
+
+from repro import _metrics
 from repro.bmp.codec import scan_buffer
 from repro.bmp.messages import BMPMessage
 from repro.kafka.broker import Message, MessageBroker, round_robin_take
@@ -27,6 +30,29 @@ DEFAULT_BMP_TOPIC = "openbmp.bmp_raw"
 
 #: Consumer-group name the live stream engine uses by default.
 DEFAULT_CONSUMER_GROUP = "bgpstream-live"
+
+#: Telemetry (see docs/OBSERVABILITY.md).  Gauges are *sampled* at the end
+#: of each instrumented poll — scrapes between polls see the last sample.
+_poll_latency = _metrics.histogram(
+    "repro_kafka_poll_latency_seconds",
+    "Wall-clock latency of one BMP-feed Kafka poll (decode included).",
+)
+_frames = _metrics.counter(
+    "repro_kafka_frames_total",
+    "BMP frames scanned off the Kafka feed, by decode outcome.",
+    labelnames=("status",),
+)
+_partition_lag = _metrics.gauge(
+    "repro_kafka_partition_lag",
+    "Messages published but not yet committed by this consumer group, "
+    "per partition (sampled at the end of each poll).",
+    labelnames=("topic", "partition"),
+)
+_deferred_depth = _metrics.gauge(
+    "repro_kafka_deferred_heads",
+    "Partition heads currently held back past the window boundary "
+    "(sampled at the end of each poll).",
+)
 
 
 class BMPFeedProducer:
@@ -154,6 +180,31 @@ class BMPKafkaDataSource:
         consecutive bounded windows (the record-level interval check drops
         the re-delivered in-window frames).
         """
+        if not _metrics.enabled:
+            return self._poll_impl(max_messages, until_ts)
+        started = time.perf_counter()
+        try:
+            return self._poll_impl(max_messages, until_ts)
+        finally:
+            _poll_latency.observe(time.perf_counter() - started)
+            self._sample_gauges()
+
+    def _sample_gauges(self) -> None:
+        """Refresh the lag / deferred-head gauges from the live broker."""
+        broker = self._consumer.broker
+        group = self._consumer.group
+        for topic_name in self.topics:
+            topic = broker.topic(topic_name)
+            for partition in range(topic.num_partitions):
+                lag = topic.end_offset(partition) - broker.committed_offset(
+                    group, topic_name, partition
+                )
+                _partition_lag.set(lag, topic=topic_name, partition=str(partition))
+        _deferred_depth.set(len(self._deferred_heads))
+
+    def _poll_impl(
+        self, max_messages: Optional[int], until_ts: Optional[float]
+    ) -> List[Tuple[str, BMPMessage]]:
         self.window_exceeded = False
         self.window_drained = False
         pairs: List[Tuple[str, BMPMessage]] = []
@@ -256,8 +307,12 @@ class BMPKafkaDataSource:
     def _count_frame(self, message: BMPMessage) -> None:
         if message.is_valid:
             self.frames_decoded += 1
+            if _metrics.enabled:
+                _frames.inc(status="ok")
         else:
             self.corrupt_frames += 1
+            if _metrics.enabled:
+                _frames.inc(status="corrupt")
 
     def lag(self) -> int:
         """Kafka messages published but not yet consumed by this source."""

@@ -31,8 +31,10 @@ tests wrap transports with fault injectors
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, Optional
 
+from repro import _metrics
 from repro.broker.broker import (
     DEFAULT_PAGE_SIZE,
     Broker,
@@ -42,6 +44,25 @@ from repro.broker.broker import (
 from repro.broker.db import DumpFileRecord
 from repro.core.resilience import CircuitBreaker, RetryPolicy
 from repro.utils.timeutil import Clock, SystemClock
+
+
+#: Telemetry (see docs/OBSERVABILITY.md).  Updated only when
+#: ``repro._metrics.enabled`` — one global load per request otherwise.
+_request_latency = _metrics.histogram(
+    "repro_broker_request_latency_seconds",
+    "Broker request wall-clock latency per transport method "
+    "(includes throttle waits, breaker rejection and retries).",
+    labelnames=("method",),
+)
+_requests = _metrics.counter(
+    "repro_broker_requests_total",
+    "Broker transport requests attempted (each retry counts again).",
+    labelnames=("method",),
+)
+_retries = _metrics.counter(
+    "repro_broker_retries_total",
+    "Broker requests re-attempted after a transient transport failure.",
+)
 
 
 class BrokerRequestError(Exception):
@@ -178,6 +199,8 @@ class BrokerClient:
         def one_attempt() -> BrokerResponse:
             self._throttle()
             self.requests_sent += 1
+            if _metrics.enabled:
+                _requests.inc(method=method)
             self._last_request = self.clock.now()
             call = getattr(self.transport, method)
             if self.circuit_breaker is not None:
@@ -186,13 +209,26 @@ class BrokerClient:
 
         def count_retry(_attempt: int, _exc: BaseException, _delay: float) -> None:
             self.retries += 1
+            if _metrics.enabled:
+                _retries.inc()
 
-        return self.retry_policy.run(
-            one_attempt,
-            clock=self.clock,
-            retry_on=(BrokerRequestError,),
-            on_retry=count_retry,
-        )
+        if not _metrics.enabled:
+            return self.retry_policy.run(
+                one_attempt,
+                clock=self.clock,
+                retry_on=(BrokerRequestError,),
+                on_retry=count_retry,
+            )
+        started = time.perf_counter()
+        try:
+            return self.retry_policy.run(
+                one_attempt,
+                clock=self.clock,
+                retry_on=(BrokerRequestError,),
+                on_retry=count_retry,
+            )
+        finally:
+            _request_latency.observe(time.perf_counter() - started, method=method)
 
     def _throttle(self) -> None:
         if self.min_request_interval <= 0 or self._last_request is None:

@@ -56,6 +56,7 @@ import threading
 from array import array
 from typing import List, Optional, Sequence, Tuple
 
+from repro import _metrics
 from repro import _profiling as profiling
 from repro.core.intern import InternPool
 from repro.core.record import BGPStreamRecord, DumpPosition, RecordStatus
@@ -73,6 +74,16 @@ _STATUSES: Tuple[RecordStatus, ...] = tuple(RecordStatus)
 _STATUS_CODE = {status: code for code, status in enumerate(_STATUSES)}
 _POSITIONS: Tuple[DumpPosition, ...] = tuple(DumpPosition)
 _POSITION_CODE = {position: code for code, position in enumerate(_POSITIONS)}
+
+#: Telemetry (see docs/OBSERVABILITY.md): one labeled counter covering the
+#: cache's whole event vocabulary, summed across every SegmentCache handle
+#: in the process.  Updated only while ``repro._metrics.enabled``.
+_cache_events = _metrics.counter(
+    "repro_segment_cache_events_total",
+    "Segment-cache outcomes across all cache handles "
+    "(hit, miss, store, evict, corrupt).",
+    labelnames=("event",),
+)
 
 _MANIFEST_SCHEMA = """
 CREATE TABLE IF NOT EXISTS segments (
@@ -182,6 +193,8 @@ class SegmentCache:
             return self._miss()
         self._touch(key)
         self.hits += 1
+        if _metrics.enabled:
+            _cache_events.inc(event="hit")
         counters = profiling.counters
         if counters is not None:
             counters.segment_hits += 1
@@ -234,6 +247,8 @@ class SegmentCache:
             self._conn.commit()
             self._evict_locked(keep_key=key)
         self.stores += 1
+        if _metrics.enabled:
+            _cache_events.inc(event="store")
         return True
 
     def clear(self) -> None:
@@ -272,6 +287,8 @@ class SegmentCache:
 
     def _miss(self) -> None:
         self.misses += 1
+        if _metrics.enabled:
+            _cache_events.inc(event="miss")
         counters = profiling.counters
         if counters is not None:
             counters.segment_misses += 1
@@ -304,6 +321,8 @@ class SegmentCache:
         except OSError:
             pass
         self.corrupt += 1
+        if _metrics.enabled:
+            _cache_events.inc(event="corrupt")
         counters = profiling.counters
         if counters is not None:
             counters.segment_corrupt += 1
@@ -333,6 +352,8 @@ class SegmentCache:
             except OSError:
                 pass
             self.evictions += 1
+            if _metrics.enabled:
+                _cache_events.inc(event="evict")
 
 
 # ---------------------------------------------------------------------------

@@ -21,6 +21,7 @@ import inspect
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
+from repro import _metrics
 from repro.broker.broker import Broker, BrokerQuery
 from repro.broker.db import MetadataDB
 from repro.collectors.projects import project_for_collector
@@ -400,23 +401,28 @@ class LiveDataInterface(DataInterface):
                 continue
             empty_polls = 0
             batch: List[BGPStreamRecord] = []
-            for router, message in pairs:
-                for record in self.converter.convert(router, message):
-                    if until_ts is not None and record.time > until_ts:
-                        # Overhang of a straddling frame batch (delivered
-                        # whole because offsets cannot split a message):
-                        # discard it here.  A window-aware source left the
-                        # straddling message uncommitted, so the *next*
-                        # window re-reads it and these frames are delivered
-                        # then — nothing is stranded.  Only a window-unaware
-                        # source closes the window here — a window-aware one
-                        # may still hold in-window messages on other
-                        # partitions and signals the close via
-                        # window_drained.
-                        if not window_aware:
-                            window_closed = True
-                        continue
-                    batch.append(record)
+            with _metrics.trace_span("convert"):
+                converted = [
+                    record
+                    for router, message in pairs
+                    for record in self.converter.convert(router, message)
+                ]
+            for record in converted:
+                if until_ts is not None and record.time > until_ts:
+                    # Overhang of a straddling frame batch (delivered
+                    # whole because offsets cannot split a message):
+                    # discard it here.  A window-aware source left the
+                    # straddling message uncommitted, so the *next*
+                    # window re-reads it and these frames are delivered
+                    # then — nothing is stranded.  Only a window-unaware
+                    # source closes the window here — a window-aware one
+                    # may still hold in-window messages on other
+                    # partitions and signals the close via
+                    # window_drained.
+                    if not window_aware:
+                        window_closed = True
+                    continue
+                batch.append(record)
             if batch:
                 yield batch
             if window_closed:
@@ -446,12 +452,14 @@ class LiveDataInterface(DataInterface):
                 return breaker.call(call)
 
         if self.retry_policy is None:
-            return guarded()
+            with _metrics.trace_span("poll"):
+                return guarded()
 
         def count_retry(_attempt: int, _exc: BaseException, _delay: float) -> None:
             self.poll_retries += 1
 
-        return self.retry_policy.run(guarded, clock=self.clock, on_retry=count_retry)
+        with _metrics.trace_span("poll"):
+            return self.retry_policy.run(guarded, clock=self.clock, on_retry=count_retry)
 
     def _source_accepts_until_ts(self) -> bool:
         try:

@@ -1,0 +1,68 @@
+"""Public facade for the unified telemetry tier (PR 10).
+
+The implementation lives in :mod:`repro._metrics` (a top-level state
+module, like :mod:`repro._profiling`, so decode-layer modules can import
+it without the ``repro.core`` package cycle); this facade is the name
+applications and tests import::
+
+    from repro.core import metrics
+
+    metrics.enable()
+    requests = metrics.counter("myapp_requests_total", "Requests served.")
+    requests.inc()
+    with metrics.trace_span("decode"):
+        ...
+    print(metrics.exposition())          # Prometheus 0.0.4 text format
+    server = metrics.start_metrics_server(port=9102)   # GET /metrics
+
+``enabled`` is re-resolved live via module ``__getattr__`` (it is a
+mutable module global on the state module); everything else is a direct
+re-export.  See ``docs/OBSERVABILITY.md`` for the metric catalog.
+"""
+
+from repro import _metrics as _state
+from repro._metrics import (  # noqa: F401 - re-exports
+    PIPELINE_STAGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsLogEmitter,
+    MetricsRegistry,
+    counter,
+    default_registry,
+    disable,
+    enable,
+    exposition,
+    gauge,
+    histogram,
+    metrics_snapshot,
+    start_metrics_server,
+    trace_span,
+)
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsLogEmitter",
+    "default_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "trace_span",
+    "PIPELINE_STAGES",
+    "exposition",
+    "metrics_snapshot",
+    "start_metrics_server",
+]
+
+
+def __getattr__(name: str):
+    """Resolve ``enabled`` against the live state module."""
+    if name == "enabled":
+        return _state.enabled
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

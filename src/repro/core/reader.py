@@ -161,6 +161,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print decode-tier counters (records scanned, bytes "
                              "viewed vs copied, attributes deferred vs decoded) as "
                              "#-prefixed lines after the stream ends")
+    output.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                        help="enable the telemetry registry and serve it in "
+                             "Prometheus text format on GET /metrics at this "
+                             "port (127.0.0.1) for the duration of the run")
+    output.add_argument("--metrics-log", type=float, default=None, metavar="SECONDS",
+                        help="enable the telemetry registry and print a JSON "
+                             "metrics snapshot line to stderr every SECONDS "
+                             "(plus one final line when the stream ends)")
     return parser
 
 
@@ -315,12 +323,37 @@ def _build_live_interface(args: argparse.Namespace) -> LiveDataInterface:
 
 def run(args: argparse.Namespace, out: IO[str]) -> int:
     """Run BGPReader, writing lines to ``out``; returns the exit status."""
+    from repro import _metrics
+
     stats = getattr(args, "decode_stats", False)
+    metrics_port = getattr(args, "metrics_port", None)
+    metrics_log = getattr(args, "metrics_log", None)
+    metrics_server = None
+    metrics_emitter = None
+    if metrics_port is not None or metrics_log is not None:
+        # The telemetry tier rides the decode profiling counters for its
+        # decode view, so a metrics run enables both.
+        _metrics.enable()
+        profiling.enable()
+        if metrics_port is not None:
+            metrics_server = _metrics.start_metrics_server(metrics_port)
+        if metrics_log is not None:
+            metrics_emitter = _metrics.MetricsLogEmitter(
+                sys.stderr, interval=metrics_log
+            ).start()
     if stats:
         profiling.enable()
     try:
         return _run_stream(args, out)
     finally:
+        if metrics_emitter is not None:
+            metrics_emitter.stop()
+        if metrics_server is not None:
+            metrics_server.close()
+        if metrics_port is not None or metrics_log is not None:
+            _metrics.disable()
+            if not stats:
+                profiling.disable()
         if stats:
             for line in profiling.snapshot().summary_lines():
                 print(f"# {line}", file=out)

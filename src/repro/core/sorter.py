@@ -19,9 +19,11 @@ status), and :class:`SortedRecordMerger` implements the grouping + merge.
 from __future__ import annotations
 
 import heapq
+import time
 from itertools import count
 from typing import Iterable, Iterator, List, Optional, Sequence
 
+from repro import _metrics
 from repro.core.interfaces import DumpFileSpec
 from repro.core.record import BGPStreamRecord, DumpPosition, RecordStatus
 from repro.mrt.parser import MRTDumpReader, MRTParseError, file_signature
@@ -74,7 +76,7 @@ class DumpFileReader:
     def __iter__(self) -> Iterator[BGPStreamRecord]:
         cache = self.segment_cache
         if cache is None:
-            yield from self._read()
+            yield from self._timed_read()
             return
         signature = file_signature(self.spec.path)
         cached = cache.load(self.spec)
@@ -82,7 +84,7 @@ class DumpFileReader:
             yield from cached
             return
         records: List[BGPStreamRecord] = []
-        for record in self._read():
+        for record in self._timed_read():
             records.append(record)
             yield record
         # Store only complete, consistent reads: an abandoned iteration never
@@ -90,6 +92,32 @@ class DumpFileReader:
         # signature check.
         if signature is not None and signature == file_signature(self.spec.path):
             cache.store(self.spec, records, signature=signature)
+
+    def _timed_read(self) -> Iterator[BGPStreamRecord]:
+        """Iterate :meth:`_read`, feeding the per-file ``decode`` span.
+
+        The span accumulates only the time spent *inside* the generator
+        (one ``perf_counter`` pair per record pull) so consumer time does
+        not pollute the decode-stage latency; one observation lands in
+        ``repro_stage_latency_seconds{stage="decode"}`` per dump file.
+        Disabled metrics take the plain path — zero added work.
+        """
+        if not _metrics.enabled:
+            yield from self._read()
+            return
+        inner = self._read()
+        perf_counter = time.perf_counter
+        spent = 0.0
+        while True:
+            started = perf_counter()
+            try:
+                record = next(inner)
+            except StopIteration:
+                spent += perf_counter() - started
+                _metrics.stage_latency.labels("decode").observe(spent)
+                return
+            spent += perf_counter() - started
+            yield record
 
     def _read(self) -> Iterator[BGPStreamRecord]:
         spec = self.spec

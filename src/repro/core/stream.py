@@ -59,6 +59,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 
+from repro import _metrics
 from repro.broker.broker import Broker
 from repro.core.elem import BGPElem
 from repro.core.filters import FilterSet
@@ -451,9 +452,19 @@ class BGPStream:
     def elems(self) -> Iterator[Tuple[BGPStreamRecord, BGPElem]]:
         """Iterate ``(record, elem)`` pairs matching the elem-level filters."""
         for record in self.records():
-            for elem in record.elems():
-                if self.filters.match_elem(elem):
+            if _metrics.enabled:
+                # One ``filter`` span per record: extraction + match_elem
+                # over the record's elems (the consumer's time is outside).
+                with _metrics.trace_span("filter"):
+                    matched = [
+                        elem for elem in record.elems() if self.filters.match_elem(elem)
+                    ]
+                for elem in matched:
                     yield record, elem
+            else:
+                for elem in record.elems():
+                    if self.filters.match_elem(elem):
+                        yield record, elem
 
     def __iter__(self) -> Iterator[BGPStreamRecord]:
         return self.records()

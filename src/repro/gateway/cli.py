@@ -68,6 +68,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="shut the server down once the feed finished and every "
              "subscriber drained (replay/benchmark mode)",
     )
+    serving.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="additionally serve the Prometheus /metrics exposition on a "
+             "standalone scrape port (the gateway itself always serves "
+             "GET /metrics on its main port once metrics are enabled); "
+             "implies enabling the telemetry registry and decode profiling",
+    )
+    serving.add_argument(
+        "--metrics", action="store_true",
+        help="enable the telemetry registry (and decode profiling) without "
+             "a standalone scrape port; GET /metrics on the main port "
+             "serves the exposition",
+    )
 
     engine = parser.add_argument_group("engine")
     engine.add_argument("--eager-decode", action="store_true",
@@ -177,11 +190,30 @@ async def _amain(args: argparse.Namespace, out: IO[str]) -> int:
 
 
 def run(args: argparse.Namespace, out: IO[str]) -> int:
+    from repro import _metrics
+
+    metrics_on = bool(getattr(args, "metrics", False)) or (
+        getattr(args, "metrics_port", None) is not None
+    )
+    metrics_server = None
+    if metrics_on:
+        # Decode profiling feeds the registry's decode tier, so a metrics
+        # gateway turns it on too (the counters are cheap per record).
+        _metrics.enable()
+        profiling.enable()
+        if args.metrics_port is not None:
+            metrics_server = _metrics.start_metrics_server(args.metrics_port)
     if args.decode_stats:
         profiling.enable()
     try:
         return asyncio.run(_amain(args, out))
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
+        if metrics_on:
+            _metrics.disable()
+            if not args.decode_stats:
+                profiling.disable()
         if args.decode_stats:
             for line in profiling.snapshot().summary_lines():
                 print(f"# {line}", file=out)

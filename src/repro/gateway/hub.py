@@ -43,6 +43,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, List, Optional
 
+from repro import _metrics
 from repro.core.elem import BGPElem
 from repro.core.filters import FilterSet
 from repro.core.resilience import RetryPolicy, Supervisor
@@ -63,6 +64,48 @@ DEFAULT_COALESCE_BUDGET = 4096
 
 #: Default bridge restart budget when the hub can rebuild its stream.
 DEFAULT_MAX_RESTARTS = 3
+
+#: Telemetry (see docs/OBSERVABILITY.md).  The hub keeps its existing exact
+#: per-instance counters (stats() and the tests read those); the registry
+#: view is *bridged* — ``collected=True`` families are reset each scrape
+#: and repopulated by a weakref-bound collector per live hub, summing over
+#: hubs and their subscribers.  The hot path pays nothing for them.
+_hub_records = _metrics.counter(
+    "repro_hub_records_total",
+    "Records the hub decode loop consumed, summed over live hubs.",
+    collected=True,
+)
+_hub_elems = _metrics.counter(
+    "repro_hub_elems_total",
+    "Elems seen by the decode loop vs admitted into subscriber windows.",
+    labelnames=("kind",),
+    collected=True,
+)
+_hub_windows = _metrics.counter(
+    "repro_hub_windows_total",
+    "Subscriber window events (closed, coalesced, dropped), summed over "
+    "every subscriber of every live hub.",
+    labelnames=("event",),
+    collected=True,
+)
+_hub_elems_dropped = _metrics.counter(
+    "repro_hub_backpressure_dropped_elems_total",
+    "Elems discarded by subscriber backpressure (coalesce-budget "
+    "truncation and wholly dropped windows).",
+    collected=True,
+)
+_hub_subscribers = _metrics.gauge(
+    "repro_hub_subscribers",
+    "Subscribers currently attached, summed over live hubs.",
+    collected=True,
+)
+_hub_queue_depth = _metrics.gauge(
+    "repro_hub_subscriber_queue_depth",
+    "Ready (undelivered) windows queued per named subscriber; anonymous "
+    "subscribers aggregate under 'anonymous'.",
+    labelnames=("subscriber",),
+    collected=True,
+)
 
 
 def _elem_payload(elem: BGPElem) -> Dict:
@@ -463,6 +506,30 @@ class StreamHub:
         self.finished = False
         self.gave_up = False
         self.error: Optional[BaseException] = None
+        # Bridge this hub into the telemetry registry for as long as the
+        # instance lives (weakref-owned — no deregistration needed).
+        _metrics.default_registry().add_collector(StreamHub._collect_metrics, owner=self)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time bridge: fold this hub's exact counters in."""
+        _hub_records.add_total(self.records_seen)
+        _hub_elems.add_total(self.elems_seen, kind="seen")
+        _hub_elems.add_total(self.elems_delivered, kind="delivered")
+        with self._lock:
+            subscribers = list(self._subscribers)
+        _hub_subscribers.inc(len(subscribers))
+        closed = coalesced = dropped = elems_dropped = 0
+        for subscriber in subscribers:
+            snap = subscriber.snapshot()
+            closed += snap["windows_closed"]
+            coalesced += snap["windows_coalesced"]
+            dropped += snap["windows_dropped"]
+            elems_dropped += snap["elems_dropped"]
+            _hub_queue_depth.inc(snap["ready"], subscriber=subscriber.name or "anonymous")
+        _hub_windows.add_total(closed, event="closed")
+        _hub_windows.add_total(coalesced, event="coalesced")
+        _hub_windows.add_total(dropped, event="dropped")
+        _hub_elems_dropped.add_total(elems_dropped)
 
     # -- subscriptions ------------------------------------------------------
 
@@ -552,11 +619,19 @@ class StreamHub:
             # at record granularity keep the per-elem loop copy-free.
             with self._lock:
                 subscribers = list(self._subscribers)
-            for elem in record.elems():
-                self.elems_seen += 1
-                for subscriber in subscribers:
-                    if subscriber.offer(elem):
-                        self.elems_delivered += 1
+            if _metrics.enabled:
+                with _metrics.trace_span("fanout"):
+                    self._fan_out(record, subscribers)
+            else:
+                self._fan_out(record, subscribers)
+
+    def _fan_out(self, record, subscribers: List[Subscriber]) -> None:
+        """Offer one record's elems to every subscriber."""
+        for elem in record.elems():
+            self.elems_seen += 1
+            for subscriber in subscribers:
+                if subscriber.offer(elem):
+                    self.elems_delivered += 1
 
     def _handle_crash(self, exc: BaseException, crash_no: int) -> bool:
         """Supervisor hook: mark every subscriber, rebuild the stream.

@@ -12,7 +12,11 @@ Endpoints (all GET):
   "prefix", "value": "10.0.0.0/8"}`` / ``"remove_filter"`` text frames to
   retune its FilterSet mid-connection; each is acknowledged with an
   ``{"type": "ack", ...}`` frame.
-* ``/stats`` — hub / decode / intern counters as JSON.
+* ``/stats`` — hub / decode / intern counters, server uptime and
+  per-session queue/unacked depths as JSON.
+* ``/metrics`` — the process-wide telemetry registry in Prometheus text
+  exposition format (see :mod:`repro.core.metrics` and
+  ``docs/OBSERVABILITY.md``).
 
 One bridge thread decodes the feed (see :mod:`repro.gateway.hub`); each
 connection runs a sender coroutine that drains its subscriber's bounded
@@ -45,6 +49,7 @@ import time
 import uuid
 from typing import Dict, List, Optional, Tuple
 
+from repro import _metrics
 from repro.core import profiling
 from repro.core.filters import _FILTER_NAMES, FilterSet
 from repro.gateway.hub import (
@@ -76,6 +81,24 @@ _MAX_HEAD = 64 * 1024
 
 #: Default seconds a detached session survives before it is reaped.
 DEFAULT_SESSION_TTL = 60.0
+
+#: Telemetry (see docs/OBSERVABILITY.md): bridged per live server by a
+#: weakref-bound collector, summed when several servers share a process.
+_gw_sessions = _metrics.gauge(
+    "repro_gateway_sessions",
+    "Durable gateway sessions currently registered (attached + parked).",
+    collected=True,
+)
+_gw_connections = _metrics.counter(
+    "repro_gateway_connections_total",
+    "HTTP connections the gateway has accepted (all endpoints).",
+    collected=True,
+)
+_gw_reaped = _metrics.counter(
+    "repro_gateway_sessions_reaped_total",
+    "Parked sessions dropped after idling past their TTL.",
+    collected=True,
+)
 
 
 class ResumeGone(Exception):
@@ -158,6 +181,17 @@ class GatewayServer:
         self._reaper: Optional[asyncio.Task] = None
         self.connections_served = 0
         self.sessions_reaped = 0
+        self.started_at = time.monotonic()
+        # Bridge this server into the telemetry registry (weakref-owned).
+        _metrics.default_registry().add_collector(
+            GatewayServer._collect_metrics, owner=self
+        )
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time bridge: fold this server's counters in."""
+        _gw_sessions.inc(len(self._sessions))
+        _gw_connections.add_total(self.connections_served)
+        _gw_reaped.add_total(self.sessions_reaped)
 
     async def start(self) -> "GatewayServer":
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
@@ -234,6 +268,8 @@ class GatewayServer:
                 writer.write(http_response("405 Method Not Allowed", b'{"error":"GET only"}'))
             elif request.path == "/stats":
                 await self._serve_stats(writer)
+            elif request.path == "/metrics":
+                await self._serve_metrics(writer)
             elif request.path == "/stream/sse":
                 await self._serve_sse(request, writer)
             elif request.path == "/stream/ws":
@@ -269,6 +305,15 @@ class GatewayServer:
             "connections_served": self.connections_served,
             "sessions": len(self._sessions),
             "sessions_reaped": self.sessions_reaped,
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "session_detail": {
+                session.id: {
+                    "attached": session.attached,
+                    "queued_windows": session.subscriber.ready_count,
+                    "unacked_windows": session.subscriber.inflight_count,
+                }
+                for session in list(self._sessions.values())
+            },
         }
         if profiling.counters is not None:
             decode = profiling.snapshot()
@@ -277,6 +322,16 @@ class GatewayServer:
             }
         writer.write(
             http_response("200 OK", protocol.dumps(stats).encode("utf-8"))
+        )
+
+    async def _serve_metrics(self, writer: asyncio.StreamWriter) -> None:
+        body = _metrics.exposition().encode("utf-8")
+        writer.write(
+            http_response(
+                "200 OK",
+                body,
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
         )
 
     # -- subscription / session attach --------------------------------------
@@ -389,11 +444,12 @@ class GatewayServer:
                     await writer.drain()
                     continue
                 token = self._resume_token(session, window)
-                body = window.payload()
-                if token is not None:
-                    body["resume"] = token
-                writer.write(sse_event(body, event="window", event_id=token))
-                await writer.drain()
+                with _metrics.trace_span("deliver"):
+                    body = window.payload()
+                    if token is not None:
+                        body["resume"] = token
+                    writer.write(sse_event(body, event="window", event_id=token))
+                    await writer.drain()
             final = self._final_frame(subscriber)
             writer.write(sse_event(final, event=final["type"]))
             await writer.drain()
@@ -420,14 +476,15 @@ class GatewayServer:
                     writer.write(encode_ws_frame(b"heartbeat", OP_PING))
                     await writer.drain()
                     continue
-                body = window.payload()
                 token = self._resume_token(session, window)
-                if token is not None:
-                    body["resume"] = token
-                writer.write(
-                    encode_ws_frame(protocol.dumps(body).encode("utf-8"), OP_TEXT)
-                )
-                await writer.drain()
+                with _metrics.trace_span("deliver"):
+                    body = window.payload()
+                    if token is not None:
+                        body["resume"] = token
+                    writer.write(
+                        encode_ws_frame(protocol.dumps(body).encode("utf-8"), OP_TEXT)
+                    )
+                    await writer.drain()
             if not closed.is_set():
                 final = self._final_frame(subscriber)
                 writer.write(

@@ -1,0 +1,63 @@
+"""tools/check_metrics.py: the registry linter passes on the real tree and
+catches planted violations in its exposition smoke-parser."""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load(name, relpath):
+    spec = importlib.util.spec_from_file_location(name, REPO_ROOT / relpath)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+check_metrics = _load("check_metrics", "tools/check_metrics.py")
+
+
+class TestCheckRegistry:
+    def test_real_registry_is_clean(self):
+        assert check_metrics.check_registry() == []
+
+    def test_cli_exits_zero(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_metrics.py")],
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "metric families ok" in result.stdout
+
+
+class TestExpositionParser:
+    def test_clean_exposition_passes(self):
+        text = (
+            "# HELP x_total Things.\n"
+            "# TYPE x_total counter\n"
+            'x_total{kind="a"} 3\n'
+        )
+        assert check_metrics.check_exposition(text) == []
+
+    def test_blank_line_flagged(self):
+        problems = check_metrics.check_exposition("x_total 1\n\ny_total 2\n")
+        assert any("blank line" in p for p in problems)
+
+    def test_malformed_sample_flagged(self):
+        problems = check_metrics.check_exposition("not a sample line\n")
+        assert any("malformed sample" in p for p in problems)
+
+    def test_unknown_comment_flagged(self):
+        problems = check_metrics.check_exposition("# WAT x_total counter\n")
+        assert any("unknown comment" in p for p in problems)
+
+    def test_missing_trailing_newline_flagged(self):
+        problems = check_metrics.check_exposition("x_total 1")
+        assert any("newline" in p for p in problems)

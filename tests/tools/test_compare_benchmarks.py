@@ -1,0 +1,114 @@
+"""The benchmark-regression gate tolerates additions, retirements and junk.
+
+PR 10 adds a brand-new benchmark file; the gate must report it as "new
+benchmark, no baseline" and exit 0 rather than KeyError on the missing
+baseline entry.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load(name, relpath):
+    spec = importlib.util.spec_from_file_location(name, REPO_ROOT / relpath)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+compare_benchmarks = _load("compare_benchmarks", "benchmarks/compare_benchmarks.py")
+
+
+def bench_json(tmp_path, name, entries):
+    path = tmp_path / name
+    path.write_text(json.dumps({"benchmarks": entries}))
+    return str(path)
+
+
+def entry(fullname, median):
+    return {"fullname": fullname, "stats": {"median": median}}
+
+
+class TestLoadMedians:
+    def test_reads_fullname_to_median(self, tmp_path):
+        path = bench_json(tmp_path, "run.json", [entry("a.py::test_a", 0.5)])
+        assert compare_benchmarks.load_medians(path) == {"a.py::test_a": 0.5}
+
+    def test_malformed_entries_are_skipped_not_fatal(self, tmp_path):
+        path = bench_json(
+            tmp_path,
+            "run.json",
+            [
+                entry("good", 1.0),
+                {"stats": {"median": 2.0}},  # no fullname
+                {"fullname": "no-stats"},  # no stats at all
+                {"fullname": "no-median", "stats": {}},  # stats but no median
+            ],
+        )
+        assert compare_benchmarks.load_medians(path) == {"good": 1.0}
+
+    def test_empty_file_yields_empty_dict(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("{}")
+        assert compare_benchmarks.load_medians(str(path)) == {}
+
+
+class TestCompare:
+    def test_new_benchmark_without_baseline_passes(self, tmp_path, capsys):
+        baseline = bench_json(tmp_path, "base.json", [entry("old", 1.0)])
+        current = bench_json(
+            tmp_path, "cur.json", [entry("old", 1.0), entry("brand_new", 9.9)]
+        )
+        rc = compare_benchmarks.main([baseline, current])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "new benchmark, no baseline" in out
+
+    def test_retired_benchmark_passes(self, tmp_path, capsys):
+        baseline = bench_json(
+            tmp_path, "base.json", [entry("kept", 1.0), entry("retired", 1.0)]
+        )
+        current = bench_json(tmp_path, "cur.json", [entry("kept", 1.0)])
+        rc = compare_benchmarks.main([baseline, current])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "not run" in out
+
+    def test_regression_fails_the_gate(self, tmp_path, capsys):
+        baseline = bench_json(tmp_path, "base.json", [entry("slow", 1.0)])
+        current = bench_json(tmp_path, "cur.json", [entry("slow", 3.0)])
+        rc = compare_benchmarks.main([baseline, current, "--max-ratio", "2.0"])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_within_ratio_passes(self, tmp_path, capsys):
+        baseline = bench_json(tmp_path, "base.json", [entry("fine", 1.0)])
+        current = bench_json(tmp_path, "cur.json", [entry("fine", 1.5)])
+        rc = compare_benchmarks.main([baseline, current, "--max-ratio", "2.0"])
+        assert rc == 0
+        assert "no benchmark regressions" in capsys.readouterr().out
+
+    def test_pattern_selects_subset(self, tmp_path, capsys):
+        baseline = bench_json(
+            tmp_path, "base.json", [entry("trie::a", 1.0), entry("other::b", 1.0)]
+        )
+        current = bench_json(
+            tmp_path, "cur.json", [entry("trie::a", 1.0), entry("other::b", 99.0)]
+        )
+        rc = compare_benchmarks.main([baseline, current, "--pattern", "trie"])
+        out = capsys.readouterr().out
+        assert rc == 0  # the 99x regression is outside the pattern
+        assert "other::b" not in out
+
+    def test_no_matching_benchmarks_is_an_error(self, tmp_path):
+        baseline = bench_json(tmp_path, "base.json", [entry("a", 1.0)])
+        current = bench_json(tmp_path, "cur.json", [entry("a", 1.0)])
+        rc = compare_benchmarks.main([baseline, current, "--pattern", "nomatch"])
+        assert rc == 2
